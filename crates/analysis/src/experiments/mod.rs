@@ -1,0 +1,21 @@
+//! One module per experiment family; ids match `DESIGN.md` §3.
+
+pub mod compare;
+pub mod dynamics;
+pub mod figures;
+pub mod theorems;
+
+pub use compare::{
+    e11_strategy_comparison, e12_baselines, e13_ablations, e14_open_problem, e16_network_survey,
+};
+pub use dynamics::e15_capture_dynamics;
+pub use figures::{f1_broadcast_tree, f2_clean_order, f3_msb_classes, f4_visibility_wavefront};
+pub use theorems::{
+    t10_synchronous_variant, t2_clean_agents, t3_clean_moves, t4_clean_time, t5_visibility_agents,
+    t6_monotonicity, t7_visibility_time, t8_visibility_moves, t9_cloning,
+};
+
+/// All experiment ids, in presentation order.
+pub const ALL_IDS: &[&str] = &[
+    "f1", "f2", "f3", "f4", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "e11", "e12", "e13", "e14", "e15", "e16",
+];

@@ -1,0 +1,98 @@
+//! Experiment outputs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::series::Series;
+use crate::table::Table;
+
+/// The output of one experiment (one paper table/figure).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id from `DESIGN.md` §3 (`f1`…`f4`, `t2`…`t10`, `e11`,
+    /// `e12`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper claims, in one line.
+    pub claim: String,
+    /// Tables (measured vs predicted).
+    pub tables: Vec<Table>,
+    /// Figure-shaped series.
+    pub series: Vec<Series>,
+    /// Pre-rendered textual artifacts (tree drawings, cleaning orders).
+    pub artifacts: Vec<String>,
+    /// Free-form observations (discrepancies, reproduction notes).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// New empty result.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        claim: impl Into<String>,
+    ) -> Self {
+        ExperimentResult {
+            id: id.into(),
+            title: title.into(),
+            claim: claim.into(),
+            tables: Vec::new(),
+            series: Vec::new(),
+            artifacts: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Render everything as text (what the CLI prints).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id.to_uppercase(), self.title));
+        out.push_str(&format!("claim: {}\n\n", self.claim));
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for a in &self.artifacts {
+            out.push_str(a);
+            out.push('\n');
+        }
+        for s in &self.series {
+            out.push_str(&format!(
+                "series '{}': x = {:?}\n             y = {:?}\n",
+                s.label, s.x, s.y
+            ));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_all_parts() {
+        let mut r = ExperimentResult::new("t5", "visibility agents", "n/2 agents suffice");
+        let mut t = Table::new("agents", &["d", "measured"]);
+        t.push_row(vec!["3".into(), "4".into()]);
+        r.tables.push(t);
+        r.series.push(Series::from_points("agents", &[(3, 4.0)]));
+        r.notes.push("exact".into());
+        let s = r.render();
+        assert!(s.contains("T5"));
+        assert!(s.contains("n/2 agents"));
+        assert!(s.contains("measured"));
+        assert!(s.contains("note: exact"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = ExperimentResult::new("f1", "broadcast tree", "T(d) structure");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,155 @@
+//! Experiment configuration, dispatch, and parallel execution.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiments;
+use crate::result::ExperimentResult;
+
+/// How large and how thorough an experiment run should be.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Dimensions evaluated through the fast (procedural) paths.
+    pub fast_dims: Vec<u32>,
+    /// Dimensions additionally executed on the discrete-event engine under
+    /// asynchronous adversaries.
+    pub engine_dims: Vec<u32>,
+    /// Dimensions executed under the synchronous schedule for ideal-time
+    /// measurements (Algorithm CLEAN is sequential, so these stay small).
+    pub sync_engine_dims: Vec<u32>,
+    /// Number of random-adversary seeds per configuration.
+    pub adversary_seeds: u64,
+    /// Dimension used for the structural figures (the paper draws `H_6`).
+    pub figure_dim: u32,
+    /// Dimension used for the order/wavefront figures (the paper draws
+    /// `H_4`).
+    pub small_figure_dim: u32,
+}
+
+impl ExperimentConfig {
+    /// Small and fast: suitable for CI and unit tests (seconds).
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            fast_dims: (1..=10).collect(),
+            engine_dims: vec![2, 4, 6],
+            sync_engine_dims: vec![2, 4, 6],
+            adversary_seeds: 2,
+            figure_dim: 6,
+            small_figure_dim: 4,
+        }
+    }
+
+    /// The full runs recorded in `EXPERIMENTS.md` (tens of seconds).
+    pub fn full() -> Self {
+        ExperimentConfig {
+            fast_dims: (1..=14).collect(),
+            engine_dims: vec![2, 3, 4, 5, 6, 7, 8],
+            sync_engine_dims: vec![2, 4, 6, 8],
+            adversary_seeds: 5,
+            figure_dim: 6,
+            small_figure_dim: 4,
+        }
+    }
+
+    /// Largest fast dimension.
+    pub fn fast_max_dim(&self) -> u32 {
+        self.fast_dims.iter().copied().max().unwrap_or(1)
+    }
+}
+
+/// Run one experiment by id; `None` for an unknown id.
+pub fn run_experiment(id: &str, cfg: &ExperimentConfig) -> Option<ExperimentResult> {
+    Some(match id {
+        "f1" => experiments::f1_broadcast_tree(cfg),
+        "f2" => experiments::f2_clean_order(cfg),
+        "f3" => experiments::f3_msb_classes(cfg),
+        "f4" => experiments::f4_visibility_wavefront(cfg),
+        "t2" => experiments::t2_clean_agents(cfg),
+        "t3" => experiments::t3_clean_moves(cfg),
+        "t4" => experiments::t4_clean_time(cfg),
+        "t5" => experiments::t5_visibility_agents(cfg),
+        "t6" => experiments::t6_monotonicity(cfg),
+        "t7" => experiments::t7_visibility_time(cfg),
+        "t8" => experiments::t8_visibility_moves(cfg),
+        "t9" => experiments::t9_cloning(cfg),
+        "t10" => experiments::t10_synchronous_variant(cfg),
+        "e11" => experiments::e11_strategy_comparison(cfg),
+        "e12" => experiments::e12_baselines(cfg),
+        "e13" => experiments::e13_ablations(cfg),
+        "e14" => experiments::e14_open_problem(cfg),
+        "e15" => experiments::e15_capture_dynamics(cfg),
+        "e16" => experiments::e16_network_survey(cfg),
+        _ => return None,
+    })
+}
+
+/// Run every experiment, in parallel across experiments (each experiment is
+/// itself sequential), and return them in presentation order.
+pub fn run_all(cfg: &ExperimentConfig) -> Vec<ExperimentResult> {
+    let ids = experiments::ALL_IDS;
+    let mut slots: Vec<Option<ExperimentResult>> = Vec::new();
+    slots.resize_with(ids.len(), || None);
+    let slots_mutex = std::sync::Mutex::new(&mut slots);
+    crossbeam::thread::scope(|scope| {
+        for (i, id) in ids.iter().enumerate() {
+            let slots_ref = &slots_mutex;
+            scope.spawn(move |_| {
+                let result = run_experiment(id, cfg).expect("known id");
+                slots_ref.lock().unwrap()[i] = Some(result);
+            });
+        }
+    })
+    .expect("experiment threads do not panic");
+    slots.into_iter().map(|r| r.expect("all ran")).collect()
+}
+
+/// Write every result as JSON into `dir` (one file per experiment id) and
+/// return the file paths.
+pub fn export_json(
+    results: &[ExperimentResult],
+    dir: &Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for r in results {
+        let path = dir.join(format!("{}.json", r.id));
+        let mut f = std::fs::File::create(&path)?;
+        let json = serde_json::to_string_pretty(r).expect("results serialize");
+        f.write_all(json.as_bytes())?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_experiment("zzz", &ExperimentConfig::quick()).is_none());
+    }
+
+    #[test]
+    fn config_max_dim() {
+        let cfg = ExperimentConfig::quick();
+        assert_eq!(cfg.fast_max_dim(), 10);
+    }
+
+    #[test]
+    fn export_writes_one_file_per_result() {
+        let results = vec![
+            ExperimentResult::new("x1", "a", "c"),
+            ExperimentResult::new("x2", "b", "c"),
+        ];
+        let dir = std::env::temp_dir().join("hypersweep-export-test");
+        let paths = export_json(&results, &dir).unwrap();
+        assert_eq!(paths.len(), 2);
+        for p in paths {
+            assert!(p.exists());
+            std::fs::remove_file(p).ok();
+        }
+    }
+}

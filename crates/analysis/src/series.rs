@@ -1,0 +1,108 @@
+//! Figure-shaped data series (x/y pairs with labels).
+
+use serde::{Deserialize, Serialize};
+
+/// One labelled series of points, the figure analogue of a table column.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// x values (dimension, level, class index, …).
+    pub x: Vec<u64>,
+    /// y values.
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// New empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: u64, y: f64) {
+        self.x.push(x);
+        self.y.push(y);
+    }
+
+    /// Build from pairs.
+    pub fn from_points(label: impl Into<String>, points: &[(u64, f64)]) -> Self {
+        let mut s = Series::new(label);
+        for &(x, y) in points {
+            s.push(x, y);
+        }
+        s
+    }
+
+    /// Fit `y ≈ c · g(x)` by averaging `y/g(x)` over the tail half of the
+    /// series and report the maximum relative deviation of the tail from
+    /// the fitted constant — a simple, robust empirical-order check used by
+    /// the asymptotic-shape tests.
+    pub fn fit_against(&self, g: impl Fn(u64) -> f64) -> Option<OrderFit> {
+        if self.x.len() < 2 {
+            return None;
+        }
+        let start = self.x.len() / 2;
+        let ratios: Vec<f64> = self.x[start..]
+            .iter()
+            .zip(&self.y[start..])
+            .map(|(&x, &y)| y / g(x))
+            .collect();
+        let c = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let max_rel_dev = ratios
+            .iter()
+            .map(|r| ((r - c) / c).abs())
+            .fold(0.0f64, f64::max);
+        Some(OrderFit {
+            constant: c,
+            max_rel_dev,
+        })
+    }
+}
+
+/// Result of [`Series::fit_against`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OrderFit {
+    /// The fitted constant `c`.
+    pub constant: f64,
+    /// Maximum relative deviation of the tail from `c` (0 = perfect fit).
+    pub max_rel_dev: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_order_fits_with_zero_deviation() {
+        // y = 3·x·2^x fits g(x) = x·2^x perfectly.
+        let mut s = Series::new("exact");
+        for d in 1..=12u64 {
+            s.push(d, 3.0 * d as f64 * (1u64 << d) as f64);
+        }
+        let fit = s.fit_against(|x| x as f64 * (1u64 << x) as f64).unwrap();
+        assert!((fit.constant - 3.0).abs() < 1e-9);
+        assert!(fit.max_rel_dev < 1e-9);
+    }
+
+    #[test]
+    fn wrong_order_shows_drift() {
+        // y = 2^x against g(x) = x: ratios diverge.
+        let mut s = Series::new("wrong");
+        for d in 1..=14u64 {
+            s.push(d, (1u64 << d) as f64);
+        }
+        let fit = s.fit_against(|x| x as f64).unwrap();
+        assert!(fit.max_rel_dev > 0.5, "deviation {}", fit.max_rel_dev);
+    }
+
+    #[test]
+    fn too_short_series_has_no_fit() {
+        let s = Series::from_points("one", &[(1, 1.0)]);
+        assert!(s.fit_against(|x| x as f64).is_none());
+    }
+}

@@ -1,0 +1,80 @@
+//! Minimal descriptive statistics for seed sweeps.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a sample of values.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Median (lower of the two middle values for even counts).
+    pub median: f64,
+}
+
+/// Summarize a sample. Panics on an empty slice.
+pub fn summarize(values: &[f64]) -> Summary {
+    assert!(!values.is_empty(), "cannot summarize an empty sample");
+    let count = values.len();
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let min = sorted[0];
+    let max = sorted[count - 1];
+    let mean = values.iter().sum::<f64>() / count as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+    Summary {
+        count,
+        min,
+        max,
+        mean,
+        std_dev: var.sqrt(),
+        median: sorted[(count - 1) / 2],
+    }
+}
+
+impl Summary {
+    /// Compact rendering for table cells: `mean ± std [min..max]`.
+    pub fn cell(&self) -> String {
+        format!(
+            "{:.1} ± {:.1} [{:.0}..{:.0}]",
+            self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 2.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.0);
+    }
+
+    #[test]
+    fn singleton_sample() {
+        let s = summarize(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        summarize(&[]);
+    }
+}

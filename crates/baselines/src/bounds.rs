@@ -1,0 +1,219 @@
+//! Exact reference bounds for the contiguous monotone search number.
+//!
+//! In a monotone, contiguous search every decontaminated node adjacent to
+//! contaminated territory must be guarded, so a strategy whose clean set
+//! grows `{homebase} = S_0 ⊂ S_1 ⊂ … ⊂ V` (one node per step, connected
+//! throughout) needs at least `max_t |∂S_t|` agents, where `∂S` is the set
+//! of nodes of `S` with a neighbour outside `S`. Minimizing that peak over
+//! all growth orders is a bottleneck shortest path over the connected-set
+//! lattice — computed exactly here by a Dijkstra variant for graphs up to
+//! ~20 nodes (`H_4` included).
+//!
+//! The paper leaves the optimal team size for the hypercube open (§5:
+//! "an interesting open problem is to determine whether our strategy for
+//! the first model is optimal"); this module lets the experiments place
+//! Algorithm CLEAN's exact team against the true boundary optimum for
+//! small `d`.
+
+use std::collections::BinaryHeap;
+
+use hypersweep_topology::{Node, Topology};
+
+/// Result of the exact boundary-optimum search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundaryOptimum {
+    /// The minimal peak boundary over all monotone contiguous growth
+    /// orders — a lower bound on the team size (and achievable with at
+    /// most one extra roving agent).
+    pub peak_boundary: u32,
+    /// One optimal growth order (the nodes in the order they are added
+    /// after the homebase).
+    pub order: Vec<Node>,
+}
+
+fn boundary_size<T: Topology + ?Sized>(topo: &T, mask: u64) -> u32 {
+    let n = topo.node_count();
+    let mut count = 0;
+    let mut nbrs = Vec::new();
+    for i in 0..n {
+        if mask & (1 << i) != 0 {
+            topo.neighbors_into(Node(i as u32), &mut nbrs);
+            if nbrs.iter().any(|y| mask & (1 << y.index()) == 0) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Exact minimal peak boundary for searching `topo` from `homebase`.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 24 nodes (the state space is
+/// `2^n`).
+pub fn boundary_optimum<T: Topology + ?Sized>(topo: &T, homebase: Node) -> BoundaryOptimum {
+    let n = topo.node_count();
+    assert!(n <= 24, "exact boundary optimum is limited to 24 nodes");
+    let full: u64 = if n == 64 { u64::MAX } else { (1 << n) - 1 };
+    let start: u64 = 1 << homebase.index();
+
+    // Bottleneck Dijkstra: best[mask] = minimal achievable peak boundary
+    // to reach `mask`. Store in a hashmap keyed by mask.
+    let mut best: std::collections::HashMap<u64, u32> = Default::default();
+    let mut pred: std::collections::HashMap<u64, (u64, Node)> = Default::default();
+    // Max-heap by Reverse(peak).
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u32, u64)>> = BinaryHeap::new();
+    let b0 = boundary_size(topo, start);
+    best.insert(start, b0);
+    heap.push(std::cmp::Reverse((b0, start)));
+    let mut nbrs = Vec::new();
+
+    while let Some(std::cmp::Reverse((peak, mask))) = heap.pop() {
+        if best.get(&mask).copied() != Some(peak) {
+            continue; // stale entry
+        }
+        if mask == full {
+            // Reconstruct the order.
+            let mut order = Vec::new();
+            let mut cur = mask;
+            while cur != start {
+                let (prev, added) = pred[&cur];
+                order.push(added);
+                cur = prev;
+            }
+            order.reverse();
+            return BoundaryOptimum {
+                peak_boundary: peak,
+                order,
+            };
+        }
+        // Expand by any neighbour of the current set.
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                topo.neighbors_into(Node(i as u32), &mut nbrs);
+                for &y in &nbrs {
+                    let bit = 1u64 << y.index();
+                    if mask & bit == 0 {
+                        let next = mask | bit;
+                        let nb = boundary_size(topo, next);
+                        let npeak = peak.max(nb);
+                        if best.get(&next).map(|&b| npeak < b).unwrap_or(true) {
+                            best.insert(next, npeak);
+                            pred.insert(next, (mask, y));
+                            heap.push(std::cmp::Reverse((npeak, next)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    unreachable!("connected graphs always reach the full set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersweep_topology::graph::{AdjGraph, Complete, Path, Ring, Star};
+    use hypersweep_topology::Hypercube;
+
+    #[test]
+    fn path_optimum_is_one() {
+        let p = Path::new(8);
+        let opt = boundary_optimum(&p, Node(0));
+        assert_eq!(opt.peak_boundary, 1);
+        assert_eq!(opt.order.len(), 7);
+    }
+
+    #[test]
+    fn ring_optimum_is_two() {
+        let r = Ring::new(9);
+        let opt = boundary_optimum(&r, Node(0));
+        assert_eq!(opt.peak_boundary, 2);
+    }
+
+    #[test]
+    fn star_optimum_is_one_from_center_but_team_is_two() {
+        // Guards-only bound: the centre alone walls off every leaf, so the
+        // peak boundary is 1 — yet a real team needs a second, *moving*
+        // agent (the tree recurrence correctly says 2). The gap is at most
+        // one roving agent.
+        let s = Star::new(10);
+        assert_eq!(boundary_optimum(&s, Node(0)).peak_boundary, 1);
+        let g = AdjGraph::from_topology(&s);
+        assert_eq!(crate::tree_search::tree_search_number(&g, Node(0)), 2);
+    }
+
+    #[test]
+    fn complete_graph_optimum_is_n_minus_one() {
+        // Until only one contaminated node remains, every clean node
+        // borders it… the peak is n−1 when one node is left out.
+        let k = Complete::new(6);
+        assert_eq!(boundary_optimum(&k, Node(0)).peak_boundary, 5);
+    }
+
+    #[test]
+    fn hypercube_h2_and_h3_optima() {
+        // H_2 (a 4-cycle): 2. H_3: at |S| = 5 at most one node can be
+        // interior (two interiors would need 6 distinct closed-neighbour
+        // nodes), so the boundary peaks at 4 on every growth order.
+        assert_eq!(boundary_optimum(&Hypercube::new(2), Node::ROOT).peak_boundary, 2);
+        let h3 = boundary_optimum(&Hypercube::new(3), Node::ROOT).peak_boundary;
+        assert_eq!(h3, 4, "H_3 boundary optimum");
+    }
+
+    #[test]
+    fn hypercube_h4_optimum_is_below_cleans_team() {
+        let opt = boundary_optimum(&Hypercube::new(4), Node::ROOT);
+        let clean_team = hypersweep_topology::combinatorics::clean_team_size(4);
+        assert!(
+            u128::from(opt.peak_boundary) <= clean_team,
+            "optimum {} must not exceed CLEAN's team {clean_team}",
+            opt.peak_boundary
+        );
+        // Regression-pin the exact value so any change is noticed: the
+        // optimum is 7, one below CLEAN's team of 8 — so for d = 4 the
+        // paper's strategy is within one agent of the guards-only optimum
+        // (§5 leaves tightness open).
+        assert_eq!(opt.peak_boundary, 7, "H_4 boundary optimum");
+    }
+
+    #[test]
+    fn order_is_a_connected_growth() {
+        let h = Hypercube::new(3);
+        let opt = boundary_optimum(&h, Node::ROOT);
+        let mut mask = 1u64;
+        for x in &opt.order {
+            let mut nbrs = Vec::new();
+            h.neighbors_into(*x, &mut nbrs);
+            assert!(
+                nbrs.iter().any(|y| mask & (1 << y.index()) != 0),
+                "{x} added without a settled neighbour"
+            );
+            mask |= 1 << x.index();
+        }
+        assert_eq!(mask.count_ones() as usize, h.node_count());
+    }
+
+    #[test]
+    fn tree_optimum_matches_tree_search_recurrence() {
+        // Cross-check the DP of `tree_search` against the exhaustive
+        // optimum on small trees. The boundary optimum counts only guards,
+        // while an agent team must also *move*: the DP value is the
+        // boundary optimum or exactly one more (the roving agent).
+        let trees: Vec<(usize, Vec<(u32, u32)>)> = vec![
+            (7, vec![(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]),
+            (9, vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 5), (5, 6), (6, 7), (7, 8)]),
+            (6, vec![(0, 1), (0, 2), (0, 3), (3, 4), (3, 5)]),
+        ];
+        for (n, edges) in trees {
+            let g = AdjGraph::from_edges(n, &edges);
+            let dp = crate::tree_search::tree_search_number(&g, Node(0));
+            let opt = boundary_optimum(&g, Node(0)).peak_boundary;
+            assert!(
+                dp == opt || dp == opt + 1,
+                "tree on {n} nodes: dp {dp} vs boundary {opt}"
+            );
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Vertex-isoperimetric lower bounds for the hypercube team size.
+//!
+//! At any instant of a monotone contiguous search with decontaminated set
+//! `S`, every node of `S` adjacent to contaminated territory must be
+//! guarded, so the team is at least the *inner* vertex boundary `|∂_in S|`.
+//! Minimizing over all sets of size `k` (connectivity and homebase
+//! constraints only increase the true optimum) and maximizing over `k`
+//! yields a rigorous lower bound valid for **every** strategy:
+//!
+//! `LB(d) = max_{1 ≤ k < n} min_{|S| = k} |∂_in S|`.
+//!
+//! By complementation, `min_{|S|=k} |∂_in S| = min_{|T|=n−k} |∂_out T|`,
+//! and Harper's vertex-isoperimetric theorem states that initial segments
+//! of the *simplicial order* minimize the out-boundary `|N(T) \ T|` in the
+//! hypercube. This module implements the simplicial order, cross-validates
+//! it against brute force for `d ≤ 4` (see the tests), and evaluates the
+//! bound for arbitrary `d` — the quantitative side of the paper's §5 open
+//! question on the optimality of Algorithm CLEAN.
+
+use hypersweep_topology::{Hypercube, Node};
+
+/// Compare two nodes in Harper's *simplicial order*: ascending by weight
+/// (level); within a weight class, **descending** numeric order.
+///
+/// Intuition: within weight `w`, the first sets taken should hug the top of
+/// the previous ball — taking `x` with *larger* value first keeps the
+/// segment "ball-like". The order is validated against brute force for
+/// `d ≤ 4` by the tests.
+pub fn simplicial_cmp(a: Node, b: Node) -> std::cmp::Ordering {
+    a.level()
+        .cmp(&b.level())
+        .then_with(|| b.0.cmp(&a.0))
+}
+
+/// All nodes of `H_d` in simplicial order.
+pub fn simplicial_order(cube: Hypercube) -> Vec<Node> {
+    let mut nodes: Vec<Node> = cube.nodes().collect();
+    nodes.sort_by(|&a, &b| simplicial_cmp(a, b));
+    nodes
+}
+
+/// `min_{|T| = k} |N(T) \ T|` for every `k = 0..=n`, per Harper's theorem
+/// (initial segments of the simplicial order are optimal).
+pub fn min_out_boundary_profile(cube: Hypercube) -> Vec<u64> {
+    let n = cube.node_count();
+    let order = simplicial_order(cube);
+    let mut in_set = vec![false; n];
+    // Count, for each outside node, how many neighbours are inside; the
+    // out-boundary is the number of outside nodes with ≥ 1 inside
+    // neighbour. Maintain incrementally.
+    let mut inside_neighbors = vec![0u32; n];
+    let mut boundary: u64 = 0;
+    let mut profile = Vec::with_capacity(n + 1);
+    profile.push(0);
+    for &x in &order {
+        // x joins T: if it was boundary, it no longer is.
+        if inside_neighbors[x.index()] > 0 {
+            boundary -= 1;
+        }
+        in_set[x.index()] = true;
+        for y in cube.neighbors(x) {
+            if !in_set[y.index()] {
+                if inside_neighbors[y.index()] == 0 {
+                    boundary += 1;
+                }
+                inside_neighbors[y.index()] += 1;
+            }
+        }
+        profile.push(boundary);
+    }
+    profile
+}
+
+/// `min_{|S| = k} |∂_in S|` for every `k` (inner boundary), via
+/// complementation of [`min_out_boundary_profile`].
+pub fn min_inner_boundary_profile(cube: Hypercube) -> Vec<u64> {
+    let out = min_out_boundary_profile(cube);
+    let n = cube.node_count();
+    (0..=n).map(|k| out[n - k]).collect()
+}
+
+/// The isoperimetric team lower bound
+/// `LB(d) = max_{1 ≤ k < n} min_{|S|=k} |∂_in S|`.
+pub fn isoperimetric_team_lower_bound(d: u32) -> u64 {
+    let cube = Hypercube::new(d);
+    let profile = min_inner_boundary_profile(cube);
+    let n = cube.node_count();
+    (1..n).map(|k| profile[k]).max().unwrap_or(0)
+}
+
+/// Brute-force `min_{|T|=k} |N(T)\T|` for every `k` — exponential; used by
+/// the tests to validate the simplicial order for `d ≤ 4`.
+pub fn brute_min_out_boundary_profile(cube: Hypercube) -> Vec<u64> {
+    let n = cube.node_count();
+    assert!(n <= 16, "brute force is 2^n");
+    let mut best = vec![u64::MAX; n + 1];
+    best[0] = 0;
+    for mask in 0u32..(1u32 << n) {
+        let k = mask.count_ones() as usize;
+        if k == 0 {
+            continue;
+        }
+        let mut boundary = 0u64;
+        for i in 0..n {
+            if mask & (1 << i) == 0 {
+                let x = Node(i as u32);
+                if cube.neighbors(x).any(|y| mask & (1 << y.index()) != 0) {
+                    boundary += 1;
+                }
+            }
+        }
+        best[k] = best[k].min(boundary);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersweep_topology::combinatorics as comb;
+
+    #[test]
+    fn simplicial_order_starts_with_balls() {
+        let order = simplicial_order(Hypercube::new(3));
+        // Weight 0 first, then the three weight-1 nodes (descending), …
+        assert_eq!(order[0], Node(0));
+        assert_eq!(&order[1..4], &[Node(4), Node(2), Node(1)]);
+        assert_eq!(order.last(), Some(&Node(7)));
+    }
+
+    #[test]
+    fn harper_profile_matches_brute_force_up_to_d4() {
+        for d in 1..=4 {
+            let cube = Hypercube::new(d);
+            let harper = min_out_boundary_profile(cube);
+            let brute = brute_min_out_boundary_profile(cube);
+            assert_eq!(harper, brute, "Harper order is not optimal at d={d}");
+        }
+    }
+
+    #[test]
+    fn profile_endpoints_and_symmetry_basics() {
+        let cube = Hypercube::new(6);
+        let p = min_out_boundary_profile(cube);
+        assert_eq!(p[0], 0);
+        assert_eq!(p[cube.node_count()], 0);
+        // A single node has out-boundary d.
+        assert_eq!(p[1], 6);
+        // n−1 nodes: the one outside node is the whole boundary.
+        assert_eq!(p[cube.node_count() - 1], 1);
+    }
+
+    #[test]
+    fn inner_profile_is_the_reflected_outer_profile() {
+        let cube = Hypercube::new(5);
+        let inner = min_inner_boundary_profile(cube);
+        let outer = min_out_boundary_profile(cube);
+        let n = cube.node_count();
+        for k in 0..=n {
+            assert_eq!(inner[k], outer[n - k]);
+        }
+    }
+
+    #[test]
+    fn lower_bound_small_dimensions() {
+        // d ≤ 4: the connectivity-free isoperimetric bound vs the exact
+        // connected optimum (7 at d = 4, computed by bounds.rs): the
+        // relaxation can only be ≤.
+        assert_eq!(isoperimetric_team_lower_bound(1), 1);
+        assert_eq!(isoperimetric_team_lower_bound(2), 2);
+        let lb3 = isoperimetric_team_lower_bound(3);
+        assert!((3..=4).contains(&lb3), "lb3 = {lb3}");
+        let lb4 = isoperimetric_team_lower_bound(4);
+        assert!((5..=7).contains(&lb4), "lb4 = {lb4}");
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_cleans_team() {
+        for d in 1..=14 {
+            let lb = u128::from(isoperimetric_team_lower_bound(d));
+            let team = comb::clean_team_size(d);
+            assert!(
+                lb <= team,
+                "d={d}: isoperimetric bound {lb} above CLEAN's team {team}"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_grows_like_central_binomial() {
+        // The bound is Θ(n/√log n), like CLEAN's team: their ratio stays
+        // bounded — evidence (not proof) that CLEAN is near-optimal and
+        // that the true complexity of the problem is n/√log n, not the
+        // paper's conjectured n/log n.
+        for d in (6..=16u32).step_by(2) {
+            let lb = isoperimetric_team_lower_bound(d) as f64;
+            let central = comb::binomial(d, d / 2) as f64;
+            let ratio = lb / central;
+            assert!(
+                (0.3..=1.2).contains(&ratio),
+                "d={d}: LB/C(d,d/2) = {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn bound_is_monotone_in_dimension() {
+        let mut prev = 0;
+        for d in 1..=12 {
+            let lb = isoperimetric_team_lower_bound(d);
+            assert!(lb >= prev, "d={d}");
+            prev = lb;
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Contiguous monotone search beyond the hypercube: rings and tori.
+//!
+//! The graph-search literature the paper builds on (§1.2) treats many
+//! topologies; these two plans demonstrate that the crate's model,
+//! monitors and intruder are topology-agnostic, and give comparison points
+//! for the hypercube results:
+//!
+//! * **Ring** ([`ring_plan`]): two agents leave the homebase in opposite
+//!   directions and meet halfway — the optimal team (a cycle cannot be
+//!   searched contiguously by one agent), `n − 1` moves.
+//! * **Torus** ([`torus_plan`]): a *barrier* column stays guarded at the
+//!   wrap-around while a second column of sweepers pushes across — `2R`
+//!   agents for an `R × C` torus (sweep along the longer side), one slide
+//!   per node plus the deployment walks.
+//!
+//! Both plans are centralized trace generators; correctness is established
+//! the same way as everywhere else in this repository — by auditing the
+//! trace with the monitors (spread-on-vacate contamination, contiguity,
+//! capture).
+
+use hypersweep_sim::{Event, EventKind, Metrics, Role};
+use hypersweep_topology::graph::{Ring, Torus};
+use hypersweep_topology::Node;
+
+fn spawn(events: &mut Vec<Event>, agent: u32, node: Node) {
+    events.push(Event {
+        time: 0,
+        kind: EventKind::Spawn {
+            agent,
+            node,
+            role: Role::Worker,
+        },
+    });
+}
+
+fn mv(events: &mut Vec<Event>, moves: &mut u64, agent: u32, from: Node, to: Node) {
+    *moves += 1;
+    events.push(Event {
+        time: 0,
+        kind: EventKind::Move {
+            agent,
+            from,
+            to,
+            role: Role::Worker,
+        },
+    });
+}
+
+fn terminate(events: &mut Vec<Event>, agent: u32, node: Node) {
+    events.push(Event {
+        time: 0,
+        kind: EventKind::Terminate { agent, node },
+    });
+}
+
+/// The two-agent ring sweep from homebase `0`: agent 1 walks clockwise
+/// (`+1`), agent 0 counter-clockwise (`−1`), until every node is guarded or
+/// clean; they terminate on adjacent nodes (or the same node for odd
+/// gaps). Returns the metrics and the audited-ready trace.
+pub fn ring_plan(ring: Ring) -> (Metrics, Vec<Event>) {
+    let n = hypersweep_topology::Topology::node_count(&ring) as u32;
+    let mut events = Vec::new();
+    let mut moves = 0u64;
+    spawn(&mut events, 0, Node(0));
+    spawn(&mut events, 1, Node(0));
+    // Counter-clockwise walker takes the first step so the homebase stays
+    // guarded by agent 1 until agent 1 itself departs.
+    let ccw_stops = (n - 1) / 2; // nodes n−1, n−2, …
+    let cw_stops = n - 1 - ccw_stops; // nodes 1, 2, …
+    let mut pos0 = Node(0);
+    for step in 1..=ccw_stops {
+        let to = Node(n - step);
+        mv(&mut events, &mut moves, 0, pos0, to);
+        pos0 = to;
+    }
+    let mut pos1 = Node(0);
+    for step in 1..=cw_stops {
+        let to = Node(step);
+        mv(&mut events, &mut moves, 1, pos1, to);
+        pos1 = to;
+    }
+    terminate(&mut events, 0, pos0);
+    terminate(&mut events, 1, pos1);
+    let metrics = Metrics {
+        worker_moves: moves,
+        coordinator_moves: 0,
+        team_size: 2,
+        peak_away: 2,
+        ideal_time: Some(u64::from(cw_stops.max(ccw_stops))),
+        activations: moves,
+        peak_board_bits: 0,
+        peak_local_bits: 0,
+    };
+    (metrics, events)
+}
+
+/// Column-sweep plan for an `R × C` torus from homebase `(0, 0)`:
+///
+/// 1. `R` *barrier* agents fill column 0 (each walks over the already
+///    guarded prefix of the column — passing through a guarded node never
+///    vacates it).
+/// 2. `R` *sweepers* deploy to column 1 the same way (down column 0, one
+///    hop across), then repeatedly slide one column to the right in row
+///    order, cleaning columns `1 … C−1`.
+/// 3. Everyone terminates in place: sweepers guard column `C−1`, the
+///    barrier keeps the wrap-around sealed forever (like the paper's leaf
+///    guards). Team: `2R`.
+pub fn torus_plan(torus: Torus, rows: usize, cols: usize) -> (Metrics, Vec<Event>) {
+    let at = |r: usize, c: usize| Node((r * cols + c) as u32);
+    let _ = &torus;
+    let mut events = Vec::new();
+    let mut moves = 0u64;
+    let team = 2 * rows as u32;
+    for id in 0..team {
+        spawn(&mut events, id, at(0, 0));
+    }
+    // Barrier agents 0..R: agent r settles at (r, 0). Agent 0 is already
+    // home; agent r walks r hops down the guarded prefix.
+    for r in 1..rows {
+        let id = r as u32;
+        for step in 0..r {
+            mv(&mut events, &mut moves, id, at(step, 0), at(step + 1, 0));
+        }
+    }
+    // Sweepers R..2R: agent R+r settles at (r, 1) via column 0.
+    for r in 0..rows {
+        let id = (rows + r) as u32;
+        for step in 0..r {
+            mv(&mut events, &mut moves, id, at(step, 0), at(step + 1, 0));
+        }
+        mv(&mut events, &mut moves, id, at(r, 0), at(r, 1));
+    }
+    // Sweep columns 1 → C−1.
+    for c in 1..cols - 1 {
+        for r in 0..rows {
+            let id = (rows + r) as u32;
+            mv(&mut events, &mut moves, id, at(r, c), at(r, c + 1));
+        }
+    }
+    for r in 0..rows {
+        terminate(&mut events, r as u32, at(r, 0));
+        terminate(&mut events, (rows + r) as u32, at(r, cols - 1));
+    }
+    let metrics = Metrics {
+        worker_moves: moves,
+        coordinator_moves: 0,
+        team_size: u64::from(team),
+        peak_away: u64::from(team) - 1,
+        ideal_time: None,
+        activations: moves,
+        peak_board_bits: 0,
+        peak_local_bits: 0,
+    };
+    (metrics, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersweep_intruder::{verify_trace, MonitorConfig};
+    use hypersweep_topology::Topology;
+
+    #[test]
+    fn ring_plan_is_complete_with_two_agents() {
+        for n in 3..=40 {
+            let ring = Ring::new(n);
+            let (metrics, events) = ring_plan(ring);
+            assert_eq!(metrics.team_size, 2);
+            assert_eq!(metrics.worker_moves, (n - 1) as u64, "n={n}");
+            let verdict = verify_trace(
+                &ring,
+                Node(0),
+                &events,
+                MonitorConfig::with_intruder(Node((n / 2) as u32)),
+            );
+            assert!(verdict.is_complete(), "n={n}: {:?}", verdict.violations);
+        }
+    }
+
+    #[test]
+    fn ring_needs_two_agents_exactly() {
+        // Lower bound: the exact boundary optimum of a cycle is 2.
+        let ring = Ring::new(12);
+        let opt = crate::bounds::boundary_optimum(&ring, Node(0));
+        assert_eq!(opt.peak_boundary, 2);
+    }
+
+    #[test]
+    fn torus_plan_is_complete_with_2r_agents() {
+        for (r, c) in [(3usize, 3usize), (3, 5), (4, 4), (4, 7), (5, 6)] {
+            let torus = Torus::new(r, c);
+            let (metrics, events) = torus_plan(torus, r, c);
+            assert_eq!(metrics.team_size, 2 * r as u64);
+            let far = Node((torus.node_count() - 1) as u32);
+            let verdict = verify_trace(&torus, Node(0), &events, MonitorConfig::with_intruder(far));
+            assert!(
+                verdict.is_complete(),
+                "{r}x{c}: {:?}",
+                verdict.violations
+            );
+        }
+    }
+
+    #[test]
+    fn torus_moves_scale_linearly() {
+        // One slide per swept cell + deployment walks: Θ(R·C).
+        let (m34, _) = torus_plan(Torus::new(3, 4), 3, 4);
+        let (m38, _) = torus_plan(Torus::new(3, 8), 3, 8);
+        assert!(m38.worker_moves > m34.worker_moves);
+        assert!(m38.worker_moves < 4 * m34.worker_moves);
+    }
+
+    #[test]
+    fn torus_team_vs_exact_optimum_small() {
+        // 3×5 torus (15 nodes ≤ 24): the plan's 6 agents vs the exhaustive
+        // guards-only optimum — the plan must not beat the bound, and
+        // should be within ~2× of it.
+        let torus = Torus::new(3, 5);
+        let opt = crate::bounds::boundary_optimum(&torus, Node(0)).peak_boundary;
+        let (metrics, _) = torus_plan(torus, 3, 5);
+        assert!(u64::from(opt) <= metrics.team_size);
+        assert!(metrics.team_size <= 2 * u64::from(opt));
+    }
+}

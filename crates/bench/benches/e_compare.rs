@@ -1,0 +1,121 @@
+//! E11/E12: baselines and comparison experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hypersweep_baselines::tree_search::{tree_search_plan, tree_search_number};
+use hypersweep_baselines::{
+    boundary_optimum, greedy_plan, isoperimetric_team_lower_bound, FloodStrategy,
+    FrontierStrategy,
+};
+use hypersweep_core::{CleanStrategy, CloningStrategy, DispatchOrder, NavigationMode};
+use hypersweep_sim::Policy;
+use hypersweep_bench::checksum;
+use hypersweep_core::SearchStrategy;
+use hypersweep_topology::graph::AdjGraph;
+use hypersweep_topology::{BroadcastTree, Hypercube, Node, Topology};
+
+fn e11_baseline_traces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_baseline_traces");
+    for &d in &[10u32, 14] {
+        group.bench_with_input(BenchmarkId::new("flood_fast", d), &d, |b, &d| {
+            let s = FloodStrategy::new(Hypercube::new(d));
+            b.iter(|| black_box(checksum(&s.fast(false))));
+        });
+        group.bench_with_input(BenchmarkId::new("frontier_synthesize", d), &d, |b, &d| {
+            let s = FrontierStrategy::new(Hypercube::new(d));
+            b.iter(|| black_box(s.synthesize(false).0.total_moves()));
+        });
+    }
+    group.finish();
+}
+
+fn e12_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_bounds");
+    group.sample_size(10);
+    group.bench_function("boundary_optimum_h4", |b| {
+        let cube = Hypercube::new(4);
+        b.iter(|| black_box(boundary_optimum(&cube, Node::ROOT).peak_boundary));
+    });
+    for &d in &[8u32, 12] {
+        group.bench_with_input(BenchmarkId::new("tree_plan_Bd", d), &d, |b, &d| {
+            let cube = Hypercube::new(d);
+            let tree = BroadcastTree::new(cube);
+            let mut g = AdjGraph::with_nodes(Topology::node_count(&cube));
+            for x in cube.nodes() {
+                for ch in tree.children(x) {
+                    g.add_edge(x, ch);
+                }
+            }
+            b.iter(|| {
+                let plan = tree_search_plan(&g, Node::ROOT);
+                black_box((plan.team, plan.moves))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tree_number_Bd", d), &d, |b, &d| {
+            let cube = Hypercube::new(d);
+            let tree = BroadcastTree::new(cube);
+            let mut g = AdjGraph::with_nodes(Topology::node_count(&cube));
+            for x in cube.nodes() {
+                for ch in tree.children(x) {
+                    g.add_edge(x, ch);
+                }
+            }
+            b.iter(|| black_box(tree_search_number(&g, Node::ROOT)));
+        });
+    }
+    group.finish();
+}
+
+fn e13_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_ablations");
+    for &d in &[10u32, 12] {
+        group.bench_with_input(BenchmarkId::new("clean_via_meet", d), &d, |b, &d| {
+            let s = CleanStrategy::new(Hypercube::new(d));
+            b.iter(|| black_box(checksum(&s.fast(false))));
+        });
+        group.bench_with_input(BenchmarkId::new("clean_through_root", d), &d, |b, &d| {
+            let s = CleanStrategy::with_navigation(
+                Hypercube::new(d),
+                NavigationMode::ThroughRoot,
+            );
+            b.iter(|| black_box(checksum(&s.fast(false))));
+        });
+    }
+    group.sample_size(10);
+    group.bench_function("cloning_smallest_first_engine_d6", |b| {
+        let s = CloningStrategy::with_dispatch_order(
+            Hypercube::new(6),
+            DispatchOrder::SmallestSubtreeFirst,
+        );
+        b.iter(|| {
+            let o = s.run(Policy::Synchronous).expect("completes");
+            black_box(o.metrics.ideal_time)
+        });
+    });
+    group.finish();
+}
+
+fn e14_planner_and_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_planner");
+    group.sample_size(10);
+    for &d in &[8u32, 10] {
+        group.bench_with_input(BenchmarkId::new("greedy_plan_hypercube", d), &d, |b, &d| {
+            let cube = Hypercube::new(d);
+            b.iter(|| black_box(greedy_plan(&cube, Node::ROOT).team));
+        });
+        group.bench_with_input(BenchmarkId::new("isoperimetric_lb", d), &d, |b, &d| {
+            b.iter(|| black_box(isoperimetric_team_lower_bound(d)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    compare,
+    e11_baseline_traces,
+    e12_bounds,
+    e13_ablations,
+    e14_planner_and_bounds
+);
+criterion_main!(compare);

@@ -1,0 +1,105 @@
+//! Raw executor throughput: activations/second of the DES engine and the
+//! threaded executor (not a paper artifact; an engineering baseline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use hypersweep_sim::{
+    threaded::{run_threaded, ThreadedConfig},
+    Action, AgentProgram, Ctx, Engine, EngineConfig, Policy, Role,
+};
+use hypersweep_topology::{Hypercube, Node};
+
+/// Tours all bits set in a target, then terminates (pure movement load).
+struct Walker {
+    target: Node,
+}
+
+impl AgentProgram for Walker {
+    type Board = ();
+    fn step(&mut self, ctx: &mut Ctx<'_, ()>) -> Action {
+        let here = ctx.node();
+        if here == self.target {
+            return Action::Terminate;
+        }
+        for p in 1..=ctx.cube().dim() {
+            if self.target.bit(p) && !here.bit(p) {
+                return Action::Move(p);
+            }
+        }
+        Action::Terminate
+    }
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_activations");
+    for &d in &[10u32, 14] {
+        let cube = Hypercube::new(d);
+        let walkers = 256u32;
+        let moves: u64 = (0..walkers)
+            .map(|i| u64::from((i % cube.node_count() as u32).count_ones()))
+            .sum();
+        group.throughput(Throughput::Elements(moves));
+        for policy in [Policy::Fifo, Policy::Lifo, Policy::Random(1)] {
+            group.bench_with_input(BenchmarkId::new(policy.name(), d), &d, |b, &d| {
+                b.iter(|| {
+                    let cube = Hypercube::new(d);
+                    let mut eng = Engine::new(
+                        cube,
+                        EngineConfig {
+                            policy,
+                            record_events: false,
+                            ..EngineConfig::default()
+                        },
+                    );
+                    for i in 0..walkers {
+                        eng.spawn(
+                            Walker {
+                                target: Node(i % cube.node_count() as u32),
+                            },
+                            Node::ROOT,
+                            Role::Worker,
+                        );
+                    }
+                    black_box(eng.run().expect("completes").metrics.worker_moves)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn threaded_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_executor");
+    group.sample_size(10);
+    let d = 8u32;
+    group.bench_function(BenchmarkId::new("walkers", d), |b| {
+        b.iter(|| {
+            let cube = Hypercube::new(d);
+            let programs: Vec<(Walker, Role)> = (0..64u32)
+                .map(|i| {
+                    (
+                        Walker {
+                            target: Node(i % cube.node_count() as u32),
+                        },
+                        Role::Worker,
+                    )
+                })
+                .collect();
+            let cfg = ThreadedConfig {
+                record_events: false,
+                ..ThreadedConfig::default()
+            };
+            black_box(
+                run_threaded(cube, programs, cfg)
+                    .expect("completes")
+                    .metrics
+                    .worker_moves,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(engine, engine_throughput, threaded_throughput);
+criterion_main!(engine);

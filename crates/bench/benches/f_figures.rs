@@ -1,0 +1,46 @@
+//! F1/F3: structural-figure regeneration cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hypersweep_topology::{render, BroadcastTree, HeapQueue, Hypercube, Node};
+
+fn f1_broadcast_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_broadcast_tree");
+    for &d in &[6u32, 10, 14] {
+        group.bench_with_input(BenchmarkId::new("heap_queue_isomorphism", d), &d, |b, &d| {
+            let tree = BroadcastTree::new(Hypercube::new(d));
+            b.iter(|| {
+                let hq = HeapQueue::build(d);
+                black_box(hq.matches_broadcast_subtree(&tree, Node::ROOT))
+            });
+        });
+    }
+    group.bench_function("render_h6", |b| {
+        b.iter(|| black_box(render::render_broadcast_tree(Hypercube::new(6))))
+    });
+    group.bench_function("type_census_h10", |b| {
+        b.iter(|| black_box(render::render_type_census(Hypercube::new(10))))
+    });
+    group.finish();
+}
+
+fn f3_msb_classes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_msb_classes");
+    for &d in &[6u32, 12, 18] {
+        group.bench_with_input(BenchmarkId::new("enumerate_classes", d), &d, |b, &d| {
+            let tree = BroadcastTree::new(Hypercube::new(d));
+            b.iter(|| {
+                let mut total = 0usize;
+                for i in 0..=d {
+                    total += tree.msb_class_nodes(i).len();
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(figures, f1_broadcast_tree, f3_msb_classes);
+criterion_main!(figures);

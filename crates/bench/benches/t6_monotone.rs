@@ -1,0 +1,54 @@
+//! T6: monitor/audit throughput — the cost of *checking* Theorems 1 and 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use hypersweep_core::VisibilityStrategy;
+use hypersweep_intruder::{verify_trace, MonitorConfig};
+use hypersweep_topology::{Hypercube, Node};
+
+fn t6_audit_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t6_monitor_audit");
+    for &d in &[8u32, 10, 12] {
+        let cube = Hypercube::new(d);
+        let (_, events) = VisibilityStrategy::new(cube).synthesize(true);
+        let events = events.expect("recorded");
+        group.throughput(Throughput::Elements(events.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("monotonicity_only", d),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let v = verify_trace(
+                        &cube,
+                        Node::ROOT,
+                        events,
+                        MonitorConfig::monotonicity_only(),
+                    );
+                    black_box(v.monotone)
+                });
+            },
+        );
+        if d <= 10 {
+            group.bench_with_input(
+                BenchmarkId::new("full_checks_with_intruder", d),
+                &events,
+                |b, events| {
+                    b.iter(|| {
+                        let v = verify_trace(
+                            &cube,
+                            Node::ROOT,
+                            events,
+                            MonitorConfig::with_intruder(Node(cube.node_count() as u32 - 1)),
+                        );
+                        black_box(v.is_complete())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(monotone, t6_audit_throughput);
+criterion_main!(monotone);

@@ -1,0 +1,56 @@
+//! T2/T3/T4: Algorithm CLEAN — team, moves, time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use hypersweep_bench::{checksum, ENGINE_DIMS, FAST_DIMS};
+use hypersweep_core::{CleanStrategy, SearchStrategy};
+use hypersweep_sim::Policy;
+use hypersweep_topology::combinatorics as comb;
+use hypersweep_topology::Hypercube;
+
+fn t2_t3_clean_fast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_t3_clean_fast_trace");
+    for &d in FAST_DIMS {
+        let moves = comb::clean_agent_moves(d) as u64;
+        group.throughput(Throughput::Elements(moves));
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let s = CleanStrategy::new(Hypercube::new(d));
+            b.iter(|| black_box(checksum(&s.fast(false))));
+        });
+    }
+    group.finish();
+}
+
+fn t2_t3_clean_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_t3_clean_engine");
+    group.sample_size(10);
+    for &d in ENGINE_DIMS {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let s = CleanStrategy::new(Hypercube::new(d));
+            b.iter(|| {
+                let outcome = s.run(Policy::Fifo).expect("completes");
+                black_box(checksum(&outcome))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn t4_clean_ideal_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t4_clean_synchronous");
+    group.sample_size(10);
+    for &d in &[5u32, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let s = CleanStrategy::new(Hypercube::new(d));
+            b.iter(|| {
+                let outcome = s.run(Policy::Synchronous).expect("completes");
+                black_box(outcome.metrics.ideal_time)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(clean, t2_t3_clean_fast, t2_t3_clean_engine, t4_clean_ideal_time);
+criterion_main!(clean);

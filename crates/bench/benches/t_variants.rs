@@ -1,0 +1,50 @@
+//! T9/T10: the §5 variants — cloning and synchronous.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use hypersweep_bench::{checksum, ENGINE_DIMS, WAVE_DIMS};
+use hypersweep_core::{CloningStrategy, SearchStrategy, SynchronousStrategy};
+use hypersweep_sim::Policy;
+use hypersweep_topology::combinatorics as comb;
+use hypersweep_topology::Hypercube;
+
+fn t9_cloning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t9_cloning");
+    for &d in WAVE_DIMS {
+        group.throughput(Throughput::Elements(comb::cloning_moves(d) as u64));
+        group.bench_with_input(BenchmarkId::new("fast", d), &d, |b, &d| {
+            let s = CloningStrategy::new(Hypercube::new(d));
+            b.iter(|| black_box(checksum(&s.fast(false))));
+        });
+    }
+    group.sample_size(10);
+    for &d in ENGINE_DIMS {
+        group.bench_with_input(BenchmarkId::new("engine", d), &d, |b, &d| {
+            let s = CloningStrategy::new(Hypercube::new(d));
+            b.iter(|| {
+                let outcome = s.run(Policy::Lifo).expect("completes");
+                black_box(checksum(&outcome))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn t10_synchronous(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t10_synchronous_variant");
+    group.sample_size(10);
+    for &d in ENGINE_DIMS {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let s = SynchronousStrategy::new(Hypercube::new(d));
+            b.iter(|| {
+                let outcome = s.run(Policy::Synchronous).expect("completes");
+                black_box(checksum(&outcome))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(variants, t9_cloning, t10_synchronous);
+criterion_main!(variants);

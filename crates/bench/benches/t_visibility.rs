@@ -1,0 +1,46 @@
+//! T5/T7/T8: CLEAN WITH VISIBILITY — agents, time, moves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use hypersweep_bench::{checksum, ENGINE_DIMS, WAVE_DIMS};
+use hypersweep_core::{SearchStrategy, VisibilityStrategy};
+use hypersweep_sim::Policy;
+use hypersweep_topology::combinatorics as comb;
+use hypersweep_topology::Hypercube;
+
+fn t5_t7_t8_visibility_fast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t5_t7_t8_visibility_fast_trace");
+    for &d in WAVE_DIMS {
+        group.throughput(Throughput::Elements(comb::visibility_moves(d) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let s = VisibilityStrategy::new(Hypercube::new(d));
+            b.iter(|| black_box(checksum(&s.fast(false))));
+        });
+    }
+    group.finish();
+}
+
+fn t5_t7_t8_visibility_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t5_t7_t8_visibility_engine");
+    group.sample_size(10);
+    for &d in ENGINE_DIMS {
+        for policy in [Policy::Fifo, Policy::Synchronous] {
+            group.bench_with_input(
+                BenchmarkId::new(policy.name(), d),
+                &d,
+                |b, &d| {
+                    let s = VisibilityStrategy::new(Hypercube::new(d));
+                    b.iter(|| {
+                        let outcome = s.run(policy).expect("completes");
+                        black_box(checksum(&outcome))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(visibility, t5_t7_t8_visibility_fast, t5_t7_t8_visibility_engine);
+criterion_main!(visibility);

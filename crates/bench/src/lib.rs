@@ -1,0 +1,30 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! Each bench target regenerates the computation behind one table or figure
+//! of the paper (ids match `DESIGN.md` §3) and reports its wall-clock cost;
+//! the artifact *content* comes from `hypersweep-analysis`/the CLI, the
+//! benches establish that regeneration is cheap and how it scales.
+
+#![forbid(unsafe_code)]
+
+use hypersweep_core::SearchOutcome;
+
+/// Dimensions used for the fast-path scaling benches.
+pub const FAST_DIMS: &[u32] = &[8, 10, 12, 14];
+
+/// Dimensions used for the fast-path scaling benches of the cheap (wave)
+/// strategies, which comfortably reach larger cubes.
+pub const WAVE_DIMS: &[u32] = &[10, 14, 18];
+
+/// Dimensions used for discrete-event engine benches.
+pub const ENGINE_DIMS: &[u32] = &[6, 8];
+
+/// Consume an outcome so the optimizer cannot discard the run.
+pub fn checksum(outcome: &SearchOutcome) -> u64 {
+    outcome
+        .metrics
+        .total_moves()
+        .wrapping_mul(31)
+        .wrapping_add(outcome.metrics.team_size)
+        .wrapping_add(u64::from(outcome.verdict.monotone))
+}

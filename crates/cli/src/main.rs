@@ -1,0 +1,304 @@
+//! `hypersweep` — command-line interface regenerating the paper's tables
+//! and figures.
+//!
+//! ```text
+//! hypersweep list                         # experiment index
+//! hypersweep report all [--full] [--json DIR]
+//! hypersweep report t3 t5 [--full]
+//! hypersweep figures                      # f1–f4 only
+//! hypersweep run clean 6 --policy random:7
+//! hypersweep run visibility 8 --policy synchronous
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hypersweep_analysis::experiments::ALL_IDS;
+use hypersweep_analysis::{run_experiment, runner, ExperimentConfig};
+use hypersweep_core::{
+    CleanStrategy, CloningStrategy, SearchStrategy, SynchronousStrategy, VisibilityStrategy,
+};
+use hypersweep_intruder::{render_film, verify_trace, MonitorConfig};
+use hypersweep_sim::{Event, Policy};
+use hypersweep_topology::{Hypercube, Node};
+
+fn usage() -> &'static str {
+    "usage:\n\
+     \thypersweep list\n\
+     \thypersweep report <id...|all> [--full] [--json DIR]\n\
+     \thypersweep figures [--full]\n\
+     \thypersweep run <clean|visibility|cloning|synchronous> <d> [--policy P] [--fast]\n\
+     \thypersweep watch <strategy> <d> [--stride N]\n\
+     \thypersweep trace <strategy> <d> <out.json>\n\
+     \thypersweep audit <d> <trace.json>\n\
+     \n\
+     policies: fifo, lifo, round-robin, random:<seed>, synchronous\n\
+     experiment ids: f1 f2 f3 f4 t2 t3 t4 t5 t6 t7 t8 t9 t10 e11 e12 e13 e14 e15 e16"
+}
+
+fn parse_policy(s: &str) -> Result<Policy, String> {
+    match s {
+        "fifo" => Ok(Policy::Fifo),
+        "lifo" => Ok(Policy::Lifo),
+        "round-robin" => Ok(Policy::RoundRobin),
+        "synchronous" => Ok(Policy::Synchronous),
+        other => {
+            if let Some(seed) = other.strip_prefix("random:") {
+                seed.parse()
+                    .map(Policy::Random)
+                    .map_err(|e| format!("bad seed in '{other}': {e}"))
+            } else {
+                Err(format!("unknown policy '{other}'"))
+            }
+        }
+    }
+}
+
+fn cmd_list() {
+    println!("experiments (see DESIGN.md section 3):");
+    for id in ALL_IDS {
+        let what = match *id {
+            "f1" => "Figure 1 - broadcast tree T(d) / heap-queue structure",
+            "f2" => "Figure 2 - cleaning order of Algorithm CLEAN",
+            "f3" => "Figure 3 - msb classes C_0..C_d",
+            "f4" => "Figure 4 - visibility strategy wavefronts",
+            "t2" => "Theorem 2 - CLEAN team size",
+            "t3" => "Theorem 3 - CLEAN moves",
+            "t4" => "Theorem 4 - CLEAN ideal time",
+            "t5" => "Theorem 5 - visibility agents = n/2",
+            "t6" => "Theorems 1/6 - monotonicity under every adversary",
+            "t7" => "Theorem 7 - visibility time = log n",
+            "t8" => "Theorem 8 - visibility moves",
+            "t9" => "section 5 - cloning variant (n-1 moves)",
+            "t10" => "section 5 - synchronous variant",
+            "e11" => "strategy trade-off comparison",
+            "e12" => "baselines and exact bounds",
+            "e13" => "ablations: navigation and dispatch order",
+            "e14" => "the open problem: team-size bounds",
+            "e15" => "capture dynamics across schedules",
+            "e16" => "contiguous search on classic networks",
+            _ => "",
+        };
+        println!("  {id:>4}  {what}");
+    }
+}
+
+fn cmd_report(ids: &[String], full: bool, json_dir: Option<PathBuf>) -> Result<(), String> {
+    let cfg = if full {
+        ExperimentConfig::full()
+    } else {
+        ExperimentConfig::quick()
+    };
+    let ids: Vec<String> = if ids.iter().any(|i| i == "all") {
+        ALL_IDS.iter().map(|s| s.to_string()).collect()
+    } else {
+        ids.to_vec()
+    };
+    let mut results = Vec::new();
+    for id in &ids {
+        let r = run_experiment(id, &cfg).ok_or_else(|| format!("unknown experiment '{id}'"))?;
+        println!("{}", r.render());
+        results.push(r);
+    }
+    if let Some(dir) = json_dir {
+        let paths = runner::export_json(&results, &dir).map_err(|e| e.to_string())?;
+        eprintln!("wrote {} JSON files under {}", paths.len(), dir.display());
+    }
+    Ok(())
+}
+
+fn cmd_run(strategy: &str, d: u32, policy: Policy, fast: bool) -> Result<(), String> {
+    let cube = Hypercube::new(d);
+    let s = make_strategy(strategy, cube)?;
+    let outcome = if fast {
+        s.fast(d <= 12)
+    } else {
+        s.run(policy).map_err(|e| e.to_string())?
+    };
+    println!(
+        "{} on H_{d} (n = {}) under {}:",
+        s.name(),
+        cube.node_count(),
+        if fast { "fast path".into() } else { policy.name() }
+    );
+    let m = &outcome.metrics;
+    println!("  agents          : {}", m.team_size);
+    println!("  worker moves    : {}", m.worker_moves);
+    println!("  synchronizer    : {}", m.coordinator_moves);
+    println!("  total moves     : {}", m.total_moves());
+    if let Some(t) = m.ideal_time {
+        println!("  ideal time      : {t}");
+    }
+    println!("  peak away       : {}", m.peak_away);
+    println!("  whiteboard bits : {}", m.peak_board_bits);
+    let v = &outcome.verdict;
+    println!(
+        "  verdict         : monotone={} contiguous={} all_clean={} capture={:?}",
+        v.monotone, v.contiguous, v.all_clean, v.capture
+    );
+    if !outcome.is_complete() {
+        return Err("search did not complete correctly".into());
+    }
+    Ok(())
+}
+
+fn make_strategy(name: &str, cube: Hypercube) -> Result<Box<dyn SearchStrategy>, String> {
+    Ok(match name {
+        "clean" => Box::new(CleanStrategy::new(cube)),
+        "visibility" => Box::new(VisibilityStrategy::new(cube)),
+        "cloning" => Box::new(CloningStrategy::new(cube)),
+        "synchronous" => Box::new(SynchronousStrategy::new(cube)),
+        other => return Err(format!("unknown strategy '{other}'")),
+    })
+}
+
+fn strategy_trace(name: &str, cube: Hypercube) -> Result<Vec<Event>, String> {
+    let events = match name {
+        "clean" => CleanStrategy::new(cube).synthesize(true).1,
+        "visibility" | "synchronous" => VisibilityStrategy::new(cube).synthesize(true).1,
+        "cloning" => CloningStrategy::new(cube).synthesize(true).1,
+        other => return Err(format!("unknown strategy '{other}'")),
+    };
+    events.ok_or_else(|| "trace recording disabled".into())
+}
+
+fn cmd_watch(strategy: &str, d: u32, stride: usize) -> Result<(), String> {
+    let cube = Hypercube::new(d);
+    let events = strategy_trace(strategy, cube)?;
+    let far = Node(cube.node_count() as u32 - 1);
+    let frames = render_film(cube, &events, stride, Some(far));
+    for frame in &frames {
+        println!(
+            "--- after event {} ({} contaminated) ---",
+            frame.events_applied, frame.contaminated
+        );
+        print!("{}", frame.text);
+    }
+    println!("{} frames, {} events total", frames.len(), events.len());
+    Ok(())
+}
+
+fn cmd_trace(strategy: &str, d: u32, path: &str) -> Result<(), String> {
+    let cube = Hypercube::new(d);
+    let events = strategy_trace(strategy, cube)?;
+    let json = serde_json::to_string(&events).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| e.to_string())?;
+    eprintln!("wrote {} events to {path}", events.len());
+    Ok(())
+}
+
+fn cmd_audit(d: u32, path: &str) -> Result<(), String> {
+    let cube = Hypercube::new(d);
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let events: Vec<Event> = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    let far = Node(cube.node_count() as u32 - 1);
+    let verdict = verify_trace(&cube, Node::ROOT, &events, MonitorConfig::with_intruder(far));
+    println!(
+        "audit of {path} on H_{d}: monotone={} contiguous={} all_clean={} capture={:?}          ({} events, {} violations)",
+        verdict.monotone,
+        verdict.contiguous,
+        verdict.all_clean,
+        verdict.capture,
+        verdict.events,
+        verdict.violations.len()
+    );
+    for v in verdict.violations.iter().take(10) {
+        println!("  violation: {v:?}");
+    }
+    if verdict.is_complete() {
+        Ok(())
+    } else {
+        Err("trace is not a correct complete search".into())
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<String> = Vec::new();
+    let mut full = false;
+    let mut fast = false;
+    let mut json_dir: Option<PathBuf> = None;
+    let mut policy = Policy::Fifo;
+    let mut stride: usize = 8;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => full = true,
+            "--fast" => fast = true,
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => json_dir = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--json needs a directory\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--stride" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) if v >= 1 => stride = v,
+                    _ => {
+                        eprintln!("--stride needs a positive integer\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--policy" => {
+                i += 1;
+                match args.get(i).map(|s| parse_policy(s)) {
+                    Some(Ok(p)) => policy = p,
+                    Some(Err(e)) => {
+                        eprintln!("{e}\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("--policy needs a value\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let result = match positional.first().map(String::as_str) {
+        Some("list") => {
+            cmd_list();
+            Ok(())
+        }
+        Some("report") if positional.len() >= 2 => cmd_report(&positional[1..], full, json_dir),
+        Some("figures") => cmd_report(
+            &["f1", "f2", "f3", "f4"].map(String::from),
+            full,
+            json_dir,
+        ),
+        Some("run") if positional.len() == 3 => match positional[2].parse::<u32>() {
+            Ok(d) if (1..=hypersweep_topology::MAX_DIMENSION).contains(&d) => {
+                cmd_run(&positional[1], d, policy, fast)
+            }
+            _ => Err(format!("bad dimension '{}'", positional[2])),
+        },
+        Some("watch") if positional.len() == 3 => match positional[2].parse::<u32>() {
+            Ok(d) if (1..=8).contains(&d) => cmd_watch(&positional[1], d, stride),
+            _ => Err(format!("watch needs a dimension in 1..=8, got '{}'", positional[2])),
+        },
+        Some("trace") if positional.len() == 4 => match positional[2].parse::<u32>() {
+            Ok(d) if (1..=14).contains(&d) => cmd_trace(&positional[1], d, &positional[3]),
+            _ => Err(format!("trace needs a dimension in 1..=14, got '{}'", positional[2])),
+        },
+        Some("audit") if positional.len() == 3 => match positional[1].parse::<u32>() {
+            Ok(d) if (1..=14).contains(&d) => cmd_audit(d, &positional[2]),
+            _ => Err(format!("audit needs a dimension in 1..=14, got '{}'", positional[1])),
+        },
+        _ => Err(usage().to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! End-to-end tests of the `hypersweep` binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hypersweep"))
+}
+
+#[test]
+fn list_shows_every_experiment() {
+    let out = bin().arg("list").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for id in ["f1", "t2", "t10", "e11", "e15"] {
+        assert!(text.contains(id), "missing {id}");
+    }
+}
+
+#[test]
+fn run_prints_metrics_and_succeeds() {
+    let out = bin()
+        .args(["run", "visibility", "5", "--policy", "synchronous"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("agents          : 16"));
+    assert!(text.contains("ideal time      : 5"));
+    assert!(text.contains("monotone=true"));
+}
+
+#[test]
+fn run_rejects_unknown_strategy_and_bad_dimension() {
+    let out = bin().args(["run", "nonsense", "4"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = bin().args(["run", "clean", "99"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn synchronous_variant_under_async_policy_fails_cleanly() {
+    let out = bin()
+        .args(["run", "synchronous", "4", "--policy", "fifo"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("does not support"));
+}
+
+#[test]
+fn report_single_experiment_renders_a_table() {
+    let out = bin().args(["report", "t5"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("T5"));
+    assert!(text.contains("predicted"));
+}
+
+#[test]
+fn watch_renders_frames() {
+    let out = bin()
+        .args(["watch", "visibility", "3", "--stride", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("level 0:"));
+    assert!(text.contains("captured"));
+}
+
+#[test]
+fn trace_then_audit_roundtrip() {
+    let dir = std::env::temp_dir().join("hypersweep-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("vis5.json");
+    let out = bin()
+        .args(["trace", "visibility", "5", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["audit", "5", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("monotone=true"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn audit_flags_a_corrupt_trace() {
+    let dir = std::env::temp_dir().join("hypersweep-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.json");
+    // A lone walker that recontaminates.
+    let bad = r#"[
+        {"time":0,"kind":{"Spawn":{"agent":0,"node":0,"role":"Worker"}}},
+        {"time":1,"kind":{"Move":{"agent":0,"from":0,"to":1,"role":"Worker"}}}
+    ]"#;
+    std::fs::write(&path, bad).unwrap();
+    let out = bin()
+        .args(["audit", "3", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "corrupt trace must fail the audit");
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,156 @@
+//! Closed-form predictions from the paper's theorems, bundled per strategy.
+//!
+//! Every quantity here is *exact* (computed in `u128`), not asymptotic; the
+//! experiment harness compares measured runs against these and separately
+//! fits the asymptotic orders. Where the paper's statement and its own
+//! proof disagree (see `DESIGN.md` §4), the proof's quantity is used and
+//! the discrepancy is noted.
+
+use hypersweep_topology::combinatorics as comb;
+
+/// Predictions for Algorithm CLEAN (§3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CleanPrediction {
+    /// Exact team size (Lemma 4 + synchronizer):
+    /// `1 + max(d, max_l [C(d,l+1) + C(d−1,l−1)])`.
+    pub team: u128,
+    /// Exact worker moves (Theorem 3): `Σ_l 2l·C(d−1,l−1) = (n/2)(log n+1)`.
+    pub worker_moves: u128,
+    /// Exact synchronizer escort moves (Theorem 3, component 4): `2(n−1)`.
+    pub sync_escort_moves: u128,
+    /// Upper bound on all synchronizer moves (Theorem 3's four components).
+    pub sync_moves_upper: u128,
+    /// The `O(n log n)` scale `n·log n` for asymptotic columns.
+    pub n_log_n: u128,
+}
+
+/// Compute [`CleanPrediction`] for dimension `d ≥ 1`.
+pub fn clean_prediction(d: u32) -> CleanPrediction {
+    let n = comb::pow2(d);
+    let sync_nav_upper: u128 = (1..d)
+        .map(|l| {
+            let per_hop = 2 * l.min(d - l) as u128;
+            per_hop * comb::nodes_at_level(d, l)
+        })
+        .sum();
+    let trips: u128 = (1..=d as u128).map(|l| 2 * l).sum();
+    CleanPrediction {
+        team: comb::clean_team_size(d),
+        worker_moves: comb::clean_agent_moves(d),
+        sync_escort_moves: comb::clean_sync_escort_moves(d),
+        sync_moves_upper: comb::clean_sync_escort_moves(d) + sync_nav_upper + trips,
+        n_log_n: n * d as u128,
+    }
+}
+
+/// Per-phase agent accounting for CLEAN: `(guards, extras, workers_peak)`
+/// when cleaning from level `l` to `l + 1` (Lemmas 3 and 4).
+pub fn clean_phase_accounting(d: u32, l: u32) -> (u128, u128, u128) {
+    if l == 0 {
+        return (1, d as u128, d as u128);
+    }
+    let guards = comb::nodes_at_level(d, l);
+    let extras = comb::lemma3_extra_agents(d, l);
+    (guards, extras, comb::clean_workers_at_phase(d, l))
+}
+
+/// Predictions for Algorithm CLEAN WITH VISIBILITY (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VisibilityPrediction {
+    /// Theorem 5: exactly `n/2` agents.
+    pub agents: u128,
+    /// Theorem 7: exactly `log n = d` ideal time units.
+    pub ideal_time: u128,
+    /// Theorem 8: exactly `Σ_l l·C(d−1,l−1) = (n/4)(log n + 1)` moves.
+    pub moves: u128,
+}
+
+/// Compute [`VisibilityPrediction`] for dimension `d ≥ 1`.
+pub fn visibility_prediction(d: u32) -> VisibilityPrediction {
+    VisibilityPrediction {
+        agents: comb::visibility_agents(d),
+        ideal_time: d as u128,
+        moves: comb::visibility_moves(d),
+    }
+}
+
+/// Predictions for the §5 cloning variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CloningPrediction {
+    /// Total agents after all cloning: `n/2`.
+    pub agents: u128,
+    /// Ideal time: `log n` (with the decreasing-type dispatch order).
+    pub ideal_time: u128,
+    /// Moves: `n − 1` (every broadcast-tree edge crossed exactly once).
+    pub moves: u128,
+}
+
+/// Compute [`CloningPrediction`] for dimension `d ≥ 1`.
+pub fn cloning_prediction(d: u32) -> CloningPrediction {
+    CloningPrediction {
+        agents: comb::visibility_agents(d),
+        ideal_time: d as u128,
+        moves: comb::cloning_moves(d),
+    }
+}
+
+/// The §5 synchronous variant matches the visibility strategy exactly.
+pub fn synchronous_prediction(d: u32) -> VisibilityPrediction {
+    visibility_prediction(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_prediction_d6() {
+        let p = clean_prediction(6);
+        assert_eq!(p.team, 26);
+        assert_eq!(p.worker_moves, 224); // (64/2)(6+1)
+        assert_eq!(p.sync_escort_moves, 126); // 2(n−1)
+        assert!(p.sync_moves_upper >= p.sync_escort_moves);
+    }
+
+    #[test]
+    fn visibility_prediction_matches_theorems() {
+        for d in 2..=20 {
+            let p = visibility_prediction(d);
+            assert_eq!(p.agents, comb::pow2(d - 1));
+            assert_eq!(p.ideal_time, d as u128);
+            assert_eq!(p.moves, comb::pow2(d - 2) * (d as u128 + 1));
+        }
+    }
+
+    #[test]
+    fn cloning_prediction_moves_are_n_minus_1() {
+        for d in 1..=20 {
+            let p = cloning_prediction(d);
+            assert_eq!(p.moves, comb::pow2(d) - 1);
+            assert_eq!(p.agents, comb::visibility_agents(d));
+        }
+    }
+
+    #[test]
+    fn phase_accounting_sums() {
+        // Guards + extras == workers engaged, per phase.
+        for d in 2..=12u32 {
+            for l in 1..d {
+                let (g, e, w) = clean_phase_accounting(d, l);
+                assert_eq!(g + e, w, "d={d} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn clean_moves_dominate_visibility_moves() {
+        // CLEAN walks every leaf journey twice (round trips), visibility
+        // once: the ratio is exactly 2.
+        for d in 2..=16 {
+            assert_eq!(
+                clean_prediction(d).worker_moves,
+                2 * visibility_prediction(d).moves
+            );
+        }
+    }
+}

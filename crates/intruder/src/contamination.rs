@@ -1,0 +1,327 @@
+//! The true contamination state, maintained event by event.
+
+use hypersweep_topology::{Node, Topology};
+
+use hypersweep_sim::{Event, EventKind};
+
+/// Ground-truth node states during a search.
+///
+/// Unlike the executors' optimistic view (which assumes monotonicity), this
+/// structure implements the adversarial semantics faithfully: contamination
+/// spreads through any unguarded path the instant a guard is lifted.
+///
+/// Complexity: applying an event is `O(1)` unless the event vacates a node,
+/// in which case a spread BFS costs up to `O(n)`; monotone strategies never
+/// trigger the spread, so auditing a full run of any correct strategy costs
+/// `O(moves · Δ)` where `Δ` is the maximum degree.
+pub struct ContaminationField<'a, T: Topology + ?Sized> {
+    topo: &'a T,
+    contaminated: Vec<bool>,
+    occupancy: Vec<u32>,
+    visited: Vec<bool>,
+    /// Nodes that have been decontaminated at least once.
+    ever_safe: Vec<bool>,
+    /// Count of contaminated nodes (for O(1) "all clean" checks).
+    dirty_count: usize,
+    /// Recontamination incidents: (event index, node).
+    recontaminations: Vec<(u64, Node)>,
+    events_applied: u64,
+    homebase: Node,
+}
+
+impl<'a, T: Topology + ?Sized> ContaminationField<'a, T> {
+    /// Start a search on `topo`: every node contaminated except nothing —
+    /// even the homebase counts as contaminated until the first agent
+    /// spawns on it.
+    pub fn new(topo: &'a T, homebase: Node) -> Self {
+        let n = topo.node_count();
+        ContaminationField {
+            topo,
+            contaminated: vec![true; n],
+            occupancy: vec![0; n],
+            visited: vec![false; n],
+            ever_safe: vec![false; n],
+            dirty_count: n,
+            recontaminations: Vec::new(),
+            events_applied: 0,
+            homebase,
+        }
+    }
+
+    /// The homebase node.
+    pub fn homebase(&self) -> Node {
+        self.homebase
+    }
+
+    /// Whether `x` is currently contaminated.
+    pub fn is_contaminated(&self, x: Node) -> bool {
+        self.contaminated[x.index()]
+    }
+
+    /// Whether `x` is currently guarded (occupied by at least one agent,
+    /// terminated guards included).
+    pub fn is_guarded(&self, x: Node) -> bool {
+        self.occupancy[x.index()] > 0
+    }
+
+    /// Whether `x` is clean: visited, unguarded, not contaminated.
+    pub fn is_clean(&self, x: Node) -> bool {
+        !self.contaminated[x.index()] && self.occupancy[x.index()] == 0
+    }
+
+    /// Number of currently contaminated nodes.
+    pub fn contaminated_count(&self) -> usize {
+        self.dirty_count
+    }
+
+    /// Whether the whole graph is decontaminated.
+    pub fn all_clean(&self) -> bool {
+        self.dirty_count == 0
+    }
+
+    /// Recontamination incidents observed so far (each one is a
+    /// monotonicity violation).
+    pub fn recontaminations(&self) -> &[(u64, Node)] {
+        &self.recontaminations
+    }
+
+    /// Events applied so far.
+    pub fn events_applied(&self) -> u64 {
+        self.events_applied
+    }
+
+    /// Whether the decontaminated region (guarded ∪ clean) is connected and
+    /// contains the homebase — the *contiguity* requirement. An entirely
+    /// contaminated graph trivially satisfies it.
+    pub fn is_contiguous(&self) -> bool {
+        let n = self.topo.node_count();
+        let safe_total = n - self.dirty_count;
+        if safe_total == 0 {
+            return true;
+        }
+        if self.contaminated[self.homebase.index()] {
+            return false;
+        }
+        // BFS over decontaminated nodes from the homebase.
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[self.homebase.index()] = true;
+        queue.push_back(self.homebase);
+        let mut reached = 1usize;
+        let mut nbrs = Vec::new();
+        while let Some(x) = queue.pop_front() {
+            self.topo.neighbors_into(x, &mut nbrs);
+            for &y in &nbrs {
+                if !seen[y.index()] && !self.contaminated[y.index()] {
+                    seen[y.index()] = true;
+                    reached += 1;
+                    queue.push_back(y);
+                }
+            }
+        }
+        reached == safe_total
+    }
+
+    fn decontaminate(&mut self, x: Node) {
+        if self.contaminated[x.index()] {
+            self.contaminated[x.index()] = false;
+            self.dirty_count -= 1;
+        }
+        self.ever_safe[x.index()] = true;
+    }
+
+    /// Contamination floods into `x` (just vacated) if a contaminated
+    /// neighbour exists, then cascades through unguarded nodes.
+    fn maybe_recontaminate(&mut self, x: Node) {
+        if self.contaminated[x.index()] || self.occupancy[x.index()] > 0 {
+            return;
+        }
+        let mut nbrs = Vec::new();
+        self.topo.neighbors_into(x, &mut nbrs);
+        if !nbrs.iter().any(|&y| self.contaminated[y.index()]) {
+            return;
+        }
+        // Spread BFS from x through unguarded, currently-safe nodes.
+        let mut queue = std::collections::VecDeque::new();
+        self.contaminated[x.index()] = true;
+        self.dirty_count += 1;
+        self.recontaminations.push((self.events_applied, x));
+        queue.push_back(x);
+        while let Some(u) = queue.pop_front() {
+            self.topo.neighbors_into(u, &mut nbrs);
+            for &y in &nbrs {
+                if !self.contaminated[y.index()] && self.occupancy[y.index()] == 0 {
+                    self.contaminated[y.index()] = true;
+                    self.dirty_count += 1;
+                    self.recontaminations.push((self.events_applied, y));
+                    queue.push_back(y);
+                }
+            }
+        }
+    }
+
+    /// Apply one event.
+    pub fn apply(&mut self, event: &Event) {
+        self.events_applied += 1;
+        match event.kind {
+            EventKind::Spawn { node, .. } => {
+                self.occupancy[node.index()] += 1;
+                self.visited[node.index()] = true;
+                self.decontaminate(node);
+            }
+            EventKind::Move { from, to, .. } => {
+                self.occupancy[to.index()] += 1;
+                self.visited[to.index()] = true;
+                self.decontaminate(to);
+                self.occupancy[from.index()] -= 1;
+                if self.occupancy[from.index()] == 0 {
+                    self.maybe_recontaminate(from);
+                }
+            }
+            EventKind::CloneSpawn { to, .. } => {
+                self.occupancy[to.index()] += 1;
+                self.visited[to.index()] = true;
+                self.decontaminate(to);
+            }
+            EventKind::Terminate { .. } => {
+                // The agent remains as a guard; nothing changes.
+            }
+        }
+    }
+
+    /// Occupancy of each node.
+    pub fn occupancy(&self) -> &[u32] {
+        &self.occupancy
+    }
+
+    /// The contaminated indicator per node.
+    pub fn contaminated_mask(&self) -> &[bool] {
+        &self.contaminated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersweep_sim::Role;
+    use hypersweep_topology::Hypercube;
+
+    fn ev(kind: EventKind) -> Event {
+        Event { time: 0, kind }
+    }
+
+    fn spawn(agent: u32, node: u32) -> Event {
+        ev(EventKind::Spawn {
+            agent,
+            node: Node(node),
+            role: Role::Worker,
+        })
+    }
+
+    fn mv(agent: u32, from: u32, to: u32) -> Event {
+        ev(EventKind::Move {
+            agent,
+            from: Node(from),
+            to: Node(to),
+            role: Role::Worker,
+        })
+    }
+
+    #[test]
+    fn initial_state_fully_contaminated() {
+        let h = Hypercube::new(3);
+        let f = ContaminationField::new(&h, Node::ROOT);
+        assert_eq!(f.contaminated_count(), 8);
+        assert!(f.is_contiguous(), "empty safe region is trivially contiguous");
+    }
+
+    #[test]
+    fn spawn_decontaminates_the_homebase() {
+        let h = Hypercube::new(3);
+        let mut f = ContaminationField::new(&h, Node::ROOT);
+        f.apply(&spawn(0, 0));
+        assert!(!f.is_contaminated(Node::ROOT));
+        assert!(f.is_guarded(Node::ROOT));
+        assert_eq!(f.contaminated_count(), 7);
+    }
+
+    #[test]
+    fn vacating_into_contamination_recontaminates() {
+        // H_2: agent spawns at 00, moves to 01. 00 is vacated with
+        // contaminated neighbour 10 → 00 is recontaminated.
+        let h = Hypercube::new(2);
+        let mut f = ContaminationField::new(&h, Node::ROOT);
+        f.apply(&spawn(0, 0));
+        f.apply(&mv(0, 0, 1));
+        assert!(f.is_contaminated(Node(0)), "00 must be recontaminated");
+        assert_eq!(f.recontaminations().len(), 1);
+        assert!(!f.is_contaminated(Node(1)));
+    }
+
+    #[test]
+    fn guard_blocks_recontamination() {
+        // H_2 with two agents: one holds 00, the other tours. No
+        // recontamination can occur while 00 stays guarded and the tour
+        // only leaves nodes whose neighbours are safe.
+        let h = Hypercube::new(2);
+        let mut f = ContaminationField::new(&h, Node::ROOT);
+        f.apply(&spawn(0, 0));
+        f.apply(&spawn(1, 0));
+        f.apply(&mv(1, 0, 1)); // 00 still guarded by agent 0
+        f.apply(&mv(1, 1, 3)); // 01 vacated; neighbours 00 (guarded), 11 (now guarded) — but 11 only now occupied…
+        // Applying the move: 11 becomes occupied first, then 01 is vacated,
+        // so 01's neighbours are 00 (guarded, safe) and 11 (guarded):
+        // no recontamination.
+        assert!(f.recontaminations().is_empty());
+        assert!(f.is_clean(Node(1)));
+        f.apply(&mv(1, 3, 2)); // 11 vacated; neighbours 01 (clean), 10 (now guarded)
+        assert!(f.recontaminations().is_empty());
+        assert!(f.all_clean());
+    }
+
+    #[test]
+    fn cascade_spreads_through_unguarded_region() {
+        // Path 0-1-2-3: guard at 1 separates {0} from {2,3}. Clean 0, then
+        // lift the guard at 1 while 2 is contaminated: contamination floods
+        // 1 and 0.
+        let p = hypersweep_topology::graph::Path::new(4);
+        let mut f = ContaminationField::new(&p, Node(0));
+        f.apply(&spawn(0, 0));
+        f.apply(&spawn(1, 0));
+        f.apply(&mv(1, 0, 1));
+        assert_eq!(f.contaminated_count(), 2); // 2 and 3
+        f.apply(&mv(0, 0, 1)); // both agents at 1; 0 vacated but neighbour 1 is guarded
+        assert!(!f.is_contaminated(Node(0)));
+        f.apply(&mv(0, 1, 0));
+        f.apply(&mv(1, 1, 0)); // 1 vacated: neighbour 2 contaminated → 1 catches, spreads to nothing else (0 guarded)
+        assert!(f.is_contaminated(Node(1)));
+        assert!(!f.is_contaminated(Node(0)));
+        assert_eq!(f.contaminated_count(), 3);
+    }
+
+    #[test]
+    fn contiguity_detects_split_regions() {
+        // Ring of 6: clean nodes 0 and 3 without connecting them.
+        let r = hypersweep_topology::graph::Ring::new(6);
+        let mut f = ContaminationField::new(&r, Node(0));
+        f.apply(&spawn(0, 0));
+        assert!(f.is_contiguous());
+        // Illegal teleport-style trace (only possible in a hand-written
+        // trace — engines forbid it): an agent "spawns" at 3.
+        f.apply(&spawn(1, 3));
+        assert!(!f.is_contiguous(), "two islands must be flagged");
+    }
+
+    #[test]
+    fn terminate_keeps_the_guard() {
+        let h = Hypercube::new(2);
+        let mut f = ContaminationField::new(&h, Node::ROOT);
+        f.apply(&spawn(0, 0));
+        f.apply(&ev(EventKind::Terminate {
+            agent: 0,
+            node: Node(0),
+        }));
+        assert!(f.is_guarded(Node::ROOT));
+        assert!(!f.is_contaminated(Node::ROOT));
+    }
+}

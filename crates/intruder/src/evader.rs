@@ -1,0 +1,288 @@
+//! The intruder: an explicit, arbitrarily fast, omniscient evader.
+//!
+//! §1.1: "the intruder moves as if it can see the whereabouts of the team
+//! of agents, thus avoiding them as much as possible"; it "has the
+//! capability of escaping arbitrarily fast". We realize this by letting the
+//! intruder relocate *after every atomic event* anywhere within its current
+//! contaminated component. It is detected (captured) exactly when that
+//! component is extinguished.
+
+use std::collections::VecDeque;
+
+use hypersweep_topology::{Node, Topology};
+
+use crate::contamination::ContaminationField;
+
+/// Where the intruder stands, or when it was captured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaptureStatus {
+    /// Still at large on the given node.
+    Free(Node),
+    /// Captured: its contaminated component vanished.
+    Captured {
+        /// Index of the event whose application captured it.
+        at_event: u64,
+        /// The last node it occupied.
+        node: Node,
+    },
+}
+
+impl CaptureStatus {
+    /// Whether the intruder has been captured.
+    pub fn is_captured(&self) -> bool {
+        matches!(self, CaptureStatus::Captured { .. })
+    }
+}
+
+/// Relocation policy of the evader.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvaderPolicy {
+    /// Move only when the current node stops being contaminated, to an
+    /// arbitrary (lowest-id) contaminated neighbour.
+    Lazy,
+    /// After every event, relocate within the contaminated component to a
+    /// node maximizing the BFS distance from the nearest agent —
+    /// the strongest heuristic evader (ties broken by lowest id).
+    Greedy,
+}
+
+/// The evading intruder.
+#[derive(Clone, Debug)]
+pub struct Intruder {
+    status: CaptureStatus,
+    policy: EvaderPolicy,
+    /// Nodes visited while fleeing (for demos and tests).
+    trail: Vec<Node>,
+}
+
+impl Intruder {
+    /// Drop the intruder on `start` (it must be contaminated at the time —
+    /// i.e. anywhere except the homebase before the first event).
+    pub fn new(start: Node, policy: EvaderPolicy) -> Self {
+        Intruder {
+            status: CaptureStatus::Free(start),
+            policy,
+            trail: vec![start],
+        }
+    }
+
+    /// Current status.
+    pub fn status(&self) -> CaptureStatus {
+        self.status
+    }
+
+    /// The sequence of nodes occupied.
+    pub fn trail(&self) -> &[Node] {
+        &self.trail
+    }
+
+    /// React to the world after one event has been applied to `field`.
+    /// `event_index` is the number of events applied so far.
+    pub fn react<T: Topology + ?Sized>(
+        &mut self,
+        topo: &T,
+        field: &ContaminationField<'_, T>,
+        event_index: u64,
+    ) {
+        let CaptureStatus::Free(pos) = self.status else {
+            return;
+        };
+        if field.is_contaminated(pos) {
+            if self.policy == EvaderPolicy::Greedy {
+                if let Some(best) = self.best_in_component(topo, field, pos) {
+                    if best != pos {
+                        self.status = CaptureStatus::Free(best);
+                        self.trail.push(best);
+                    }
+                }
+            }
+            return;
+        }
+        // The node was just decontaminated. Being arbitrarily fast, the
+        // intruder slips to a contaminated neighbour "just before" the
+        // agent arrives — if one exists.
+        let mut nbrs = Vec::new();
+        topo.neighbors_into(pos, &mut nbrs);
+        let escape = match self.policy {
+            EvaderPolicy::Lazy => nbrs
+                .iter()
+                .copied()
+                .find(|&y| field.is_contaminated(y)),
+            EvaderPolicy::Greedy => nbrs
+                .iter()
+                .copied()
+                .filter(|&y| field.is_contaminated(y))
+                .min() // enter the component, then optimize inside it
+                .map(|entry| self.best_in_component(topo, field, entry).unwrap_or(entry)),
+        };
+        match escape {
+            Some(to) => {
+                self.status = CaptureStatus::Free(to);
+                self.trail.push(to);
+            }
+            None => {
+                self.status = CaptureStatus::Captured {
+                    at_event: event_index,
+                    node: pos,
+                };
+            }
+        }
+    }
+
+    /// Within the contaminated component of `from`, find the node
+    /// maximizing the distance from the nearest guarded node (multi-source
+    /// BFS over the whole graph), ties broken by lowest id.
+    fn best_in_component<T: Topology + ?Sized>(
+        &self,
+        topo: &T,
+        field: &ContaminationField<'_, T>,
+        from: Node,
+    ) -> Option<Node> {
+        let n = topo.node_count();
+        // Multi-source BFS from guards over all nodes.
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        for (i, slot) in dist.iter_mut().enumerate() {
+            if field.is_guarded(Node(i as u32)) {
+                *slot = 0;
+                queue.push_back(Node(i as u32));
+            }
+        }
+        let mut nbrs = Vec::new();
+        while let Some(x) = queue.pop_front() {
+            topo.neighbors_into(x, &mut nbrs);
+            for &y in &nbrs {
+                if dist[y.index()] == u32::MAX {
+                    dist[y.index()] = dist[x.index()] + 1;
+                    queue.push_back(y);
+                }
+            }
+        }
+        // BFS of the contaminated component of `from`.
+        let mut best: Option<(u32, Node)> = None;
+        let mut seen = vec![false; n];
+        let mut comp = VecDeque::new();
+        seen[from.index()] = true;
+        comp.push_back(from);
+        while let Some(x) = comp.pop_front() {
+            let dx = dist[x.index()];
+            best = match best {
+                None => Some((dx, x)),
+                Some((bd, bn)) => {
+                    if dx > bd || (dx == bd && x < bn) {
+                        Some((dx, x))
+                    } else {
+                        Some((bd, bn))
+                    }
+                }
+            };
+            topo.neighbors_into(x, &mut nbrs);
+            for &y in &nbrs {
+                if !seen[y.index()] && field.is_contaminated(y) {
+                    seen[y.index()] = true;
+                    comp.push_back(y);
+                }
+            }
+        }
+        best.map(|(_, n)| n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersweep_sim::{Event, EventKind, Role};
+    use hypersweep_topology::graph::Path;
+    use hypersweep_topology::Hypercube;
+
+    fn spawn(agent: u32, node: u32) -> Event {
+        Event {
+            time: 0,
+            kind: EventKind::Spawn {
+                agent,
+                node: Node(node),
+                role: Role::Worker,
+            },
+        }
+    }
+
+    fn mv(agent: u32, from: u32, to: u32) -> Event {
+        Event {
+            time: 0,
+            kind: EventKind::Move {
+                agent,
+                from: Node(from),
+                to: Node(to),
+                role: Role::Worker,
+            },
+        }
+    }
+
+    #[test]
+    fn intruder_flees_along_a_path_and_is_cornered() {
+        // Path 0-1-2-3, agents sweep left to right with two agents — the
+        // intruder retreats to 3 and is captured when 3 is taken.
+        let p = Path::new(4);
+        let mut field = ContaminationField::new(&p, Node(0));
+        let mut evader = Intruder::new(Node(3), EvaderPolicy::Greedy);
+        let script = [
+            spawn(0, 0),
+            spawn(1, 0),
+            mv(1, 0, 1),
+            mv(0, 0, 1),
+            mv(1, 1, 2),
+            mv(0, 1, 2),
+            mv(1, 2, 3),
+        ];
+        for e in &script {
+            field.apply(e);
+            evader.react(&p, &field, field.events_applied());
+        }
+        assert!(field.all_clean());
+        match evader.status() {
+            CaptureStatus::Captured { node, .. } => assert_eq!(node, Node(3)),
+            s => panic!("expected capture, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn greedy_evader_keeps_distance() {
+        let h = Hypercube::new(3);
+        let mut field = ContaminationField::new(&h, Node::ROOT);
+        let mut evader = Intruder::new(Node(0b111), EvaderPolicy::Greedy);
+        field.apply(&spawn(0, 0));
+        evader.react(&h, &field, 1);
+        // Guard at 000; farthest contaminated node is 111.
+        assert_eq!(evader.status(), CaptureStatus::Free(Node(0b111)));
+    }
+
+    #[test]
+    fn lazy_evader_moves_only_when_forced() {
+        let p = Path::new(3);
+        let mut field = ContaminationField::new(&p, Node(0));
+        let mut evader = Intruder::new(Node(1), EvaderPolicy::Lazy);
+        field.apply(&spawn(0, 0));
+        evader.react(&p, &field, 1);
+        assert_eq!(evader.status(), CaptureStatus::Free(Node(1)));
+        field.apply(&spawn(1, 0));
+        field.apply(&mv(1, 0, 1));
+        evader.react(&p, &field, 3);
+        // 1 became guarded; the only contaminated neighbour is 2.
+        assert_eq!(evader.status(), CaptureStatus::Free(Node(2)));
+    }
+
+    #[test]
+    fn captured_status_is_terminal() {
+        let p = Path::new(2);
+        let mut field = ContaminationField::new(&p, Node(0));
+        let mut evader = Intruder::new(Node(1), EvaderPolicy::Lazy);
+        field.apply(&spawn(0, 0));
+        field.apply(&spawn(1, 0));
+        field.apply(&mv(1, 0, 1));
+        evader.react(&p, &field, 3);
+        assert!(evader.status().is_captured());
+        // Further reactions do nothing.
+        evader.react(&p, &field, 4);
+        assert!(evader.status().is_captured());
+    }
+}

@@ -1,0 +1,339 @@
+//! Online verification of a search run.
+//!
+//! A [`Monitor`] consumes the event stream of a run and checks the paper's
+//! three defining requirements plus capture:
+//!
+//! * **Monotonicity** (Theorems 1 and 6): once decontaminated, a node is
+//!   never recontaminated.
+//! * **Contiguity** (§1.2): the decontaminated region stays connected and
+//!   contains the homebase at every instant.
+//! * **Coverage**: the run ends with every node clean or guarded.
+//! * **Capture**: the explicit evader ends captured.
+
+use hypersweep_topology::{Node, Topology};
+
+use hypersweep_sim::Event;
+
+use crate::contamination::ContaminationField;
+use crate::evader::{CaptureStatus, EvaderPolicy, Intruder};
+
+/// What to verify, and how exhaustively.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorConfig {
+    /// Check contiguity after every `k`-th event (`0` disables the check;
+    /// `1` checks after each event). Contiguity costs an `O(n)` BFS.
+    pub contiguity_every: u64,
+    /// Track an explicit intruder starting from the given node.
+    pub intruder_start: Option<Node>,
+    /// Use the strong (greedy) evader rather than the lazy one.
+    pub greedy_evader: bool,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            contiguity_every: 1,
+            intruder_start: None,
+            greedy_evader: true,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Full verification with an intruder starting at `node`.
+    pub fn with_intruder(node: Node) -> Self {
+        MonitorConfig {
+            intruder_start: Some(node),
+            ..MonitorConfig::default()
+        }
+    }
+
+    /// Cheap verification: monotonicity only.
+    pub fn monotonicity_only() -> Self {
+        MonitorConfig {
+            contiguity_every: 0,
+            intruder_start: None,
+            greedy_evader: false,
+        }
+    }
+}
+
+/// A detected violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A decontaminated node was recontaminated.
+    Recontamination {
+        /// Event index at which it happened.
+        at_event: u64,
+        /// The node affected.
+        node: Node,
+    },
+    /// The decontaminated region became disconnected (or lost the
+    /// homebase).
+    ContiguityBroken {
+        /// Event index at which it was detected.
+        at_event: u64,
+    },
+}
+
+/// Final verdict over a run.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// No recontamination ever occurred.
+    pub monotone: bool,
+    /// The decontaminated region stayed connected throughout (vacuously
+    /// true if the check was disabled).
+    pub contiguous: bool,
+    /// Every node ended decontaminated.
+    pub all_clean: bool,
+    /// Final intruder status (`None` if no intruder was tracked).
+    pub capture: Option<CaptureStatus>,
+    /// All violations, in order of detection.
+    pub violations: Vec<Violation>,
+    /// Events processed.
+    pub events: u64,
+}
+
+impl Verdict {
+    /// The run is a correct, complete, intruder-capturing search.
+    pub fn is_complete(&self) -> bool {
+        self.monotone
+            && self.contiguous
+            && self.all_clean
+            && self.capture.map(|c| c.is_captured()).unwrap_or(true)
+    }
+}
+
+/// Online auditor for a single run. Feed it every event via
+/// [`Monitor::observe`], then take the [`Verdict`].
+pub struct Monitor<'a, T: Topology + ?Sized> {
+    topo: &'a T,
+    field: ContaminationField<'a, T>,
+    cfg: MonitorConfig,
+    intruder: Option<Intruder>,
+    violations: Vec<Violation>,
+    recontaminations_seen: usize,
+    contiguity_ok: bool,
+}
+
+impl<'a, T: Topology + ?Sized> Monitor<'a, T> {
+    /// Start monitoring a search on `topo` from `homebase`.
+    pub fn new(topo: &'a T, homebase: Node, cfg: MonitorConfig) -> Self {
+        let field = ContaminationField::new(topo, homebase);
+        let intruder = cfg.intruder_start.map(|start| {
+            assert!(
+                start != homebase,
+                "the intruder cannot start on the homebase"
+            );
+            Intruder::new(
+                start,
+                if cfg.greedy_evader {
+                    EvaderPolicy::Greedy
+                } else {
+                    EvaderPolicy::Lazy
+                },
+            )
+        });
+        Monitor {
+            topo,
+            field,
+            cfg,
+            intruder,
+            violations: Vec::new(),
+            recontaminations_seen: 0,
+            contiguity_ok: true,
+        }
+    }
+
+    /// Feed one event.
+    pub fn observe(&mut self, event: &Event) {
+        self.field.apply(event);
+        let idx = self.field.events_applied();
+        // Harvest any new recontaminations.
+        let recs = self.field.recontaminations();
+        while self.recontaminations_seen < recs.len() {
+            let (at_event, node) = recs[self.recontaminations_seen];
+            self.violations
+                .push(Violation::Recontamination { at_event, node });
+            self.recontaminations_seen += 1;
+        }
+        if self.cfg.contiguity_every > 0
+            && idx % self.cfg.contiguity_every == 0
+            && !self.field.is_contiguous()
+        {
+            self.contiguity_ok = false;
+            self.violations
+                .push(Violation::ContiguityBroken { at_event: idx });
+        }
+        if let Some(intruder) = &mut self.intruder {
+            intruder.react(self.topo, &self.field, idx);
+        }
+    }
+
+    /// Feed a whole trace.
+    pub fn observe_all<'e>(&mut self, events: impl IntoIterator<Item = &'e Event>) {
+        for e in events {
+            self.observe(e);
+        }
+    }
+
+    /// Access the underlying contamination field (e.g. for demos).
+    pub fn field(&self) -> &ContaminationField<'a, T> {
+        &self.field
+    }
+
+    /// Current intruder status, if tracked.
+    pub fn intruder(&self) -> Option<&Intruder> {
+        self.intruder.as_ref()
+    }
+
+    /// Conclude and produce the verdict.
+    pub fn verdict(self) -> Verdict {
+        // One final contiguity check regardless of sampling.
+        let final_contig = if self.cfg.contiguity_every > 0 {
+            self.contiguity_ok && self.field.is_contiguous()
+        } else {
+            true
+        };
+        Verdict {
+            monotone: self.field.recontaminations().is_empty(),
+            contiguous: final_contig,
+            all_clean: self.field.all_clean(),
+            capture: self.intruder.as_ref().map(|i| i.status()),
+            violations: self.violations,
+            events: self.field.events_applied(),
+        }
+    }
+}
+
+/// Audit a complete trace in one call.
+///
+/// ```
+/// use hypersweep_intruder::{verify_trace, MonitorConfig};
+/// use hypersweep_sim::{Event, EventKind, Role};
+/// use hypersweep_topology::{graph::Path, Node};
+///
+/// // One agent cleans a 3-node path end to end.
+/// let path = Path::new(3);
+/// let trace = vec![
+///     Event { time: 0, kind: EventKind::Spawn { agent: 0, node: Node(0), role: Role::Worker } },
+///     Event { time: 1, kind: EventKind::Move { agent: 0, from: Node(0), to: Node(1), role: Role::Worker } },
+///     Event { time: 2, kind: EventKind::Move { agent: 0, from: Node(1), to: Node(2), role: Role::Worker } },
+/// ];
+/// let verdict = verify_trace(&path, Node(0), &trace, MonitorConfig::default());
+/// assert!(verdict.monotone && verdict.contiguous && verdict.all_clean);
+/// ```
+pub fn verify_trace<T: Topology + ?Sized>(
+    topo: &T,
+    homebase: Node,
+    events: &[Event],
+    cfg: MonitorConfig,
+) -> Verdict {
+    let mut monitor = Monitor::new(topo, homebase, cfg);
+    monitor.observe_all(events);
+    monitor.verdict()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersweep_sim::{EventKind, Role};
+    use hypersweep_topology::Hypercube;
+
+    fn spawn(agent: u32, node: u32) -> Event {
+        Event {
+            time: 0,
+            kind: EventKind::Spawn {
+                agent,
+                node: Node(node),
+                role: Role::Worker,
+            },
+        }
+    }
+
+    fn mv(agent: u32, from: u32, to: u32) -> Event {
+        Event {
+            time: 0,
+            kind: EventKind::Move {
+                agent,
+                from: Node(from),
+                to: Node(to),
+                role: Role::Worker,
+            },
+        }
+    }
+
+    /// A correct hand-written search of H_2 with 2 agents + intruder.
+    #[test]
+    fn verdict_on_a_correct_h2_search() {
+        let h = Hypercube::new(2);
+        // 00 -> {01,10} -> 11. Agents: a0 holds, a1 tours.
+        let trace = vec![
+            spawn(0, 0),
+            spawn(1, 0),
+            spawn(2, 0),
+            mv(1, 0b00, 0b01),
+            mv(2, 0b00, 0b10),
+            mv(0, 0b00, 0b01), // 00 vacated: neighbours 01,10 guarded → clean
+            mv(0, 0b01, 0b11), // capture corner
+        ];
+        let verdict = verify_trace(&h, Node::ROOT, &trace, MonitorConfig::with_intruder(Node(3)));
+        assert!(verdict.monotone, "violations: {:?}", verdict.violations);
+        assert!(verdict.contiguous);
+        assert!(verdict.all_clean);
+        assert!(verdict.capture.unwrap().is_captured());
+        assert!(verdict.is_complete());
+    }
+
+    #[test]
+    fn verdict_flags_recontamination() {
+        let h = Hypercube::new(2);
+        let trace = vec![spawn(0, 0), mv(0, 0, 1)];
+        let verdict = verify_trace(&h, Node::ROOT, &trace, MonitorConfig::default());
+        assert!(!verdict.monotone);
+        assert!(!verdict.all_clean);
+        assert!(!verdict.is_complete());
+        assert!(matches!(
+            verdict.violations[0],
+            Violation::Recontamination { node: Node(0), .. }
+        ));
+    }
+
+    #[test]
+    fn incomplete_search_is_not_complete() {
+        let h = Hypercube::new(2);
+        let trace = vec![spawn(0, 0)];
+        let verdict = verify_trace(&h, Node::ROOT, &trace, MonitorConfig::default());
+        assert!(verdict.monotone);
+        assert!(verdict.contiguous);
+        assert!(!verdict.all_clean);
+        assert!(!verdict.is_complete());
+    }
+
+    #[test]
+    fn intruder_survives_incomplete_search() {
+        let h = Hypercube::new(3);
+        let trace = vec![spawn(0, 0), spawn(1, 0), mv(1, 0, 1)];
+        let verdict = verify_trace(
+            &h,
+            Node::ROOT,
+            &trace,
+            MonitorConfig::with_intruder(Node(0b111)),
+        );
+        assert!(matches!(verdict.capture, Some(CaptureStatus::Free(_))));
+        assert!(!verdict.is_complete());
+    }
+
+    #[test]
+    fn contiguity_sampling_still_checks_at_the_end() {
+        let h = Hypercube::new(2);
+        // Illegal trace producing a split region.
+        let trace = vec![spawn(0, 0), spawn(1, 3)];
+        let cfg = MonitorConfig {
+            contiguity_every: 1000, // sampled out during the run…
+            ..MonitorConfig::default()
+        };
+        let verdict = verify_trace(&h, Node::ROOT, &trace, cfg);
+        assert!(!verdict.contiguous, "…but the final check still fires");
+    }
+}

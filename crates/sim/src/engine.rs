@@ -1,0 +1,1039 @@
+//! The deterministic discrete-event executor.
+//!
+//! The engine owns the agents, the per-node whiteboards and the node
+//! occupancy, and repeatedly activates one agent chosen by the configured
+//! [`Policy`]. An activation runs the agent's [`AgentProgram::step`] under
+//! the node's (implicit) whiteboard mutual exclusion and applies the
+//! returned [`Action`] atomically. Moves are atomic slides; the event
+//! stream is therefore a linearization against which the
+//! `hypersweep-intruder` monitors verify contamination semantics.
+//!
+//! Under [`Policy::Synchronous`] the engine instead runs lock-step rounds:
+//! all agents decide against the round-start snapshot, then all moves apply
+//! simultaneously. The number of rounds containing at least one edge
+//! traversal is the paper's *ideal time*.
+
+use std::collections::VecDeque;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use hypersweep_topology::{Hypercube, Node};
+
+use crate::event::{AgentId, Event, EventKind, Role};
+use crate::metrics::Metrics;
+use crate::policy::Policy;
+use crate::program::{Action, AgentProgram, Board, Ctx};
+use crate::state::NodeState;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Which adversary schedules the agents.
+    pub policy: Policy,
+    /// Whether agents may observe neighbour states (§4's model). Without
+    /// it, [`Ctx::neighbor_state`] panics.
+    pub visibility: bool,
+    /// Record the full event stream (needed by the monitors; disable for
+    /// large benchmark runs).
+    pub record_events: bool,
+    /// Hard cap on activations, to turn accidental livelocks into errors.
+    pub max_activations: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            policy: Policy::Fifo,
+            visibility: false,
+            record_events: true,
+            max_activations: 500_000_000,
+        }
+    }
+}
+
+/// Why a run ended unsuccessfully.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// No agent can make progress but some have not terminated.
+    Deadlock {
+        /// Agents still alive (not terminated).
+        waiting: usize,
+    },
+    /// The activation cap was reached (livelock or runaway strategy).
+    ActivationLimit,
+    /// An agent attempted an invalid action (bad port, clone without
+    /// support, …).
+    InvalidAction {
+        /// The offending agent.
+        agent: AgentId,
+        /// Description of the violation.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Deadlock { waiting } => {
+                write!(f, "deadlock: {waiting} agents parked forever")
+            }
+            RunError::ActivationLimit => write!(f, "activation limit reached"),
+            RunError::InvalidAction { agent, message } => {
+                write!(f, "agent {agent} performed an invalid action: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Outcome of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Aggregate counters.
+    pub metrics: Metrics,
+    /// The linearized event stream (empty if recording was disabled).
+    pub events: Vec<Event>,
+    /// Nodes that ended the run visited.
+    pub visited: Vec<bool>,
+    /// Final occupancy (guards, including terminated agents) per node.
+    pub occupancy: Vec<u32>,
+}
+
+impl RunReport {
+    /// Whether every node of the cube was visited — necessary for a
+    /// successful decontamination.
+    pub fn all_visited(&self) -> bool {
+        self.visited.iter().all(|&v| v)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum AgentStatus {
+    Runnable,
+    Parked,
+    Terminated,
+}
+
+struct AgentSlot<P> {
+    program: P,
+    pos: Node,
+    role: Role,
+    status: AgentStatus,
+}
+
+/// The discrete-event executor. See the module docs.
+pub struct Engine<P: AgentProgram> {
+    cube: Hypercube,
+    cfg: EngineConfig,
+    agents: Vec<AgentSlot<P>>,
+    boards: Vec<P::Board>,
+    /// All occupants (terminated guards included).
+    occupancy: Vec<u32>,
+    /// Non-terminated occupants.
+    active_here: Vec<u32>,
+    visited: Vec<bool>,
+    parked_at: Vec<Vec<AgentId>>,
+    runnable: VecDeque<AgentId>,
+    in_runnable: Vec<bool>,
+    rr_cursor: usize,
+    rng: ChaCha8Rng,
+    events: Vec<Event>,
+    metrics: Metrics,
+    away_now: u64,
+    clock: u64,
+}
+
+impl<P: AgentProgram> Engine<P> {
+    /// Create an engine over `cube` with the given configuration.
+    pub fn new(cube: Hypercube, cfg: EngineConfig) -> Self {
+        let n = cube.node_count();
+        let seed = match cfg.policy {
+            Policy::Random(s) => s,
+            _ => 0,
+        };
+        Engine {
+            cube,
+            cfg,
+            agents: Vec::new(),
+            boards: (0..n).map(|_| P::Board::default()).collect(),
+            occupancy: vec![0; n],
+            active_here: vec![0; n],
+            visited: vec![false; n],
+            parked_at: vec![Vec::new(); n],
+            runnable: VecDeque::new(),
+            in_runnable: Vec::new(),
+            rr_cursor: 0,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            events: Vec::new(),
+            metrics: Metrics::default(),
+            away_now: 0,
+            clock: 0,
+        }
+    }
+
+    /// The hypercube being searched.
+    pub fn cube(&self) -> Hypercube {
+        self.cube
+    }
+
+    /// Place a new agent on `node` (the paper always spawns at the
+    /// homebase `00…0`, but tests may spawn elsewhere).
+    pub fn spawn(&mut self, program: P, node: Node, role: Role) -> AgentId {
+        let id = self.agents.len() as AgentId;
+        self.agents.push(AgentSlot {
+            program,
+            pos: node,
+            role,
+            status: AgentStatus::Runnable,
+        });
+        self.occupancy[node.index()] += 1;
+        self.active_here[node.index()] += 1;
+        self.visited[node.index()] = true;
+        if node != Node::ROOT {
+            self.away_now += 1;
+        }
+        self.metrics.team_size += 1;
+        self.metrics.peak_away = self.metrics.peak_away.max(self.away_now);
+        self.in_runnable.push(true);
+        self.runnable.push_back(id);
+        self.emit(EventKind::Spawn {
+            agent: id,
+            node,
+            role,
+        });
+        id
+    }
+
+    fn emit(&mut self, kind: EventKind) {
+        if self.cfg.record_events {
+            self.events.push(Event {
+                time: self.clock,
+                kind,
+            });
+        }
+    }
+
+    /// Engine-reported node state: optimistic for monotone strategies (see
+    /// [`NodeState`] docs); independently audited by the monitors.
+    pub fn node_state(&self, node: Node) -> NodeState {
+        if self.occupancy[node.index()] > 0 {
+            NodeState::Guarded
+        } else if self.visited[node.index()] {
+            NodeState::Clean
+        } else {
+            NodeState::Contaminated
+        }
+    }
+
+    fn make_runnable(&mut self, id: AgentId) {
+        if self.agents[id as usize].status == AgentStatus::Parked {
+            self.agents[id as usize].status = AgentStatus::Runnable;
+        }
+        if self.agents[id as usize].status == AgentStatus::Runnable
+            && !self.in_runnable[id as usize]
+        {
+            self.in_runnable[id as usize] = true;
+            // Round-robin scans the flags directly; pushing would let the
+            // queue grow without bound since that policy never pops it.
+            if !matches!(self.cfg.policy, Policy::RoundRobin) {
+                self.runnable.push_back(id);
+            }
+        }
+    }
+
+    /// Wake every agent parked at `node`.
+    fn wake_at(&mut self, node: Node) {
+        let parked = std::mem::take(&mut self.parked_at[node.index()]);
+        for id in parked {
+            self.make_runnable(id);
+        }
+    }
+
+    /// Wake after a *state-visible* change at `node`: agents there, and —
+    /// in the visibility model — agents on every neighbour.
+    fn wake_visible(&mut self, node: Node) {
+        self.wake_at(node);
+        if self.cfg.visibility {
+            for p in 1..=self.cube.dim() {
+                self.wake_at(node.flip(p));
+            }
+        }
+    }
+
+    fn park(&mut self, id: AgentId) {
+        let slot = &mut self.agents[id as usize];
+        if slot.status == AgentStatus::Runnable {
+            slot.status = AgentStatus::Parked;
+            let pos = slot.pos;
+            self.parked_at[pos.index()].push(id);
+        }
+    }
+
+    fn pick(&mut self) -> Option<AgentId> {
+        match self.cfg.policy {
+            Policy::Fifo => loop {
+                let id = self.runnable.pop_front()?;
+                if self.in_runnable[id as usize] {
+                    self.in_runnable[id as usize] = false;
+                    return Some(id);
+                }
+            },
+            Policy::Lifo => loop {
+                let id = self.runnable.pop_back()?;
+                if self.in_runnable[id as usize] {
+                    self.in_runnable[id as usize] = false;
+                    return Some(id);
+                }
+            },
+            Policy::Random(_) => {
+                // Drop stale entries lazily, then pick uniformly.
+                while let Some(&front) = self.runnable.front() {
+                    if self.in_runnable[front as usize] {
+                        break;
+                    }
+                    self.runnable.pop_front();
+                }
+                if self.runnable.is_empty() {
+                    return None;
+                }
+                loop {
+                    let i = self.rng.random_range(0..self.runnable.len());
+                    let id = self.runnable[i];
+                    if self.in_runnable[id as usize] {
+                        self.runnable.remove(i);
+                        self.in_runnable[id as usize] = false;
+                        return Some(id);
+                    }
+                    self.runnable.remove(i);
+                    if self.runnable.is_empty() {
+                        return None;
+                    }
+                }
+            }
+            Policy::RoundRobin => {
+                let n = self.agents.len();
+                for off in 0..n {
+                    let idx = (self.rr_cursor + off) % n;
+                    if self.in_runnable[idx] {
+                        self.rr_cursor = (idx + 1) % n;
+                        self.in_runnable[idx] = false;
+                        // Leave any queue entry stale; other policies skip
+                        // stale entries.
+                        return Some(idx as AgentId);
+                    }
+                }
+                None
+            }
+            Policy::Synchronous => unreachable!("synchronous policy uses run_synchronous"),
+        }
+    }
+
+    fn neighbor_states_of(&self, node: Node) -> Vec<NodeState> {
+        (1..=self.cube.dim())
+            .map(|p| self.node_state(node.flip(p)))
+            .collect()
+    }
+
+    fn meter(&mut self, node: Node, agent: AgentId) {
+        let bb = self.boards[node.index()].bits_used();
+        self.metrics.peak_board_bits = self.metrics.peak_board_bits.max(bb);
+        let lb = self.agents[agent as usize].program.local_bits();
+        self.metrics.peak_local_bits = self.metrics.peak_local_bits.max(lb);
+    }
+
+    /// One activation of agent `id` (asynchronous mode). Returns the
+    /// action taken.
+    fn activate(&mut self, id: AgentId) -> Result<Action, RunError> {
+        self.metrics.activations += 1;
+        let pos = self.agents[id as usize].pos;
+        let neighbor_states = if self.cfg.visibility {
+            Some(self.neighbor_states_of(pos))
+        } else {
+            None
+        };
+        let cube = self.cube;
+        let alive_here = self.active_here[pos.index()];
+
+        // Split borrows: program and board live in different fields.
+        let slot = &mut self.agents[id as usize];
+        let board = &mut self.boards[pos.index()];
+        let mut ctx = Ctx {
+            cube,
+            node: pos,
+            agent: id,
+            alive_here,
+            board,
+            dirty: false,
+            neighbor_states: neighbor_states.as_deref(),
+            round: None,
+        };
+        let action = slot.program.step(&mut ctx);
+        let dirty = ctx.dirty;
+        self.meter(pos, id);
+        self.clock += 1;
+
+        match action {
+            Action::Wait => {
+                if dirty {
+                    // The write may enable others; the writer stays
+                    // runnable once more so no wake-up is lost.
+                    self.wake_at(pos);
+                    self.make_runnable(id);
+                } else {
+                    self.park(id);
+                }
+            }
+            Action::Move(port) => {
+                self.check_port(id, port)?;
+                if dirty {
+                    self.wake_at(pos);
+                }
+                self.apply_move(id, port);
+                self.make_runnable(id);
+            }
+            Action::Clone(port) => {
+                self.check_port(id, port)?;
+                if dirty {
+                    self.wake_at(pos);
+                }
+                self.apply_clone(id, port);
+                self.make_runnable(id);
+            }
+            Action::Terminate => {
+                if dirty {
+                    self.wake_at(pos);
+                }
+                self.apply_terminate(id);
+            }
+        }
+        Ok(action)
+    }
+
+    fn check_port(&self, id: AgentId, port: u32) -> Result<(), RunError> {
+        if port == 0 || port > self.cube.dim() {
+            return Err(RunError::InvalidAction {
+                agent: id,
+                message: format!("port {port} out of range 1..={}", self.cube.dim()),
+            });
+        }
+        Ok(())
+    }
+
+    fn apply_move(&mut self, id: AgentId, port: u32) {
+        let from = self.agents[id as usize].pos;
+        let to = from.flip(port);
+        let role = self.agents[id as usize].role;
+        self.occupancy[from.index()] -= 1;
+        self.active_here[from.index()] -= 1;
+        self.occupancy[to.index()] += 1;
+        self.active_here[to.index()] += 1;
+        self.visited[to.index()] = true;
+        self.agents[id as usize].pos = to;
+        match (from == Node::ROOT, to == Node::ROOT) {
+            (true, false) => self.away_now += 1,
+            (false, true) => self.away_now -= 1,
+            _ => {}
+        }
+        self.metrics.peak_away = self.metrics.peak_away.max(self.away_now);
+        match role {
+            Role::Coordinator => self.metrics.coordinator_moves += 1,
+            Role::Worker => self.metrics.worker_moves += 1,
+        }
+        self.emit(EventKind::Move {
+            agent: id,
+            from,
+            to,
+            role,
+        });
+        self.wake_visible(from);
+        self.wake_visible(to);
+    }
+
+    fn apply_clone(&mut self, id: AgentId, port: u32) {
+        let from = self.agents[id as usize].pos;
+        let to = from.flip(port);
+        let child = self.agents.len() as AgentId;
+        let program = self.agents[id as usize].program.clone_program();
+        self.agents.push(AgentSlot {
+            program,
+            pos: to,
+            role: Role::Worker,
+            status: AgentStatus::Runnable,
+        });
+        self.in_runnable.push(true);
+        self.runnable.push_back(child);
+        self.occupancy[to.index()] += 1;
+        self.active_here[to.index()] += 1;
+        self.visited[to.index()] = true;
+        if to != Node::ROOT {
+            self.away_now += 1;
+        }
+        self.metrics.team_size += 1;
+        self.metrics.worker_moves += 1; // the clone's materializing slide
+        self.metrics.peak_away = self.metrics.peak_away.max(self.away_now);
+        self.emit(EventKind::CloneSpawn {
+            parent: id,
+            child,
+            from,
+            to,
+        });
+        self.wake_visible(to);
+        self.wake_at(from);
+    }
+
+    fn apply_terminate(&mut self, id: AgentId) {
+        let pos = self.agents[id as usize].pos;
+        self.agents[id as usize].status = AgentStatus::Terminated;
+        self.active_here[pos.index()] -= 1;
+        self.emit(EventKind::Terminate { agent: id, node: pos });
+        // Occupancy unchanged: a terminated agent guards its node forever.
+        self.wake_at(pos);
+    }
+
+    /// Run to completion. All agents must eventually [`Action::Terminate`];
+    /// anything else is a deadlock or livelock and is reported as an error.
+    pub fn run(mut self) -> Result<RunReport, RunError> {
+        if self.cfg.policy.is_synchronous() {
+            return self.run_synchronous();
+        }
+        loop {
+            if self.metrics.activations >= self.cfg.max_activations {
+                return Err(RunError::ActivationLimit);
+            }
+            let Some(id) = self.pick() else {
+                break;
+            };
+            self.activate(id)?;
+        }
+        let waiting = self
+            .agents
+            .iter()
+            .filter(|a| a.status != AgentStatus::Terminated)
+            .count();
+        if waiting > 0 {
+            return Err(RunError::Deadlock { waiting });
+        }
+        Ok(self.report())
+    }
+
+    /// Lock-step execution (the paper's ideal-time model): each round every
+    /// active agent decides against the round-start snapshot; moves apply
+    /// simultaneously at the round boundary.
+    fn run_synchronous(mut self) -> Result<RunReport, RunError> {
+        let mut rounds_with_moves: u64 = 0;
+        let mut round: u64 = 0;
+        loop {
+            round += 1;
+            self.clock = round;
+            // Snapshot of node states for visibility decisions.
+            let snapshot: Option<Vec<NodeState>> = if self.cfg.visibility {
+                Some(
+                    (0..self.cube.node_count() as u32)
+                        .map(|i| self.node_state(Node(i)))
+                        .collect(),
+                )
+            } else {
+                None
+            };
+            let active_snapshot = self.active_here.clone();
+
+            enum Deferred {
+                Move(AgentId, u32),
+                Clone(AgentId, u32),
+                Terminate(AgentId),
+            }
+            let mut deferred: Vec<Deferred> = Vec::new();
+            let mut wrote = false;
+
+            for idx in 0..self.agents.len() {
+                if self.agents[idx].status == AgentStatus::Terminated {
+                    continue;
+                }
+                if self.metrics.activations >= self.cfg.max_activations {
+                    return Err(RunError::ActivationLimit);
+                }
+                self.metrics.activations += 1;
+                let id = idx as AgentId;
+                let pos = self.agents[idx].pos;
+                let neighbor_states: Option<Vec<NodeState>> = snapshot.as_ref().map(|snap| {
+                    (1..=self.cube.dim())
+                        .map(|p| snap[pos.flip(p).index()])
+                        .collect()
+                });
+                let cube = self.cube;
+                let alive_here = active_snapshot[pos.index()];
+                let slot = &mut self.agents[idx];
+                let board = &mut self.boards[pos.index()];
+                let mut ctx = Ctx {
+                    cube,
+                    node: pos,
+                    agent: id,
+                    alive_here,
+                    board,
+                    dirty: false,
+                    neighbor_states: neighbor_states.as_deref(),
+                    round: Some(round),
+                };
+                let action = slot.program.step(&mut ctx);
+                wrote |= ctx.dirty;
+                self.meter(pos, id);
+                match action {
+                    Action::Wait => {}
+                    Action::Move(port) => {
+                        self.check_port(id, port)?;
+                        deferred.push(Deferred::Move(id, port));
+                    }
+                    Action::Clone(port) => {
+                        self.check_port(id, port)?;
+                        deferred.push(Deferred::Clone(id, port));
+                    }
+                    Action::Terminate => deferred.push(Deferred::Terminate(id)),
+                }
+            }
+
+            let mut moved = false;
+            let acted = !deferred.is_empty();
+            for d in deferred {
+                match d {
+                    Deferred::Move(id, port) => {
+                        self.apply_move(id, port);
+                        moved = true;
+                    }
+                    Deferred::Clone(id, port) => {
+                        self.apply_clone(id, port);
+                        moved = true;
+                    }
+                    Deferred::Terminate(id) => self.apply_terminate(id),
+                }
+            }
+            if moved {
+                rounds_with_moves += 1;
+            }
+
+            let all_done = self
+                .agents
+                .iter()
+                .all(|a| a.status == AgentStatus::Terminated);
+            if all_done {
+                break;
+            }
+            if !acted && !wrote {
+                let waiting = self
+                    .agents
+                    .iter()
+                    .filter(|a| a.status != AgentStatus::Terminated)
+                    .count();
+                return Err(RunError::Deadlock { waiting });
+            }
+        }
+        self.metrics.ideal_time = Some(rounds_with_moves);
+        Ok(self.report())
+    }
+
+    fn report(self) -> RunReport {
+        RunReport {
+            metrics: self.metrics,
+            events: self.events,
+            visited: self.visited,
+            occupancy: self.occupancy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial strategy: walk the ascending tree path to a fixed target,
+    /// then terminate.
+    struct WalkTo {
+        target: Node,
+    }
+
+    impl AgentProgram for WalkTo {
+        type Board = ();
+
+        fn step(&mut self, ctx: &mut Ctx<'_, ()>) -> Action {
+            let here = ctx.node();
+            if here == self.target {
+                return Action::Terminate;
+            }
+            // Set the lowest missing bit of the target.
+            for p in 1..=ctx.cube().dim() {
+                if self.target.bit(p) && !here.bit(p) {
+                    return Action::Move(p);
+                }
+            }
+            Action::Terminate
+        }
+    }
+
+    #[test]
+    fn single_walker_reaches_target() {
+        for policy in Policy::adversaries(3) {
+            let cube = Hypercube::new(4);
+            let mut eng = Engine::new(
+                cube,
+                EngineConfig {
+                    policy,
+                    ..EngineConfig::default()
+                },
+            );
+            eng.spawn(WalkTo { target: Node(0b1011) }, Node::ROOT, Role::Worker);
+            let report = eng.run().expect("run succeeds");
+            assert_eq!(report.metrics.worker_moves, 3);
+            assert_eq!(report.occupancy[0b1011], 1);
+            assert_eq!(report.metrics.team_size, 1);
+            assert_eq!(report.metrics.peak_away, 1);
+        }
+    }
+
+    #[test]
+    fn synchronous_mode_counts_rounds() {
+        let cube = Hypercube::new(5);
+        let mut eng = Engine::new(
+            cube,
+            EngineConfig {
+                policy: Policy::Synchronous,
+                ..EngineConfig::default()
+            },
+        );
+        // Two walkers with different path lengths; rounds with moves = max.
+        eng.spawn(WalkTo { target: Node(0b11111) }, Node::ROOT, Role::Worker);
+        eng.spawn(WalkTo { target: Node(0b00001) }, Node::ROOT, Role::Worker);
+        let report = eng.run().expect("run succeeds");
+        assert_eq!(report.metrics.ideal_time, Some(5));
+        assert_eq!(report.metrics.worker_moves, 6);
+    }
+
+    /// Waits forever.
+    struct Stuck;
+
+    impl AgentProgram for Stuck {
+        type Board = ();
+        fn step(&mut self, _ctx: &mut Ctx<'_, ()>) -> Action {
+            Action::Wait
+        }
+    }
+
+    #[test]
+    fn parked_forever_is_deadlock() {
+        let cube = Hypercube::new(2);
+        let mut eng = Engine::new(cube, EngineConfig::default());
+        eng.spawn(Stuck, Node::ROOT, Role::Worker);
+        match eng.run() {
+            Err(RunError::Deadlock { waiting }) => assert_eq!(waiting, 1),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn synchronous_deadlock_detected() {
+        let cube = Hypercube::new(2);
+        let mut eng = Engine::new(
+            cube,
+            EngineConfig {
+                policy: Policy::Synchronous,
+                ..EngineConfig::default()
+            },
+        );
+        eng.spawn(Stuck, Node::ROOT, Role::Worker);
+        assert!(matches!(eng.run(), Err(RunError::Deadlock { .. })));
+    }
+
+    /// Moves out of range.
+    struct BadPort;
+
+    impl AgentProgram for BadPort {
+        type Board = ();
+        fn step(&mut self, _ctx: &mut Ctx<'_, ()>) -> Action {
+            Action::Move(99)
+        }
+    }
+
+    #[test]
+    fn invalid_port_is_reported() {
+        let cube = Hypercube::new(3);
+        let mut eng = Engine::new(cube, EngineConfig::default());
+        eng.spawn(BadPort, Node::ROOT, Role::Worker);
+        assert!(matches!(eng.run(), Err(RunError::InvalidAction { .. })));
+    }
+
+    /// Clones once onto port 1, then both terminate.
+    #[derive(Clone)]
+    struct CloneOnce {
+        is_clone: bool,
+        done: bool,
+    }
+
+    impl AgentProgram for CloneOnce {
+        type Board = ();
+        fn step(&mut self, _ctx: &mut Ctx<'_, ()>) -> Action {
+            if self.is_clone || self.done {
+                return Action::Terminate;
+            }
+            self.done = true;
+            Action::Clone(1)
+        }
+        fn clone_program(&self) -> Self {
+            CloneOnce {
+                is_clone: true,
+                done: false,
+            }
+        }
+    }
+
+    #[test]
+    fn cloning_creates_an_agent_and_counts_one_move() {
+        let cube = Hypercube::new(3);
+        let mut eng = Engine::new(cube, EngineConfig::default());
+        eng.spawn(
+            CloneOnce {
+                is_clone: false,
+                done: false,
+            },
+            Node::ROOT,
+            Role::Worker,
+        );
+        let report = eng.run().expect("run succeeds");
+        assert_eq!(report.metrics.team_size, 2);
+        assert_eq!(report.metrics.worker_moves, 1);
+        assert_eq!(report.occupancy[1], 1);
+        assert_eq!(report.occupancy[0], 1);
+    }
+
+    #[test]
+    fn event_stream_is_recorded_in_order() {
+        let cube = Hypercube::new(3);
+        let mut eng = Engine::new(cube, EngineConfig::default());
+        eng.spawn(WalkTo { target: Node(0b101) }, Node::ROOT, Role::Worker);
+        let report = eng.run().expect("run succeeds");
+        let kinds: Vec<_> = report.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Spawn {
+                    agent: 0,
+                    node: Node(0),
+                    role: Role::Worker
+                },
+                EventKind::Move {
+                    agent: 0,
+                    from: Node(0),
+                    to: Node(1),
+                    role: Role::Worker
+                },
+                EventKind::Move {
+                    agent: 0,
+                    from: Node(1),
+                    to: Node(0b101),
+                    role: Role::Worker
+                },
+                EventKind::Terminate {
+                    agent: 0,
+                    node: Node(0b101)
+                },
+            ]
+        );
+    }
+
+    /// Two agents rendezvous through the whiteboard: the first writes a
+    /// token at the root, the second waits for it, then both terminate.
+    #[derive(Clone, Default)]
+    struct TokenBoard {
+        token: bool,
+    }
+
+    impl Board for TokenBoard {
+        fn bits_used(&self) -> u32 {
+            1
+        }
+    }
+
+    struct Writer;
+    impl AgentProgram for Writer {
+        type Board = TokenBoard;
+        fn step(&mut self, ctx: &mut Ctx<'_, TokenBoard>) -> Action {
+            ctx.board_mut().token = true;
+            Action::Terminate
+        }
+    }
+
+    struct Reader;
+    impl AgentProgram for Reader {
+        type Board = TokenBoard;
+        fn step(&mut self, ctx: &mut Ctx<'_, TokenBoard>) -> Action {
+            if ctx.board().token {
+                Action::Terminate
+            } else {
+                Action::Wait
+            }
+        }
+    }
+
+    /// Composite program so both roles share a board type.
+    enum Rw {
+        W(Writer),
+        R(Reader),
+    }
+    impl AgentProgram for Rw {
+        type Board = TokenBoard;
+        fn step(&mut self, ctx: &mut Ctx<'_, TokenBoard>) -> Action {
+            match self {
+                Rw::W(w) => w.step(ctx),
+                Rw::R(r) => r.step(ctx),
+            }
+        }
+    }
+
+    #[test]
+    fn whiteboard_wakes_waiting_agent() {
+        // LIFO runs the reader first (spawned last), which parks; the
+        // writer's write must wake it.
+        let cube = Hypercube::new(2);
+        let mut eng = Engine::new(
+            cube,
+            EngineConfig {
+                policy: Policy::Lifo,
+                ..EngineConfig::default()
+            },
+        );
+        eng.spawn(Rw::W(Writer), Node::ROOT, Role::Worker);
+        eng.spawn(Rw::R(Reader), Node::ROOT, Role::Worker);
+        let report = eng.run().expect("no deadlock: the write wakes the reader");
+        assert_eq!(report.metrics.team_size, 2);
+        assert_eq!(report.metrics.peak_board_bits, 1);
+    }
+
+    /// Regression: an agent whose wait condition is satisfied by a write
+    /// performed in the SAME activation that parks another agent must still
+    /// be woken (no lost wake-ups). Constructed so the waiter parks before
+    /// the writer acts under FIFO.
+    #[derive(Clone, Default)]
+    struct CounterBoard {
+        value: u32,
+    }
+    impl Board for CounterBoard {
+        fn bits_used(&self) -> u32 {
+            32 - self.value.leading_zeros()
+        }
+    }
+
+    enum Collab {
+        /// Waits until the counter reaches `target`, then terminates.
+        Waiter { target: u32 },
+        /// Increments the counter once per activation, `times` times.
+        Incrementer { times: u32 },
+    }
+    impl AgentProgram for Collab {
+        type Board = CounterBoard;
+        fn step(&mut self, ctx: &mut Ctx<'_, CounterBoard>) -> Action {
+            match self {
+                Collab::Waiter { target } => {
+                    if ctx.board().value >= *target {
+                        Action::Terminate
+                    } else {
+                        Action::Wait
+                    }
+                }
+                Collab::Incrementer { times } => {
+                    if *times == 0 {
+                        return Action::Terminate;
+                    }
+                    *times -= 1;
+                    ctx.board_mut().value += 1;
+                    Action::Wait
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_lost_wakeups_through_whiteboard_writes() {
+        for policy in Policy::adversaries(5) {
+            let mut eng = Engine::new(Hypercube::new(2), EngineConfig {
+                policy,
+                ..EngineConfig::default()
+            });
+            eng.spawn(Collab::Waiter { target: 3 }, Node::ROOT, Role::Worker);
+            eng.spawn(Collab::Incrementer { times: 3 }, Node::ROOT, Role::Worker);
+            let report = eng.run().unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+            assert_eq!(report.metrics.peak_board_bits, 2);
+        }
+    }
+
+    #[test]
+    fn activation_cap_turns_livelock_into_an_error() {
+        /// Writes the board forever — a livelock the cap must break.
+        struct Spinner;
+        impl AgentProgram for Spinner {
+            type Board = CounterBoard;
+            fn step(&mut self, ctx: &mut Ctx<'_, CounterBoard>) -> Action {
+                ctx.board_mut().value = ctx.board().value.wrapping_add(1);
+                Action::Wait
+            }
+        }
+        let mut eng = Engine::new(
+            Hypercube::new(2),
+            EngineConfig {
+                max_activations: 1_000,
+                ..EngineConfig::default()
+            },
+        );
+        eng.spawn(Spinner, Node::ROOT, Role::Worker);
+        assert!(matches!(eng.run(), Err(RunError::ActivationLimit)));
+    }
+
+    #[test]
+    fn disabling_event_recording_keeps_metrics() {
+        let run = |record: bool| {
+            let mut eng = Engine::new(
+                Hypercube::new(4),
+                EngineConfig {
+                    record_events: record,
+                    ..EngineConfig::default()
+                },
+            );
+            eng.spawn(WalkTo { target: Node(0b1111) }, Node::ROOT, Role::Worker);
+            eng.run().unwrap()
+        };
+        let with = run(true);
+        let without = run(false);
+        assert_eq!(with.metrics, without.metrics);
+        assert!(!with.events.is_empty());
+        assert!(without.events.is_empty());
+        assert_eq!(with.visited, without.visited);
+    }
+
+    #[test]
+    fn node_state_view_tracks_occupancy_and_visits() {
+        let mut eng = Engine::<WalkTo>::new(Hypercube::new(3), EngineConfig::default());
+        assert_eq!(eng.node_state(Node(0)), NodeState::Contaminated);
+        eng.spawn(WalkTo { target: Node(1) }, Node::ROOT, Role::Worker);
+        assert_eq!(eng.node_state(Node(0)), NodeState::Guarded);
+        let _ = eng; // (run consumes the engine; the view is pre-run here)
+    }
+
+    #[test]
+    fn all_async_policies_agree_on_final_state() {
+        for policy in Policy::adversaries(5) {
+            let cube = Hypercube::new(4);
+            let mut eng = Engine::new(
+                cube,
+                EngineConfig {
+                    policy,
+                    ..EngineConfig::default()
+                },
+            );
+            for t in [3u32, 5, 9, 14] {
+                eng.spawn(WalkTo { target: Node(t) }, Node::ROOT, Role::Worker);
+            }
+            let report = eng.run().expect("run succeeds");
+            for t in [3u32, 5, 9, 14] {
+                assert_eq!(report.occupancy[t as usize], 1, "policy {policy:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Linearized event stream emitted by every executor.
+//!
+//! Moves are *atomic slides*: an agent disappears from `from` and appears
+//! at `to` in a single event, the standard convention in graph searching
+//! (sliding a searcher along an edge never opens a momentary gap at both
+//! endpoints). The intruder, being arbitrarily fast, is assumed to act
+//! between any two consecutive events.
+
+use serde::{Deserialize, Serialize};
+
+use hypersweep_topology::Node;
+
+/// Identifier of an agent within one run.
+pub type AgentId = u32;
+
+/// The role an agent plays, used for per-role move accounting
+/// (Theorem 3 counts synchronizer moves and worker moves separately).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// The coordinator of Algorithm CLEAN (the paper's *synchronizer*).
+    Coordinator,
+    /// Every other agent.
+    Worker,
+}
+
+/// One atomic occurrence in a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Logical timestamp: the event's index in the linearization for
+    /// asynchronous policies, the round number under the synchronous
+    /// policy.
+    pub time: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The kinds of atomic events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// An agent was placed on its starting node (only ever the homebase in
+    /// the paper's model).
+    Spawn {
+        /// The new agent.
+        agent: AgentId,
+        /// Where it starts.
+        node: Node,
+        /// Its role.
+        role: Role,
+    },
+    /// An agent slid along an edge.
+    Move {
+        /// The moving agent.
+        agent: AgentId,
+        /// Source node.
+        from: Node,
+        /// Destination node (adjacent to `from`).
+        to: Node,
+        /// The mover's role.
+        role: Role,
+    },
+    /// An agent cloned itself; the clone materialises on a neighbouring
+    /// node (§5's cloning variant: the clone's first slide is part of the
+    /// cloning action and is counted as one move).
+    CloneSpawn {
+        /// The cloning agent.
+        parent: AgentId,
+        /// The newly created agent.
+        child: AgentId,
+        /// Where the parent stands.
+        from: Node,
+        /// Where the clone appears (adjacent to `from`).
+        to: Node,
+    },
+    /// An agent stopped executing. It remains on its node as a guard
+    /// forever (the paper's leaves keep their agents).
+    Terminate {
+        /// The terminating agent.
+        agent: AgentId,
+        /// Where it rests.
+        node: Node,
+    },
+}
+
+impl EventKind {
+    /// Number of edge traversals this event represents.
+    pub fn move_cost(&self) -> u64 {
+        match self {
+            EventKind::Move { .. } | EventKind::CloneSpawn { .. } => 1,
+            _ => 0,
+        }
+    }
+
+    /// Nodes whose occupancy this event changes.
+    pub fn touched(&self) -> (Option<Node>, Option<Node>) {
+        match *self {
+            EventKind::Spawn { node, .. } => (None, Some(node)),
+            EventKind::Move { from, to, .. } => (Some(from), Some(to)),
+            EventKind::CloneSpawn { from, to, .. } => (Some(from), Some(to)),
+            EventKind::Terminate { .. } => (None, None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn move_costs() {
+        let m = EventKind::Move {
+            agent: 0,
+            from: Node(0),
+            to: Node(1),
+            role: Role::Worker,
+        };
+        assert_eq!(m.move_cost(), 1);
+        let t = EventKind::Terminate {
+            agent: 0,
+            node: Node(1),
+        };
+        assert_eq!(t.move_cost(), 0);
+        let c = EventKind::CloneSpawn {
+            parent: 0,
+            child: 1,
+            from: Node(0),
+            to: Node(2),
+        };
+        assert_eq!(c.move_cost(), 1);
+    }
+
+    #[test]
+    fn touched_nodes() {
+        let m = EventKind::Move {
+            agent: 0,
+            from: Node(4),
+            to: Node(5),
+            role: Role::Coordinator,
+        };
+        assert_eq!(m.touched(), (Some(Node(4)), Some(Node(5))));
+        let s = EventKind::Spawn {
+            agent: 1,
+            node: Node(0),
+            role: Role::Worker,
+        };
+        assert_eq!(s.touched(), (None, Some(Node(0))));
+    }
+}

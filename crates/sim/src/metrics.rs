@@ -1,0 +1,55 @@
+//! Run metrics — the quantities the paper's theorems bound.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate counters collected by every executor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Edge traversals by `Role::Worker` agents (Theorem 3's "moves
+    /// performed by the agents"; Theorem 8's total).
+    pub worker_moves: u64,
+    /// Edge traversals by the `Role::Coordinator` (synchronizer) agent.
+    pub coordinator_moves: u64,
+    /// Agents ever created (spawns plus clones) — the team size.
+    pub team_size: u64,
+    /// Maximum number of agents simultaneously away from the homebase
+    /// (counting terminated guards). For Algorithm CLEAN this peaks at
+    /// Lemma 4's worker count plus the synchronizer; for the visibility
+    /// strategy it reaches `n/2` when the last wave leaves the root.
+    pub peak_away: u64,
+    /// Rounds in which at least one edge was traversed, under the
+    /// synchronous policy — the paper's *ideal time*. `None` for
+    /// asynchronous policies.
+    pub ideal_time: Option<u64>,
+    /// Total activations processed (scheduling granularity, not a paper
+    /// metric; useful for engine benchmarks).
+    pub activations: u64,
+    /// Maximum whiteboard occupancy observed, in bits (the paper claims
+    /// `O(log n)` suffices).
+    pub peak_board_bits: u32,
+    /// Maximum agent-local state observed, in bits (also claimed
+    /// `O(log n)`).
+    pub peak_local_bits: u32,
+}
+
+impl Metrics {
+    /// Total edge traversals.
+    pub fn total_moves(&self) -> u64 {
+        self.worker_moves + self.coordinator_moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_sum() {
+        let m = Metrics {
+            worker_moves: 10,
+            coordinator_moves: 4,
+            ..Metrics::default()
+        };
+        assert_eq!(m.total_moves(), 14);
+    }
+}

@@ -1,0 +1,83 @@
+//! Scheduling policies — the asynchronous adversary.
+//!
+//! In the paper's model every agent action takes a finite but unpredictable
+//! amount of time; equivalently, an adversary decides which pending agent
+//! completes its next action. A strategy is correct only if it works under
+//! *every* adversary. The test suites run each strategy under all of the
+//! policies below (and many random seeds).
+
+use serde::{Deserialize, Serialize};
+
+/// A scheduling policy for the discrete-event engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// First-in-first-out over the runnable queue: breadth-like, fair.
+    Fifo,
+    /// Last-in-first-out: depth-like — one agent races ahead as far as it
+    /// can before anyone else moves.
+    Lifo,
+    /// Rotates through agents by id.
+    RoundRobin,
+    /// Picks uniformly at random among runnable agents with the given seed
+    /// (deterministic for a fixed seed).
+    Random(u64),
+    /// Lock-step rounds: every active agent acts once per round, moves
+    /// apply simultaneously at the round boundary. The number of rounds in
+    /// which at least one edge is traversed is the paper's *ideal time*.
+    Synchronous,
+}
+
+impl Policy {
+    /// All asynchronous policies with `seeds` random variants — the
+    /// adversary family used by the correctness tests.
+    pub fn adversaries(seeds: u64) -> Vec<Policy> {
+        let mut v = vec![Policy::Fifo, Policy::Lifo, Policy::RoundRobin];
+        v.extend((0..seeds).map(Policy::Random));
+        v
+    }
+
+    /// Whether this policy runs in lock-step rounds.
+    pub fn is_synchronous(self) -> bool {
+        matches!(self, Policy::Synchronous)
+    }
+
+    /// A short, stable name for reports.
+    pub fn name(self) -> String {
+        match self {
+            Policy::Fifo => "fifo".into(),
+            Policy::Lifo => "lifo".into(),
+            Policy::RoundRobin => "round-robin".into(),
+            Policy::Random(seed) => format!("random[{seed}]"),
+            Policy::Synchronous => "synchronous".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversary_family_size() {
+        assert_eq!(Policy::adversaries(0).len(), 3);
+        assert_eq!(Policy::adversaries(5).len(), 8);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let all = Policy::adversaries(3);
+        let mut names: Vec<_> = all.iter().map(|p| p.name()).collect();
+        names.push(Policy::Synchronous.name());
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn synchrony_flag() {
+        assert!(Policy::Synchronous.is_synchronous());
+        assert!(!Policy::Fifo.is_synchronous());
+        assert!(!Policy::Random(9).is_synchronous());
+    }
+}

@@ -1,0 +1,47 @@
+//! Node states as defined in §2 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// The state of a hypercube node during a search.
+///
+/// §2: a node is *guarded* if an agent is currently on it; *clean* if an
+/// agent passed by it and all its neighbours are either clean or guarded;
+/// *contaminated* otherwise.
+///
+/// The engine reports states *optimistically* for monotone strategies:
+/// `Guarded` if occupied, `Clean` if previously visited, `Contaminated`
+/// otherwise. The optimism is justified — and independently verified — by
+/// the monitors of `hypersweep-intruder`, which recompute the true
+/// contamination closure after every atomic event and flag any
+/// recontamination. A strategy that is not monotone would be caught there,
+/// never silently mis-simulated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeState {
+    /// An agent currently resides on the node.
+    Guarded,
+    /// The node was visited and (under a monotone strategy) remains clean.
+    Clean,
+    /// The node may host the intruder.
+    Contaminated,
+}
+
+impl NodeState {
+    /// `true` for `Clean` or `Guarded` — the condition the visibility rule
+    /// of Algorithm 2 tests on the smaller neighbours.
+    #[inline]
+    pub fn is_safe(self) -> bool {
+        !matches!(self, NodeState::Contaminated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safety_predicate() {
+        assert!(NodeState::Guarded.is_safe());
+        assert!(NodeState::Clean.is_safe());
+        assert!(!NodeState::Contaminated.is_safe());
+    }
+}

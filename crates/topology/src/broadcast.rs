@@ -1,0 +1,300 @@
+//! The broadcast tree of the hypercube (§2 of the paper).
+//!
+//! The broadcast tree of `H_d` is the breadth-first spanning tree rooted at
+//! `00…0` in which there is a tree edge between `x` and every *bigger
+//! neighbour* of `x` (a neighbour reached through a port above `m(x)`).
+//! Equivalently: the tree parent of `y ≠ 00…0` is `y` with its most
+//! significant bit cleared. The tree is the classical binomial tree, which
+//! the paper calls a *heap queue* `T(d)` (Definition 1, Figure 1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::hypercube::Hypercube;
+use crate::node::Node;
+
+/// The broadcast (heap-queue) spanning tree of a hypercube.
+///
+/// The structure is implicit in the bit arithmetic, so this type is a thin,
+/// copyable façade over [`Hypercube`]; it exists to give tree-level concepts
+/// (parent, children, node type, msb classes) a home with documented paper
+/// semantics.
+///
+/// ```
+/// use hypersweep_topology::{BroadcastTree, Hypercube, Node};
+///
+/// let tree = BroadcastTree::new(Hypercube::new(4));
+/// // The root 0000 is a T(4); its children have types T(3)..T(0).
+/// assert_eq!(tree.node_type(Node::ROOT), 4);
+/// let types: Vec<u32> = tree.children(Node::ROOT).map(|c| tree.node_type(c)).collect();
+/// assert_eq!(types, vec![3, 2, 1, 0]);
+/// // Parents clear the most significant bit.
+/// assert_eq!(tree.parent(Node(0b1010)), Some(Node(0b0010)));
+/// // n/2 leaves, all in the top msb class C_d.
+/// assert_eq!(tree.leaves().len(), 8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BroadcastTree {
+    cube: Hypercube,
+}
+
+impl BroadcastTree {
+    /// The broadcast tree of `H_d`.
+    pub fn new(cube: Hypercube) -> Self {
+        BroadcastTree { cube }
+    }
+
+    /// The underlying hypercube.
+    #[inline]
+    pub const fn cube(&self) -> Hypercube {
+        self.cube
+    }
+
+    /// The root (homebase) `00…0`.
+    #[inline]
+    pub const fn root(&self) -> Node {
+        Node::ROOT
+    }
+
+    /// Tree parent of `x`: `x` with its most significant bit cleared;
+    /// `None` for the root.
+    #[inline]
+    pub fn parent(&self, x: Node) -> Option<Node> {
+        let m = x.msb_position();
+        if m == 0 {
+            None
+        } else {
+            Some(x.flip(m))
+        }
+    }
+
+    /// Tree children of `x` = its bigger neighbours, in increasing port
+    /// order. A child reached through port `p` has type `T(d − p)`.
+    pub fn children(&self, x: Node) -> impl Iterator<Item = Node> + '_ {
+        self.cube.bigger_neighbors(x)
+    }
+
+    /// Number of children of `x` — also `x`'s *type* index `k` (the node is
+    /// the root of a sub-heap-queue `T(k)`).
+    #[inline]
+    pub fn node_type(&self, x: Node) -> u32 {
+        self.cube.dim() - x.msb_position()
+    }
+
+    /// Whether `x` is a leaf of the tree (type `T(0)`). For `d ≥ 1` the
+    /// leaves are exactly the nodes of the top msb class `C_d`
+    /// (Property 6).
+    #[inline]
+    pub fn is_leaf(&self, x: Node) -> bool {
+        self.node_type(x) == 0
+    }
+
+    /// msb class index of `x`: the `i` such that `x ∈ C_i` (§4.1), i.e.
+    /// `m(x)`.
+    #[inline]
+    pub fn msb_class(&self, x: Node) -> u32 {
+        x.msb_position()
+    }
+
+    /// All nodes of msb class `C_i`, in increasing numeric order.
+    pub fn msb_class_nodes(&self, i: u32) -> Vec<Node> {
+        if i == 0 {
+            return vec![Node::ROOT];
+        }
+        let base = 1u32 << (i - 1);
+        (0..base).map(|low| Node(base | low)).collect()
+    }
+
+    /// Depth of `x` in the tree = its level (number of ones): the tree is a
+    /// BFS tree.
+    #[inline]
+    pub fn depth(&self, x: Node) -> u32 {
+        x.level()
+    }
+
+    /// The tree path from the root to `x` (excluding the root, ending at
+    /// `x`): bits of `x` set from least significant position upward. This
+    /// is the route reinforcement agents take in Algorithm CLEAN.
+    pub fn root_path(&self, x: Node) -> Vec<Node> {
+        let mut path = Vec::with_capacity(x.level() as usize);
+        let mut cur = Node::ROOT;
+        for p in 1..=self.cube.dim() {
+            if x.bit(p) {
+                cur = Node(cur.0 | (1 << (p - 1)));
+                path.push(cur);
+            }
+        }
+        debug_assert_eq!(path.last().copied().unwrap_or(Node::ROOT), x);
+        path
+    }
+
+    /// Subtree size below (and including) `x`: a `T(k)` node roots `2^k`
+    /// nodes.
+    #[inline]
+    pub fn subtree_size(&self, x: Node) -> u64 {
+        1u64 << self.node_type(x)
+    }
+
+    /// Leaves of the whole tree in increasing numeric order (`C_d`; there
+    /// are `n/2` of them for `d ≥ 1`).
+    pub fn leaves(&self) -> Vec<Node> {
+        if self.cube.dim() == 0 {
+            return vec![Node::ROOT];
+        }
+        self.msb_class_nodes(self.cube.dim())
+    }
+
+    /// The non-tree neighbours of `x` among its bigger neighbours — always
+    /// empty (every bigger neighbour is a child); and among nodes one level
+    /// *up*: `N(x) − NT(x)` in the paper's Lemma 1 notation, i.e. bigger-
+    /// level neighbours reached through unset ports *below* `m(x)`.
+    pub fn non_tree_up_neighbors(&self, x: Node) -> Vec<Node> {
+        (1..x.msb_position())
+            .filter(|&p| !x.bit(p))
+            .map(|p| x.flip(p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinatorics;
+
+    fn tree(d: u32) -> BroadcastTree {
+        BroadcastTree::new(Hypercube::new(d))
+    }
+
+    #[test]
+    fn parent_child_consistency() {
+        let t = tree(8);
+        for x in t.cube().nodes() {
+            for c in t.children(x) {
+                assert_eq!(t.parent(c), Some(x), "child {c} of {x}");
+            }
+            if let Some(p) = t.parent(x) {
+                assert!(t.children(p).any(|c| c == x));
+                assert_eq!(t.depth(p) + 1, t.depth(x));
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_root_has_exactly_one_parent_edge() {
+        // n − 1 tree edges: it is a spanning tree.
+        let t = tree(9);
+        let mut edges = 0usize;
+        for x in t.cube().nodes() {
+            edges += t.children(x).count();
+        }
+        assert_eq!(edges, t.cube().node_count() - 1);
+    }
+
+    #[test]
+    fn child_types_are_t0_through_tkminus1() {
+        // Definition 1: T(k) has children of types T(0), …, T(k−1).
+        let t = tree(7);
+        for x in t.cube().nodes() {
+            let k = t.node_type(x);
+            let mut types: Vec<u32> = t.children(x).map(|c| t.node_type(c)).collect();
+            types.sort_unstable();
+            assert_eq!(types, (0..k).collect::<Vec<_>>(), "node {x}");
+        }
+    }
+
+    #[test]
+    fn root_is_type_d() {
+        for d in 0..=10 {
+            let t = tree(d);
+            assert_eq!(t.node_type(Node::ROOT), d);
+        }
+    }
+
+    #[test]
+    fn leaves_are_msb_class_d() {
+        let t = tree(8);
+        let leaves = t.leaves();
+        assert_eq!(leaves.len() as u128, combinatorics::pow2(7));
+        for l in &leaves {
+            assert!(t.is_leaf(*l));
+            assert_eq!(t.msb_class(*l), 8);
+        }
+        // And no other node is a leaf.
+        let leaf_count = t.cube().nodes().filter(|x| t.is_leaf(*x)).count();
+        assert_eq!(leaf_count, leaves.len());
+    }
+
+    #[test]
+    fn msb_classes_partition() {
+        let t = tree(9);
+        let mut seen = vec![false; t.cube().node_count()];
+        for i in 0..=9 {
+            let class = t.msb_class_nodes(i);
+            assert_eq!(
+                class.len() as u128,
+                combinatorics::msb_class_size(i),
+                "Property 5 at i={i}"
+            );
+            for x in class {
+                assert_eq!(t.msb_class(x), i);
+                assert!(!seen[x.index()]);
+                seen[x.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn root_path_follows_tree_edges() {
+        let t = tree(10);
+        for x in t.cube().nodes() {
+            let path = t.root_path(x);
+            assert_eq!(path.len() as u32, t.depth(x));
+            let mut prev = Node::ROOT;
+            for &n in &path {
+                assert_eq!(t.parent(n), Some(prev), "not a tree edge");
+                prev = n;
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_sizes_sum_over_children() {
+        let t = tree(9);
+        for x in t.cube().nodes() {
+            let children_sum: u64 = t.children(x).map(|c| t.subtree_size(c)).sum();
+            assert_eq!(t.subtree_size(x), 1 + children_sum);
+        }
+    }
+
+    #[test]
+    fn non_tree_up_neighbors_complement_children_at_next_level() {
+        let t = tree(7);
+        let h = t.cube();
+        for x in h.nodes() {
+            let level_up: Vec<Node> = h
+                .neighbors(x)
+                .filter(|y| y.level() == x.level() + 1)
+                .collect();
+            let children: Vec<Node> = t.children(x).collect();
+            let non_tree = t.non_tree_up_neighbors(x);
+            assert_eq!(level_up.len(), children.len() + non_tree.len());
+            for z in &non_tree {
+                assert!(!children.contains(z));
+                assert!(level_up.contains(z));
+            }
+        }
+    }
+
+    #[test]
+    fn lemma1_non_tree_up_neighbor_has_numerically_smaller_tree_parent() {
+        // Lemma 1: if z ∈ N(y) − NT(y) then z ∈ NT(x) with x < y.
+        let t = tree(8);
+        for y in t.cube().nodes() {
+            for z in t.non_tree_up_neighbors(y) {
+                let x = t.parent(z).expect("z has a parent");
+                assert!(x < y, "Lemma 1 violated: parent {x} of {z} not below {y}");
+                assert_eq!(x.level(), y.level(), "parent is on y's level");
+            }
+        }
+    }
+}

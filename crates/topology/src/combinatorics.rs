@@ -1,0 +1,385 @@
+//! Exact combinatorics used throughout the paper's analysis.
+//!
+//! All values are computed exactly in `u128`; for every dimension the crate
+//! supports ([`crate::MAX_DIMENSION`]) the intermediate products fit
+//! comfortably.
+
+/// Exact binomial coefficient `C(n, k)`.
+///
+/// Returns `0` when `k > n`, matching the convention the paper invokes in
+/// the proof of Lemma 3 ("given `a, b ∈ N` we have `C(a, b) = 0` for
+/// `a < b`").
+pub fn binomial(n: u32, k: u32) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k as u128 {
+        // Multiply before dividing: the running value is always an exact
+        // binomial coefficient, so the division is exact.
+        acc = acc * (n as u128 - i) / (i + 1);
+    }
+    acc
+}
+
+/// `2^d` as `u128`.
+pub fn pow2(d: u32) -> u128 {
+    1u128 << d
+}
+
+/// Number of nodes at level `l` of `H_d`: `C(d, l)`.
+pub fn nodes_at_level(d: u32, l: u32) -> u128 {
+    binomial(d, l)
+}
+
+/// Number of leaves of the broadcast tree at level `l > 0`: `C(d−1, l−1)`
+/// (the paper's Property 2 / proof of Theorem 3). Level `0` holds the root,
+/// which is a leaf only when `d = 0`.
+pub fn leaves_at_level(d: u32, l: u32) -> u128 {
+    if l == 0 {
+        return u128::from(d == 0);
+    }
+    binomial(d - 1, l - 1)
+}
+
+/// Number of broadcast-tree nodes of type `T(k)` at level `l` (Property 1):
+/// one node of type `T(d)` at level 0, and `C(d−k−1, l−1)` nodes of type
+/// `T(k)` at level `l > 0`.
+pub fn type_count_at_level(d: u32, l: u32, k: u32) -> u128 {
+    if l == 0 {
+        return u128::from(k == d);
+    }
+    if k >= d {
+        return 0;
+    }
+    binomial(d - k - 1, l - 1)
+}
+
+/// Size of the msb class `C_i` (Property 5): `1` for `i = 0` (just the
+/// root), `2^{i−1}` for `1 ≤ i ≤ d`.
+pub fn msb_class_size(i: u32) -> u128 {
+    if i == 0 {
+        1
+    } else {
+        pow2(i - 1)
+    }
+}
+
+/// Number of nodes of a heap queue `T(k)` (Definition 1): `2^k`.
+///
+/// `T(0)` is a leaf (1 node), and `T(k)` has children `T(0), …, T(k−1)`,
+/// so `|T(k)| = 1 + Σ_{i<k} 2^i = 2^k`.
+pub fn heap_queue_size(k: u32) -> u128 {
+    pow2(k)
+}
+
+/// Extra agents requested from the root by the synchronizer before cleaning
+/// from level `l > 0` to level `l + 1` (Lemma 3):
+/// `Σ_{k=2}^{d−l} (k−1)·C(d−k−1, l−1) = C(d, l+1) − C(d−1, l)`.
+///
+/// Both sides are computed by [`lemma3_extra_agents_sum`] and this closed
+/// form; tests assert they agree.
+pub fn lemma3_extra_agents(d: u32, l: u32) -> u128 {
+    debug_assert!(l >= 1);
+    binomial(d, l + 1).saturating_sub(binomial(d - 1, l))
+}
+
+/// The left-hand side of Lemma 3 evaluated as the literal sum
+/// `Σ_{k=2}^{d−l} (k−1)·C(d−k−1, l−1)`.
+pub fn lemma3_extra_agents_sum(d: u32, l: u32) -> u128 {
+    debug_assert!(l >= 1);
+    (2..=d.saturating_sub(l))
+        .map(|k| (k as u128 - 1) * type_count_at_level(d, l, k))
+        .sum()
+}
+
+/// Workers (non-synchronizer agents) simultaneously engaged while cleaning
+/// from level `l` to level `l + 1` by Algorithm CLEAN:
+/// the `C(d, l)` guards of level `l` plus Lemma 3's extras, which simplifies
+/// to `C(d, l+1) + C(d−1, l−1)` (the quantity maximized in Lemma 4).
+pub fn clean_workers_at_phase(d: u32, l: u32) -> u128 {
+    if l == 0 {
+        // Phase 0→1 moves one distinct agent to each of the root's d
+        // children.
+        return d as u128;
+    }
+    binomial(d, l) + lemma3_extra_agents(d, l)
+}
+
+/// Team size required by Algorithm CLEAN (Theorem 2 / Lemma 4): the maximum
+/// over phases of [`clean_workers_at_phase`], plus one for the synchronizer.
+///
+/// For even `d` the maximum is attained at `l = d/2 − 1` and `l = d/2`, with
+/// value `C(d, d/2) + C(d−1, d/2 − 2)`; see [`lemma4_peak_even`].
+///
+/// ```
+/// use hypersweep_topology::combinatorics::clean_team_size;
+/// assert_eq!(clean_team_size(6), 26);   // H_6: 25 workers + synchronizer
+/// assert_eq!(clean_team_size(10), 337);
+/// ```
+pub fn clean_team_size(d: u32) -> u128 {
+    let peak = (0..d).map(|l| clean_workers_at_phase(d, l)).max().unwrap_or(0);
+    peak + 1
+}
+
+/// Lemma 4's closed-form peak for even `d ≥ 4`:
+/// `C(d, d/2) + C(d−1, d/2 − 2) + 1` (synchronizer included).
+pub fn lemma4_peak_even(d: u32) -> u128 {
+    debug_assert!(d % 2 == 0 && d >= 4);
+    binomial(d, d / 2) + binomial(d - 1, d / 2 - 2) + 1
+}
+
+/// The odd-degree analogue of Lemma 4 (the paper assumes even `d` "for
+/// ease of discussion"; these are the "minor technical modifications"):
+/// for odd `d ≥ 3` the phase maximum is attained uniquely at
+/// `l = (d−1)/2`, with value `C(d, (d+1)/2) + C(d−1, (d−3)/2) + 1`
+/// (synchronizer included).
+pub fn lemma4_peak_odd(d: u32) -> u128 {
+    debug_assert!(d % 2 == 1 && d >= 3);
+    binomial(d, (d + 1) / 2) + binomial(d - 1, (d - 3) / 2) + 1
+}
+
+/// Total moves performed by the non-synchronizer agents of Algorithm CLEAN
+/// (Theorem 3): `Σ_{l=1}^{d} 2l·C(d−1, l−1) = (n/2)(log n + 1)` with
+/// `n = 2^d`.
+pub fn clean_agent_moves(d: u32) -> u128 {
+    // (n/2)(d + 1)
+    pow2(d - 1) * (d as u128 + 1)
+}
+
+/// The same quantity evaluated as the literal sum `Σ_l 2l·C(d−1, l−1)`.
+pub fn clean_agent_moves_sum(d: u32) -> u128 {
+    (1..=d).map(|l| 2 * l as u128 * leaves_at_level(d, l)).sum()
+}
+
+/// Synchronizer moves spent escorting agents down broadcast-tree edges
+/// (component 4 of Theorem 3's proof): every tree edge is travelled twice,
+/// `2(n − 1)` in total.
+pub fn clean_sync_escort_moves(d: u32) -> u128 {
+    2 * (pow2(d) - 1)
+}
+
+/// Total moves of the visibility strategy (Theorem 8): every agent walks
+/// root→leaf once, `Σ_l l·C(d−1, l−1) = (n/4)(log n + 1)`.
+pub fn visibility_moves(d: u32) -> u128 {
+    match d {
+        0 => 0,
+        1 => 1,
+        _ => pow2(d - 2) * (d as u128 + 1),
+    }
+}
+
+/// The same quantity evaluated as the literal sum `Σ_l l·C(d−1, l−1)`.
+pub fn visibility_moves_sum(d: u32) -> u128 {
+    (1..=d).map(|l| l as u128 * leaves_at_level(d, l)).sum()
+}
+
+/// Agents employed by the visibility strategy (Theorem 5): `n/2`.
+pub fn visibility_agents(d: u32) -> u128 {
+    if d == 0 {
+        1
+    } else {
+        pow2(d - 1)
+    }
+}
+
+/// Agents dispatched from node type `T(k)` to its bigger neighbour of type
+/// `T(i)` under Algorithm CLEAN WITH VISIBILITY: `1` for `i = 0`, `2^{i−1}`
+/// for `0 < i < k`.
+pub fn visibility_dispatch(i: u32) -> u128 {
+    if i == 0 {
+        1
+    } else {
+        pow2(i - 1)
+    }
+}
+
+/// Agents a node of type `T(k)` waits for before dispatching under the
+/// visibility rule: `2^{k−1}` for `k ≥ 1`, `1` for a leaf.
+pub fn visibility_need(k: u32) -> u128 {
+    if k == 0 {
+        1
+    } else {
+        pow2(k - 1)
+    }
+}
+
+/// Moves of the cloning variant (§5): one traversal per broadcast-tree
+/// edge, `n − 1`.
+pub fn cloning_moves(d: u32) -> u128 {
+    pow2(d) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(6, 3), 20);
+        assert_eq!(binomial(10, 4), 210);
+        assert_eq!(binomial(4, 7), 0);
+    }
+
+    #[test]
+    fn binomial_pascal_rule() {
+        for n in 1..=40u32 {
+            for k in 1..n {
+                assert_eq!(
+                    binomial(n, k),
+                    binomial(n - 1, k - 1) + binomial(n - 1, k),
+                    "Pascal fails at ({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_row_sums_to_pow2() {
+        for n in 0..=30u32 {
+            let s: u128 = (0..=n).map(|k| binomial(n, k)).sum();
+            assert_eq!(s, pow2(n));
+        }
+    }
+
+    #[test]
+    fn binomial_large_exact() {
+        // C(28, 14) = 40116600
+        assert_eq!(binomial(28, 14), 40_116_600);
+        // C(50, 25), exact value
+        assert_eq!(binomial(50, 25), 126_410_606_437_752);
+    }
+
+    #[test]
+    fn type_counts_sum_to_level_size() {
+        // Property 1 consistency: summing the type census over k gives the
+        // number of nodes at the level.
+        for d in 1..=12u32 {
+            for l in 0..=d {
+                let total: u128 = (0..=d).map(|k| type_count_at_level(d, l, k)).sum();
+                assert_eq!(total, nodes_at_level(d, l), "d={d} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_sum_to_half_the_cube() {
+        // Σ_l C(d−1, l−1) = 2^{d−1}: the broadcast tree has n/2 leaves.
+        for d in 1..=16u32 {
+            let total: u128 = (0..=d).map(|l| leaves_at_level(d, l)).sum();
+            assert_eq!(total, pow2(d - 1));
+        }
+    }
+
+    #[test]
+    fn msb_class_sizes_partition_the_cube() {
+        for d in 0..=16u32 {
+            let total: u128 = (0..=d).map(msb_class_size).sum();
+            assert_eq!(total, pow2(d));
+        }
+    }
+
+    #[test]
+    fn lemma3_closed_form_matches_sum() {
+        for d in 2..=20u32 {
+            for l in 1..d {
+                assert_eq!(
+                    lemma3_extra_agents(d, l),
+                    lemma3_extra_agents_sum(d, l),
+                    "Lemma 3 mismatch at d={d} l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma4_closed_form_matches_max() {
+        for d in (4..=20u32).step_by(2) {
+            assert_eq!(clean_team_size(d), lemma4_peak_even(d), "d={d}");
+        }
+    }
+
+    #[test]
+    fn lemma4_odd_degree_closed_form() {
+        // The paper's "minor technical modifications" for odd d, pinned.
+        for d in (3..=21u32).step_by(2) {
+            assert_eq!(clean_team_size(d), lemma4_peak_odd(d), "d={d}");
+        }
+        // The peak is attained uniquely at l = (d−1)/2 for odd d.
+        for d in (5..=21u32).step_by(2) {
+            let lstar = (d - 1) / 2;
+            let peak = clean_workers_at_phase(d, lstar);
+            for l in 1..d {
+                if l != lstar {
+                    assert!(
+                        clean_workers_at_phase(d, l) < peak,
+                        "d={d}: phase {l} ties the odd-degree peak"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma4_peak_attained_at_central_levels() {
+        for d in (4..=20u32).step_by(2) {
+            let peak = clean_team_size(d) - 1;
+            assert_eq!(clean_workers_at_phase(d, d / 2 - 1), peak);
+            assert_eq!(clean_workers_at_phase(d, d / 2), peak);
+        }
+    }
+
+    #[test]
+    fn theorem3_agent_moves_closed_form() {
+        for d in 1..=24u32 {
+            assert_eq!(clean_agent_moves(d), clean_agent_moves_sum(d), "d={d}");
+        }
+        // (n/2)(log n + 1) for d = 6: 32 * 7 = 224.
+        assert_eq!(clean_agent_moves(6), 224);
+    }
+
+    #[test]
+    fn theorem8_visibility_moves_closed_form() {
+        for d in 2..=24u32 {
+            assert_eq!(
+                visibility_moves_sum(d),
+                pow2(d - 2) * (d as u128 + 1),
+                "d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn visibility_need_equals_sum_of_dispatches() {
+        // 2^{k−1} = 1 + Σ_{i=1}^{k−1} 2^{i−1} (proof of Theorem 5).
+        for k in 1..=30u32 {
+            let dispatched: u128 = (0..k).map(visibility_dispatch).sum();
+            assert_eq!(dispatched, visibility_need(k));
+        }
+    }
+
+    #[test]
+    fn clean_team_size_d6_is_26() {
+        // Hand check: max_l [C(6,l+1) + C(5,l−1)] = 25 at l ∈ {2,3}; +1 sync.
+        assert_eq!(clean_team_size(6), 26);
+    }
+
+    #[test]
+    fn heap_queue_sizes() {
+        assert_eq!(heap_queue_size(0), 1);
+        assert_eq!(heap_queue_size(1), 2);
+        assert_eq!(heap_queue_size(6), 64);
+    }
+
+    #[test]
+    fn cloning_moves_is_n_minus_one() {
+        for d in 1..=20 {
+            assert_eq!(cloning_moves(d), pow2(d) - 1);
+        }
+    }
+}

@@ -1,0 +1,659 @@
+//! A minimal topology abstraction plus comparison topologies.
+//!
+//! The paper's strategies are hypercube-specific, but the baseline
+//! strategies (tree search, flooding) and the exhaustive optimum search are
+//! defined for any connected graph. This module provides the [`Topology`]
+//! trait they are written against, an adjacency-list [`AdjGraph`], and the
+//! standard interconnection topologies used for comparison experiments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hypercube::Hypercube;
+use crate::node::Node;
+
+/// A finite connected graph with nodes `0..node_count()`.
+pub trait Topology {
+    /// Number of nodes.
+    fn node_count(&self) -> usize;
+
+    /// Push the neighbours of `x` into `out` (cleared first).
+    fn neighbors_into(&self, x: Node, out: &mut Vec<Node>);
+
+    /// Convenience: collect the neighbours of `x`.
+    fn neighbors_vec(&self, x: Node) -> Vec<Node> {
+        let mut v = Vec::new();
+        self.neighbors_into(x, &mut v);
+        v
+    }
+
+    /// Degree of `x`.
+    fn degree(&self, x: Node) -> usize {
+        self.neighbors_vec(x).len()
+    }
+
+    /// Number of undirected edges.
+    fn edge_count(&self) -> usize {
+        let mut v = Vec::new();
+        let mut total = 0;
+        for i in 0..self.node_count() as u32 {
+            self.neighbors_into(Node(i), &mut v);
+            total += v.len();
+        }
+        total / 2
+    }
+
+    /// BFS distances from `from` to every node (`u32::MAX` if unreachable).
+    fn bfs_distances(&self, from: Node) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[from.index()] = 0;
+        queue.push_back(from);
+        let mut nbrs = Vec::new();
+        while let Some(x) = queue.pop_front() {
+            self.neighbors_into(x, &mut nbrs);
+            for &y in &nbrs {
+                if dist[y.index()] == u32::MAX {
+                    dist[y.index()] = dist[x.index()] + 1;
+                    queue.push_back(y);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Whether the graph is connected.
+    fn is_connected(&self) -> bool {
+        if self.node_count() == 0 {
+            return true;
+        }
+        self.bfs_distances(Node(0)).iter().all(|&d| d != u32::MAX)
+    }
+
+    /// A BFS spanning tree rooted at `root`: `parent[v]` is `v`'s parent,
+    /// `parent[root] = root`.
+    fn bfs_spanning_tree(&self, root: Node) -> Vec<Node> {
+        let mut parent = vec![Node(u32::MAX); self.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        parent[root.index()] = root;
+        queue.push_back(root);
+        let mut nbrs = Vec::new();
+        while let Some(x) = queue.pop_front() {
+            self.neighbors_into(x, &mut nbrs);
+            for &y in &nbrs {
+                if parent[y.index()] == Node(u32::MAX) {
+                    parent[y.index()] = x;
+                    queue.push_back(y);
+                }
+            }
+        }
+        parent
+    }
+}
+
+impl Topology for Hypercube {
+    fn node_count(&self) -> usize {
+        Hypercube::node_count(self)
+    }
+
+    fn neighbors_into(&self, x: Node, out: &mut Vec<Node>) {
+        out.clear();
+        out.extend(self.neighbors(x));
+    }
+
+    fn degree(&self, _x: Node) -> usize {
+        self.dim() as usize
+    }
+
+    fn edge_count(&self) -> usize {
+        Hypercube::edge_count(self)
+    }
+}
+
+/// A general undirected graph stored as adjacency lists.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdjGraph {
+    adj: Vec<Vec<Node>>,
+}
+
+impl AdjGraph {
+    /// An edgeless graph on `n` nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        AdjGraph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Add an undirected edge; duplicate edges are ignored.
+    pub fn add_edge(&mut self, a: Node, b: Node) {
+        assert_ne!(a, b, "no self loops");
+        if !self.adj[a.index()].contains(&b) {
+            self.adj[a.index()].push(b);
+            self.adj[b.index()].push(a);
+        }
+    }
+
+    /// Build from an explicit edge list.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = AdjGraph::with_nodes(n);
+        for &(a, b) in edges {
+            g.add_edge(Node(a), Node(b));
+        }
+        g
+    }
+
+    /// Materialize any [`Topology`] into an adjacency-list graph.
+    pub fn from_topology<T: Topology + ?Sized>(t: &T) -> Self {
+        let mut g = AdjGraph::with_nodes(t.node_count());
+        let mut nbrs = Vec::new();
+        for i in 0..t.node_count() as u32 {
+            t.neighbors_into(Node(i), &mut nbrs);
+            for &y in &nbrs {
+                if y.0 > i {
+                    g.add_edge(Node(i), y);
+                }
+            }
+        }
+        g
+    }
+
+    /// A tree from a parent array (`parent[root] = root`).
+    pub fn from_parent_array(parent: &[Node]) -> Self {
+        let mut g = AdjGraph::with_nodes(parent.len());
+        for (i, &p) in parent.iter().enumerate() {
+            let v = Node(i as u32);
+            if p != v {
+                g.add_edge(v, p);
+            }
+        }
+        g
+    }
+}
+
+impl Topology for AdjGraph {
+    fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn neighbors_into(&self, x: Node, out: &mut Vec<Node>) {
+        out.clear();
+        out.extend_from_slice(&self.adj[x.index()]);
+    }
+
+    fn degree(&self, x: Node) -> usize {
+        self.adj[x.index()].len()
+    }
+}
+
+/// A cycle on `n ≥ 3` nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ring {
+    n: usize,
+}
+
+impl Ring {
+    /// Build a ring; panics for `n < 3`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 nodes");
+        Ring { n }
+    }
+}
+
+impl Topology for Ring {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn neighbors_into(&self, x: Node, out: &mut Vec<Node>) {
+        out.clear();
+        let n = self.n as u32;
+        out.push(Node((x.0 + 1) % n));
+        out.push(Node((x.0 + n - 1) % n));
+    }
+
+    fn degree(&self, _x: Node) -> usize {
+        2
+    }
+}
+
+/// A `rows × cols` torus (wrap-around grid).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Torus {
+    rows: usize,
+    cols: usize,
+}
+
+impl Torus {
+    /// Build a torus; both sides must be ≥ 3 so neighbours are distinct.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 3 && cols >= 3, "torus sides must be at least 3");
+        Torus { rows, cols }
+    }
+
+    fn coords(&self, x: Node) -> (usize, usize) {
+        (x.index() / self.cols, x.index() % self.cols)
+    }
+
+    fn node_at(&self, r: usize, c: usize) -> Node {
+        Node((r * self.cols + c) as u32)
+    }
+}
+
+impl Topology for Torus {
+    fn node_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn neighbors_into(&self, x: Node, out: &mut Vec<Node>) {
+        out.clear();
+        let (r, c) = self.coords(x);
+        out.push(self.node_at((r + 1) % self.rows, c));
+        out.push(self.node_at((r + self.rows - 1) % self.rows, c));
+        out.push(self.node_at(r, (c + 1) % self.cols));
+        out.push(self.node_at(r, (c + self.cols - 1) % self.cols));
+    }
+
+    fn degree(&self, _x: Node) -> usize {
+        4
+    }
+}
+
+/// The complete graph `K_n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Complete {
+    n: usize,
+}
+
+impl Complete {
+    /// Build `K_n` for `n ≥ 1`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        Complete { n }
+    }
+}
+
+impl Topology for Complete {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn neighbors_into(&self, x: Node, out: &mut Vec<Node>) {
+        out.clear();
+        out.extend((0..self.n as u32).filter(|&i| i != x.0).map(Node));
+    }
+
+    fn degree(&self, _x: Node) -> usize {
+        self.n - 1
+    }
+}
+
+/// A path on `n` nodes (`0 — 1 — … — n−1`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    n: usize,
+}
+
+impl Path {
+    /// Build a path; panics for `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        Path { n }
+    }
+}
+
+impl Topology for Path {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn neighbors_into(&self, x: Node, out: &mut Vec<Node>) {
+        out.clear();
+        if x.index() + 1 < self.n {
+            out.push(Node(x.0 + 1));
+        }
+        if x.0 > 0 {
+            out.push(Node(x.0 - 1));
+        }
+    }
+}
+
+/// A star: node `0` joined to `1..n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Star {
+    n: usize,
+}
+
+impl Star {
+    /// Build a star on `n ≥ 2` nodes.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2);
+        Star { n }
+    }
+}
+
+impl Topology for Star {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn neighbors_into(&self, x: Node, out: &mut Vec<Node>) {
+        out.clear();
+        if x.0 == 0 {
+            out.extend((1..self.n as u32).map(Node));
+        } else {
+            out.push(Node(0));
+        }
+    }
+}
+
+/// The binary de Bruijn graph `DB(2, k)`: `2^k` nodes, node `x` adjacent
+/// to its shift successors `2x mod n`, `2x+1 mod n` and predecessors
+/// `⌊x/2⌋`, `⌊x/2⌋ + n/2` (undirected, self-loops dropped, duplicates
+/// merged). A classic constant-degree interconnection network, used by the
+/// generic-planner experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeBruijn {
+    k: u32,
+}
+
+impl DeBruijn {
+    /// Build `DB(2, k)` for `1 ≤ k ≤ 20`.
+    pub fn new(k: u32) -> Self {
+        assert!((1..=20).contains(&k));
+        DeBruijn { k }
+    }
+}
+
+impl Topology for DeBruijn {
+    fn node_count(&self) -> usize {
+        1usize << self.k
+    }
+
+    fn neighbors_into(&self, x: Node, out: &mut Vec<Node>) {
+        out.clear();
+        let n = self.node_count() as u32;
+        let mut push = |y: u32| {
+            if y != x.0 && !out.contains(&Node(y)) {
+                out.push(Node(y));
+            }
+        };
+        push((2 * x.0) % n);
+        push((2 * x.0 + 1) % n);
+        push(x.0 / 2);
+        push(x.0 / 2 + n / 2);
+    }
+}
+
+/// The cube-connected cycles `CCC(d)`: each hypercube node is replaced by a
+/// `d`-cycle; node `(x, p)` (id `x·d + p`) is adjacent to its cycle
+/// neighbours `(x, p±1 mod d)` and across dimension `p` to
+/// `(x ⊕ 2^p, p)`. 3-regular for `d ≥ 3`; the bounded-degree cousin of the
+/// hypercube.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CubeConnectedCycles {
+    d: u32,
+}
+
+impl CubeConnectedCycles {
+    /// Build `CCC(d)` for `3 ≤ d ≤ 20`.
+    pub fn new(d: u32) -> Self {
+        assert!((3..=20).contains(&d));
+        CubeConnectedCycles { d }
+    }
+
+    /// The id of `(cube_node, position)`.
+    pub fn id(&self, cube_node: u32, position: u32) -> Node {
+        Node(cube_node * self.d + position)
+    }
+
+    /// Decompose an id into `(cube_node, position)`.
+    pub fn coords(&self, v: Node) -> (u32, u32) {
+        (v.0 / self.d, v.0 % self.d)
+    }
+}
+
+impl Topology for CubeConnectedCycles {
+    fn node_count(&self) -> usize {
+        (self.d as usize) << self.d
+    }
+
+    fn neighbors_into(&self, v: Node, out: &mut Vec<Node>) {
+        out.clear();
+        let (x, p) = self.coords(v);
+        let d = self.d;
+        out.push(self.id(x, (p + 1) % d));
+        out.push(self.id(x, (p + d - 1) % d));
+        out.push(self.id(x ^ (1 << p), p));
+    }
+
+    fn degree(&self, _v: Node) -> usize {
+        3
+    }
+}
+
+/// An induced subgraph: `base` with a set of nodes removed (e.g. faulty
+/// hosts in a fabric). Node ids are preserved; removed nodes become
+/// isolated (degree 0) and must not be used as endpoints by searches.
+///
+/// The paper's tailored strategies require the full hypercube, but the
+/// generic planner (`hypersweep-baselines::planner`) searches any connected
+/// induced subgraph — the natural fault-tolerance story.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph<T> {
+    base: T,
+    removed: Vec<bool>,
+}
+
+impl<T: Topology> InducedSubgraph<T> {
+    /// Remove `faulty` nodes from `base`.
+    pub fn new(base: T, faulty: &[Node]) -> Self {
+        let mut removed = vec![false; base.node_count()];
+        for f in faulty {
+            removed[f.index()] = true;
+        }
+        InducedSubgraph { base, removed }
+    }
+
+    /// Whether `x` was removed.
+    pub fn is_removed(&self, x: Node) -> bool {
+        self.removed[x.index()]
+    }
+
+    /// Nodes still present.
+    pub fn live_nodes(&self) -> impl Iterator<Item = Node> + '_ {
+        (0..self.base.node_count() as u32)
+            .map(Node)
+            .filter(|x| !self.removed[x.index()])
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.removed.iter().filter(|&&r| !r).count()
+    }
+
+    /// Whether the live part is connected (ignoring removed nodes).
+    pub fn live_connected(&self) -> bool {
+        let Some(start) = self.live_nodes().next() else {
+            return true;
+        };
+        let reach = self.bfs_distances(start);
+        self.live_nodes().all(|x| reach[x.index()] != u32::MAX)
+    }
+}
+
+impl<T: Topology> Topology for InducedSubgraph<T> {
+    fn node_count(&self) -> usize {
+        self.base.node_count()
+    }
+
+    fn neighbors_into(&self, x: Node, out: &mut Vec<Node>) {
+        if self.removed[x.index()] {
+            out.clear();
+            return;
+        }
+        self.base.neighbors_into(x, out);
+        out.retain(|y| !self.removed[y.index()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypercube_implements_topology_consistently() {
+        let h = Hypercube::new(6);
+        assert_eq!(Topology::node_count(&h), 64);
+        assert_eq!(Topology::edge_count(&h), 6 * 32);
+        assert!(h.is_connected());
+        let d = h.bfs_distances(Node::ROOT);
+        for x in h.nodes() {
+            assert_eq!(d[x.index()], x.level(), "BFS distance = level");
+        }
+    }
+
+    #[test]
+    fn bfs_spanning_tree_of_hypercube_is_a_tree() {
+        let h = Hypercube::new(5);
+        let parent = h.bfs_spanning_tree(Node::ROOT);
+        let g = AdjGraph::from_parent_array(&parent);
+        assert_eq!(g.edge_count(), h.node_count() - 1);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn ring_torus_complete_shapes() {
+        let r = Ring::new(10);
+        assert_eq!(r.edge_count(), 10);
+        assert!(r.is_connected());
+
+        let t = Torus::new(4, 5);
+        assert_eq!(t.node_count(), 20);
+        assert_eq!(t.edge_count(), 40);
+        assert!(t.is_connected());
+
+        let k = Complete::new(7);
+        assert_eq!(k.edge_count(), 21);
+        assert!(k.is_connected());
+    }
+
+    #[test]
+    fn path_and_star() {
+        let p = Path::new(9);
+        assert_eq!(p.edge_count(), 8);
+        assert!(p.is_connected());
+        assert_eq!(p.degree(Node(0)), 1);
+        assert_eq!(p.degree(Node(4)), 2);
+
+        let s = Star::new(8);
+        assert_eq!(s.edge_count(), 7);
+        assert_eq!(s.degree(Node(0)), 7);
+        assert_eq!(s.degree(Node(3)), 1);
+    }
+
+    #[test]
+    fn adj_graph_ignores_duplicate_edges() {
+        let mut g = AdjGraph::with_nodes(3);
+        g.add_edge(Node(0), Node(1));
+        g.add_edge(Node(1), Node(0));
+        g.add_edge(Node(1), Node(2));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn from_topology_roundtrip() {
+        let h = Hypercube::new(4);
+        let g = AdjGraph::from_topology(&h);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), Topology::edge_count(&h));
+        for x in h.nodes() {
+            let mut a = g.neighbors_vec(x);
+            let mut b: Vec<_> = h.neighbors(x).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn de_bruijn_is_connected_with_bounded_degree() {
+        for k in 2..=8 {
+            let g = DeBruijn::new(k);
+            assert!(g.is_connected(), "DB(2,{k})");
+            for i in 0..g.node_count() as u32 {
+                let deg = g.degree(Node(i));
+                assert!((1..=4).contains(&deg), "DB(2,{k}) node {i}: degree {deg}");
+            }
+            // Symmetry of the undirected adjacency.
+            let mut nb = Vec::new();
+            let mut nb2 = Vec::new();
+            for i in 0..g.node_count() as u32 {
+                g.neighbors_into(Node(i), &mut nb);
+                for &y in &nb {
+                    g.neighbors_into(y, &mut nb2);
+                    assert!(nb2.contains(&Node(i)), "asymmetric edge {i}-{y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ccc_structure() {
+        for d in 3..=6 {
+            let g = CubeConnectedCycles::new(d);
+            assert_eq!(g.node_count(), (d as usize) << d);
+            assert!(g.is_connected(), "CCC({d})");
+            for i in 0..g.node_count() as u32 {
+                assert_eq!(g.degree(Node(i)), 3);
+                let mut nb = Vec::new();
+                g.neighbors_into(Node(i), &mut nb);
+                assert_eq!(nb.len(), 3);
+                let mut nb2 = Vec::new();
+                for &y in &nb {
+                    g.neighbors_into(y, &mut nb2);
+                    assert!(nb2.contains(&Node(i)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ccc_diameter_is_logarithmic_ish() {
+        let g = CubeConnectedCycles::new(4);
+        let dist = g.bfs_distances(Node(0));
+        let diameter = *dist.iter().max().unwrap();
+        // CCC(d) diameter is Θ(d); for d = 4 it is well under n.
+        assert!(diameter <= 12, "diameter {diameter}");
+    }
+
+    #[test]
+    fn induced_subgraph_drops_faulty_nodes() {
+        let h = Hypercube::new(4);
+        let faulty = [Node(5), Node(10)];
+        let g = InducedSubgraph::new(h, &faulty);
+        assert_eq!(g.live_count(), 14);
+        assert!(g.is_removed(Node(5)));
+        assert!(!g.is_removed(Node(4)));
+        let mut nb = Vec::new();
+        g.neighbors_into(Node(4), &mut nb); // neighbours of 0100: 0101(!), 0110, 0000, 1100
+        assert!(!nb.contains(&Node(5)));
+        assert_eq!(nb.len(), 3);
+        g.neighbors_into(Node(5), &mut nb);
+        assert!(nb.is_empty(), "removed nodes are isolated");
+        assert!(g.live_connected());
+    }
+
+    #[test]
+    fn induced_subgraph_detects_disconnection() {
+        // Remove all neighbours of node 0 in H_3: node 0 is cut off.
+        let h = Hypercube::new(3);
+        let g = InducedSubgraph::new(h, &[Node(1), Node(2), Node(4)]);
+        assert!(!g.live_connected());
+    }
+
+    #[test]
+    fn bfs_distance_on_ring() {
+        let r = Ring::new(8);
+        let d = r.bfs_distances(Node(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 3, 2, 1]);
+    }
+}

@@ -1,0 +1,177 @@
+//! The *heap queue* `T(k)` of Definition 1, built explicitly.
+//!
+//! * `T(0)` is a leaf;
+//! * `T(1)` is a node with one child;
+//! * `T(k)` is a node with `k` children of types `T(0), …, T(k−1)`.
+//!
+//! This is the classical binomial tree. The paper's Figure 1 asserts that
+//! the broadcast spanning tree of `H_d` is a `T(log n)`; this module builds
+//! `T(k)` from the recursive definition — completely independently of any
+//! bit arithmetic — so the isomorphism can be *checked* rather than assumed.
+
+use crate::broadcast::BroadcastTree;
+use crate::node::Node;
+
+/// An explicit heap queue, stored as a recursion of child trees.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HeapQueue {
+    /// The type index `k`: this node has `k` children of types
+    /// `T(0), …, T(k−1)`.
+    pub k: u32,
+    /// Children, ordered by *decreasing* type `T(k−1), …, T(0)` (the order
+    /// in which Algorithm CLEAN's step 1 visits them is immaterial; this
+    /// order makes the recursion direct).
+    pub children: Vec<HeapQueue>,
+}
+
+impl HeapQueue {
+    /// Build `T(k)` from Definition 1.
+    pub fn build(k: u32) -> Self {
+        let children = (0..k).rev().map(HeapQueue::build).collect();
+        HeapQueue { k, children }
+    }
+
+    /// Total number of nodes: `2^k`.
+    pub fn size(&self) -> u64 {
+        1 + self.children.iter().map(HeapQueue::size).sum::<u64>()
+    }
+
+    /// Height of the tree: `k` (the longest chain follows
+    /// `T(k) → T(k−1) → …`).
+    pub fn height(&self) -> u32 {
+        self.children
+            .iter()
+            .map(|c| 1 + c.height())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of nodes at each depth, `depth 0` being this root. For
+    /// `T(d)` this must equal `C(d, l)` at depth `l` — the heap queue is a
+    /// BFS tree of the hypercube.
+    pub fn level_census(&self) -> Vec<u64> {
+        let mut census = vec![0u64; self.height() as usize + 1];
+        self.census_into(0, &mut census);
+        census
+    }
+
+    fn census_into(&self, depth: usize, census: &mut Vec<u64>) {
+        if depth >= census.len() {
+            census.resize(depth + 1, 0);
+        }
+        census[depth] += 1;
+        for c in &self.children {
+            c.census_into(depth + 1, census);
+        }
+    }
+
+    /// Number of nodes of each type `T(j)` at each depth:
+    /// `census[l][j]` = count of type-`T(j)` nodes at depth `l`. Property 1
+    /// says this is `C(k−j−1, l−1)` for `l > 0` in a `T(k)`.
+    pub fn type_census(&self) -> Vec<Vec<u64>> {
+        let mut census = vec![vec![0u64; self.k as usize + 1]; self.height() as usize + 1];
+        self.type_census_into(0, &mut census);
+        census
+    }
+
+    fn type_census_into(&self, depth: usize, census: &mut [Vec<u64>]) {
+        census[depth][self.k as usize] += 1;
+        for c in &self.children {
+            c.type_census_into(depth + 1, census);
+        }
+    }
+
+    /// Check that the broadcast tree of the hypercube underlying `tree`,
+    /// rooted at `at`, is isomorphic to this heap queue, matching children
+    /// by type (types are distinct within a node, so the isomorphism is
+    /// unique).
+    pub fn matches_broadcast_subtree(&self, tree: &BroadcastTree, at: Node) -> bool {
+        if tree.node_type(at) != self.k {
+            return false;
+        }
+        // Children of `at` have distinct types k−1, …, 0; ours are stored
+        // in decreasing type order.
+        let mut bt_children: Vec<Node> = tree.children(at).collect();
+        bt_children.sort_by_key(|c| std::cmp::Reverse(tree.node_type(*c)));
+        if bt_children.len() != self.children.len() {
+            return false;
+        }
+        self.children
+            .iter()
+            .zip(bt_children)
+            .all(|(hq, node)| hq.matches_broadcast_subtree(tree, node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combinatorics::{binomial, heap_queue_size};
+    use crate::hypercube::Hypercube;
+
+    #[test]
+    fn sizes_match_definition() {
+        for k in 0..=10 {
+            assert_eq!(HeapQueue::build(k).size() as u128, heap_queue_size(k));
+        }
+    }
+
+    #[test]
+    fn height_equals_k() {
+        for k in 0..=10 {
+            assert_eq!(HeapQueue::build(k).height(), k);
+        }
+    }
+
+    #[test]
+    fn level_census_is_binomial_row() {
+        for k in 0..=10u32 {
+            let census = HeapQueue::build(k).level_census();
+            assert_eq!(census.len() as u32, k + 1);
+            for (l, &count) in census.iter().enumerate() {
+                assert_eq!(count as u128, binomial(k, l as u32), "T({k}) depth {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn type_census_matches_property_1() {
+        for k in 1..=9u32 {
+            let census = HeapQueue::build(k).type_census();
+            // Depth 0: one node of type T(k).
+            for (j, &c) in census[0].iter().enumerate() {
+                assert_eq!(c, u64::from(j as u32 == k));
+            }
+            for (l, row) in census.iter().enumerate().skip(1) {
+                for (j, &c) in row.iter().enumerate() {
+                    let expect = if (j as u32) < k {
+                        binomial(k - j as u32 - 1, l as u32 - 1)
+                    } else {
+                        0
+                    };
+                    assert_eq!(c as u128, expect, "T({k}) depth {l} type {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_tree_of_hd_is_heap_queue_td() {
+        // Figure 1 of the paper, checked structurally for d up to 10.
+        for d in 0..=10 {
+            let tree = BroadcastTree::new(Hypercube::new(d));
+            let hq = HeapQueue::build(d);
+            assert!(
+                hq.matches_broadcast_subtree(&tree, Node::ROOT),
+                "broadcast tree of H_{d} is not T({d})"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatch_is_detected() {
+        let tree = BroadcastTree::new(Hypercube::new(4));
+        let hq = HeapQueue::build(5);
+        assert!(!hq.matches_broadcast_subtree(&tree, Node::ROOT));
+    }
+}

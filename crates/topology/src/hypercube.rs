@@ -1,0 +1,265 @@
+//! The `d`-dimensional hypercube `H_d` with the paper's port labelling.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::Node;
+use crate::MAX_DIMENSION;
+
+/// The `d`-dimensional hypercube: `n = 2^d` nodes, `d·2^{d−1}` edges; nodes
+/// are `d`-bit strings and two nodes are adjacent iff their strings differ
+/// in exactly one bit.
+///
+/// Edge labels follow §2 of the paper: the label `λ_x(x, z)` of edge
+/// `(x, z)` at `x` is the position (`1..=d`) of the differing bit. In a
+/// hypercube the label is the same at both endpoints, so ports double as
+/// global dimension numbers.
+///
+/// ```
+/// use hypersweep_topology::{Hypercube, Node};
+///
+/// let h = Hypercube::new(4);
+/// assert_eq!(h.node_count(), 16);
+/// assert_eq!(h.edge_count(), 32);
+/// // Node 0101 and its neighbour across port 2 (flip bit 2):
+/// let x = Node(0b0101);
+/// assert_eq!(h.neighbors(x).count(), 4);
+/// assert_eq!(x.flip(2), Node(0b0111));
+/// assert_eq!(h.distance(Node(0), Node(0b1011)), 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hypercube {
+    dim: u32,
+}
+
+impl Hypercube {
+    /// Build `H_d`. Panics if `d` exceeds [`MAX_DIMENSION`].
+    pub fn new(dim: u32) -> Self {
+        assert!(
+            dim <= MAX_DIMENSION,
+            "hypercube dimension {dim} exceeds MAX_DIMENSION = {MAX_DIMENSION}"
+        );
+        Hypercube { dim }
+    }
+
+    /// The degree `d`.
+    #[inline]
+    pub const fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of nodes `n = 2^d`.
+    #[inline]
+    pub const fn node_count(&self) -> usize {
+        1usize << self.dim
+    }
+
+    /// Number of edges `d·2^{d−1}`.
+    #[inline]
+    pub const fn edge_count(&self) -> usize {
+        if self.dim == 0 {
+            0
+        } else {
+            (self.dim as usize) << (self.dim - 1)
+        }
+    }
+
+    /// Whether `x` is a valid node of this cube.
+    #[inline]
+    pub fn contains(&self, x: Node) -> bool {
+        (x.0 as u64) < (1u64 << self.dim)
+    }
+
+    /// Iterate over all nodes in increasing numeric (= the paper's
+    /// lexicographic, msb-first) order.
+    pub fn nodes(&self) -> impl Iterator<Item = Node> + '_ {
+        (0..self.node_count() as u32).map(Node)
+    }
+
+    /// All neighbours of `x`, in increasing port order.
+    pub fn neighbors(&self, x: Node) -> impl Iterator<Item = Node> + '_ {
+        debug_assert!(self.contains(x));
+        (1..=self.dim).map(move |p| x.flip(p))
+    }
+
+    /// The *smaller neighbours* of `x` (Definition 2): those reached through
+    /// a port `≤ m(x)`.
+    pub fn smaller_neighbors(&self, x: Node) -> impl Iterator<Item = Node> + '_ {
+        (1..=x.msb_position()).map(move |p| x.flip(p))
+    }
+
+    /// The *bigger neighbours* of `x` (Definition 2): those reached through
+    /// a port `> m(x)`. These are exactly `x`'s children in the broadcast
+    /// tree.
+    pub fn bigger_neighbors(&self, x: Node) -> impl Iterator<Item = Node> + '_ {
+        (x.msb_position() + 1..=self.dim).map(move |p| x.flip(p))
+    }
+
+    /// Graph distance (= Hamming distance).
+    #[inline]
+    pub fn distance(&self, x: Node, y: Node) -> u32 {
+        x.hamming(y)
+    }
+
+    /// A shortest path from `x` to `y` that never climbs above
+    /// `max(level(x), level(y))`: it first *clears* the bits of `x` that are
+    /// not in `y` (descending to the meet `x ∧ y`), then *sets* the bits of
+    /// `y` missing from `x` (ascending to `y`). This is the route the
+    /// synchronizer uses to navigate between consecutive nodes of a level —
+    /// every intermediate node lies strictly below the common level, hence
+    /// in already-clean territory (proof of Theorem 3, component 3).
+    ///
+    /// The returned vector contains the successive nodes *after* each hop
+    /// (so its length is `distance(x, y)`); it is empty when `x == y`.
+    pub fn via_meet_path(&self, x: Node, y: Node) -> Vec<Node> {
+        let mut path = Vec::with_capacity(self.distance(x, y) as usize);
+        let mut cur = x;
+        // Clear surplus bits from highest to lowest so the intermediate
+        // levels strictly decrease.
+        for p in (1..=self.dim).rev() {
+            if cur.bit(p) && !y.bit(p) {
+                cur = cur.flip(p);
+                path.push(cur);
+            }
+        }
+        // Set missing bits from lowest to highest.
+        for p in 1..=self.dim {
+            if !cur.bit(p) && y.bit(p) {
+                cur = cur.flip(p);
+                path.push(cur);
+            }
+        }
+        debug_assert_eq!(cur, y);
+        path
+    }
+
+    /// All nodes at level `l` (exactly `l` ones), in increasing numeric
+    /// order — the synchronizer's sweep order within a level.
+    pub fn level_nodes(&self, l: u32) -> Vec<Node> {
+        // Gosper's hack would avoid the filter, but enumerating 2^d ids is
+        // plenty fast for every d the simulators can handle, and keeps the
+        // order trivially correct.
+        self.nodes().filter(|x| x.level() == l).collect()
+    }
+
+    /// The port leading from `x` towards `y`, if they are adjacent.
+    pub fn port_towards(&self, x: Node, y: Node) -> Option<u32> {
+        let diff = x.0 ^ y.0;
+        if diff.count_ones() == 1 {
+            Some(diff.trailing_zeros() + 1)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formulas() {
+        for d in 0..=10 {
+            let h = Hypercube::new(d);
+            assert_eq!(h.node_count(), 1 << d);
+            let mut edges = 0usize;
+            for x in h.nodes() {
+                edges += h.neighbors(x).count();
+            }
+            assert_eq!(edges / 2, h.edge_count());
+        }
+    }
+
+    #[test]
+    fn neighbors_differ_in_one_bit() {
+        let h = Hypercube::new(7);
+        for x in h.nodes() {
+            for y in h.neighbors(x) {
+                assert_eq!(x.hamming(y), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_and_bigger_partition_the_neighborhood() {
+        let h = Hypercube::new(6);
+        for x in h.nodes() {
+            let s: Vec<_> = h.smaller_neighbors(x).collect();
+            let b: Vec<_> = h.bigger_neighbors(x).collect();
+            assert_eq!(s.len() + b.len(), h.dim() as usize);
+            let mut all: Vec<_> = s.iter().chain(b.iter()).copied().collect();
+            all.sort();
+            let mut expect: Vec<_> = h.neighbors(x).collect();
+            expect.sort();
+            assert_eq!(all, expect);
+            // Bigger neighbours strictly increase the msb.
+            for y in &b {
+                assert!(y.msb_position() > x.msb_position());
+            }
+        }
+    }
+
+    #[test]
+    fn via_meet_path_is_shortest_and_stays_low() {
+        let h = Hypercube::new(8);
+        let x = Node(0b1011_0010);
+        let y = Node(0b0011_1001);
+        let path = h.via_meet_path(x, y);
+        assert_eq!(path.len() as u32, h.distance(x, y));
+        assert_eq!(*path.last().unwrap(), y);
+        let cap = x.level().max(y.level());
+        let mut prev = x;
+        for &n in &path {
+            assert_eq!(prev.hamming(n), 1, "path must use edges");
+            assert!(n.level() <= cap, "path climbed above the common level");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn via_meet_path_same_level_stays_strictly_below_until_target() {
+        let h = Hypercube::new(6);
+        for l in 1..=6 {
+            let level = h.level_nodes(l);
+            for w in level.windows(2) {
+                let path = h.via_meet_path(w[0], w[1]);
+                for (i, &n) in path.iter().enumerate() {
+                    if i + 1 < path.len() {
+                        assert!(n.level() < l, "intermediate node at level {l}");
+                    }
+                }
+                // Theorem 3's bound on consecutive-node navigation.
+                let bound = 2 * l.min(h.dim() - l);
+                assert!(path.len() as u32 <= bound.max(2));
+            }
+        }
+    }
+
+    #[test]
+    fn level_nodes_are_sorted_and_complete() {
+        let h = Hypercube::new(8);
+        let mut total = 0;
+        for l in 0..=8 {
+            let v = h.level_nodes(l);
+            assert!(v.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(
+                v.len() as u128,
+                crate::combinatorics::nodes_at_level(8, l)
+            );
+            total += v.len();
+        }
+        assert_eq!(total, h.node_count());
+    }
+
+    #[test]
+    fn port_towards_roundtrip() {
+        let h = Hypercube::new(5);
+        for x in h.nodes() {
+            for p in 1..=5 {
+                let y = x.flip(p);
+                assert_eq!(h.port_towards(x, y), Some(p));
+                assert_eq!(h.port_towards(y, x), Some(p));
+            }
+            assert_eq!(h.port_towards(x, x), None);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Node identifiers.
+//!
+//! A node of the `d`-dimensional hypercube is a `d`-bit binary string. We
+//! store it as the corresponding integer in a [`Node`] newtype. Bit
+//! *positions* follow the paper's convention and are counted `1..=d`,
+//! position `1` being the least significant bit. Written most significant
+//! bit first (as the paper writes its strings), a node "starting with `k`
+//! zeros followed by a one" therefore has its most significant set bit at
+//! position `d - k`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A node of a hypercube (or any topology with at most `2^32` nodes),
+/// identified by the integer whose binary representation is the node's
+/// label.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Node(pub u32);
+
+impl Node {
+    /// The homebase of every strategy in the paper: node `00…0`.
+    pub const ROOT: Node = Node(0);
+
+    /// Raw integer identifier.
+    #[inline]
+    pub const fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Usable as an index into per-node arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Number of `1` bits — the node's *level* in the paper's level
+    /// decomposition of the hypercube (§2).
+    #[inline]
+    pub const fn level(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// `m(x)`: the position (`1..=d`) of the most significant set bit, or
+    /// `0` for the root `00…0`.
+    ///
+    /// This is the paper's `m(x)`; the node's *type* in the broadcast tree
+    /// of `H_d` is `T(d − m(x))`.
+    #[inline]
+    pub const fn msb_position(self) -> u32 {
+        32 - self.0.leading_zeros()
+    }
+
+    /// Whether bit `position` (`1..=d`) is set.
+    #[inline]
+    pub const fn bit(self, position: u32) -> bool {
+        debug_assert!(position >= 1);
+        self.0 & (1 << (position - 1)) != 0
+    }
+
+    /// The neighbour across dimension `position` (`1..=d`), i.e. the node
+    /// whose label differs from `self` exactly in that bit. `position` is
+    /// precisely the paper's port label `λ_x(x, y)` — identical at both
+    /// endpoints in a hypercube.
+    #[inline]
+    pub const fn flip(self, position: u32) -> Node {
+        debug_assert!(position >= 1);
+        Node(self.0 ^ (1 << (position - 1)))
+    }
+
+    /// Hamming distance to `other` — the hypercube graph distance.
+    #[inline]
+    pub const fn hamming(self, other: Node) -> u32 {
+        (self.0 ^ other.0).count_ones()
+    }
+
+    /// Bitwise meet (`AND`): the lowest common "ancestor-like" node through
+    /// which two nodes of equal level can always be connected by a path that
+    /// never climbs above their own level (used by the synchronizer's
+    /// intra-level navigation).
+    #[inline]
+    pub const fn meet(self, other: Node) -> Node {
+        Node(self.0 & other.0)
+    }
+
+    /// Binary string of the node, most significant bit first, padded to
+    /// `dim` characters — the way the paper writes node labels.
+    pub fn bitstring(self, dim: u32) -> String {
+        (1..=dim)
+            .rev()
+            .map(|p| if self.bit(p) { '1' } else { '0' })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Node({})", self.0)
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Node {
+    fn from(v: u32) -> Self {
+        Node(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_has_level_zero_and_no_msb() {
+        assert_eq!(Node::ROOT.level(), 0);
+        assert_eq!(Node::ROOT.msb_position(), 0);
+    }
+
+    #[test]
+    fn msb_position_matches_log2() {
+        assert_eq!(Node(1).msb_position(), 1);
+        assert_eq!(Node(2).msb_position(), 2);
+        assert_eq!(Node(3).msb_position(), 2);
+        assert_eq!(Node(4).msb_position(), 3);
+        assert_eq!(Node(0b10_1101).msb_position(), 6);
+    }
+
+    #[test]
+    fn flip_is_an_involution() {
+        for v in 0..64u32 {
+            for p in 1..=6 {
+                assert_eq!(Node(v).flip(p).flip(p), Node(v));
+            }
+        }
+    }
+
+    #[test]
+    fn flip_changes_level_by_one() {
+        for v in 0..64u32 {
+            for p in 1..=6 {
+                let a = Node(v);
+                let b = a.flip(p);
+                assert_eq!(a.hamming(b), 1);
+                let dl = a.level().abs_diff(b.level());
+                assert_eq!(dl, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bitstring_is_msb_first() {
+        assert_eq!(Node(0b100110).bitstring(6), "100110");
+        assert_eq!(Node(1).bitstring(4), "0001");
+        assert_eq!(Node(0).bitstring(3), "000");
+    }
+
+    #[test]
+    fn bit_agrees_with_bitstring() {
+        let n = Node(0b01101);
+        let s = n.bitstring(5);
+        for p in 1..=5 {
+            let ch = s.as_bytes()[(5 - p) as usize];
+            assert_eq!(n.bit(p), ch == b'1');
+        }
+    }
+
+    #[test]
+    fn hamming_distance_examples() {
+        assert_eq!(Node(0).hamming(Node(0b111)), 3);
+        assert_eq!(Node(0b101).hamming(Node(0b011)), 2);
+        assert_eq!(Node(7).hamming(Node(7)), 0);
+    }
+
+    #[test]
+    fn meet_is_lower_bound_in_level() {
+        let a = Node(0b1100);
+        let b = Node(0b1010);
+        let m = a.meet(b);
+        assert_eq!(m, Node(0b1000));
+        assert!(m.level() <= a.level());
+        assert!(m.level() <= b.level());
+    }
+}

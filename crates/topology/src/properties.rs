@@ -1,0 +1,279 @@
+//! Executable forms of the paper's structural Properties 1–8.
+//!
+//! Each function *checks the property by exhaustive enumeration* on a given
+//! hypercube and returns `Ok(())` or a description of the first violation.
+//! They are deliberately independent of the closed forms in
+//! [`crate::combinatorics`] wherever possible, so that tests genuinely
+//! cross-validate the two.
+
+use crate::broadcast::BroadcastTree;
+use crate::combinatorics::binomial;
+use crate::hypercube::Hypercube;
+use crate::node::Node;
+
+/// Result type of the property checkers.
+pub type PropertyResult = Result<(), String>;
+
+/// Property 1: at level 0 there is a unique node of type `T(d)`; at level
+/// `l > 0` there are `C(d−k−1, l−1)` nodes of type `T(k)` for
+/// `0 ≤ k ≤ d − l`.
+pub fn property1_type_census(cube: Hypercube) -> PropertyResult {
+    let d = cube.dim();
+    let tree = BroadcastTree::new(cube);
+    let mut census = vec![vec![0u128; d as usize + 1]; d as usize + 1];
+    for x in cube.nodes() {
+        census[x.level() as usize][tree.node_type(x) as usize] += 1;
+    }
+    for l in 0..=d {
+        for k in 0..=d {
+            let expect = if l == 0 {
+                u128::from(k == d)
+            } else if k >= d {
+                0
+            } else {
+                binomial(d - k - 1, l - 1)
+            };
+            if census[l as usize][k as usize] != expect {
+                return Err(format!(
+                    "Property 1 violated at d={d} l={l} k={k}: counted {} expected {expect}",
+                    census[l as usize][k as usize]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Property 2 (implicit, used in Theorem 3): the broadcast tree has
+/// `C(d−1, l−1)` leaves at level `l > 0` and `n/2` leaves in total.
+pub fn property2_leaf_census(cube: Hypercube) -> PropertyResult {
+    let d = cube.dim();
+    if d == 0 {
+        return Ok(());
+    }
+    let tree = BroadcastTree::new(cube);
+    let mut per_level = vec![0u128; d as usize + 1];
+    let mut total = 0u128;
+    for x in cube.nodes() {
+        if tree.is_leaf(x) {
+            per_level[x.level() as usize] += 1;
+            total += 1;
+        }
+    }
+    for l in 1..=d {
+        let expect = binomial(d - 1, l - 1);
+        if per_level[l as usize] != expect {
+            return Err(format!(
+                "Property 2 violated at d={d} l={l}: {} leaves, expected {expect}",
+                per_level[l as usize]
+            ));
+        }
+    }
+    if total != 1u128 << (d - 1) {
+        return Err(format!("leaf total {total} != n/2"));
+    }
+    Ok(())
+}
+
+/// Property 5: `|C_0| = 1` and `|C_i| = 2^{i−1}` for `0 < i ≤ d`.
+pub fn property5_class_sizes(cube: Hypercube) -> PropertyResult {
+    let d = cube.dim();
+    let mut sizes = vec![0u128; d as usize + 1];
+    for x in cube.nodes() {
+        sizes[x.msb_position() as usize] += 1;
+    }
+    for i in 0..=d {
+        let expect = if i == 0 { 1 } else { 1u128 << (i - 1) };
+        if sizes[i as usize] != expect {
+            return Err(format!(
+                "Property 5 violated at i={i}: |C_i| = {} expected {expect}",
+                sizes[i as usize]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Property 6: all the leaves of the broadcast tree are in `C_d`.
+pub fn property6_leaves_in_top_class(cube: Hypercube) -> PropertyResult {
+    let d = cube.dim();
+    if d == 0 {
+        return Ok(());
+    }
+    let tree = BroadcastTree::new(cube);
+    for x in cube.nodes() {
+        let leaf = tree.is_leaf(x);
+        let in_cd = tree.msb_class(x) == d;
+        if leaf != in_cd {
+            return Err(format!(
+                "Property 6 violated at {x}: leaf={leaf} but msb class {}",
+                tree.msb_class(x)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Property 7: for `x ∈ C_i`, `i > 0`: exactly one smaller neighbour is in
+/// some `C_j` with `j < i`; every other smaller neighbour is in `C_i`; and
+/// every bigger neighbour is in some `C_k` with `k > i`.
+pub fn property7_neighbor_classes(cube: Hypercube) -> PropertyResult {
+    for x in cube.nodes() {
+        let i = x.msb_position();
+        if i == 0 {
+            continue;
+        }
+        let mut below = 0;
+        for y in cube.smaller_neighbors(x) {
+            let j = y.msb_position();
+            if j < i {
+                below += 1;
+            } else if j != i {
+                return Err(format!(
+                    "Property 7 violated at {x}: smaller neighbour {y} in C_{j} > C_{i}"
+                ));
+            }
+        }
+        if below != 1 {
+            return Err(format!(
+                "Property 7 violated at {x}: {below} smaller neighbours below C_{i}"
+            ));
+        }
+        for y in cube.bigger_neighbors(x) {
+            if y.msb_position() <= i {
+                return Err(format!(
+                    "Property 7 violated at {x}: bigger neighbour {y} not above C_{i}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Property 8: for `x ∈ C_i`, `i > 1`, there exists a smaller neighbour
+/// `y ∈ C_i` of `x` that itself has a smaller neighbour `z ∈ C_{i−1}`.
+///
+/// **Reproduction note.** As stated in the paper the property has exactly
+/// one counterexample in every hypercube: `x = 0…011` (node 3, `i = 2`).
+/// Its only same-class smaller neighbour is `0…010`, whose smaller
+/// neighbours lie in `C_2` and `C_0` — never `C_1`. The paper's proof
+/// (Case 2) silently requires a bit position `j < i − 1`, which does not
+/// exist when `i = 2` and bit 1 of `x` is set. The property is used in the
+/// proof of Theorem 7 only for nodes that hold waiting agents strictly
+/// above the current wavefront, a situation that never arises for node 3
+/// (agents reach it only after its parent, node 1, dispatches — at which
+/// point the wavefront is already at `C_1`), so Theorem 7 is unaffected.
+/// This checker therefore verifies the property for every node *except*
+/// node 3, and [`property8_unique_counterexample`] pins down the exception.
+pub fn property8_descending_chain(cube: Hypercube) -> PropertyResult {
+    for x in cube.nodes() {
+        let i = x.msb_position();
+        if i <= 1 || x == Node(3) {
+            continue;
+        }
+        let found = cube.smaller_neighbors(x).any(|y| {
+            y.msb_position() == i
+                && cube
+                    .smaller_neighbors(y)
+                    .any(|z| z.msb_position() == i - 1)
+        });
+        if !found {
+            return Err(format!("Property 8 violated at {x} (C_{i})"));
+        }
+    }
+    Ok(())
+}
+
+/// Lemma 1: if `z ∈ N(y) − NT(y)` lies one level above `y`, then `z` is a
+/// broadcast-tree child of some `x` at `y`'s level with `x < y`
+/// (numerically, i.e. lexicographically msb-first).
+pub fn lemma1_nontree_parents_precede(cube: Hypercube) -> PropertyResult {
+    let tree = BroadcastTree::new(cube);
+    for y in cube.nodes() {
+        for z in tree.non_tree_up_neighbors(y) {
+            match tree.parent(z) {
+                Some(x) if x < y && x.level() == y.level() => {}
+                Some(x) => {
+                    return Err(format!(
+                        "Lemma 1 violated: z={z}, parent {x} vs y={y}"
+                    ))
+                }
+                None => return Err(format!("Lemma 1: z={z} has no parent")),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Pin down the reproduction note on Property 8: node `0…011` is the
+/// *unique* node of `H_d` violating the property as literally stated.
+pub fn property8_unique_counterexample(cube: Hypercube) -> PropertyResult {
+    let violates = |x: Node| -> bool {
+        let i = x.msb_position();
+        if i <= 1 {
+            return false;
+        }
+        !cube.smaller_neighbors(x).any(|y| {
+            y.msb_position() == i
+                && cube
+                    .smaller_neighbors(y)
+                    .any(|z| z.msb_position() == i - 1)
+        })
+    };
+    for x in cube.nodes() {
+        let expect = x == Node(3) && cube.dim() >= 2;
+        if violates(x) != expect {
+            return Err(format!(
+                "Property 8 counterexample census wrong at {x}: violates={}",
+                violates(x)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Run every property check on one hypercube.
+pub fn check_all(cube: Hypercube) -> PropertyResult {
+    property1_type_census(cube)?;
+    property2_leaf_census(cube)?;
+    property5_class_sizes(cube)?;
+    property6_leaves_in_top_class(cube)?;
+    property7_neighbor_classes(cube)?;
+    property8_descending_chain(cube)?;
+    property8_unique_counterexample(cube)?;
+    lemma1_nontree_parents_precede(cube)?;
+    Ok(())
+}
+
+/// The unique smaller neighbour of `x ∈ C_i` (`i ≥ 1`) lying in a lower
+/// class — `x` with its msb cleared, i.e. its broadcast-tree parent. Named
+/// here because Property 7 singles it out.
+pub fn descending_neighbor(x: Node) -> Option<Node> {
+    let m = x.msb_position();
+    if m == 0 {
+        None
+    } else {
+        Some(x.flip(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_properties_hold_up_to_d12() {
+        for d in 0..=12 {
+            check_all(Hypercube::new(d)).unwrap_or_else(|e| panic!("d={d}: {e}"));
+        }
+    }
+
+    #[test]
+    fn descending_neighbor_is_tree_parent() {
+        let cube = Hypercube::new(9);
+        let tree = BroadcastTree::new(cube);
+        for x in cube.nodes() {
+            assert_eq!(descending_neighbor(x), tree.parent(x));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! ASCII renderings of the paper's structural figures.
+//!
+//! * [`render_broadcast_tree`] — Figure 1: the broadcast tree `T(d)` of
+//!   `H_d` with node labels and types.
+//! * [`render_msb_classes`] — Figure 3: the msb classes `C_0 … C_d`.
+//!
+//! The renderings are deterministic, so tests and the CLI can treat them as
+//! golden artifacts.
+
+use std::fmt::Write as _;
+
+use crate::broadcast::BroadcastTree;
+use crate::hypercube::Hypercube;
+use crate::node::Node;
+
+/// Render the broadcast tree of `H_d` (Figure 1) as an indented outline.
+///
+/// Each line shows the node's bit string, its numeric id, and its heap-queue
+/// type `T(k)`.
+pub fn render_broadcast_tree(cube: Hypercube) -> String {
+    let tree = BroadcastTree::new(cube);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "broadcast tree of H_{} (n = {}): heap queue T({})",
+        cube.dim(),
+        cube.node_count(),
+        cube.dim()
+    );
+    render_subtree(&tree, Node::ROOT, 0, &mut out);
+    out
+}
+
+fn render_subtree(tree: &BroadcastTree, x: Node, depth: usize, out: &mut String) {
+    let d = tree.cube().dim();
+    let _ = writeln!(
+        out,
+        "{}{} (id {:>3})  T({})",
+        "  ".repeat(depth),
+        x.bitstring(d),
+        x.0,
+        tree.node_type(x)
+    );
+    // Children in decreasing type order, the order Figure 1 draws them.
+    let mut children: Vec<Node> = tree.children(x).collect();
+    children.sort_by_key(|c| std::cmp::Reverse(tree.node_type(*c)));
+    for c in children {
+        render_subtree(tree, c, depth + 1, out);
+    }
+}
+
+/// Render the msb classes `C_0 … C_d` (Figure 3), one line per class.
+pub fn render_msb_classes(cube: Hypercube) -> String {
+    let tree = BroadcastTree::new(cube);
+    let d = cube.dim();
+    let mut out = String::new();
+    let _ = writeln!(out, "msb classes of H_{d} (Property 5: |C_i| = 2^(i-1))");
+    for i in 0..=d {
+        let members = tree.msb_class_nodes(i);
+        let labels: Vec<String> = members.iter().map(|x| x.bitstring(d)).collect();
+        let _ = writeln!(out, "C_{i} ({:>4} nodes): {}", members.len(), labels.join(" "));
+    }
+    out
+}
+
+/// Render a per-level census of broadcast-tree node types (the tabular
+/// content of Figure 1 / Property 1).
+pub fn render_type_census(cube: Hypercube) -> String {
+    let d = cube.dim();
+    let tree = BroadcastTree::new(cube);
+    let mut census = vec![vec![0u64; d as usize + 1]; d as usize + 1];
+    for x in cube.nodes() {
+        census[x.level() as usize][tree.node_type(x) as usize] += 1;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "type census of the broadcast tree of H_{d}");
+    let header: Vec<String> = (0..=d).map(|k| format!("T({k})")).collect();
+    let _ = writeln!(out, "level | {}", header.join(" "));
+    for (l, counts) in census.iter().enumerate() {
+        let row: Vec<String> = counts
+            .iter()
+            .enumerate()
+            .map(|(k, c)| format!("{:>width$}", c, width = header[k].len()))
+            .collect();
+        let _ = writeln!(out, "{l:>5} | {}", row.join(" "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_rendering_has_one_line_per_node_plus_header() {
+        for d in 0..=6 {
+            let s = render_broadcast_tree(Hypercube::new(d));
+            assert_eq!(s.lines().count(), (1 << d) + 1);
+        }
+    }
+
+    #[test]
+    fn tree_rendering_small_golden() {
+        let s = render_broadcast_tree(Hypercube::new(2));
+        let expect = "broadcast tree of H_2 (n = 4): heap queue T(2)\n\
+                      00 (id   0)  T(2)\n\
+                      \u{20}\u{20}01 (id   1)  T(1)\n\
+                      \u{20}\u{20}\u{20}\u{20}11 (id   3)  T(0)\n\
+                      \u{20}\u{20}10 (id   2)  T(0)\n";
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn class_rendering_lists_all_classes() {
+        let s = render_msb_classes(Hypercube::new(4));
+        assert_eq!(s.lines().count(), 6);
+        assert!(s.contains("C_4 (   8 nodes)"));
+    }
+
+    #[test]
+    fn census_rendering_row_count() {
+        let s = render_type_census(Hypercube::new(5));
+        // header line + column header + 6 level rows
+        assert_eq!(s.lines().count(), 8);
+    }
+}

@@ -1,0 +1,66 @@
+//! A tour of the structures behind the strategies: the broadcast tree
+//! (heap queue) of the hypercube and its msb classes — the paper's
+//! Figures 1 and 3, printed live.
+//!
+//! ```sh
+//! cargo run --example broadcast_tree_tour
+//! ```
+
+use hypersweep::prelude::*;
+use hypersweep::topology::{combinatorics, render, HeapQueue};
+
+fn main() {
+    let cube = Hypercube::new(4);
+    let tree = BroadcastTree::new(cube);
+
+    // Figure 1: the tree itself.
+    println!("{}", render::render_broadcast_tree(cube));
+
+    // Definition 1: the same structure built recursively, and checked.
+    let hq = HeapQueue::build(4);
+    assert!(hq.matches_broadcast_subtree(&tree, Node::ROOT));
+    println!(
+        "heap queue T(4): {} nodes, height {} — isomorphic to the broadcast tree ✓\n",
+        hq.size(),
+        hq.height()
+    );
+
+    // Property 1's census (the table under Figure 1).
+    println!("{}", render::render_type_census(cube));
+
+    // Figure 3: the msb classes.
+    println!("{}", render::render_msb_classes(cube));
+
+    // The quantities the proofs lean on, from the closed forms:
+    let d = 4;
+    println!("closed forms for H_{d}:");
+    println!(
+        "  leaves per level l (Property 2): {:?}",
+        (0..=d).map(|l| combinatorics::leaves_at_level(d, l)).collect::<Vec<_>>()
+    );
+    println!(
+        "  Lemma 3 extras per phase l:      {:?}",
+        (1..d).map(|l| combinatorics::lemma3_extra_agents(d, l)).collect::<Vec<_>>()
+    );
+    println!(
+        "  Lemma 4 team for CLEAN:          {}",
+        combinatorics::clean_team_size(d)
+    );
+    println!(
+        "  visibility team (Theorem 5):     {}",
+        combinatorics::visibility_agents(d)
+    );
+
+    // And the navigation trick from Theorem 3's proof: consecutive
+    // level-l nodes are connected below their level via the meet.
+    let level = cube.level_nodes(2);
+    println!("\nsynchronizer navigation within level 2 (via-meet paths):");
+    for pair in level.windows(2) {
+        let path = cube.via_meet_path(pair[0], pair[1]);
+        let labels: Vec<String> = std::iter::once(pair[0])
+            .chain(path.iter().copied())
+            .map(|n| n.bitstring(4))
+            .collect();
+        println!("  {}", labels.join(" -> "));
+    }
+}

@@ -1,0 +1,136 @@
+//! Cross-executor agreement: the discrete-event engine, the procedural
+//! trace generators, and the real-thread executor must tell the same
+//! story.
+
+use hypersweep::core::cloning::CloningAgent;
+use hypersweep::core::visibility::VisibilityAgent;
+use hypersweep::prelude::*;
+use hypersweep::sim::threaded::{run_threaded, ThreadedConfig};
+use hypersweep::sim::Role;
+
+fn audit(cube: Hypercube, events: &[hypersweep::sim::Event]) -> Verdict {
+    verify_trace(
+        &cube,
+        Node::ROOT,
+        events,
+        MonitorConfig::with_intruder(Node(cube.node_count() as u32 - 1)),
+    )
+}
+
+#[test]
+fn threaded_visibility_matches_des() {
+    for d in 2..=7 {
+        let cube = Hypercube::new(d);
+        let strategy = VisibilityStrategy::new(cube);
+        let des = strategy.run(Policy::Fifo).unwrap();
+
+        let programs: Vec<(VisibilityAgent, Role)> = (0..strategy.team_size())
+            .map(|_| (VisibilityAgent, Role::Worker))
+            .collect();
+        let threaded = run_threaded(
+            cube,
+            programs,
+            ThreadedConfig {
+                visibility: true,
+                ..ThreadedConfig::default()
+            },
+        )
+        .unwrap();
+
+        assert_eq!(
+            threaded.metrics.total_moves(),
+            des.metrics.total_moves(),
+            "d={d}: thread schedule changed the move count"
+        );
+        assert_eq!(threaded.metrics.team_size, des.metrics.team_size);
+        let verdict = audit(cube, &threaded.events);
+        assert!(verdict.is_complete(), "d={d}: {:?}", verdict.violations);
+    }
+}
+
+#[test]
+fn threaded_cloning_matches_des() {
+    for d in 2..=7 {
+        let cube = Hypercube::new(d);
+        let threaded = run_threaded(
+            cube,
+            vec![(CloningAgent::new(), Role::Worker)],
+            ThreadedConfig {
+                visibility: true,
+                ..ThreadedConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            threaded.metrics.total_moves(),
+            (cube.node_count() - 1) as u64,
+            "d={d}: cloning must cross each tree edge once"
+        );
+        assert_eq!(threaded.metrics.team_size, (cube.node_count() / 2) as u64);
+        let verdict = audit(cube, &threaded.events);
+        assert!(verdict.is_complete(), "d={d}: {:?}", verdict.violations);
+    }
+}
+
+#[test]
+fn threaded_runs_are_repeatedly_correct() {
+    // Different OS interleavings every time; the audit must hold for all.
+    let cube = Hypercube::new(6);
+    for _ in 0..5 {
+        let programs: Vec<(VisibilityAgent, Role)> =
+            (0..32).map(|_| (VisibilityAgent, Role::Worker)).collect();
+        let report = run_threaded(
+            cube,
+            programs,
+            ThreadedConfig {
+                visibility: true,
+                ..ThreadedConfig::default()
+            },
+        )
+        .unwrap();
+        let verdict = audit(cube, &report.events);
+        assert!(verdict.is_complete(), "{:?}", verdict.violations);
+    }
+}
+
+#[test]
+fn synthesized_traces_audit_clean() {
+    for d in 1..=8 {
+        let cube = Hypercube::new(d);
+        let (_, ev) = CleanStrategy::new(cube).synthesize(true);
+        let verdict = audit(cube, &ev.unwrap());
+        assert!(verdict.is_complete(), "clean d={d}: {:?}", verdict.violations);
+        let (_, ev) = VisibilityStrategy::new(cube).synthesize(true);
+        let verdict = audit(cube, &ev.unwrap());
+        assert!(verdict.is_complete(), "visibility d={d}");
+        let (_, ev) = CloningStrategy::new(cube).synthesize(true);
+        let verdict = audit(cube, &ev.unwrap());
+        assert!(verdict.is_complete(), "cloning d={d}");
+    }
+}
+
+#[test]
+fn final_occupancy_is_identical_across_executors() {
+    // Visibility leaves exactly one guard on every broadcast-tree leaf in
+    // every executor.
+    let cube = Hypercube::new(6);
+    let tree = BroadcastTree::new(cube);
+    let programs: Vec<(VisibilityAgent, Role)> =
+        (0..32).map(|_| (VisibilityAgent, Role::Worker)).collect();
+    let threaded = run_threaded(
+        cube,
+        programs,
+        ThreadedConfig {
+            visibility: true,
+            ..ThreadedConfig::default()
+        },
+    )
+    .unwrap();
+    for x in cube.nodes() {
+        assert_eq!(
+            threaded.occupancy[x.index()],
+            u32::from(tree.is_leaf(x)),
+            "node {x}"
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! End-to-end captures: every strategy, every schedule, dimensions 1–8,
+//! every run audited for monotonicity, contiguity, coverage and capture,
+//! and every counter checked against the paper's closed forms.
+
+use hypersweep::core::predictions::{
+    clean_prediction, cloning_prediction, visibility_prediction,
+};
+use hypersweep::prelude::*;
+
+#[test]
+fn clean_captures_under_all_adversaries() {
+    for d in 1..=7 {
+        let s = CleanStrategy::new(Hypercube::new(d));
+        for policy in Policy::adversaries(4) {
+            let outcome = s
+                .run(policy)
+                .unwrap_or_else(|e| panic!("d={d} {policy:?}: {e}"));
+            assert!(
+                outcome.is_complete(),
+                "d={d} {policy:?}: {:?}",
+                outcome.verdict.violations
+            );
+            let p = clean_prediction(d);
+            assert_eq!(
+                u128::from(outcome.metrics.worker_moves),
+                p.worker_moves,
+                "Theorem 3 worker moves are schedule-independent (d={d}, {policy:?})"
+            );
+            assert_eq!(u128::from(outcome.metrics.team_size), p.team);
+            assert!(u128::from(outcome.metrics.coordinator_moves) <= p.sync_moves_upper);
+        }
+    }
+}
+
+#[test]
+fn visibility_captures_under_all_adversaries() {
+    for d in 1..=8 {
+        let s = VisibilityStrategy::new(Hypercube::new(d));
+        for policy in Policy::adversaries(4) {
+            let outcome = s.run(policy).unwrap();
+            assert!(outcome.is_complete(), "d={d} {policy:?}");
+            let p = visibility_prediction(d);
+            assert_eq!(u128::from(outcome.metrics.team_size), p.agents);
+            assert_eq!(u128::from(outcome.metrics.total_moves()), p.moves);
+        }
+    }
+}
+
+#[test]
+fn cloning_captures_under_all_adversaries() {
+    for d in 1..=8 {
+        let s = CloningStrategy::new(Hypercube::new(d));
+        for policy in Policy::adversaries(4) {
+            let outcome = s.run(policy).unwrap();
+            assert!(outcome.is_complete(), "d={d} {policy:?}");
+            let p = cloning_prediction(d);
+            assert_eq!(u128::from(outcome.metrics.team_size), p.agents);
+            assert_eq!(u128::from(outcome.metrics.total_moves()), p.moves);
+        }
+    }
+}
+
+#[test]
+fn synchronous_variant_under_lockstep() {
+    for d in 1..=8 {
+        let s = SynchronousStrategy::new(Hypercube::new(d));
+        let outcome = s.run(Policy::Synchronous).unwrap();
+        assert!(outcome.is_complete(), "d={d}");
+        assert_eq!(outcome.metrics.ideal_time, Some(u64::from(d)));
+    }
+}
+
+#[test]
+fn ideal_times_match_theorems_under_lockstep() {
+    for d in 1..=8 {
+        let cube = Hypercube::new(d);
+        let vis = VisibilityStrategy::new(cube).run(Policy::Synchronous).unwrap();
+        assert_eq!(vis.metrics.ideal_time, Some(u64::from(d)), "Theorem 7 d={d}");
+        let cl = CloningStrategy::new(cube).run(Policy::Synchronous).unwrap();
+        assert_eq!(cl.metrics.ideal_time, Some(u64::from(d)), "§5 cloning d={d}");
+    }
+    // Theorem 4: CLEAN's time is the synchronizer's sequential walk.
+    for d in [3u32, 5, 6] {
+        let outcome = CleanStrategy::new(Hypercube::new(d))
+            .run(Policy::Synchronous)
+            .unwrap();
+        let t = outcome.metrics.ideal_time.unwrap();
+        let sync = outcome.metrics.coordinator_moves;
+        assert!(t >= sync, "d={d}");
+        assert!(t <= 8 * sync + 8 * u64::from(d), "d={d}: time {t} vs sync walk {sync}");
+    }
+}
+
+#[test]
+fn intruder_is_always_captured_at_the_end() {
+    // The greedy evader survives until its component is extinguished; for
+    // monotone contiguous strategies that means the very last events.
+    for d in 2..=6 {
+        let outcome = VisibilityStrategy::new(Hypercube::new(d))
+            .run(Policy::Fifo)
+            .unwrap();
+        match outcome.verdict.capture.unwrap() {
+            CaptureStatus::Captured { at_event, .. } => {
+                assert!(
+                    at_event * 10 >= outcome.verdict.events * 5,
+                    "d={d}: capture at {at_event}/{} is implausibly early",
+                    outcome.verdict.events
+                );
+            }
+            s => panic!("d={d}: {s:?}"),
+        }
+    }
+}
+
+#[test]
+fn fast_paths_and_engines_agree_everywhere() {
+    for d in 1..=7 {
+        let cube = Hypercube::new(d);
+        for (fast, engine) in [
+            (
+                CleanStrategy::new(cube).fast(false).metrics,
+                CleanStrategy::new(cube).run(Policy::Fifo).unwrap().metrics,
+            ),
+            (
+                VisibilityStrategy::new(cube).fast(false).metrics,
+                VisibilityStrategy::new(cube)
+                    .run(Policy::RoundRobin)
+                    .unwrap()
+                    .metrics,
+            ),
+            (
+                CloningStrategy::new(cube).fast(false).metrics,
+                CloningStrategy::new(cube).run(Policy::Lifo).unwrap().metrics,
+            ),
+        ] {
+            assert_eq!(fast.total_moves(), engine.total_moves(), "d={d}");
+            assert_eq!(fast.team_size, engine.team_size, "d={d}");
+        }
+    }
+}
+
+#[test]
+fn whiteboards_and_local_memory_stay_logarithmic() {
+    // §2 claims O(log n) bits suffice for all algorithms: check the peak
+    // metered usage grows at most linearly in d.
+    for d in [4u32, 6, 8] {
+        let vis = VisibilityStrategy::new(Hypercube::new(d))
+            .run(Policy::Fifo)
+            .unwrap();
+        assert!(
+            vis.metrics.peak_board_bits <= 2 * d + 8,
+            "d={d}: visibility whiteboard {} bits",
+            vis.metrics.peak_board_bits
+        );
+        let clean = CleanStrategy::new(Hypercube::new(d))
+            .run(Policy::Fifo)
+            .unwrap();
+        assert!(
+            clean.metrics.peak_board_bits <= 16 * d + 64,
+            "d={d}: CLEAN whiteboard {} bits",
+            clean.metrics.peak_board_bits
+        );
+        assert!(clean.metrics.peak_local_bits <= 64);
+    }
+}

@@ -1,0 +1,118 @@
+//! Golden reproduction table: the headline numbers of the paper, pinned.
+//!
+//! Any change to the algorithms that alters a count the paper fixes will
+//! fail here with the exact dimension and quantity.
+
+use hypersweep::prelude::*;
+use hypersweep::topology::combinatorics as comb;
+
+/// (d, CLEAN team, CLEAN worker moves, visibility agents, visibility
+/// moves, cloning moves)
+const GOLDEN: &[(u32, u128, u128, u128, u128, u128)] = &[
+    (1, 2, 2, 1, 1, 1),
+    (2, 3, 6, 2, 3, 3),
+    (3, 5, 16, 4, 8, 7),
+    (4, 8, 40, 8, 20, 15),
+    (5, 15, 96, 16, 48, 31),
+    (6, 26, 224, 32, 112, 63),
+    (7, 51, 512, 64, 256, 127),
+    (8, 92, 1152, 128, 576, 255),
+    (9, 183, 2560, 256, 1280, 511),
+    (10, 337, 5632, 512, 2816, 1023),
+    (11, 673, 12288, 1024, 6144, 2047),
+    (12, 1255, 26624, 2048, 13312, 4095),
+];
+
+#[test]
+fn golden_closed_forms() {
+    for &(d, team, clean_moves, vis_agents, vis_moves, clone_moves) in GOLDEN {
+        assert_eq!(comb::clean_team_size(d), team, "CLEAN team at d={d}");
+        assert_eq!(
+            comb::clean_agent_moves(d),
+            clean_moves,
+            "CLEAN worker moves at d={d}"
+        );
+        assert_eq!(
+            comb::visibility_agents(d),
+            vis_agents,
+            "visibility agents at d={d}"
+        );
+        assert_eq!(comb::visibility_moves(d), vis_moves, "visibility moves at d={d}");
+        assert_eq!(comb::cloning_moves(d), clone_moves, "cloning moves at d={d}");
+    }
+}
+
+#[test]
+fn golden_measured_runs_match() {
+    // Re-measure the small dimensions end to end on the engine.
+    for &(d, team, clean_moves, vis_agents, vis_moves, clone_moves) in &GOLDEN[..7] {
+        let cube = Hypercube::new(d);
+        let c = CleanStrategy::new(cube).run(Policy::Fifo).unwrap();
+        assert_eq!(u128::from(c.metrics.team_size), team, "d={d}");
+        assert_eq!(u128::from(c.metrics.worker_moves), clean_moves, "d={d}");
+        let v = VisibilityStrategy::new(cube).run(Policy::Fifo).unwrap();
+        assert_eq!(u128::from(v.metrics.team_size), vis_agents, "d={d}");
+        assert_eq!(u128::from(v.metrics.total_moves()), vis_moves, "d={d}");
+        let k = CloningStrategy::new(cube).run(Policy::Fifo).unwrap();
+        assert_eq!(u128::from(k.metrics.total_moves()), clone_moves, "d={d}");
+    }
+    // And the larger ones through the fast paths.
+    for &(d, team, clean_moves, vis_agents, vis_moves, clone_moves) in &GOLDEN[7..] {
+        let cube = Hypercube::new(d);
+        let c = CleanStrategy::new(cube).fast(false).metrics;
+        assert_eq!(u128::from(c.team_size), team, "d={d}");
+        assert_eq!(u128::from(c.worker_moves), clean_moves, "d={d}");
+        let v = VisibilityStrategy::new(cube).fast(false).metrics;
+        assert_eq!(u128::from(v.team_size), vis_agents, "d={d}");
+        assert_eq!(u128::from(v.total_moves()), vis_moves, "d={d}");
+        let k = CloningStrategy::new(cube).fast(false).metrics;
+        assert_eq!(u128::from(k.total_moves()), clone_moves, "d={d}");
+    }
+}
+
+#[test]
+fn abstract_complexity_orders() {
+    // Shape claims from the abstract, verified empirically over d = 6..=16:
+    // CLEAN: O(n log n) moves; visibility: n/2 agents, log n time,
+    // O(n log n) moves.
+    for d in 6..=16u32 {
+        let n = comb::pow2(d);
+        // Moves within constant factor of n·log n (both strategies).
+        let clean_moves = comb::clean_agent_moves(d);
+        assert!(clean_moves <= n * u128::from(d));
+        assert!(2 * clean_moves >= n * u128::from(d));
+        let vis_moves = comb::visibility_moves(d);
+        assert!(4 * vis_moves >= n * u128::from(d));
+        assert!(vis_moves <= n * u128::from(d));
+        // Visibility agents exactly n/2.
+        assert_eq!(comb::visibility_agents(d), n / 2);
+        // Teams: CLEAN strictly smaller from d = 5 on.
+        if d >= 5 {
+            assert!(comb::clean_team_size(d) < n / 2);
+        }
+    }
+}
+
+#[test]
+fn reproduction_note_on_theorem_2_asymptotics() {
+    // The paper states the CLEAN team is O(n/log n); the exact formula's
+    // dominant term is the central binomial C(d, d/2) = Θ(n/sqrt(d)).
+    // Demonstrate that team·log n / n grows (so O(n/log n) fails) while
+    // team·sqrt(log n)/n stays bounded.
+    let mut prev_log_ratio = 0.0f64;
+    for d in (8..=24u32).step_by(2) {
+        let team = comb::clean_team_size(d) as f64;
+        let n = comb::pow2(d) as f64;
+        let log_ratio = team * d as f64 / n;
+        let sqrt_ratio = team * (d as f64).sqrt() / n;
+        assert!(
+            log_ratio > prev_log_ratio,
+            "team/(n/log n) should grow at d={d}"
+        );
+        assert!(
+            (0.5..=2.0).contains(&sqrt_ratio),
+            "team/(n/sqrt(log n)) should stay Θ(1), got {sqrt_ratio} at d={d}"
+        );
+        prev_log_ratio = log_ratio;
+    }
+}

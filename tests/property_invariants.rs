@@ -1,0 +1,223 @@
+//! Property-based tests over dimensions, seeds, schedules and trees.
+
+use proptest::prelude::*;
+
+use hypersweep::baselines::tree_search::{tree_search_number, tree_search_plan};
+use hypersweep::baselines::{boundary_optimum, greedy_plan};
+use hypersweep::prelude::*;
+use hypersweep::topology::graph::AdjGraph;
+use hypersweep::topology::{combinatorics as comb, properties};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Properties 1–8 + Lemma 1 hold for every dimension.
+    #[test]
+    fn structural_properties_hold(d in 1u32..=10) {
+        properties::check_all(Hypercube::new(d)).unwrap();
+    }
+
+    /// The visibility strategy survives arbitrary random adversaries.
+    #[test]
+    fn visibility_correct_under_random_adversaries(d in 1u32..=7, seed in 0u64..1000) {
+        let outcome = VisibilityStrategy::new(Hypercube::new(d))
+            .run(Policy::Random(seed))
+            .unwrap();
+        prop_assert!(outcome.is_complete());
+        prop_assert_eq!(
+            u128::from(outcome.metrics.total_moves()),
+            comb::visibility_moves(d)
+        );
+    }
+
+    /// Algorithm CLEAN survives arbitrary random adversaries.
+    #[test]
+    fn clean_correct_under_random_adversaries(d in 1u32..=6, seed in 0u64..1000) {
+        let outcome = CleanStrategy::new(Hypercube::new(d))
+            .run(Policy::Random(seed))
+            .unwrap();
+        prop_assert!(outcome.is_complete());
+        prop_assert_eq!(
+            u128::from(outcome.metrics.worker_moves),
+            comb::clean_agent_moves(d)
+        );
+    }
+
+    /// The cloning variant survives arbitrary random adversaries with
+    /// exactly n − 1 moves.
+    #[test]
+    fn cloning_correct_under_random_adversaries(d in 1u32..=7, seed in 0u64..1000) {
+        let outcome = CloningStrategy::new(Hypercube::new(d))
+            .run(Policy::Random(seed))
+            .unwrap();
+        prop_assert!(outcome.is_complete());
+        prop_assert_eq!(
+            u128::from(outcome.metrics.total_moves()),
+            comb::pow2(d) - 1
+        );
+    }
+
+    /// Via-meet navigation is a shortest path that never climbs above the
+    /// endpoints' common level.
+    #[test]
+    fn via_meet_paths_are_shortest_and_low(d in 2u32..=10, a in 0u32..1024, b in 0u32..1024) {
+        let cube = Hypercube::new(d);
+        let n = cube.node_count() as u32;
+        let x = Node(a % n);
+        let y = Node(b % n);
+        let path = cube.via_meet_path(x, y);
+        prop_assert_eq!(path.len() as u32, cube.distance(x, y));
+        let cap = x.level().max(y.level());
+        let mut prev = x;
+        for &h in &path {
+            prop_assert_eq!(prev.hamming(h), 1);
+            prop_assert!(h.level() <= cap);
+            prev = h;
+        }
+    }
+
+    /// Binomial identities the proofs rely on.
+    #[test]
+    fn lemma3_and_theorem3_identities(d in 2u32..=24) {
+        for l in 1..d {
+            prop_assert_eq!(
+                comb::lemma3_extra_agents(d, l),
+                comb::lemma3_extra_agents_sum(d, l)
+            );
+        }
+        prop_assert_eq!(comb::clean_agent_moves(d), comb::clean_agent_moves_sum(d));
+        prop_assert_eq!(comb::visibility_moves(d), comb::visibility_moves_sum(d));
+    }
+}
+
+/// A random tree on `n` nodes from a Prüfer-like parent assignment.
+fn arb_tree(max_nodes: usize) -> impl Strategy<Value = AdjGraph> {
+    (2usize..=max_nodes)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec(0u32..u32::MAX, n - 1),
+            )
+        })
+        .prop_map(|(n, picks)| {
+            let mut g = AdjGraph::with_nodes(n);
+            for (i, pick) in picks.into_iter().enumerate() {
+                let v = (i + 1) as u32;
+                let parent = pick % v; // attach to any earlier node
+                g.add_edge(Node(v), Node(parent));
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tree strategy generated from the recurrence always audits clean
+    /// on its own tree, with exactly the computed team.
+    #[test]
+    fn tree_plans_are_correct_searches(tree in arb_tree(24)) {
+        let root = Node(0);
+        let plan = tree_search_plan(&tree, root);
+        let verdict = verify_trace(&tree, root, &plan.events, MonitorConfig::default());
+        prop_assert!(verdict.is_complete(), "violations: {:?}", verdict.violations);
+        prop_assert_eq!(plan.team, tree_search_number(&tree, root));
+    }
+
+    /// The recurrence value is sandwiched by the exhaustive guards-only
+    /// optimum: optimum ≤ team ≤ optimum + 1.
+    #[test]
+    fn tree_team_is_within_one_of_boundary_optimum(tree in arb_tree(12)) {
+        let root = Node(0);
+        let dp = tree_search_number(&tree, root);
+        let opt = boundary_optimum(&tree, root).peak_boundary;
+        prop_assert!(dp >= opt, "dp {} below the lower bound {}", dp, opt);
+        prop_assert!(dp <= opt + 1, "dp {} not within one of optimum {}", dp, opt);
+    }
+}
+
+/// A random connected graph: a random tree plus extra random edges.
+fn arb_connected_graph(max_nodes: usize) -> impl Strategy<Value = AdjGraph> {
+    (3usize..=max_nodes)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec(0u32..u32::MAX, n - 1),
+                proptest::collection::vec((0u32..u32::MAX, 0u32..u32::MAX), 0..n),
+            )
+        })
+        .prop_map(|(n, picks, extra)| {
+            let mut g = AdjGraph::with_nodes(n);
+            for (i, pick) in picks.into_iter().enumerate() {
+                let v = (i + 1) as u32;
+                g.add_edge(Node(v), Node(pick % v));
+            }
+            for (a, b) in extra {
+                let a = a % n as u32;
+                let b = b % n as u32;
+                if a != b {
+                    g.add_edge(Node(a), Node(b));
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The generic greedy planner produces a correct, complete, audited
+    /// search on arbitrary connected graphs.
+    #[test]
+    fn greedy_planner_is_correct_on_random_graphs(g in arb_connected_graph(28)) {
+        let plan = greedy_plan(&g, Node(0));
+        let verdict = verify_trace(&g, Node(0), &plan.events, MonitorConfig::default());
+        prop_assert!(verdict.is_complete(), "violations: {:?}", verdict.violations);
+        // The plan's own peak-boundary claim is consistent with the exact
+        // optimum (never below it) when the graph is small enough.
+        if hypersweep::topology::Topology::node_count(&g) <= 16 {
+            let opt = boundary_optimum(&g, Node(0)).peak_boundary;
+            prop_assert!(plan.peak_boundary >= opt);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random (illegal) traces never panic the monitors, and teleporting
+    /// spawns away from the connected region are flagged.
+    #[test]
+    fn monitors_are_total_on_arbitrary_traces(
+        d in 2u32..=5,
+        walk in proptest::collection::vec((0u32..64, 1u32..6), 1..40)
+    ) {
+        use hypersweep::sim::{Event, EventKind, Role};
+        let cube = Hypercube::new(d);
+        let n = cube.node_count() as u32;
+        let mut events = vec![Event {
+            time: 0,
+            kind: EventKind::Spawn { agent: 0, node: Node::ROOT, role: Role::Worker },
+        }];
+        let mut pos = Node::ROOT;
+        for (salt, port) in walk {
+            let p = 1 + (port + salt) % d;
+            let to = pos.flip(p.min(d));
+            if to.0 < n {
+                events.push(Event {
+                    time: 0,
+                    kind: EventKind::Move { agent: 0, from: pos, to, role: Role::Worker },
+                });
+                pos = to;
+            }
+        }
+        // Must not panic; verdict fields are consistent.
+        let verdict = verify_trace(&cube, Node::ROOT, &events, MonitorConfig::default());
+        if verdict.all_clean {
+            // A single agent cannot monotonically clean a hypercube of
+            // d ≥ 2 — if everything ended clean, monotonicity must have
+            // been violated along the way.
+            prop_assert!(d < 2 || !verdict.monotone);
+        }
+    }
+}
