@@ -1,0 +1,366 @@
+//! Memoized strategy runs shared across experiments.
+//!
+//! Several experiments execute the *same* strategy run: T2, T3, E11 and E13
+//! all trace Algorithm CLEAN's fast path over the fast dimensions; T7 and
+//! T10 both run the visibility strategy on the synchronous engine; and so
+//! on. A [`RunCache`] keys every engine/fast execution by
+//! [`RunKey`] and guarantees each unique configuration executes exactly
+//! once per harness invocation, no matter how many experiments request it
+//! or from how many worker threads.
+//!
+//! Strategy runs are deterministic per key (random adversaries are seeded),
+//! so a cached [`SearchOutcome`] is indistinguishable from a fresh one and
+//! exported JSON is unaffected by caching or execution order.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use hypersweep_baselines::{FloodStrategy, FrontierStrategy};
+use hypersweep_core::{
+    CleanStrategy, CloningStrategy, DispatchOrder, NavigationMode, SearchOutcome, SearchStrategy,
+    SynchronousStrategy, VisibilityStrategy,
+};
+use hypersweep_sim::Policy;
+use hypersweep_topology::Hypercube;
+
+/// Which strategy (including ablation variants) a run executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Algorithm CLEAN with via-meet navigation (the paper's version).
+    Clean,
+    /// Algorithm CLEAN with the naive through-root navigation (E13's
+    /// ablation).
+    CleanThroughRoot,
+    /// CLEAN WITH VISIBILITY.
+    Visibility,
+    /// The cloning variant (§5), largest-subtree-first dispatch.
+    Cloning,
+    /// The cloning variant with smallest-subtree-first dispatch (E13's
+    /// ablation).
+    CloningSmallestFirst,
+    /// The synchronous variant without visibility (§5).
+    Synchronous,
+    /// The flood baseline (one agent per node).
+    Flood,
+    /// The double-frontier baseline.
+    Frontier,
+}
+
+impl StrategyKind {
+    /// Short stable label for timing reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::Clean => "clean",
+            StrategyKind::CleanThroughRoot => "clean-through-root",
+            StrategyKind::Visibility => "visibility",
+            StrategyKind::Cloning => "cloning",
+            StrategyKind::CloningSmallestFirst => "cloning-smallest-first",
+            StrategyKind::Synchronous => "synchronous",
+            StrategyKind::Flood => "flood",
+            StrategyKind::Frontier => "frontier",
+        }
+    }
+}
+
+/// How a run executes: the procedural fast path or the discrete-event
+/// engine under a scheduling policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Exec {
+    /// `SearchStrategy::fast(false)` — procedural, no event trace kept.
+    Fast,
+    /// `SearchStrategy::run(policy)` — full engine with monitors.
+    Engine(Policy),
+}
+
+/// One unique strategy execution. Equal keys produce identical
+/// [`SearchOutcome`]s, which is what makes memoization sound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// The strategy to execute.
+    pub strategy: StrategyKind,
+    /// The hypercube dimension.
+    pub dim: u32,
+    /// Fast path or engine-with-policy.
+    pub exec: Exec,
+}
+
+impl RunKey {
+    /// A fast-path run.
+    pub fn fast(strategy: StrategyKind, dim: u32) -> Self {
+        RunKey {
+            strategy,
+            dim,
+            exec: Exec::Fast,
+        }
+    }
+
+    /// An engine run under `policy`.
+    pub fn engine(strategy: StrategyKind, dim: u32, policy: Policy) -> Self {
+        RunKey {
+            strategy,
+            dim,
+            exec: Exec::Engine(policy),
+        }
+    }
+
+    /// Stable label for timing reports, e.g. `clean/d6/fifo`.
+    pub fn label(&self) -> String {
+        match self.exec {
+            Exec::Fast => format!("{}/d{}/fast", self.strategy.label(), self.dim),
+            Exec::Engine(p) => format!("{}/d{}/{}", self.strategy.label(), self.dim, p.name()),
+        }
+    }
+}
+
+/// Execute `key` from scratch. This is the cache's default runner; tests
+/// inject their own via [`RunCache::with_runner`].
+pub fn execute_run(key: RunKey) -> SearchOutcome {
+    let cube = Hypercube::new(key.dim);
+    if key.strategy == StrategyKind::Frontier {
+        // The frontier baseline has no engine embedding; only its
+        // procedural trace is meaningful.
+        match key.exec {
+            Exec::Fast => return FrontierStrategy::new(cube).outcome(false),
+            Exec::Engine(_) => panic!("the frontier baseline has no engine run ({key:?})"),
+        }
+    }
+    let strategy: Box<dyn SearchStrategy> = match key.strategy {
+        StrategyKind::Clean => Box::new(CleanStrategy::new(cube)),
+        StrategyKind::CleanThroughRoot => Box::new(CleanStrategy::with_navigation(
+            cube,
+            NavigationMode::ThroughRoot,
+        )),
+        StrategyKind::Visibility => Box::new(VisibilityStrategy::new(cube)),
+        StrategyKind::Cloning => Box::new(CloningStrategy::new(cube)),
+        StrategyKind::CloningSmallestFirst => Box::new(CloningStrategy::with_dispatch_order(
+            cube,
+            DispatchOrder::SmallestSubtreeFirst,
+        )),
+        StrategyKind::Synchronous => Box::new(SynchronousStrategy::new(cube)),
+        StrategyKind::Flood => Box::new(FloodStrategy::new(cube)),
+        StrategyKind::Frontier => unreachable!("handled above"),
+    };
+    match key.exec {
+        Exec::Fast => strategy.fast(false),
+        Exec::Engine(policy) => strategy
+            .run(policy)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", key.label())),
+    }
+}
+
+/// Wall-clock record of one executed (cache-missed) run.
+#[derive(Clone, Debug)]
+pub struct JobTiming {
+    /// The run that executed.
+    pub key: RunKey,
+    /// How long it took.
+    pub elapsed: Duration,
+}
+
+enum Entry {
+    /// Some thread is computing this key; wait on the condvar.
+    InFlight,
+    /// Computed.
+    Ready(Arc<SearchOutcome>),
+}
+
+type Runner = dyn Fn(RunKey) -> SearchOutcome + Send + Sync;
+
+/// Concurrent memo table over [`RunKey`]s.
+///
+/// The first requester of a key executes it; concurrent requesters of the
+/// same key block until the result is ready instead of duplicating work.
+pub struct RunCache {
+    entries: Mutex<HashMap<RunKey, Entry>>,
+    ready: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    timings: Mutex<Vec<JobTiming>>,
+    runner: Box<Runner>,
+}
+
+impl Default for RunCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunCache {
+    /// An empty cache backed by [`execute_run`].
+    pub fn new() -> Self {
+        Self::with_runner(execute_run)
+    }
+
+    /// An empty cache backed by a custom runner (for tests).
+    pub fn with_runner(runner: impl Fn(RunKey) -> SearchOutcome + Send + Sync + 'static) -> Self {
+        RunCache {
+            entries: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            timings: Mutex::new(Vec::new()),
+            runner: Box::new(runner),
+        }
+    }
+
+    /// The outcome for `key`, executing it exactly once across all callers.
+    pub fn get_or_run(&self, key: RunKey) -> Arc<SearchOutcome> {
+        {
+            let mut entries = self.entries.lock().unwrap();
+            loop {
+                match entries.get(&key) {
+                    Some(Entry::Ready(outcome)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Arc::clone(outcome);
+                    }
+                    Some(Entry::InFlight) => {
+                        entries = self.ready.wait(entries).unwrap();
+                    }
+                    None => {
+                        entries.insert(key, Entry::InFlight);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+        }
+        // Execute outside the lock so unrelated keys proceed concurrently.
+        let start = Instant::now();
+        let outcome = Arc::new((self.runner)(key));
+        let elapsed = start.elapsed();
+        self.timings
+            .lock()
+            .unwrap()
+            .push(JobTiming { key, elapsed });
+        let mut entries = self.entries.lock().unwrap();
+        entries.insert(key, Entry::Ready(Arc::clone(&outcome)));
+        self.ready.notify_all();
+        outcome
+    }
+
+    /// Requests served from an already-computed entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that executed the run (once per unique key).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct runs executed so far.
+    pub fn unique_runs(&self) -> usize {
+        self.timings.lock().unwrap().len()
+    }
+
+    /// Wall-clock records of every executed run, slowest first.
+    pub fn timings(&self) -> Vec<JobTiming> {
+        let mut t = self.timings.lock().unwrap().clone();
+        t.sort_by_key(|timing| std::cmp::Reverse(timing.elapsed));
+        t
+    }
+
+    /// Total time spent executing runs (sum over unique runs).
+    pub fn total_run_time(&self) -> Duration {
+        self.timings.lock().unwrap().iter().map(|t| t.elapsed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    fn dummy_outcome() -> SearchOutcome {
+        // Any real run works; the cheapest possible one keeps tests fast.
+        execute_run(RunKey::fast(StrategyKind::Clean, 1))
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = RunCache::with_runner(|_| dummy_outcome());
+        let a = RunKey::fast(StrategyKind::Clean, 3);
+        let b = RunKey::engine(StrategyKind::Clean, 3, Policy::Fifo);
+        cache.get_or_run(a);
+        cache.get_or_run(a);
+        cache.get_or_run(b);
+        cache.get_or_run(a);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.unique_runs(), 2);
+    }
+
+    #[test]
+    fn concurrent_requests_execute_once() {
+        static EXECUTIONS: AtomicUsize = AtomicUsize::new(0);
+        let cache = Arc::new(RunCache::with_runner(|_| {
+            EXECUTIONS.fetch_add(1, Ordering::SeqCst);
+            // Widen the race window: all waiters should pile up on the
+            // in-flight entry.
+            std::thread::sleep(Duration::from_millis(20));
+            dummy_outcome()
+        }));
+        let key = RunKey::fast(StrategyKind::Visibility, 4);
+        let threads = 8;
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.get_or_run(key)
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(EXECUTIONS.load(Ordering::SeqCst), 1, "ran more than once");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), threads as u64 - 1);
+        // Everyone got the same shared outcome.
+        for o in &outcomes {
+            assert!(Arc::ptr_eq(o, &outcomes[0]));
+        }
+    }
+
+    #[test]
+    fn cached_outcome_equals_recomputed() {
+        let cache = RunCache::new();
+        let key = RunKey::engine(StrategyKind::Clean, 3, Policy::Random(7));
+        let cached = cache.get_or_run(key);
+        let fresh = execute_run(key);
+        assert_eq!(cached.metrics.worker_moves, fresh.metrics.worker_moves);
+        assert_eq!(cached.metrics.team_size, fresh.metrics.team_size);
+        assert_eq!(
+            cached.metrics.coordinator_moves,
+            fresh.metrics.coordinator_moves
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            RunKey::fast(StrategyKind::Clean, 6).label(),
+            "clean/d6/fast"
+        );
+        assert_eq!(
+            RunKey::engine(StrategyKind::Visibility, 4, Policy::Random(2)).label(),
+            "visibility/d4/random[2]"
+        );
+    }
+
+    #[test]
+    fn timings_record_every_unique_run() {
+        let cache = RunCache::with_runner(|_| dummy_outcome());
+        for d in 1..=4 {
+            cache.get_or_run(RunKey::fast(StrategyKind::Cloning, d));
+        }
+        cache.get_or_run(RunKey::fast(StrategyKind::Cloning, 1));
+        let timings = cache.timings();
+        assert_eq!(timings.len(), 4);
+        assert!(cache.total_run_time() >= timings[0].elapsed);
+    }
+}

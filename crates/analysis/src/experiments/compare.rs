@@ -2,25 +2,61 @@
 
 use hypersweep_baselines::tree_search::{chord_blind_trace, tree_search_number};
 use hypersweep_baselines::{
-    boundary_optimum, greedy_plan, isoperimetric_team_lower_bound, FloodStrategy,
-    FrontierStrategy,
+    boundary_optimum, greedy_plan, isoperimetric_team_lower_bound, FrontierStrategy,
 };
-use hypersweep_core::{
-    CleanStrategy, CloningStrategy, DispatchOrder, NavigationMode, SearchStrategy,
-    VisibilityStrategy,
-};
-use hypersweep_sim::Policy;
 use hypersweep_intruder::{verify_trace, MonitorConfig};
+use hypersweep_sim::Policy;
 use hypersweep_topology::graph::{AdjGraph, CubeConnectedCycles, DeBruijn, Ring, Torus};
 use hypersweep_topology::{combinatorics as comb, BroadcastTree, Hypercube, Node, Topology};
 
+use crate::cache::{RunCache, RunKey, StrategyKind};
 use crate::result::ExperimentResult;
 use crate::runner::ExperimentConfig;
 use crate::series::Series;
 use crate::table::{fmt_u128, fmt_u64, Table};
 
+/// The strategy runs each comparative experiment reads from the cache.
+pub fn required_runs(id: &str, cfg: &ExperimentConfig) -> Vec<RunKey> {
+    let mut keys = Vec::new();
+    match id {
+        "e11" => {
+            for &d in &cfg.fast_dims {
+                for kind in [
+                    StrategyKind::Clean,
+                    StrategyKind::Visibility,
+                    StrategyKind::Cloning,
+                    StrategyKind::Flood,
+                    StrategyKind::Frontier,
+                ] {
+                    keys.push(RunKey::fast(kind, d));
+                }
+            }
+        }
+        "e13" => {
+            for &d in &cfg.fast_dims {
+                keys.push(RunKey::fast(StrategyKind::Clean, d));
+                keys.push(RunKey::fast(StrategyKind::CleanThroughRoot, d));
+            }
+            for &d in cfg.sync_engine_dims.iter().filter(|&&d| d <= 9) {
+                keys.push(RunKey::engine(
+                    StrategyKind::Cloning,
+                    d,
+                    Policy::Synchronous,
+                ));
+                keys.push(RunKey::engine(
+                    StrategyKind::CloningSmallestFirst,
+                    d,
+                    Policy::Synchronous,
+                ));
+            }
+        }
+        _ => {}
+    }
+    keys
+}
+
 /// E11: the agents/moves/time trade-off across all strategies.
-pub fn e11_strategy_comparison(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn e11_strategy_comparison(cfg: &ExperimentConfig, runs: &RunCache) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "e11",
         "strategy trade-offs: agents vs moves vs time",
@@ -38,12 +74,21 @@ pub fn e11_strategy_comparison(cfg: &ExperimentConfig) -> ExperimentResult {
     let mut moves_cloning = Series::new("moves: cloning");
 
     for &d in &cfg.fast_dims {
-        let cube = Hypercube::new(d);
-        let clean = CleanStrategy::new(cube).fast(false).metrics;
-        let vis = VisibilityStrategy::new(cube).fast(false).metrics;
-        let cloning = CloningStrategy::new(cube).fast(false).metrics;
-        let flood = FloodStrategy::new(cube).fast(false).metrics;
-        let frontier = FrontierStrategy::new(cube).outcome(false).metrics;
+        let clean = runs
+            .get_or_run(RunKey::fast(StrategyKind::Clean, d))
+            .metrics;
+        let vis = runs
+            .get_or_run(RunKey::fast(StrategyKind::Visibility, d))
+            .metrics;
+        let cloning = runs
+            .get_or_run(RunKey::fast(StrategyKind::Cloning, d))
+            .metrics;
+        let flood = runs
+            .get_or_run(RunKey::fast(StrategyKind::Flood, d))
+            .metrics;
+        let frontier = runs
+            .get_or_run(RunKey::fast(StrategyKind::Frontier, d))
+            .metrics;
         // Ideal time: wave strategies report it directly; CLEAN's is its
         // sequential walk (Theorem 4) — listed as the synchronizer moves.
         let rows: Vec<(&str, u64, u64, String)> = vec![
@@ -65,12 +110,7 @@ pub fn e11_strategy_comparison(cfg: &ExperimentConfig) -> ExperimentResult {
                 cloning.total_moves(),
                 d.to_string(),
             ),
-            (
-                "flood",
-                flood.team_size,
-                flood.total_moves(),
-                d.to_string(),
-            ),
+            ("flood", flood.team_size, flood.total_moves(), d.to_string()),
             (
                 "frontier",
                 frontier.team_size,
@@ -97,7 +137,10 @@ pub fn e11_strategy_comparison(cfg: &ExperimentConfig) -> ExperimentResult {
         // d = 5 on).
         if d >= 4 {
             if d >= 5 {
-                assert!(clean.team_size < vis.team_size, "d={d}: CLEAN uses fewer agents");
+                assert!(
+                    clean.team_size < vis.team_size,
+                    "d={d}: CLEAN uses fewer agents"
+                );
             } else {
                 assert!(clean.team_size <= vis.team_size, "d={d}");
             }
@@ -130,7 +173,7 @@ pub fn e11_strategy_comparison(cfg: &ExperimentConfig) -> ExperimentResult {
 }
 
 /// E12: the paper's strategies against the baselines and exact bounds.
-pub fn e12_baselines(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn e12_baselines(cfg: &ExperimentConfig, _runs: &RunCache) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "e12",
         "baselines: what the hypercube-specific strategies buy",
@@ -142,7 +185,14 @@ pub fn e12_baselines(cfg: &ExperimentConfig) -> ExperimentResult {
     // (a) Team ratios.
     let mut table = Table::new(
         "team sizes: CLEAN vs frontier vs n/2 strategies",
-        &["d", "clean", "frontier", "frontier/clean", "n/2", "flood (n)"],
+        &[
+            "d",
+            "clean",
+            "frontier",
+            "frontier/clean",
+            "n/2",
+            "flood (n)",
+        ],
     );
     for &d in &cfg.fast_dims {
         let clean = comb::clean_team_size(d);
@@ -174,7 +224,12 @@ pub fn e12_baselines(cfg: &ExperimentConfig) -> ExperimentResult {
         }
         let team = tree_search_number(&g, Node::ROOT);
         let trace = chord_blind_trace(cube);
-        let verdict = verify_trace(&cube, Node::ROOT, &trace, MonitorConfig::monotonicity_only());
+        let verdict = verify_trace(
+            &cube,
+            Node::ROOT,
+            &trace,
+            MonitorConfig::monotonicity_only(),
+        );
         blind.push_row(vec![
             d.to_string(),
             team.to_string(),
@@ -220,7 +275,7 @@ pub fn e12_baselines(cfg: &ExperimentConfig) -> ExperimentResult {
 }
 
 /// E13: ablations of the paper's two key design choices.
-pub fn e13_ablations(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn e13_ablations(cfg: &ExperimentConfig, runs: &RunCache) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "e13",
         "ablations: via-meet navigation and largest-subtree-first dispatch",
@@ -234,10 +289,12 @@ pub fn e13_ablations(cfg: &ExperimentConfig) -> ExperimentResult {
         &["d", "via-meet", "through-root", "ratio"],
     );
     for &d in &cfg.fast_dims {
-        let cube = Hypercube::new(d);
-        let meet = CleanStrategy::new(cube).fast(false).metrics.coordinator_moves;
-        let naive = CleanStrategy::with_navigation(cube, NavigationMode::ThroughRoot)
-            .fast(false)
+        let meet = runs
+            .get_or_run(RunKey::fast(StrategyKind::Clean, d))
+            .metrics
+            .coordinator_moves;
+        let naive = runs
+            .get_or_run(RunKey::fast(StrategyKind::CleanThroughRoot, d))
             .metrics
             .coordinator_moves;
         nav.push_row(vec![
@@ -254,13 +311,16 @@ pub fn e13_ablations(cfg: &ExperimentConfig) -> ExperimentResult {
         &["d", "largest first", "smallest first", "d(d+1)/2"],
     );
     for &d in cfg.sync_engine_dims.iter().filter(|&&d| d <= 9) {
-        let cube = Hypercube::new(d);
-        let a = CloningStrategy::new(cube)
-            .run(Policy::Synchronous)
-            .expect("completes");
-        let b = CloningStrategy::with_dispatch_order(cube, DispatchOrder::SmallestSubtreeFirst)
-            .run(Policy::Synchronous)
-            .expect("completes");
+        let a = runs.get_or_run(RunKey::engine(
+            StrategyKind::Cloning,
+            d,
+            Policy::Synchronous,
+        ));
+        let b = runs.get_or_run(RunKey::engine(
+            StrategyKind::CloningSmallestFirst,
+            d,
+            Policy::Synchronous,
+        ));
         assert!(b.is_complete());
         let tri = u64::from(d) * (u64::from(d) + 1) / 2;
         assert_eq!(b.metrics.ideal_time, Some(tri));
@@ -282,7 +342,7 @@ pub fn e13_ablations(cfg: &ExperimentConfig) -> ExperimentResult {
 }
 
 /// E14: the open problem (§5) — squeezing the optimal team size.
-pub fn e14_open_problem(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn e14_open_problem(cfg: &ExperimentConfig, _runs: &RunCache) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "e14",
         "the §5 open problem: how optimal is Algorithm CLEAN's team?",
@@ -351,7 +411,7 @@ pub fn e14_open_problem(cfg: &ExperimentConfig) -> ExperimentResult {
 }
 
 /// E16: contiguous search across classic interconnection networks.
-pub fn e16_network_survey(_cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn e16_network_survey(_cfg: &ExperimentConfig, _runs: &RunCache) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "e16",
         "contiguous search numbers of classic networks (generic planner)",
@@ -361,7 +421,14 @@ pub fn e16_network_survey(_cfg: &ExperimentConfig) -> ExperimentResult {
     );
     let mut table = Table::new(
         "greedy contiguous search across topologies (all audited)",
-        &["network", "nodes", "edges", "team", "peak boundary", "moves"],
+        &[
+            "network",
+            "nodes",
+            "edges",
+            "team",
+            "peak boundary",
+            "moves",
+        ],
     );
     let mut add = |name: &str, topo: &dyn Topology| {
         let plan = greedy_plan(topo, Node(0));
@@ -412,13 +479,9 @@ mod tests {
 
     #[test]
     fn e16_survey_is_audited_and_ordered() {
-        let r = e16_network_survey(&ExperimentConfig::quick());
+        let r = e16_network_survey(&ExperimentConfig::quick(), &RunCache::new());
         let team_of = |name: &str| -> u32 {
-            r.tables[0]
-                .rows
-                .iter()
-                .find(|row| row[0] == name)
-                .unwrap()[3]
+            r.tables[0].rows.iter().find(|row| row[0] == name).unwrap()[3]
                 .parse()
                 .unwrap()
         };
@@ -432,7 +495,7 @@ mod tests {
 
     #[test]
     fn e14_bounds_are_consistent() {
-        let r = e14_open_problem(&ExperimentConfig::quick());
+        let r = e14_open_problem(&ExperimentConfig::quick(), &RunCache::new());
         assert!(!r.tables[0].rows.is_empty());
         for row in &r.tables[0].rows {
             let lb: u64 = row[1].parse().unwrap();
@@ -443,7 +506,7 @@ mod tests {
 
     #[test]
     fn e13_ablation_shapes() {
-        let r = e13_ablations(&ExperimentConfig::quick());
+        let r = e13_ablations(&ExperimentConfig::quick(), &RunCache::new());
         assert_eq!(r.tables.len(), 2);
         // Navigation ratio strictly above 1 for the largest dim row.
         let last = r.tables[0].rows.last().unwrap();
@@ -452,14 +515,14 @@ mod tests {
 
     #[test]
     fn e11_orderings_hold() {
-        let r = e11_strategy_comparison(&ExperimentConfig::quick());
+        let r = e11_strategy_comparison(&ExperimentConfig::quick(), &RunCache::new());
         assert_eq!(r.series.len(), 4);
         assert!(!r.tables[0].rows.is_empty());
     }
 
     #[test]
     fn e12_controls_behave() {
-        let r = e12_baselines(&ExperimentConfig::quick());
+        let r = e12_baselines(&ExperimentConfig::quick(), &RunCache::new());
         assert_eq!(r.tables.len(), 3);
         // The negative-control rows all report recontamination.
         for row in &r.tables[1].rows {

@@ -8,20 +8,50 @@
 //! the very end of the run) is schedule-invariant; the distributions
 //! quantify the noise.
 
-use hypersweep_core::{CleanStrategy, CloningStrategy, SearchStrategy, VisibilityStrategy};
 use hypersweep_intruder::CaptureStatus;
 use hypersweep_sim::Policy;
-use hypersweep_topology::Hypercube;
 
+use crate::cache::{RunCache, RunKey, StrategyKind};
 use crate::result::ExperimentResult;
 use crate::runner::ExperimentConfig;
 use crate::stats::summarize;
 use crate::table::Table;
 
-/// Run one strategy under one policy and return
-/// `(capture_event, total_events)`.
-fn chase(strategy: &dyn SearchStrategy, policy: Policy) -> (u64, u64) {
-    let outcome = strategy.run(policy).expect("strategy completes");
+/// The chase dimension: the largest engine dimension, capped at 7.
+fn chase_dim(cfg: &ExperimentConfig) -> u32 {
+    cfg.engine_dims.iter().copied().max().unwrap_or(6).min(7)
+}
+
+/// The strategies whose chases E15 measures.
+const CHASED: [(&str, StrategyKind); 3] = [
+    ("clean", StrategyKind::Clean),
+    ("visibility", StrategyKind::Visibility),
+    ("cloning", StrategyKind::Cloning),
+];
+
+/// The random-adversary seeds E15 sweeps.
+fn chase_seeds(cfg: &ExperimentConfig) -> Vec<u64> {
+    (0..cfg.adversary_seeds.max(8) * 4).collect()
+}
+
+/// The strategy runs E15 reads from the cache.
+pub fn required_runs(id: &str, cfg: &ExperimentConfig) -> Vec<RunKey> {
+    if id != "e15" {
+        return Vec::new();
+    }
+    let d = chase_dim(cfg);
+    let mut keys = Vec::new();
+    for (_, kind) in CHASED {
+        for seed in chase_seeds(cfg) {
+            keys.push(RunKey::engine(kind, d, Policy::Random(seed)));
+        }
+    }
+    keys
+}
+
+/// Read one cached chase and return `(capture_event, total_events)`.
+fn chase(runs: &RunCache, kind: StrategyKind, d: u32, seed: u64) -> (u64, u64) {
+    let outcome = runs.get_or_run(RunKey::engine(kind, d, Policy::Random(seed)));
     assert!(outcome.is_complete());
     let events_total = outcome.verdict.events;
     let at_event = match outcome.verdict.capture.expect("tracked") {
@@ -32,7 +62,7 @@ fn chase(strategy: &dyn SearchStrategy, policy: Policy) -> (u64, u64) {
 }
 
 /// E15: capture-time and flight statistics across random adversaries.
-pub fn e15_capture_dynamics(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn e15_capture_dynamics(cfg: &ExperimentConfig, runs: &RunCache) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "e15",
         "capture dynamics: when and where the evader is cornered",
@@ -40,12 +70,14 @@ pub fn e15_capture_dynamics(cfg: &ExperimentConfig) -> ExperimentResult {
          of the run: the capture event lands in the last few percent of the trace for every \
          strategy and schedule",
     );
-    let d = cfg.engine_dims.iter().copied().max().unwrap_or(6).min(7);
-    let cube = Hypercube::new(d);
-    let seeds: Vec<u64> = (0..cfg.adversary_seeds.max(8) * 4).collect();
+    let d = chase_dim(cfg);
+    let seeds = chase_seeds(cfg);
 
     let mut table = Table::new(
-        format!("capture position across {} random schedules on H_{d}", seeds.len()),
+        format!(
+            "capture position across {} random schedules on H_{d}",
+            seeds.len()
+        ),
         &[
             "strategy",
             "capture event (mean ± std [min..max])",
@@ -53,17 +85,12 @@ pub fn e15_capture_dynamics(cfg: &ExperimentConfig) -> ExperimentResult {
             "capture position (fraction of run)",
         ],
     );
-    let strategies: Vec<Box<dyn SearchStrategy>> = vec![
-        Box::new(CleanStrategy::new(cube)),
-        Box::new(VisibilityStrategy::new(cube)),
-        Box::new(CloningStrategy::new(cube)),
-    ];
-    for strategy in &strategies {
+    for (name, kind) in CHASED {
         let mut captures = Vec::new();
         let mut totals = Vec::new();
         let mut fractions = Vec::new();
         for &seed in &seeds {
-            let (at, total) = chase(strategy.as_ref(), Policy::Random(seed));
+            let (at, total) = chase(runs, kind, d, seed);
             captures.push(at as f64);
             totals.push(total as f64);
             fractions.push(at as f64 / total as f64);
@@ -74,12 +101,11 @@ pub fn e15_capture_dynamics(cfg: &ExperimentConfig) -> ExperimentResult {
         // Structural claim: capture never lands in the first half.
         assert!(
             frac.min > 0.5,
-            "{}: capture at fraction {} is implausibly early",
-            strategy.name(),
+            "{name}: capture at fraction {} is implausibly early",
             frac.min
         );
         table.push_row(vec![
-            strategy.name().into(),
+            name.into(),
             cap.cell(),
             tot.cell(),
             format!("{:.3} ± {:.3}", frac.mean, frac.std_dev),
@@ -103,7 +129,7 @@ mod tests {
     fn e15_produces_one_row_per_strategy() {
         let mut cfg = ExperimentConfig::quick();
         cfg.adversary_seeds = 2;
-        let r = e15_capture_dynamics(&cfg);
+        let r = e15_capture_dynamics(&cfg, &RunCache::new());
         assert_eq!(r.tables[0].rows.len(), 3);
     }
 }

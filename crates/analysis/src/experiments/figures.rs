@@ -2,16 +2,25 @@
 
 use hypersweep_core::{CleanStrategy, SearchStrategy, VisibilityStrategy};
 use hypersweep_sim::EventKind;
-use hypersweep_topology::{combinatorics as comb, render, BroadcastTree, HeapQueue, Hypercube,
-    Node};
+use hypersweep_topology::{
+    combinatorics as comb, render, BroadcastTree, HeapQueue, Hypercube, Node,
+};
 
+use crate::cache::{RunCache, RunKey};
 use crate::result::ExperimentResult;
 use crate::runner::ExperimentConfig;
 use crate::series::Series;
 use crate::table::Table;
 
+/// The figure experiments keep no cached runs: F1/F3 are structural and
+/// F2/F4 need raw event traces (`synthesize`), which the cache does not
+/// store.
+pub fn required_runs(_id: &str, _cfg: &ExperimentConfig) -> Vec<RunKey> {
+    Vec::new()
+}
+
 /// F1 (Figure 1): the broadcast tree of `H_d` is the heap queue `T(d)`.
-pub fn f1_broadcast_tree(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn f1_broadcast_tree(cfg: &ExperimentConfig, _runs: &RunCache) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "f1",
         "broadcast tree T(d) of H_d (Figure 1)",
@@ -32,8 +41,10 @@ pub fn f1_broadcast_tree(cfg: &ExperimentConfig) -> ExperimentResult {
     ));
     // The figure itself (the paper draws d = 6).
     let d = cfg.figure_dim;
-    r.artifacts.push(render::render_broadcast_tree(Hypercube::new(d)));
-    r.artifacts.push(render::render_type_census(Hypercube::new(d)));
+    r.artifacts
+        .push(render::render_broadcast_tree(Hypercube::new(d)));
+    r.artifacts
+        .push(render::render_type_census(Hypercube::new(d)));
     // Property 1 table: measured census vs C(d−k−1, l−1).
     let cube = Hypercube::new(d);
     let tree = BroadcastTree::new(cube);
@@ -88,7 +99,7 @@ fn first_visit_order(events: &[hypersweep_sim::Event]) -> Vec<(u64, Node)> {
 }
 
 /// F2 (Figure 2): the order in which Algorithm CLEAN cleans `H_4`.
-pub fn f2_clean_order(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn f2_clean_order(cfg: &ExperimentConfig, _runs: &RunCache) -> ExperimentResult {
     let d = cfg.small_figure_dim;
     let mut r = ExperimentResult::new(
         "f2",
@@ -122,7 +133,7 @@ pub fn f2_clean_order(cfg: &ExperimentConfig) -> ExperimentResult {
 }
 
 /// F3 (Figure 3): the msb classes `C_0 … C_d`.
-pub fn f3_msb_classes(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn f3_msb_classes(cfg: &ExperimentConfig, _runs: &RunCache) -> ExperimentResult {
     let d = cfg.figure_dim;
     let mut r = ExperimentResult::new(
         "f3",
@@ -158,7 +169,7 @@ pub fn f3_msb_classes(cfg: &ExperimentConfig) -> ExperimentResult {
 }
 
 /// F4 (Figure 4): the visibility strategy's wavefront cleaning order.
-pub fn f4_visibility_wavefront(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn f4_visibility_wavefront(cfg: &ExperimentConfig, _runs: &RunCache) -> ExperimentResult {
     let d = cfg.small_figure_dim;
     let mut r = ExperimentResult::new(
         "f4",
@@ -216,7 +227,7 @@ mod tests {
 
     #[test]
     fn f1_verifies_isomorphism_and_census() {
-        let r = f1_broadcast_tree(&cfg());
+        let r = f1_broadcast_tree(&cfg(), &RunCache::new());
         assert!(r.notes[0].contains("OK"));
         assert!(!r.tables[0].rows.is_empty());
         assert_eq!(r.artifacts.len(), 2);
@@ -224,7 +235,7 @@ mod tests {
 
     #[test]
     fn f2_visits_levels_in_order() {
-        let r = f2_clean_order(&cfg());
+        let r = f2_clean_order(&cfg(), &RunCache::new());
         assert!(r.notes[0].contains("OK"), "{:?}", r.notes);
         // H_4: 16 visit lines + header.
         assert_eq!(r.artifacts[0].lines().count(), 17);
@@ -232,7 +243,7 @@ mod tests {
 
     #[test]
     fn f3_class_sizes_match() {
-        let r = f3_msb_classes(&cfg());
+        let r = f3_msb_classes(&cfg(), &RunCache::new());
         for row in &r.tables[0].rows {
             assert_eq!(row[1], row[2], "measured vs predicted |C_i|");
         }
@@ -240,7 +251,7 @@ mod tests {
 
     #[test]
     fn f4_wavefront_is_exactly_the_classes() {
-        let r = f4_visibility_wavefront(&cfg());
+        let r = f4_visibility_wavefront(&cfg(), &RunCache::new());
         assert!(r.notes[0].contains("OK"), "{:?}", r.notes);
     }
 }

@@ -17,5 +17,17 @@ pub use theorems::{
 
 /// All experiment ids, in presentation order.
 pub const ALL_IDS: &[&str] = &[
-    "f1", "f2", "f3", "f4", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "e11", "e12", "e13", "e14", "e15", "e16",
+    "f1", "f2", "f3", "f4", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "e11", "e12",
+    "e13", "e14", "e15", "e16",
 ];
+
+/// The strategy runs `id` reads from the shared [`crate::cache::RunCache`]
+/// under `cfg` — the declarations the runner's warm phase executes across
+/// the worker pool. Unknown ids declare nothing.
+pub fn required_runs(id: &str, cfg: &crate::runner::ExperimentConfig) -> Vec<crate::cache::RunKey> {
+    let mut keys = figures::required_runs(id, cfg);
+    keys.extend(theorems::required_runs(id, cfg));
+    keys.extend(compare::required_runs(id, cfg));
+    keys.extend(dynamics::required_runs(id, cfg));
+    keys
+}

@@ -1,22 +1,115 @@
 //! T2–T10: the paper's theorems as measured-vs-predicted experiments.
+//!
+//! Every strategy execution goes through the shared [`RunCache`], so runs
+//! duplicated across experiments (CLEAN's fast trace in T2/T3, the FIFO
+//! engine confirmations, the visibility fast trace in T5/T7/T8, …) execute
+//! once per harness invocation. [`required_runs`] declares each
+//! experiment's runs so the runner can warm them across the worker pool.
 
 use hypersweep_core::predictions::{
     clean_phase_accounting, clean_prediction, cloning_prediction, visibility_prediction,
 };
-use hypersweep_core::{
-    CleanStrategy, CloningStrategy, SearchStrategy, SynchronousStrategy, VisibilityStrategy,
-};
 use hypersweep_sim::Policy;
 use hypersweep_topology::combinatorics as comb;
-use hypersweep_topology::Hypercube;
 
+use crate::cache::{RunCache, RunKey, StrategyKind};
 use crate::result::ExperimentResult;
 use crate::runner::ExperimentConfig;
 use crate::series::Series;
 use crate::table::{fmt_ratio, fmt_u128, fmt_u64, Table};
 
+/// The strategy runs each theorem experiment reads from the cache.
+pub fn required_runs(id: &str, cfg: &ExperimentConfig) -> Vec<RunKey> {
+    let mut keys = Vec::new();
+    match id {
+        "t2" | "t3" => {
+            for &d in &cfg.fast_dims {
+                keys.push(RunKey::fast(StrategyKind::Clean, d));
+            }
+            for &d in &cfg.engine_dims {
+                keys.push(RunKey::engine(StrategyKind::Clean, d, Policy::Fifo));
+            }
+        }
+        "t4" => {
+            for &d in &cfg.sync_engine_dims {
+                keys.push(RunKey::engine(StrategyKind::Clean, d, Policy::Synchronous));
+            }
+        }
+        "t5" => {
+            for &d in &cfg.fast_dims {
+                keys.push(RunKey::fast(StrategyKind::Visibility, d));
+            }
+            for &d in &cfg.engine_dims {
+                keys.push(RunKey::engine(StrategyKind::Visibility, d, Policy::Fifo));
+            }
+        }
+        "t6" => {
+            for kind in [
+                StrategyKind::Clean,
+                StrategyKind::Visibility,
+                StrategyKind::Cloning,
+            ] {
+                for policy in Policy::adversaries(cfg.adversary_seeds) {
+                    for &d in &cfg.engine_dims {
+                        keys.push(RunKey::engine(kind, d, policy));
+                    }
+                }
+            }
+            for &d in &cfg.engine_dims {
+                keys.push(RunKey::engine(StrategyKind::Clean, d, Policy::Random(1)));
+                keys.push(RunKey::engine(
+                    StrategyKind::Visibility,
+                    d,
+                    Policy::Random(1),
+                ));
+            }
+        }
+        "t7" => {
+            for &d in &cfg.fast_dims {
+                keys.push(RunKey::fast(StrategyKind::Visibility, d));
+            }
+            for &d in &cfg.sync_engine_dims {
+                keys.push(RunKey::engine(
+                    StrategyKind::Visibility,
+                    d,
+                    Policy::Synchronous,
+                ));
+            }
+        }
+        "t8" => {
+            for &d in &cfg.fast_dims {
+                keys.push(RunKey::fast(StrategyKind::Visibility, d));
+            }
+        }
+        "t9" => {
+            for &d in &cfg.fast_dims {
+                keys.push(RunKey::fast(StrategyKind::Cloning, d));
+            }
+            for &d in &cfg.engine_dims {
+                keys.push(RunKey::engine(StrategyKind::Cloning, d, Policy::Lifo));
+            }
+        }
+        "t10" => {
+            for &d in &cfg.sync_engine_dims {
+                keys.push(RunKey::engine(
+                    StrategyKind::Synchronous,
+                    d,
+                    Policy::Synchronous,
+                ));
+                keys.push(RunKey::engine(
+                    StrategyKind::Visibility,
+                    d,
+                    Policy::Synchronous,
+                ));
+            }
+        }
+        _ => {}
+    }
+    keys
+}
+
 /// T2 (Theorem 2 + Lemmas 3, 4): agents used by Algorithm CLEAN.
-pub fn t2_clean_agents(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn t2_clean_agents(cfg: &ExperimentConfig, runs: &RunCache) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "t2",
         "team size of Algorithm CLEAN (Theorem 2, Lemmas 3–4)",
@@ -38,8 +131,7 @@ pub fn t2_clean_agents(cfg: &ExperimentConfig) -> ExperimentResult {
     );
     let mut team_series = Series::new("CLEAN team size");
     for &d in &cfg.fast_dims {
-        let s = CleanStrategy::new(Hypercube::new(d));
-        let outcome = s.fast(false);
+        let outcome = runs.get_or_run(RunKey::fast(StrategyKind::Clean, d));
         let p = clean_prediction(d);
         let n = comb::pow2(d) as f64;
         let nlogn = if d > 0 { n / d as f64 } else { n };
@@ -65,24 +157,22 @@ pub fn t2_clean_agents(cfg: &ExperimentConfig) -> ExperimentResult {
     let d = cfg.figure_dim;
     let mut phases = Table::new(
         format!("per-phase agent accounting for H_{d} (Lemma 3)"),
-        &["level l", "guards C(d,l)", "extras (Lemma 3)", "workers engaged"],
+        &[
+            "level l",
+            "guards C(d,l)",
+            "extras (Lemma 3)",
+            "workers engaged",
+        ],
     );
     for l in 0..d {
         let (g, e, w) = clean_phase_accounting(d, l);
-        phases.push_row(vec![
-            l.to_string(),
-            fmt_u128(g),
-            fmt_u128(e),
-            fmt_u128(w),
-        ]);
+        phases.push_row(vec![l.to_string(), fmt_u128(g), fmt_u128(e), fmt_u128(w)]);
     }
     r.tables.push(phases);
 
     // Engine confirmation: CLEAN completes with exactly the Lemma 4 team.
     for &d in &cfg.engine_dims {
-        let outcome = CleanStrategy::new(Hypercube::new(d))
-            .run(Policy::Fifo)
-            .expect("CLEAN completes with the Lemma 4 team");
+        let outcome = runs.get_or_run(RunKey::engine(StrategyKind::Clean, d, Policy::Fifo));
         assert!(outcome.is_complete());
     }
     r.notes.push(format!(
@@ -109,7 +199,7 @@ pub fn t2_clean_agents(cfg: &ExperimentConfig) -> ExperimentResult {
 }
 
 /// T3 (Theorem 3): moves of Algorithm CLEAN.
-pub fn t3_clean_moves(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn t3_clean_moves(cfg: &ExperimentConfig, runs: &RunCache) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "t3",
         "moves of Algorithm CLEAN (Theorem 3)",
@@ -131,10 +221,15 @@ pub fn t3_clean_moves(cfg: &ExperimentConfig) -> ExperimentResult {
     );
     let mut total_series = Series::new("CLEAN total moves");
     for &d in &cfg.fast_dims {
-        let s = CleanStrategy::new(Hypercube::new(d));
-        let m = s.fast(false).metrics;
+        let m = runs
+            .get_or_run(RunKey::fast(StrategyKind::Clean, d))
+            .metrics;
         let p = clean_prediction(d);
-        assert_eq!(u128::from(m.worker_moves), p.worker_moves, "Theorem 3 d={d}");
+        assert_eq!(
+            u128::from(m.worker_moves),
+            p.worker_moves,
+            "Theorem 3 d={d}"
+        );
         assert!(u128::from(m.coordinator_moves) <= p.sync_moves_upper);
         let nlogn = (comb::pow2(d) * d.max(1) as u128) as f64;
         table.push_row(vec![
@@ -162,9 +257,12 @@ pub fn t3_clean_moves(cfg: &ExperimentConfig) -> ExperimentResult {
     r.series.push(total_series);
     // Engine agreement (the unit tests also enforce this; recorded here).
     for &d in &cfg.engine_dims {
-        let s = CleanStrategy::new(Hypercube::new(d));
-        let eng = s.run(Policy::Fifo).expect("completes").metrics;
-        let fast = s.fast(false).metrics;
+        let eng = runs
+            .get_or_run(RunKey::engine(StrategyKind::Clean, d, Policy::Fifo))
+            .metrics;
+        let fast = runs
+            .get_or_run(RunKey::fast(StrategyKind::Clean, d))
+            .metrics;
         assert_eq!(eng.worker_moves, fast.worker_moves);
         assert_eq!(eng.coordinator_moves, fast.coordinator_moves);
     }
@@ -176,7 +274,7 @@ pub fn t3_clean_moves(cfg: &ExperimentConfig) -> ExperimentResult {
 }
 
 /// T4 (Theorem 4): ideal time of Algorithm CLEAN.
-pub fn t4_clean_time(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn t4_clean_time(cfg: &ExperimentConfig, runs: &RunCache) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "t4",
         "ideal time of Algorithm CLEAN (Theorem 4)",
@@ -195,8 +293,7 @@ pub fn t4_clean_time(cfg: &ExperimentConfig) -> ExperimentResult {
     );
     let mut series = Series::new("CLEAN ideal time");
     for &d in &cfg.sync_engine_dims {
-        let s = CleanStrategy::new(Hypercube::new(d));
-        let outcome = s.run(Policy::Synchronous).expect("completes");
+        let outcome = runs.get_or_run(RunKey::engine(StrategyKind::Clean, d, Policy::Synchronous));
         let t = outcome.metrics.ideal_time.expect("synchronous run") as f64;
         let sync = outcome.metrics.coordinator_moves as f64;
         let nlogn = (comb::pow2(d) * d.max(1) as u128) as f64;
@@ -223,6 +320,7 @@ pub fn t4_clean_time(cfg: &ExperimentConfig) -> ExperimentResult {
 
 fn visibility_table(
     cfg: &ExperimentConfig,
+    runs: &RunCache,
     metric: &str,
     extract: impl Fn(&hypersweep_sim::Metrics) -> u64,
     predict: impl Fn(u32) -> u128,
@@ -233,8 +331,9 @@ fn visibility_table(
     );
     let mut series = Series::new(format!("visibility {metric}"));
     for &d in &cfg.fast_dims {
-        let s = VisibilityStrategy::new(Hypercube::new(d));
-        let m = s.fast(false).metrics;
+        let m = runs
+            .get_or_run(RunKey::fast(StrategyKind::Visibility, d))
+            .metrics;
         let measured = extract(&m);
         let predicted = predict(d);
         table.push_row(vec![
@@ -254,7 +353,7 @@ fn visibility_table(
 }
 
 /// T5 (Theorem 5): the visibility strategy uses exactly `n/2` agents.
-pub fn t5_visibility_agents(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn t5_visibility_agents(cfg: &ExperimentConfig, runs: &RunCache) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "t5",
         "agents of CLEAN WITH VISIBILITY (Theorem 5)",
@@ -263,6 +362,7 @@ pub fn t5_visibility_agents(cfg: &ExperimentConfig) -> ExperimentResult {
     );
     let (table, series) = visibility_table(
         cfg,
+        runs,
         "agents",
         |m| m.team_size,
         |d| visibility_prediction(d).agents,
@@ -270,11 +370,12 @@ pub fn t5_visibility_agents(cfg: &ExperimentConfig) -> ExperimentResult {
     r.tables.push(table);
     r.series.push(series);
     for &d in &cfg.engine_dims {
-        let outcome = VisibilityStrategy::new(Hypercube::new(d))
-            .run(Policy::Fifo)
-            .expect("completes");
+        let outcome = runs.get_or_run(RunKey::engine(StrategyKind::Visibility, d, Policy::Fifo));
         assert!(outcome.is_complete());
-        assert_eq!(u128::from(outcome.metrics.team_size), visibility_prediction(d).agents);
+        assert_eq!(
+            u128::from(outcome.metrics.team_size),
+            visibility_prediction(d).agents
+        );
     }
     r.notes.push(format!(
         "engine runs confirm the exact count for d in {:?}",
@@ -285,7 +386,7 @@ pub fn t5_visibility_agents(cfg: &ExperimentConfig) -> ExperimentResult {
 
 /// T6 (Theorem 6 + Lemma 5): monotonicity and contiguity under every
 /// adversary.
-pub fn t6_monotonicity(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn t6_monotonicity(cfg: &ExperimentConfig, runs: &RunCache) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "t6",
         "no recontamination under any schedule (Theorems 1 and 6)",
@@ -299,30 +400,27 @@ pub fn t6_monotonicity(cfg: &ExperimentConfig) -> ExperimentResult {
     let policies = Policy::adversaries(cfg.adversary_seeds);
     let dims: Vec<u32> = cfg.engine_dims.clone();
     let mut total_runs = 0u64;
-    for strategy_name in ["clean", "visibility", "cloning"] {
+    for (strategy_name, kind) in [
+        ("clean", StrategyKind::Clean),
+        ("visibility", StrategyKind::Visibility),
+        ("cloning", StrategyKind::Cloning),
+    ] {
         for policy in &policies {
-            let mut runs = 0u64;
+            let mut runs_count = 0u64;
             let mut violations = 0u64;
             for &d in &dims {
-                let cube = Hypercube::new(d);
-                let outcome = match strategy_name {
-                    "clean" => CleanStrategy::new(cube).run(*policy),
-                    "visibility" => VisibilityStrategy::new(cube).run(*policy),
-                    "cloning" => CloningStrategy::new(cube).run(*policy),
-                    _ => unreachable!(),
-                }
-                .expect("strategy completes");
-                runs += 1;
+                let outcome = runs.get_or_run(RunKey::engine(kind, d, *policy));
+                runs_count += 1;
                 if !outcome.is_complete() {
                     violations += outcome.verdict.violations.len().max(1) as u64;
                 }
             }
-            total_runs += runs;
+            total_runs += runs_count;
             table.push_row(vec![
                 strategy_name.into(),
                 policy.name(),
                 format!("{dims:?}"),
-                runs.to_string(),
+                runs_count.to_string(),
                 violations.to_string(),
             ]);
         }
@@ -338,12 +436,13 @@ pub fn t6_monotonicity(cfg: &ExperimentConfig) -> ExperimentResult {
         &["d", "strategy", "board bits", "local bits", "log2 n"],
     );
     for &d in &cfg.engine_dims {
-        let cube = Hypercube::new(d);
-        for (name, outcome) in [
-            ("clean", CleanStrategy::new(cube).run(Policy::Random(1))),
-            ("visibility", VisibilityStrategy::new(cube).run(Policy::Random(1))),
+        for (name, kind) in [
+            ("clean", StrategyKind::Clean),
+            ("visibility", StrategyKind::Visibility),
         ] {
-            let m = outcome.expect("completes").metrics;
+            let m = runs
+                .get_or_run(RunKey::engine(kind, d, Policy::Random(1)))
+                .metrics;
             bits.push_row(vec![
                 d.to_string(),
                 name.into(),
@@ -351,7 +450,10 @@ pub fn t6_monotonicity(cfg: &ExperimentConfig) -> ExperimentResult {
                 m.peak_local_bits.to_string(),
                 d.to_string(),
             ]);
-            assert!(m.peak_board_bits <= 16 * d + 64, "board bits blow up at d={d}");
+            assert!(
+                m.peak_board_bits <= 16 * d + 64,
+                "board bits blow up at d={d}"
+            );
         }
     }
     r.tables.push(bits);
@@ -359,7 +461,7 @@ pub fn t6_monotonicity(cfg: &ExperimentConfig) -> ExperimentResult {
 }
 
 /// T7 (Theorem 7): the visibility strategy cleans in `log n` time units.
-pub fn t7_visibility_time(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn t7_visibility_time(cfg: &ExperimentConfig, runs: &RunCache) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "t7",
         "ideal time of CLEAN WITH VISIBILITY (Theorem 7)",
@@ -368,6 +470,7 @@ pub fn t7_visibility_time(cfg: &ExperimentConfig) -> ExperimentResult {
     );
     let (table, series) = visibility_table(
         cfg,
+        runs,
         "ideal time",
         |m| m.ideal_time.expect("fast path reports the wave count"),
         u128::from,
@@ -375,9 +478,11 @@ pub fn t7_visibility_time(cfg: &ExperimentConfig) -> ExperimentResult {
     r.tables.push(table);
     r.series.push(series);
     for &d in &cfg.sync_engine_dims {
-        let outcome = VisibilityStrategy::new(Hypercube::new(d))
-            .run(Policy::Synchronous)
-            .expect("completes");
+        let outcome = runs.get_or_run(RunKey::engine(
+            StrategyKind::Visibility,
+            d,
+            Policy::Synchronous,
+        ));
         assert_eq!(outcome.metrics.ideal_time, Some(u64::from(d)), "d={d}");
     }
     r.notes.push(format!(
@@ -388,7 +493,7 @@ pub fn t7_visibility_time(cfg: &ExperimentConfig) -> ExperimentResult {
 }
 
 /// T8 (Theorem 8): moves of the visibility strategy.
-pub fn t8_visibility_moves(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn t8_visibility_moves(cfg: &ExperimentConfig, runs: &RunCache) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "t8",
         "moves of CLEAN WITH VISIBILITY (Theorem 8)",
@@ -396,6 +501,7 @@ pub fn t8_visibility_moves(cfg: &ExperimentConfig) -> ExperimentResult {
     );
     let (table, series) = visibility_table(
         cfg,
+        runs,
         "moves",
         |m| m.worker_moves,
         |d| visibility_prediction(d).moves,
@@ -415,7 +521,7 @@ pub fn t8_visibility_moves(cfg: &ExperimentConfig) -> ExperimentResult {
 }
 
 /// T9 (§5): the cloning variant.
-pub fn t9_cloning(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn t9_cloning(cfg: &ExperimentConfig, runs: &RunCache) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "t9",
         "cloning variant (§5)",
@@ -435,8 +541,9 @@ pub fn t9_cloning(cfg: &ExperimentConfig) -> ExperimentResult {
         ],
     );
     for &d in &cfg.fast_dims {
-        let s = CloningStrategy::new(Hypercube::new(d));
-        let m = s.fast(false).metrics;
+        let m = runs
+            .get_or_run(RunKey::fast(StrategyKind::Cloning, d))
+            .metrics;
         let p = cloning_prediction(d);
         assert_eq!(u128::from(m.total_moves()), p.moves);
         assert_eq!(u128::from(m.team_size), p.agents);
@@ -452,9 +559,7 @@ pub fn t9_cloning(cfg: &ExperimentConfig) -> ExperimentResult {
     }
     r.tables.push(table);
     for &d in &cfg.engine_dims {
-        let outcome = CloningStrategy::new(Hypercube::new(d))
-            .run(Policy::Lifo)
-            .expect("completes");
+        let outcome = runs.get_or_run(RunKey::engine(StrategyKind::Cloning, d, Policy::Lifo));
         assert!(outcome.is_complete());
     }
     r.notes.push(format!(
@@ -465,7 +570,7 @@ pub fn t9_cloning(cfg: &ExperimentConfig) -> ExperimentResult {
 }
 
 /// T10 (§5): the synchronous variant without visibility.
-pub fn t10_synchronous_variant(cfg: &ExperimentConfig) -> ExperimentResult {
+pub fn t10_synchronous_variant(cfg: &ExperimentConfig, runs: &RunCache) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "t10",
         "synchronous variant (§5)",
@@ -477,13 +582,16 @@ pub fn t10_synchronous_variant(cfg: &ExperimentConfig) -> ExperimentResult {
         &["d", "agents", "moves", "ideal time", "equals visibility"],
     );
     for &d in &cfg.sync_engine_dims {
-        let cube = Hypercube::new(d);
-        let a = SynchronousStrategy::new(cube)
-            .run(Policy::Synchronous)
-            .expect("completes");
-        let b = VisibilityStrategy::new(cube)
-            .run(Policy::Synchronous)
-            .expect("completes");
+        let a = runs.get_or_run(RunKey::engine(
+            StrategyKind::Synchronous,
+            d,
+            Policy::Synchronous,
+        ));
+        let b = runs.get_or_run(RunKey::engine(
+            StrategyKind::Visibility,
+            d,
+            Policy::Synchronous,
+        ));
         let equal = a.metrics.team_size == b.metrics.team_size
             && a.metrics.total_moves() == b.metrics.total_moves()
             && a.metrics.ideal_time == b.metrics.ideal_time;
@@ -500,8 +608,10 @@ pub fn t10_synchronous_variant(cfg: &ExperimentConfig) -> ExperimentResult {
         ]);
     }
     r.tables.push(table);
-    r.notes
-        .push("asynchronous schedules are rejected by construction (the variant is undefined \
-               without a global clock)".into());
+    r.notes.push(
+        "asynchronous schedules are rejected by construction (the variant is undefined \
+               without a global clock)"
+            .into(),
+    );
     r
 }

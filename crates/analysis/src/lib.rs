@@ -14,14 +14,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod experiments;
+pub mod pool;
 pub mod result;
 pub mod runner;
 pub mod series;
 pub mod stats;
 pub mod table;
 
+pub use cache::{Exec, RunCache, RunKey, StrategyKind};
+pub use pool::{default_jobs, execute_jobs};
 pub use result::ExperimentResult;
-pub use runner::{run_all, run_experiment, ExperimentConfig};
+pub use runner::{
+    run_all, run_experiment, run_ids_pooled, ExperimentConfig, HarnessReport, RunSummary,
+};
 pub use series::Series;
 pub use table::Table;

@@ -27,11 +27,7 @@ pub struct ExperimentResult {
 
 impl ExperimentResult {
     /// New empty result.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        claim: impl Into<String>,
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, claim: impl Into<String>) -> Self {
         ExperimentResult {
             id: id.into(),
             title: title.into(),
@@ -46,7 +42,11 @@ impl ExperimentResult {
     /// Render everything as text (what the CLI prints).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("== {} — {} ==\n", self.id.to_uppercase(), self.title));
+        out.push_str(&format!(
+            "== {} — {} ==\n",
+            self.id.to_uppercase(),
+            self.title
+        ));
         out.push_str(&format!("claim: {}\n\n", self.claim));
         for t in &self.tables {
             out.push_str(&t.render());

@@ -1,11 +1,29 @@
-//! Experiment configuration, dispatch, and parallel execution.
+//! Experiment configuration, dispatch, and pooled parallel execution.
+//!
+//! The harness runs in two phases over one [`RunCache`] and one
+//! fixed-size worker pool ([`crate::pool`]):
+//!
+//! 1. **Warm**: every requested experiment *declares* the strategy runs it
+//!    needs ([`experiments::required_runs`]); the declarations are deduped
+//!    and executed across the pool, so a run shared by several experiments
+//!    (e.g. CLEAN's fast trace, used by T2, T3, E11 and E13) executes once.
+//! 2. **Experiments**: the experiments themselves run on the pool and read
+//!    their runs back as cache hits.
+//!
+//! Strategy runs are deterministic per key and results are merged in
+//! submission order, so exported JSON is byte-identical for every `--jobs`
+//! setting (including sequential `--jobs 1`).
 
+use std::collections::HashSet;
 use std::io::Write as _;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
+use crate::cache::RunCache;
 use crate::experiments;
+use crate::pool::{default_jobs, execute_jobs};
 use crate::result::ExperimentResult;
 
 /// How large and how thorough an experiment run should be.
@@ -59,50 +77,163 @@ impl ExperimentConfig {
     }
 }
 
-/// Run one experiment by id; `None` for an unknown id.
-pub fn run_experiment(id: &str, cfg: &ExperimentConfig) -> Option<ExperimentResult> {
+/// Dispatch one experiment against a shared run cache.
+fn dispatch(id: &str, cfg: &ExperimentConfig, runs: &RunCache) -> Option<ExperimentResult> {
     Some(match id {
-        "f1" => experiments::f1_broadcast_tree(cfg),
-        "f2" => experiments::f2_clean_order(cfg),
-        "f3" => experiments::f3_msb_classes(cfg),
-        "f4" => experiments::f4_visibility_wavefront(cfg),
-        "t2" => experiments::t2_clean_agents(cfg),
-        "t3" => experiments::t3_clean_moves(cfg),
-        "t4" => experiments::t4_clean_time(cfg),
-        "t5" => experiments::t5_visibility_agents(cfg),
-        "t6" => experiments::t6_monotonicity(cfg),
-        "t7" => experiments::t7_visibility_time(cfg),
-        "t8" => experiments::t8_visibility_moves(cfg),
-        "t9" => experiments::t9_cloning(cfg),
-        "t10" => experiments::t10_synchronous_variant(cfg),
-        "e11" => experiments::e11_strategy_comparison(cfg),
-        "e12" => experiments::e12_baselines(cfg),
-        "e13" => experiments::e13_ablations(cfg),
-        "e14" => experiments::e14_open_problem(cfg),
-        "e15" => experiments::e15_capture_dynamics(cfg),
-        "e16" => experiments::e16_network_survey(cfg),
+        "f1" => experiments::f1_broadcast_tree(cfg, runs),
+        "f2" => experiments::f2_clean_order(cfg, runs),
+        "f3" => experiments::f3_msb_classes(cfg, runs),
+        "f4" => experiments::f4_visibility_wavefront(cfg, runs),
+        "t2" => experiments::t2_clean_agents(cfg, runs),
+        "t3" => experiments::t3_clean_moves(cfg, runs),
+        "t4" => experiments::t4_clean_time(cfg, runs),
+        "t5" => experiments::t5_visibility_agents(cfg, runs),
+        "t6" => experiments::t6_monotonicity(cfg, runs),
+        "t7" => experiments::t7_visibility_time(cfg, runs),
+        "t8" => experiments::t8_visibility_moves(cfg, runs),
+        "t9" => experiments::t9_cloning(cfg, runs),
+        "t10" => experiments::t10_synchronous_variant(cfg, runs),
+        "e11" => experiments::e11_strategy_comparison(cfg, runs),
+        "e12" => experiments::e12_baselines(cfg, runs),
+        "e13" => experiments::e13_ablations(cfg, runs),
+        "e14" => experiments::e14_open_problem(cfg, runs),
+        "e15" => experiments::e15_capture_dynamics(cfg, runs),
+        "e16" => experiments::e16_network_survey(cfg, runs),
         _ => return None,
     })
 }
 
-/// Run every experiment, in parallel across experiments (each experiment is
-/// itself sequential), and return them in presentation order.
+/// Run one experiment by id with a private cache; `None` for an unknown id.
+pub fn run_experiment(id: &str, cfg: &ExperimentConfig) -> Option<ExperimentResult> {
+    dispatch(id, cfg, &RunCache::new())
+}
+
+/// Execution statistics for one pooled harness invocation. Deliberately
+/// kept out of [`ExperimentResult`]: wall-clock numbers must never reach
+/// the exported JSON.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Run requests served from an already-computed outcome.
+    pub cache_hits: u64,
+    /// Run requests that executed (once per unique configuration).
+    pub cache_misses: u64,
+    /// Distinct strategy runs executed.
+    pub unique_runs: usize,
+    /// Per-run wall-clock times, slowest first (label, elapsed).
+    pub run_timings: Vec<(String, Duration)>,
+    /// Per-experiment wall-clock times in presentation order (id, elapsed).
+    pub experiment_timings: Vec<(String, Duration)>,
+    /// End-to-end wall-clock time of both phases.
+    pub wall: Duration,
+}
+
+impl RunSummary {
+    /// One-line human summary for the CLI.
+    pub fn render(&self) -> String {
+        let slowest = self
+            .run_timings
+            .iter()
+            .take(3)
+            .map(|(label, t)| format!("{label} {:.0}ms", t.as_secs_f64() * 1e3))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "pool: {} jobs; cache: {} hits / {} misses ({} unique runs, {:.1}s run time); \
+             wall {:.1}s; slowest runs: {}",
+            self.jobs,
+            self.cache_hits,
+            self.cache_misses,
+            self.unique_runs,
+            self.run_timings
+                .iter()
+                .map(|(_, t)| t.as_secs_f64())
+                .sum::<f64>(),
+            self.wall.as_secs_f64(),
+            if slowest.is_empty() {
+                "-".into()
+            } else {
+                slowest
+            },
+        )
+    }
+}
+
+/// Results plus execution statistics from [`run_ids_pooled`].
+#[derive(Debug)]
+pub struct HarnessReport {
+    /// One result per requested id, in the requested order.
+    pub results: Vec<ExperimentResult>,
+    /// Pool and cache statistics for the whole invocation.
+    pub summary: RunSummary,
+}
+
+/// Run the given experiments on a pool of `jobs` workers with a shared run
+/// cache. Panics on unknown ids (callers validate against
+/// [`experiments::ALL_IDS`]).
+pub fn run_ids_pooled(ids: &[&str], cfg: &ExperimentConfig, jobs: usize) -> HarnessReport {
+    let start = Instant::now();
+    let jobs = jobs.max(1);
+    let cache = RunCache::new();
+    let cache = &cache;
+
+    // Phase 1: warm every declared run, deduped in declaration order.
+    let mut seen = HashSet::new();
+    let warm_jobs: Vec<_> = ids
+        .iter()
+        .flat_map(|id| experiments::required_runs(id, cfg))
+        .filter(|key| seen.insert(*key))
+        .map(|key| {
+            move || {
+                cache.get_or_run(key);
+            }
+        })
+        .collect();
+    execute_jobs(warm_jobs, jobs);
+
+    // Phase 2: the experiments; their declared runs are now cache hits.
+    // `execute_jobs` preserves submission order, so the merge below is
+    // deterministic regardless of worker interleaving.
+    let experiment_jobs: Vec<_> = ids
+        .iter()
+        .map(|&id| {
+            move || {
+                let t = Instant::now();
+                let result = dispatch(id, cfg, cache)
+                    .unwrap_or_else(|| panic!("unknown experiment id '{id}'"));
+                (result, t.elapsed())
+            }
+        })
+        .collect();
+    let timed = execute_jobs(experiment_jobs, jobs);
+
+    let mut results = Vec::with_capacity(timed.len());
+    let mut experiment_timings = Vec::with_capacity(timed.len());
+    for (result, elapsed) in timed {
+        experiment_timings.push((result.id.clone(), elapsed));
+        results.push(result);
+    }
+    let summary = RunSummary {
+        jobs,
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        unique_runs: cache.unique_runs(),
+        run_timings: cache
+            .timings()
+            .into_iter()
+            .map(|t| (t.key.label(), t.elapsed))
+            .collect(),
+        experiment_timings,
+        wall: start.elapsed(),
+    };
+    HarnessReport { results, summary }
+}
+
+/// Run every experiment on the default-size pool and return the results in
+/// presentation order.
 pub fn run_all(cfg: &ExperimentConfig) -> Vec<ExperimentResult> {
-    let ids = experiments::ALL_IDS;
-    let mut slots: Vec<Option<ExperimentResult>> = Vec::new();
-    slots.resize_with(ids.len(), || None);
-    let slots_mutex = std::sync::Mutex::new(&mut slots);
-    crossbeam::thread::scope(|scope| {
-        for (i, id) in ids.iter().enumerate() {
-            let slots_ref = &slots_mutex;
-            scope.spawn(move |_| {
-                let result = run_experiment(id, cfg).expect("known id");
-                slots_ref.lock().unwrap()[i] = Some(result);
-            });
-        }
-    })
-    .expect("experiment threads do not panic");
-    slots.into_iter().map(|r| r.expect("all ran")).collect()
+    run_ids_pooled(experiments::ALL_IDS, cfg, default_jobs()).results
 }
 
 /// Write every result as JSON into `dir` (one file per experiment id) and
@@ -151,5 +282,33 @@ mod tests {
             assert!(p.exists());
             std::fs::remove_file(p).ok();
         }
+    }
+
+    #[test]
+    fn pooled_run_shares_duplicated_runs() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.fast_dims = (1..=6).collect();
+        cfg.engine_dims = vec![2, 3];
+        cfg.sync_engine_dims = vec![2, 3];
+        cfg.adversary_seeds = 1;
+        // t2, t3 and e13 all need CLEAN's fast trace and t2/t3 share the
+        // FIFO engine runs: the warm phase must execute each once and the
+        // experiments must then hit.
+        let report = run_ids_pooled(&["t2", "t3", "e13"], &cfg, 2);
+        assert_eq!(report.results.len(), 3);
+        assert_eq!(report.results[0].id, "t2");
+        assert!(
+            report.summary.cache_hits > report.summary.cache_misses,
+            "duplicated runs were not shared: {} hits / {} misses",
+            report.summary.cache_hits,
+            report.summary.cache_misses
+        );
+        assert_eq!(
+            report.summary.unique_runs as u64,
+            report.summary.cache_misses
+        );
+        let line = report.summary.render();
+        assert!(line.contains("2 jobs"), "{line}");
+        assert!(line.contains("hits"), "{line}");
     }
 }

@@ -157,7 +157,10 @@ mod tests {
         // H_2 (a 4-cycle): 2. H_3: at |S| = 5 at most one node can be
         // interior (two interiors would need 6 distinct closed-neighbour
         // nodes), so the boundary peaks at 4 on every growth order.
-        assert_eq!(boundary_optimum(&Hypercube::new(2), Node::ROOT).peak_boundary, 2);
+        assert_eq!(
+            boundary_optimum(&Hypercube::new(2), Node::ROOT).peak_boundary,
+            2
+        );
         let h3 = boundary_optimum(&Hypercube::new(3), Node::ROOT).peak_boundary;
         assert_eq!(h3, 4, "H_3 boundary optimum");
     }
@@ -203,7 +206,19 @@ mod tests {
         // boundary optimum or exactly one more (the roving agent).
         let trees: Vec<(usize, Vec<(u32, u32)>)> = vec![
             (7, vec![(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]),
-            (9, vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 5), (5, 6), (6, 7), (7, 8)]),
+            (
+                9,
+                vec![
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (3, 4),
+                    (0, 5),
+                    (5, 6),
+                    (6, 7),
+                    (7, 8),
+                ],
+            ),
             (6, vec![(0, 1), (0, 2), (0, 3), (3, 4), (3, 5)]),
         ];
         for (n, edges) in trees {

@@ -209,7 +209,12 @@ mod tests {
         for d in 1..=7 {
             let cube = Hypercube::new(d);
             let s = FloodStrategy::new(cube);
-            for policy in [Policy::Fifo, Policy::Lifo, Policy::Random(5), Policy::Synchronous] {
+            for policy in [
+                Policy::Fifo,
+                Policy::Lifo,
+                Policy::Random(5),
+                Policy::Synchronous,
+            ] {
                 let outcome = s.run(policy).expect("completes");
                 assert!(
                     outcome.is_complete(),

@@ -27,9 +27,7 @@ use hypersweep_topology::{Hypercube, Node};
 /// segment "ball-like". The order is validated against brute force for
 /// `d ≤ 4` by the tests.
 pub fn simplicial_cmp(a: Node, b: Node) -> std::cmp::Ordering {
-    a.level()
-        .cmp(&b.level())
-        .then_with(|| b.0.cmp(&a.0))
+    a.level().cmp(&b.level()).then_with(|| b.0.cmp(&a.0))
 }
 
 /// All nodes of `H_d` in simplicial order.
@@ -196,10 +194,7 @@ mod tests {
             let lb = isoperimetric_team_lower_bound(d) as f64;
             let central = comb::binomial(d, d / 2) as f64;
             let ratio = lb / central;
-            assert!(
-                (0.3..=1.2).contains(&ratio),
-                "d={d}: LB/C(d,d/2) = {ratio}"
-            );
+            assert!((0.3..=1.2).contains(&ratio), "d={d}: LB/C(d,d/2) = {ratio}");
         }
     }
 

@@ -36,9 +36,9 @@ pub mod planner;
 pub mod tree_search;
 
 pub use bounds::{boundary_optimum, BoundaryOptimum};
-pub use isoperimetry::isoperimetric_team_lower_bound;
 pub use flood::FloodStrategy;
 pub use frontier::FrontierStrategy;
+pub use isoperimetry::isoperimetric_team_lower_bound;
 pub use other_topologies::{ring_plan, torus_plan};
 pub use planner::{greedy_plan, GreedyPlan};
 pub use tree_search::{tree_search_number, TreeSearchPlan};

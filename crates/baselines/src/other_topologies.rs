@@ -193,11 +193,7 @@ mod tests {
             assert_eq!(metrics.team_size, 2 * r as u64);
             let far = Node((torus.node_count() - 1) as u32);
             let verdict = verify_trace(&torus, Node(0), &events, MonitorConfig::with_intruder(far));
-            assert!(
-                verdict.is_complete(),
-                "{r}x{c}: {:?}",
-                verdict.violations
-            );
+            assert!(verdict.is_complete(), "{r}x{c}: {:?}", verdict.violations);
         }
     }
 

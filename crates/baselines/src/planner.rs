@@ -455,12 +455,25 @@ mod tests {
         // On trees, greedy should land close to the optimal recurrence.
         let g = AdjGraph::from_edges(
             9,
-            &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (5, 7), (5, 8)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 5),
+                (2, 6),
+                (5, 7),
+                (5, 8),
+            ],
         );
         let plan = greedy_plan(&g, Node(0));
         audit(&g, Node(0), &plan);
         let opt = crate::tree_search::tree_search_number(&g, Node(0));
-        assert!(plan.team <= opt + 2, "greedy {} vs tree dp {opt}", plan.team);
+        assert!(
+            plan.team <= opt + 2,
+            "greedy {} vs tree dp {opt}",
+            plan.team
+        );
     }
 
     #[test]

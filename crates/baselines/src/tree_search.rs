@@ -156,13 +156,7 @@ pub fn tree_search_plan(tree: &AdjGraph, root: Node) -> TreeSearchPlan {
         }
     }
 
-    fn move_group(
-        group: &[u32],
-        from: Node,
-        to: Node,
-        events: &mut Vec<Event>,
-        moves: &mut u64,
-    ) {
+    fn move_group(group: &[u32], from: Node, to: Node, events: &mut Vec<Event>, moves: &mut u64) {
         for &id in group {
             *moves += 1;
             events.push(Event {
@@ -179,7 +173,13 @@ pub fn tree_search_plan(tree: &AdjGraph, root: Node) -> TreeSearchPlan {
 
     let mut squad: Vec<u32> = (0..team).collect();
     clean(
-        root, &mut squad, true, &children, &need, &mut events, &mut moves,
+        root,
+        &mut squad,
+        true,
+        &children,
+        &need,
+        &mut events,
+        &mut moves,
     );
 
     TreeSearchPlan {

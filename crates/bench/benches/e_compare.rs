@@ -3,15 +3,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use hypersweep_baselines::tree_search::{tree_search_plan, tree_search_number};
+use hypersweep_baselines::tree_search::{tree_search_number, tree_search_plan};
 use hypersweep_baselines::{
-    boundary_optimum, greedy_plan, isoperimetric_team_lower_bound, FloodStrategy,
-    FrontierStrategy,
+    boundary_optimum, greedy_plan, isoperimetric_team_lower_bound, FloodStrategy, FrontierStrategy,
 };
-use hypersweep_core::{CleanStrategy, CloningStrategy, DispatchOrder, NavigationMode};
-use hypersweep_sim::Policy;
 use hypersweep_bench::checksum;
 use hypersweep_core::SearchStrategy;
+use hypersweep_core::{CleanStrategy, CloningStrategy, DispatchOrder, NavigationMode};
+use hypersweep_sim::Policy;
 use hypersweep_topology::graph::AdjGraph;
 use hypersweep_topology::{BroadcastTree, Hypercube, Node, Topology};
 
@@ -75,10 +74,7 @@ fn e13_ablations(c: &mut Criterion) {
             b.iter(|| black_box(checksum(&s.fast(false))));
         });
         group.bench_with_input(BenchmarkId::new("clean_through_root", d), &d, |b, &d| {
-            let s = CleanStrategy::with_navigation(
-                Hypercube::new(d),
-                NavigationMode::ThroughRoot,
-            );
+            let s = CleanStrategy::with_navigation(Hypercube::new(d), NavigationMode::ThroughRoot);
             b.iter(|| black_box(checksum(&s.fast(false))));
         });
     }

@@ -8,13 +8,17 @@ use hypersweep_topology::{render, BroadcastTree, HeapQueue, Hypercube, Node};
 fn f1_broadcast_tree(c: &mut Criterion) {
     let mut group = c.benchmark_group("f1_broadcast_tree");
     for &d in &[6u32, 10, 14] {
-        group.bench_with_input(BenchmarkId::new("heap_queue_isomorphism", d), &d, |b, &d| {
-            let tree = BroadcastTree::new(Hypercube::new(d));
-            b.iter(|| {
-                let hq = HeapQueue::build(d);
-                black_box(hq.matches_broadcast_subtree(&tree, Node::ROOT))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("heap_queue_isomorphism", d),
+            &d,
+            |b, &d| {
+                let tree = BroadcastTree::new(Hypercube::new(d));
+                b.iter(|| {
+                    let hq = HeapQueue::build(d);
+                    black_box(hq.matches_broadcast_subtree(&tree, Node::ROOT))
+                });
+            },
+        );
     }
     group.bench_function("render_h6", |b| {
         b.iter(|| black_box(render::render_broadcast_tree(Hypercube::new(6))))

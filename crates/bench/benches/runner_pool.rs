@@ -1,0 +1,24 @@
+//! Harness throughput: pooled vs sequential `report all` under the quick
+//! configuration (not a paper artifact; measures the tentpole win of the
+//! shared run cache + work-stealing pool).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hypersweep_analysis::experiments::ALL_IDS;
+use hypersweep_analysis::{default_jobs, run_ids_pooled, ExperimentConfig};
+
+fn report_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("report_all");
+    group.sample_size(10);
+    let cfg = ExperimentConfig::quick();
+    for jobs in [1, default_jobs()] {
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            b.iter(|| black_box(run_ids_pooled(ALL_IDS, &cfg, jobs).results.len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, report_all);
+criterion_main!(benches);

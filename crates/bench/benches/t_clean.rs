@@ -52,5 +52,10 @@ fn t4_clean_ideal_time(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(clean, t2_t3_clean_fast, t2_t3_clean_engine, t4_clean_ideal_time);
+criterion_group!(
+    clean,
+    t2_t3_clean_fast,
+    t2_t3_clean_engine,
+    t4_clean_ideal_time
+);
 criterion_main!(clean);

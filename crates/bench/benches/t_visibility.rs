@@ -26,21 +26,21 @@ fn t5_t7_t8_visibility_engine(c: &mut Criterion) {
     group.sample_size(10);
     for &d in ENGINE_DIMS {
         for policy in [Policy::Fifo, Policy::Synchronous] {
-            group.bench_with_input(
-                BenchmarkId::new(policy.name(), d),
-                &d,
-                |b, &d| {
-                    let s = VisibilityStrategy::new(Hypercube::new(d));
-                    b.iter(|| {
-                        let outcome = s.run(policy).expect("completes");
-                        black_box(checksum(&outcome))
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(policy.name(), d), &d, |b, &d| {
+                let s = VisibilityStrategy::new(Hypercube::new(d));
+                b.iter(|| {
+                    let outcome = s.run(policy).expect("completes");
+                    black_box(checksum(&outcome))
+                });
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(visibility, t5_t7_t8_visibility_fast, t5_t7_t8_visibility_engine);
+criterion_group!(
+    visibility,
+    t5_t7_t8_visibility_fast,
+    t5_t7_t8_visibility_engine
+);
 criterion_main!(visibility);

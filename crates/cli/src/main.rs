@@ -14,7 +14,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use hypersweep_analysis::experiments::ALL_IDS;
-use hypersweep_analysis::{run_experiment, runner, ExperimentConfig};
+use hypersweep_analysis::{default_jobs, run_ids_pooled, runner, ExperimentConfig};
 use hypersweep_core::{
     CleanStrategy, CloningStrategy, SearchStrategy, SynchronousStrategy, VisibilityStrategy,
 };
@@ -25,7 +25,7 @@ use hypersweep_topology::{Hypercube, Node};
 fn usage() -> &'static str {
     "usage:\n\
      \thypersweep list\n\
-     \thypersweep report <id...|all> [--full] [--json DIR]\n\
+     \thypersweep report <id...|all> [--full] [--json DIR] [--jobs N]\n\
      \thypersweep figures [--full]\n\
      \thypersweep run <clean|visibility|cloning|synchronous> <d> [--policy P] [--fast]\n\
      \thypersweep watch <strategy> <d> [--stride N]\n\
@@ -83,7 +83,12 @@ fn cmd_list() {
     }
 }
 
-fn cmd_report(ids: &[String], full: bool, json_dir: Option<PathBuf>) -> Result<(), String> {
+fn cmd_report(
+    ids: &[String],
+    full: bool,
+    json_dir: Option<PathBuf>,
+    jobs: usize,
+) -> Result<(), String> {
     let cfg = if full {
         ExperimentConfig::full()
     } else {
@@ -94,14 +99,23 @@ fn cmd_report(ids: &[String], full: bool, json_dir: Option<PathBuf>) -> Result<(
     } else {
         ids.to_vec()
     };
-    let mut results = Vec::new();
     for id in &ids {
-        let r = run_experiment(id, &cfg).ok_or_else(|| format!("unknown experiment '{id}'"))?;
+        if !ALL_IDS.contains(&id.as_str()) {
+            return Err(format!("unknown experiment '{id}'"));
+        }
+    }
+    let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+    let report = run_ids_pooled(&id_refs, &cfg, jobs);
+    for r in &report.results {
         println!("{}", r.render());
-        results.push(r);
+    }
+    // Pool/cache statistics go to stderr so stdout stays the report alone.
+    eprintln!("{}", report.summary.render());
+    for (id, t) in &report.summary.experiment_timings {
+        eprintln!("  {id:>4}: {:.0}ms", t.as_secs_f64() * 1e3);
     }
     if let Some(dir) = json_dir {
-        let paths = runner::export_json(&results, &dir).map_err(|e| e.to_string())?;
+        let paths = runner::export_json(&report.results, &dir).map_err(|e| e.to_string())?;
         eprintln!("wrote {} JSON files under {}", paths.len(), dir.display());
     }
     Ok(())
@@ -119,7 +133,11 @@ fn cmd_run(strategy: &str, d: u32, policy: Policy, fast: bool) -> Result<(), Str
         "{} on H_{d} (n = {}) under {}:",
         s.name(),
         cube.node_count(),
-        if fast { "fast path".into() } else { policy.name() }
+        if fast {
+            "fast path".into()
+        } else {
+            policy.name()
+        }
     );
     let m = &outcome.metrics;
     println!("  agents          : {}", m.team_size);
@@ -192,7 +210,12 @@ fn cmd_audit(d: u32, path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let events: Vec<Event> = serde_json::from_str(&text).map_err(|e| e.to_string())?;
     let far = Node(cube.node_count() as u32 - 1);
-    let verdict = verify_trace(&cube, Node::ROOT, &events, MonitorConfig::with_intruder(far));
+    let verdict = verify_trace(
+        &cube,
+        Node::ROOT,
+        &events,
+        MonitorConfig::with_intruder(far),
+    );
     println!(
         "audit of {path} on H_{d}: monotone={} contiguous={} all_clean={} capture={:?}          ({} events, {} violations)",
         verdict.monotone,
@@ -220,6 +243,7 @@ fn main() -> ExitCode {
     let mut json_dir: Option<PathBuf> = None;
     let mut policy = Policy::Fifo;
     let mut stride: usize = 8;
+    let mut jobs: usize = default_jobs();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -231,6 +255,16 @@ fn main() -> ExitCode {
                     Some(dir) => json_dir = Some(PathBuf::from(dir)),
                     None => {
                         eprintln!("--json needs a directory\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) if v >= 1 => jobs = v,
+                    _ => {
+                        eprintln!("--jobs needs a positive integer\n{}", usage());
                         return ExitCode::FAILURE;
                     }
                 }
@@ -268,11 +302,14 @@ fn main() -> ExitCode {
             cmd_list();
             Ok(())
         }
-        Some("report") if positional.len() >= 2 => cmd_report(&positional[1..], full, json_dir),
+        Some("report") if positional.len() >= 2 => {
+            cmd_report(&positional[1..], full, json_dir, jobs)
+        }
         Some("figures") => cmd_report(
             &["f1", "f2", "f3", "f4"].map(String::from),
             full,
             json_dir,
+            jobs,
         ),
         Some("run") if positional.len() == 3 => match positional[2].parse::<u32>() {
             Ok(d) if (1..=hypersweep_topology::MAX_DIMENSION).contains(&d) => {
@@ -282,15 +319,24 @@ fn main() -> ExitCode {
         },
         Some("watch") if positional.len() == 3 => match positional[2].parse::<u32>() {
             Ok(d) if (1..=8).contains(&d) => cmd_watch(&positional[1], d, stride),
-            _ => Err(format!("watch needs a dimension in 1..=8, got '{}'", positional[2])),
+            _ => Err(format!(
+                "watch needs a dimension in 1..=8, got '{}'",
+                positional[2]
+            )),
         },
         Some("trace") if positional.len() == 4 => match positional[2].parse::<u32>() {
             Ok(d) if (1..=14).contains(&d) => cmd_trace(&positional[1], d, &positional[3]),
-            _ => Err(format!("trace needs a dimension in 1..=14, got '{}'", positional[2])),
+            _ => Err(format!(
+                "trace needs a dimension in 1..=14, got '{}'",
+                positional[2]
+            )),
         },
         Some("audit") if positional.len() == 3 => match positional[1].parse::<u32>() {
             Ok(d) if (1..=14).contains(&d) => cmd_audit(d, &positional[2]),
-            _ => Err(format!("audit needs a dimension in 1..=14, got '{}'", positional[1])),
+            _ => Err(format!(
+                "audit needs a dimension in 1..=14, got '{}'",
+                positional[1]
+            )),
         },
         _ => Err(usage().to_string()),
     };

@@ -51,7 +51,11 @@ fn synchronous_variant_under_async_policy_fails_cleanly() {
 #[test]
 fn report_single_experiment_renders_a_table() {
     let out = bin().args(["report", "t5"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("T5"));
     assert!(text.contains("predicted"));
@@ -78,12 +82,20 @@ fn trace_then_audit_roundtrip() {
         .args(["trace", "visibility", "5", path.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = bin()
         .args(["audit", "5", path.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("monotone=true"));
     std::fs::remove_file(path).ok();

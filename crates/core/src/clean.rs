@@ -31,14 +31,14 @@
 //!    terminates; pooled agents terminate at the root.
 
 use hypersweep_sim::{
-    Action, AgentProgram, Board, Ctx, Engine, EngineConfig, Event, EventKind, Metrics, Policy,
-    Role,
+    Action, AgentProgram, Board, Ctx, Engine, EngineConfig, Event, EventKind, Metrics, Policy, Role,
 };
 use hypersweep_topology::combinatorics as comb;
 use hypersweep_topology::{BroadcastTree, Hypercube, Node};
 
-use crate::outcome::{audited_outcome, synthesized_outcome, SearchOutcome, SearchStrategy,
-    StrategyError};
+use crate::outcome::{
+    audited_outcome, synthesized_outcome, SearchOutcome, SearchStrategy, StrategyError,
+};
 
 /// Whiteboard of Algorithm CLEAN.
 ///
@@ -912,7 +912,9 @@ mod tests {
         for d in 1..=6 {
             let s = CleanStrategy::new(Hypercube::new(d));
             for policy in Policy::adversaries(3) {
-                let outcome = s.run(policy).unwrap_or_else(|e| panic!("d={d} {policy:?}: {e}"));
+                let outcome = s
+                    .run(policy)
+                    .unwrap_or_else(|e| panic!("d={d} {policy:?}: {e}"));
                 assert!(
                     outcome.is_complete(),
                     "d={d} {policy:?}: {:?}",
@@ -949,7 +951,10 @@ mod tests {
                 engine.metrics.coordinator_moves, fast.metrics.coordinator_moves,
                 "d={d}"
             );
-            assert_eq!(engine.metrics.worker_moves, fast.metrics.worker_moves, "d={d}");
+            assert_eq!(
+                engine.metrics.worker_moves, fast.metrics.worker_moves,
+                "d={d}"
+            );
         }
     }
 
@@ -993,7 +998,10 @@ mod tests {
                 .fast(false)
                 .metrics
                 .coordinator_moves as f64;
-            let b = CleanStrategy::new(cube).fast(false).metrics.coordinator_moves as f64;
+            let b = CleanStrategy::new(cube)
+                .fast(false)
+                .metrics
+                .coordinator_moves as f64;
             a / b
         };
         assert!(gap(12) > gap(6), "ratio must grow with d");

@@ -20,8 +20,9 @@ use hypersweep_sim::{
 };
 use hypersweep_topology::{BroadcastTree, Hypercube, Node};
 
-use crate::outcome::{audited_outcome, synthesized_outcome, SearchOutcome, SearchStrategy,
-    StrategyError};
+use crate::outcome::{
+    audited_outcome, synthesized_outcome, SearchOutcome, SearchStrategy, StrategyError,
+};
 use crate::visibility::VisBoard;
 
 /// Which child a dispatching agent serves first.
@@ -278,7 +279,11 @@ impl SearchStrategy for CloningStrategy {
                 ..EngineConfig::default()
             },
         );
-        engine.spawn(CloningAgent::with_order(self.order), Node::ROOT, Role::Worker);
+        engine.spawn(
+            CloningAgent::with_order(self.order),
+            Node::ROOT,
+            Role::Worker,
+        );
         let report = engine.run()?;
         Ok(audited_outcome(self.cube, &report))
     }
@@ -300,7 +305,12 @@ mod tests {
         for d in 1..=8 {
             let cube = Hypercube::new(d);
             let s = CloningStrategy::new(cube);
-            for policy in [Policy::Fifo, Policy::Lifo, Policy::Random(3), Policy::Synchronous] {
+            for policy in [
+                Policy::Fifo,
+                Policy::Lifo,
+                Policy::Random(3),
+                Policy::Synchronous,
+            ] {
                 let outcome = s.run(policy).expect("completes");
                 assert!(
                     outcome.is_complete(),
@@ -332,12 +342,10 @@ mod tests {
             let cube = Hypercube::new(d);
             let fast = CloningStrategy::new(cube).run(Policy::Synchronous).unwrap();
             assert_eq!(fast.metrics.ideal_time, Some(u64::from(d)));
-            let slow = CloningStrategy::with_dispatch_order(
-                cube,
-                DispatchOrder::SmallestSubtreeFirst,
-            )
-            .run(Policy::Synchronous)
-            .unwrap();
+            let slow =
+                CloningStrategy::with_dispatch_order(cube, DispatchOrder::SmallestSubtreeFirst)
+                    .run(Policy::Synchronous)
+                    .unwrap();
             assert!(slow.is_complete(), "the ablation stays correct");
             assert_eq!(
                 slow.metrics.ideal_time,

@@ -30,7 +30,11 @@ impl std::fmt::Display for StrategyError {
         match self {
             StrategyError::Run(e) => write!(f, "{e}"),
             StrategyError::UnsupportedPolicy { strategy, policy } => {
-                write!(f, "{strategy} does not support the {} schedule", policy.name())
+                write!(
+                    f,
+                    "{strategy} does not support the {} schedule",
+                    policy.name()
+                )
             }
         }
     }

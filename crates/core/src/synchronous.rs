@@ -20,8 +20,9 @@ use hypersweep_sim::{
 use hypersweep_topology::Hypercube;
 use hypersweep_topology::Node;
 
-use crate::outcome::{audited_outcome, synthesized_outcome, SearchOutcome, SearchStrategy,
-    StrategyError};
+use crate::outcome::{
+    audited_outcome, synthesized_outcome, SearchOutcome, SearchStrategy, StrategyError,
+};
 use crate::visibility::{slot_child_type, VisBoard, VisibilityStrategy};
 
 /// The synchronous agent: moves exactly at round `m(x) + 1` (the paper's

@@ -16,14 +16,14 @@
 //! type `T(i)` lies across port `d − i`.
 
 use hypersweep_sim::{
-    Action, AgentProgram, Board, Ctx, Engine, EngineConfig, Event, EventKind, Metrics, Policy,
-    Role,
+    Action, AgentProgram, Board, Ctx, Engine, EngineConfig, Event, EventKind, Metrics, Policy, Role,
 };
 use hypersweep_topology::combinatorics as comb;
 use hypersweep_topology::{BroadcastTree, Hypercube, Node};
 
-use crate::outcome::{audited_outcome, synthesized_outcome, SearchOutcome, SearchStrategy,
-    StrategyError};
+use crate::outcome::{
+    audited_outcome, synthesized_outcome, SearchOutcome, SearchStrategy, StrategyError,
+};
 
 /// Whiteboard of the visibility strategy: a dispatch-started flag and the
 /// next slot counter — `O(log n)` bits.
@@ -243,7 +243,11 @@ mod tests {
             let s = VisibilityStrategy::new(cube);
             let outcome = s.run(Policy::Synchronous).expect("completes");
             let p = visibility_prediction(d);
-            assert!(outcome.is_complete(), "d={d}: {:?}", outcome.verdict.violations);
+            assert!(
+                outcome.is_complete(),
+                "d={d}: {:?}",
+                outcome.verdict.violations
+            );
             assert_eq!(u128::from(outcome.metrics.team_size), p.agents, "d={d}");
             assert_eq!(
                 outcome.metrics.ideal_time.map(u128::from),
@@ -290,7 +294,10 @@ mod tests {
                 fast_outcome.metrics.ideal_time,
                 engine_outcome.metrics.ideal_time
             );
-            assert_eq!(fast_outcome.metrics.team_size, engine_outcome.metrics.team_size);
+            assert_eq!(
+                fast_outcome.metrics.team_size,
+                engine_outcome.metrics.team_size
+            );
         }
     }
 

@@ -232,7 +232,10 @@ mod tests {
         let h = Hypercube::new(3);
         let f = ContaminationField::new(&h, Node::ROOT);
         assert_eq!(f.contaminated_count(), 8);
-        assert!(f.is_contiguous(), "empty safe region is trivially contiguous");
+        assert!(
+            f.is_contiguous(),
+            "empty safe region is trivially contiguous"
+        );
     }
 
     #[test]
@@ -269,9 +272,9 @@ mod tests {
         f.apply(&spawn(1, 0));
         f.apply(&mv(1, 0, 1)); // 00 still guarded by agent 0
         f.apply(&mv(1, 1, 3)); // 01 vacated; neighbours 00 (guarded), 11 (now guarded) — but 11 only now occupied…
-        // Applying the move: 11 becomes occupied first, then 01 is vacated,
-        // so 01's neighbours are 00 (guarded, safe) and 11 (guarded):
-        // no recontamination.
+                               // Applying the move: 11 becomes occupied first, then 01 is vacated,
+                               // so 01's neighbours are 00 (guarded, safe) and 11 (guarded):
+                               // no recontamination.
         assert!(f.recontaminations().is_empty());
         assert!(f.is_clean(Node(1)));
         f.apply(&mv(1, 3, 2)); // 11 vacated; neighbours 01 (clean), 10 (now guarded)

@@ -104,10 +104,7 @@ impl Intruder {
         let mut nbrs = Vec::new();
         topo.neighbors_into(pos, &mut nbrs);
         let escape = match self.policy {
-            EvaderPolicy::Lazy => nbrs
-                .iter()
-                .copied()
-                .find(|&y| field.is_contaminated(y)),
+            EvaderPolicy::Lazy => nbrs.iter().copied().find(|&y| field.is_contaminated(y)),
             EvaderPolicy::Greedy => nbrs
                 .iter()
                 .copied()

@@ -28,6 +28,6 @@ pub mod film;
 pub mod monitor;
 
 pub use contamination::ContaminationField;
-pub use film::{render_film, render_state, Frame};
 pub use evader::{CaptureStatus, EvaderPolicy, Intruder};
+pub use film::{render_film, render_state, Frame};
 pub use monitor::{verify_trace, Monitor, MonitorConfig, Verdict, Violation};

@@ -277,7 +277,12 @@ mod tests {
             mv(0, 0b00, 0b01), // 00 vacated: neighbours 01,10 guarded → clean
             mv(0, 0b01, 0b11), // capture corner
         ];
-        let verdict = verify_trace(&h, Node::ROOT, &trace, MonitorConfig::with_intruder(Node(3)));
+        let verdict = verify_trace(
+            &h,
+            Node::ROOT,
+            &trace,
+            MonitorConfig::with_intruder(Node(3)),
+        );
         assert!(verdict.monotone, "violations: {:?}", verdict.violations);
         assert!(verdict.contiguous);
         assert!(verdict.all_clean);

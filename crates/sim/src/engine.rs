@@ -487,7 +487,10 @@ impl<P: AgentProgram> Engine<P> {
         let pos = self.agents[id as usize].pos;
         self.agents[id as usize].status = AgentStatus::Terminated;
         self.active_here[pos.index()] -= 1;
-        self.emit(EventKind::Terminate { agent: id, node: pos });
+        self.emit(EventKind::Terminate {
+            agent: id,
+            node: pos,
+        });
         // Occupancy unchanged: a terminated agent guards its node forever.
         self.wake_at(pos);
     }
@@ -681,7 +684,13 @@ mod tests {
                     ..EngineConfig::default()
                 },
             );
-            eng.spawn(WalkTo { target: Node(0b1011) }, Node::ROOT, Role::Worker);
+            eng.spawn(
+                WalkTo {
+                    target: Node(0b1011),
+                },
+                Node::ROOT,
+                Role::Worker,
+            );
             let report = eng.run().expect("run succeeds");
             assert_eq!(report.metrics.worker_moves, 3);
             assert_eq!(report.occupancy[0b1011], 1);
@@ -701,8 +710,20 @@ mod tests {
             },
         );
         // Two walkers with different path lengths; rounds with moves = max.
-        eng.spawn(WalkTo { target: Node(0b11111) }, Node::ROOT, Role::Worker);
-        eng.spawn(WalkTo { target: Node(0b00001) }, Node::ROOT, Role::Worker);
+        eng.spawn(
+            WalkTo {
+                target: Node(0b11111),
+            },
+            Node::ROOT,
+            Role::Worker,
+        );
+        eng.spawn(
+            WalkTo {
+                target: Node(0b00001),
+            },
+            Node::ROOT,
+            Role::Worker,
+        );
         let report = eng.run().expect("run succeeds");
         assert_eq!(report.metrics.ideal_time, Some(5));
         assert_eq!(report.metrics.worker_moves, 6);
@@ -808,7 +829,13 @@ mod tests {
     fn event_stream_is_recorded_in_order() {
         let cube = Hypercube::new(3);
         let mut eng = Engine::new(cube, EngineConfig::default());
-        eng.spawn(WalkTo { target: Node(0b101) }, Node::ROOT, Role::Worker);
+        eng.spawn(
+            WalkTo {
+                target: Node(0b101),
+            },
+            Node::ROOT,
+            Role::Worker,
+        );
         let report = eng.run().expect("run succeeds");
         let kinds: Vec<_> = report.events.iter().map(|e| e.kind).collect();
         assert_eq!(
@@ -953,10 +980,13 @@ mod tests {
     #[test]
     fn no_lost_wakeups_through_whiteboard_writes() {
         for policy in Policy::adversaries(5) {
-            let mut eng = Engine::new(Hypercube::new(2), EngineConfig {
-                policy,
-                ..EngineConfig::default()
-            });
+            let mut eng = Engine::new(
+                Hypercube::new(2),
+                EngineConfig {
+                    policy,
+                    ..EngineConfig::default()
+                },
+            );
             eng.spawn(Collab::Waiter { target: 3 }, Node::ROOT, Role::Worker);
             eng.spawn(Collab::Incrementer { times: 3 }, Node::ROOT, Role::Worker);
             let report = eng.run().unwrap_or_else(|e| panic!("{policy:?}: {e}"));
@@ -996,7 +1026,13 @@ mod tests {
                     ..EngineConfig::default()
                 },
             );
-            eng.spawn(WalkTo { target: Node(0b1111) }, Node::ROOT, Role::Worker);
+            eng.spawn(
+                WalkTo {
+                    target: Node(0b1111),
+                },
+                Node::ROOT,
+                Role::Worker,
+            );
             eng.run().unwrap()
         };
         let with = run(true);

@@ -9,7 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A scheduling policy for the discrete-event engine.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Policy {
     /// First-in-first-out over the runnable queue: breadth-like, fair.
     Fifo,

@@ -274,8 +274,7 @@ fn agent_main<'scope, 'env, P: AgentProgram>(
             Action::Wait => {
                 // Timed wait: visibility changes at neighbours do signal us,
                 // but the timeout makes missed wake-ups harmless.
-                shared.signals[pos.index()]
-                    .wait_for(&mut cell, Duration::from_millis(1));
+                shared.signals[pos.index()].wait_for(&mut cell, Duration::from_millis(1));
                 drop(cell);
             }
             Action::Move(port) => {
@@ -309,9 +308,7 @@ fn agent_main<'scope, 'env, P: AgentProgram>(
                     away,
                 );
                 match role {
-                    Role::Coordinator => {
-                        shared.coordinator_moves.fetch_add(1, Ordering::Relaxed)
-                    }
+                    Role::Coordinator => shared.coordinator_moves.fetch_add(1, Ordering::Relaxed),
                     Role::Worker => shared.worker_moves.fetch_add(1, Ordering::Relaxed),
                 };
                 drop(a);
@@ -350,7 +347,13 @@ fn agent_main<'scope, 'env, P: AgentProgram>(
             Action::Terminate => {
                 cell.active -= 1;
                 drop(cell);
-                shared.emit(EventKind::Terminate { agent: id, node: pos }, 0);
+                shared.emit(
+                    EventKind::Terminate {
+                        agent: id,
+                        node: pos,
+                    },
+                    0,
+                );
                 shared.notify_visible(pos);
                 return;
             }
@@ -394,10 +397,7 @@ mod tests {
             assert_eq!(report.occupancy[t as usize], 1);
         }
         assert_eq!(report.metrics.team_size, 5);
-        let expected_moves: u32 = [3u32, 5, 9, 14, 15]
-            .iter()
-            .map(|t| t.count_ones())
-            .sum();
+        let expected_moves: u32 = [3u32, 5, 9, 14, 15].iter().map(|t| t.count_ones()).sum();
         assert_eq!(report.metrics.worker_moves, u64::from(expected_moves));
     }
 

@@ -119,7 +119,10 @@ pub fn clean_workers_at_phase(d: u32, l: u32) -> u128 {
 /// assert_eq!(clean_team_size(10), 337);
 /// ```
 pub fn clean_team_size(d: u32) -> u128 {
-    let peak = (0..d).map(|l| clean_workers_at_phase(d, l)).max().unwrap_or(0);
+    let peak = (0..d)
+        .map(|l| clean_workers_at_phase(d, l))
+        .max()
+        .unwrap_or(0);
     peak + 1
 }
 
@@ -137,7 +140,7 @@ pub fn lemma4_peak_even(d: u32) -> u128 {
 /// (synchronizer included).
 pub fn lemma4_peak_odd(d: u32) -> u128 {
     debug_assert!(d % 2 == 1 && d >= 3);
-    binomial(d, (d + 1) / 2) + binomial(d - 1, (d - 3) / 2) + 1
+    binomial(d, d.div_ceil(2)) + binomial(d - 1, (d - 3) / 2) + 1
 }
 
 /// Total moves performed by the non-synchronizer agents of Algorithm CLEAN

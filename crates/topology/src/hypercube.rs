@@ -241,10 +241,7 @@ mod tests {
         for l in 0..=8 {
             let v = h.level_nodes(l);
             assert!(v.windows(2).all(|w| w[0] < w[1]));
-            assert_eq!(
-                v.len() as u128,
-                crate::combinatorics::nodes_at_level(8, l)
-            );
+            assert_eq!(v.len() as u128, crate::combinatorics::nodes_at_level(8, l));
             total += v.len();
         }
         assert_eq!(total, h.node_count());

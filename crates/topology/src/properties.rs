@@ -172,10 +172,7 @@ pub fn property8_descending_chain(cube: Hypercube) -> PropertyResult {
             continue;
         }
         let found = cube.smaller_neighbors(x).any(|y| {
-            y.msb_position() == i
-                && cube
-                    .smaller_neighbors(y)
-                    .any(|z| z.msb_position() == i - 1)
+            y.msb_position() == i && cube.smaller_neighbors(y).any(|z| z.msb_position() == i - 1)
         });
         if !found {
             return Err(format!("Property 8 violated at {x} (C_{i})"));
@@ -193,11 +190,7 @@ pub fn lemma1_nontree_parents_precede(cube: Hypercube) -> PropertyResult {
         for z in tree.non_tree_up_neighbors(y) {
             match tree.parent(z) {
                 Some(x) if x < y && x.level() == y.level() => {}
-                Some(x) => {
-                    return Err(format!(
-                        "Lemma 1 violated: z={z}, parent {x} vs y={y}"
-                    ))
-                }
+                Some(x) => return Err(format!("Lemma 1 violated: z={z}, parent {x} vs y={y}")),
                 None => return Err(format!("Lemma 1: z={z} has no parent")),
             }
         }
@@ -214,10 +207,7 @@ pub fn property8_unique_counterexample(cube: Hypercube) -> PropertyResult {
             return false;
         }
         !cube.smaller_neighbors(x).any(|y| {
-            y.msb_position() == i
-                && cube
-                    .smaller_neighbors(y)
-                    .any(|z| z.msb_position() == i - 1)
+            y.msb_position() == i && cube.smaller_neighbors(y).any(|z| z.msb_position() == i - 1)
         })
     };
     for x in cube.nodes() {

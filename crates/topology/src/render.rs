@@ -58,7 +58,12 @@ pub fn render_msb_classes(cube: Hypercube) -> String {
     for i in 0..=d {
         let members = tree.msb_class_nodes(i);
         let labels: Vec<String> = members.iter().map(|x| x.bitstring(d)).collect();
-        let _ = writeln!(out, "C_{i} ({:>4} nodes): {}", members.len(), labels.join(" "));
+        let _ = writeln!(
+            out,
+            "C_{i} ({:>4} nodes): {}",
+            members.len(),
+            labels.join(" ")
+        );
     }
     out
 }

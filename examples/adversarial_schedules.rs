@@ -35,8 +35,11 @@ fn main() {
         let outcome = strategy.run(policy).expect("completes");
         assert!(outcome.is_complete(), "{policy:?} broke the search");
         assert_eq!(outcome.metrics.total_moves(), expected_moves);
-        println!("  DES {:<12} OK — intruder {:?}", policy.name(),
-            outcome.verdict.capture.unwrap());
+        println!(
+            "  DES {:<12} OK — intruder {:?}",
+            policy.name(),
+            outcome.verdict.capture.unwrap()
+        );
     }
 
     // 2. Real threads: one per agent, parking_lot whiteboards, the OS as
@@ -61,11 +64,17 @@ fn main() {
             &report.events,
             MonitorConfig::with_intruder(Node(cube.node_count() as u32 - 1)),
         );
-        assert!(verdict.is_complete(), "threads broke the search: {:?}", verdict.violations);
+        assert!(
+            verdict.is_complete(),
+            "threads broke the search: {:?}",
+            verdict.violations
+        );
         assert_eq!(report.metrics.total_moves(), expected_moves);
         println!(
             "  threads run #{round}     OK — {} agents on {} OS threads, {} moves",
-            report.metrics.team_size, report.metrics.team_size, report.metrics.total_moves()
+            report.metrics.team_size,
+            report.metrics.team_size,
+            report.metrics.total_moves()
         );
     }
 

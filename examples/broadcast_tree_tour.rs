@@ -36,11 +36,15 @@ fn main() {
     println!("closed forms for H_{d}:");
     println!(
         "  leaves per level l (Property 2): {:?}",
-        (0..=d).map(|l| combinatorics::leaves_at_level(d, l)).collect::<Vec<_>>()
+        (0..=d)
+            .map(|l| combinatorics::leaves_at_level(d, l))
+            .collect::<Vec<_>>()
     );
     println!(
         "  Lemma 3 extras per phase l:      {:?}",
-        (1..d).map(|l| combinatorics::lemma3_extra_agents(d, l)).collect::<Vec<_>>()
+        (1..d)
+            .map(|l| combinatorics::lemma3_extra_agents(d, l))
+            .collect::<Vec<_>>()
     );
     println!(
         "  Lemma 4 team for CLEAN:          {}",

@@ -5,9 +5,7 @@
 //! cargo run --release --example generic_planner
 //! ```
 
-use hypersweep::baselines::{
-    boundary_optimum, greedy_plan, isoperimetric_team_lower_bound,
-};
+use hypersweep::baselines::{boundary_optimum, greedy_plan, isoperimetric_team_lower_bound};
 use hypersweep::prelude::*;
 use hypersweep::topology::graph::{CubeConnectedCycles, DeBruijn, Ring, Torus};
 use hypersweep::topology::{combinatorics as comb, Topology};

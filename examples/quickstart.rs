@@ -17,9 +17,11 @@ fn main() {
         .run(Policy::Fifo)
         .expect("CLEAN completes");
     assert!(clean.is_complete());
-    println!("Algorithm CLEAN           : {:>3} agents, {:>5} moves",
+    println!(
+        "Algorithm CLEAN           : {:>3} agents, {:>5} moves",
         clean.metrics.team_size,
-        clean.metrics.total_moves());
+        clean.metrics.total_moves()
+    );
 
     // Strategy 2: CLEAN WITH VISIBILITY — fully local, n/2 agents, log n
     // time.
@@ -48,7 +50,11 @@ fn main() {
 
     // Every run was audited: no recontamination, the decontaminated region
     // stayed connected, and the worst-case evader was captured.
-    for (name, outcome) in [("clean", &clean), ("visibility", &vis), ("cloning", &cloning)] {
+    for (name, outcome) in [
+        ("clean", &clean),
+        ("visibility", &vis),
+        ("cloning", &cloning),
+    ] {
         let capture = outcome.verdict.capture.expect("intruder tracked");
         println!("{name:>11}: intruder {capture:?}");
         assert!(capture.is_captured());

@@ -47,8 +47,14 @@ fn main() {
     let cube = Hypercube::new(8);
     for (name, outcome) in [
         ("clean", CleanStrategy::new(cube).run(Policy::Random(42))),
-        ("visibility", VisibilityStrategy::new(cube).run(Policy::Random(42))),
-        ("cloning", CloningStrategy::new(cube).run(Policy::Random(42))),
+        (
+            "visibility",
+            VisibilityStrategy::new(cube).run(Policy::Random(42)),
+        ),
+        (
+            "cloning",
+            CloningStrategy::new(cube).run(Policy::Random(42)),
+        ),
         ("flood", FloodStrategy::new(cube).run(Policy::Random(42))),
     ] {
         let outcome = outcome.expect("strategy completes");

@@ -64,7 +64,11 @@ fn main() {
         }
     }
     let verdict = monitor.verdict();
-    assert!(verdict.is_complete(), "violations: {:?}", verdict.violations);
+    assert!(
+        verdict.is_complete(),
+        "violations: {:?}",
+        verdict.violations
+    );
     println!(
         "audit: monotone={} contiguous={} all_clean={} ({} events)",
         verdict.monotone, verdict.contiguous, verdict.all_clean, verdict.events

@@ -73,6 +73,90 @@ fn threaded_cloning_matches_des() {
 }
 
 #[test]
+fn synchronous_variant_agrees_across_executors() {
+    // The synchronous agent is only defined under the global clock, which
+    // real threads don't provide; its canonical trace is the visibility
+    // wavefront (§5 of the paper), so the threaded leg executes the
+    // equivalent visibility team and all three executors must agree.
+    for d in 2..=6 {
+        let cube = Hypercube::new(d);
+        let strategy = SynchronousStrategy::new(cube);
+
+        let engine = strategy.run(Policy::Synchronous).unwrap();
+        assert!(
+            engine.is_complete(),
+            "d={d}: {:?}",
+            engine.verdict.violations
+        );
+
+        let fast = strategy.fast(true);
+        assert!(fast.is_complete(), "d={d}: {:?}", fast.verdict.violations);
+        assert_eq!(engine.metrics.total_moves(), fast.metrics.total_moves());
+        assert_eq!(engine.metrics.team_size, fast.metrics.team_size);
+        assert_eq!(engine.metrics.ideal_time, fast.metrics.ideal_time);
+
+        let programs: Vec<(VisibilityAgent, Role)> = (0..strategy.team_size())
+            .map(|_| (VisibilityAgent, Role::Worker))
+            .collect();
+        let threaded = run_threaded(
+            cube,
+            programs,
+            ThreadedConfig {
+                visibility: true,
+                ..ThreadedConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            threaded.metrics.total_moves(),
+            engine.metrics.total_moves(),
+            "d={d}: thread schedule changed the move count"
+        );
+        assert_eq!(threaded.metrics.team_size, engine.metrics.team_size);
+        let verdict = audit(cube, &threaded.events);
+        assert!(verdict.is_complete(), "d={d}: {:?}", verdict.violations);
+    }
+}
+
+#[test]
+fn cloning_agrees_across_executors() {
+    for d in 2..=7 {
+        let cube = Hypercube::new(d);
+        let strategy = CloningStrategy::new(cube);
+
+        let engine = strategy.run(Policy::Fifo).unwrap();
+        assert!(
+            engine.is_complete(),
+            "d={d}: {:?}",
+            engine.verdict.violations
+        );
+
+        let fast = strategy.fast(true);
+        assert!(fast.is_complete(), "d={d}: {:?}", fast.verdict.violations);
+        assert_eq!(engine.metrics.total_moves(), fast.metrics.total_moves());
+        assert_eq!(engine.metrics.team_size, fast.metrics.team_size);
+
+        let threaded = run_threaded(
+            cube,
+            vec![(CloningAgent::new(), Role::Worker)],
+            ThreadedConfig {
+                visibility: true,
+                ..ThreadedConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            threaded.metrics.total_moves(),
+            engine.metrics.total_moves(),
+            "d={d}: thread schedule changed the move count"
+        );
+        assert_eq!(threaded.metrics.team_size, engine.metrics.team_size);
+        let verdict = audit(cube, &threaded.events);
+        assert!(verdict.is_complete(), "d={d}: {:?}", verdict.violations);
+    }
+}
+
+#[test]
 fn threaded_runs_are_repeatedly_correct() {
     // Different OS interleavings every time; the audit must hold for all.
     let cube = Hypercube::new(6);
@@ -99,7 +183,11 @@ fn synthesized_traces_audit_clean() {
         let cube = Hypercube::new(d);
         let (_, ev) = CleanStrategy::new(cube).synthesize(true);
         let verdict = audit(cube, &ev.unwrap());
-        assert!(verdict.is_complete(), "clean d={d}: {:?}", verdict.violations);
+        assert!(
+            verdict.is_complete(),
+            "clean d={d}: {:?}",
+            verdict.violations
+        );
         let (_, ev) = VisibilityStrategy::new(cube).synthesize(true);
         let verdict = audit(cube, &ev.unwrap());
         assert!(verdict.is_complete(), "visibility d={d}");

@@ -3,11 +3,9 @@
 //! that the verification layer has teeth — without them, "all runs were
 //! monotone" would be unfalsifiable.
 
-use hypersweep::prelude::*;
-use hypersweep::sim::{
-    Action, AgentProgram, Ctx, Engine, EngineConfig, Role,
-};
 use hypersweep::core::visibility::VisBoard;
+use hypersweep::prelude::*;
+use hypersweep::sim::{Action, AgentProgram, Ctx, Engine, EngineConfig, Role};
 use hypersweep::topology::combinatorics as comb;
 
 /// A visibility agent with the guard condition removed: it dispatches as
@@ -59,12 +57,7 @@ fn reckless_dispatch_is_flagged_as_recontamination() {
             engine.spawn(RecklessVisibilityAgent, Node::ROOT, Role::Worker);
         }
         let report = engine.run().expect("the buggy strategy still terminates");
-        let verdict = verify_trace(
-            &cube,
-            Node::ROOT,
-            &report.events,
-            MonitorConfig::default(),
-        );
+        let verdict = verify_trace(&cube, Node::ROOT, &report.events, MonitorConfig::default());
         if !verdict.monotone {
             caught = true;
             assert!(!verdict.is_complete());

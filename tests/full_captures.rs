@@ -2,9 +2,7 @@
 //! every run audited for monotonicity, contiguity, coverage and capture,
 //! and every counter checked against the paper's closed forms.
 
-use hypersweep::core::predictions::{
-    clean_prediction, cloning_prediction, visibility_prediction,
-};
+use hypersweep::core::predictions::{clean_prediction, cloning_prediction, visibility_prediction};
 use hypersweep::prelude::*;
 
 #[test]
@@ -74,10 +72,20 @@ fn synchronous_variant_under_lockstep() {
 fn ideal_times_match_theorems_under_lockstep() {
     for d in 1..=8 {
         let cube = Hypercube::new(d);
-        let vis = VisibilityStrategy::new(cube).run(Policy::Synchronous).unwrap();
-        assert_eq!(vis.metrics.ideal_time, Some(u64::from(d)), "Theorem 7 d={d}");
+        let vis = VisibilityStrategy::new(cube)
+            .run(Policy::Synchronous)
+            .unwrap();
+        assert_eq!(
+            vis.metrics.ideal_time,
+            Some(u64::from(d)),
+            "Theorem 7 d={d}"
+        );
         let cl = CloningStrategy::new(cube).run(Policy::Synchronous).unwrap();
-        assert_eq!(cl.metrics.ideal_time, Some(u64::from(d)), "§5 cloning d={d}");
+        assert_eq!(
+            cl.metrics.ideal_time,
+            Some(u64::from(d)),
+            "§5 cloning d={d}"
+        );
     }
     // Theorem 4: CLEAN's time is the synchronizer's sequential walk.
     for d in [3u32, 5, 6] {
@@ -87,7 +95,10 @@ fn ideal_times_match_theorems_under_lockstep() {
         let t = outcome.metrics.ideal_time.unwrap();
         let sync = outcome.metrics.coordinator_moves;
         assert!(t >= sync, "d={d}");
-        assert!(t <= 8 * sync + 8 * u64::from(d), "d={d}: time {t} vs sync walk {sync}");
+        assert!(
+            t <= 8 * sync + 8 * u64::from(d),
+            "d={d}: time {t} vs sync walk {sync}"
+        );
     }
 }
 
@@ -130,7 +141,10 @@ fn fast_paths_and_engines_agree_everywhere() {
             ),
             (
                 CloningStrategy::new(cube).fast(false).metrics,
-                CloningStrategy::new(cube).run(Policy::Lifo).unwrap().metrics,
+                CloningStrategy::new(cube)
+                    .run(Policy::Lifo)
+                    .unwrap()
+                    .metrics,
             ),
         ] {
             assert_eq!(fast.total_moves(), engine.total_moves(), "d={d}");

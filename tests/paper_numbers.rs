@@ -37,8 +37,16 @@ fn golden_closed_forms() {
             vis_agents,
             "visibility agents at d={d}"
         );
-        assert_eq!(comb::visibility_moves(d), vis_moves, "visibility moves at d={d}");
-        assert_eq!(comb::cloning_moves(d), clone_moves, "cloning moves at d={d}");
+        assert_eq!(
+            comb::visibility_moves(d),
+            vis_moves,
+            "visibility moves at d={d}"
+        );
+        assert_eq!(
+            comb::cloning_moves(d),
+            clone_moves,
+            "cloning moves at d={d}"
+        );
     }
 }
 

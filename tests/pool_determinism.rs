@@ -1,0 +1,47 @@
+//! Pooled execution must not leak into the exported artifacts: the JSON
+//! for every experiment id is byte-identical whether the harness runs
+//! sequentially (`--jobs 1`) or on a contended pool (`--jobs 8`), and the
+//! shared run cache must actually dedupe the runs experiments have in
+//! common.
+
+use hypersweep::analysis::experiments::ALL_IDS;
+use hypersweep::analysis::{run_ids_pooled, ExperimentConfig};
+
+#[test]
+fn exported_json_is_byte_identical_across_jobs() {
+    let cfg = ExperimentConfig::quick();
+    let sequential = run_ids_pooled(ALL_IDS, &cfg, 1);
+    let pooled = run_ids_pooled(ALL_IDS, &cfg, 8);
+
+    assert_eq!(sequential.results.len(), ALL_IDS.len());
+    assert_eq!(pooled.results.len(), ALL_IDS.len());
+    for (seq, par) in sequential.results.iter().zip(&pooled.results) {
+        assert_eq!(seq.id, par.id, "merge order changed under the pool");
+        let seq_json = serde_json::to_string_pretty(seq).unwrap();
+        let par_json = serde_json::to_string_pretty(par).unwrap();
+        assert_eq!(
+            seq_json, par_json,
+            "experiment {}: exported JSON differs between jobs=1 and jobs=8",
+            seq.id
+        );
+    }
+
+    // The whole point of the shared cache: runs declared by several
+    // experiments (CLEAN's fast trace in t2/t3/e11/e13, the visibility
+    // runs in t5/t7/t8, …) execute once and hit thereafter.
+    for report in [&sequential, &pooled] {
+        assert!(
+            report.summary.cache_hits > 0,
+            "jobs={}: no run was shared across experiments",
+            report.summary.jobs
+        );
+        assert_eq!(
+            report.summary.unique_runs as u64, report.summary.cache_misses,
+            "every miss must correspond to exactly one executed run"
+        );
+    }
+    assert_eq!(
+        sequential.summary.cache_misses, pooled.summary.cache_misses,
+        "the pool must not change which unique runs execute"
+    );
+}

@@ -93,12 +93,7 @@ proptest! {
 /// A random tree on `n` nodes from a Prüfer-like parent assignment.
 fn arb_tree(max_nodes: usize) -> impl Strategy<Value = AdjGraph> {
     (2usize..=max_nodes)
-        .prop_flat_map(|n| {
-            (
-                Just(n),
-                proptest::collection::vec(0u32..u32::MAX, n - 1),
-            )
-        })
+        .prop_flat_map(|n| (Just(n), proptest::collection::vec(0u32..u32::MAX, n - 1)))
         .prop_map(|(n, picks)| {
             let mut g = AdjGraph::with_nodes(n);
             for (i, pick) in picks.into_iter().enumerate() {

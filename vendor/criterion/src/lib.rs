@@ -1,0 +1,243 @@
+//! Offline stand-in for `criterion`, vendored because this build environment
+//! has no access to crates.io. Keeps the criterion API shape the workspace's
+//! benches use (groups, throughput, `bench_with_input`, `criterion_group!`)
+//! but measures with a simple time-bounded loop and prints one line per
+//! benchmark — no statistics, plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Top-level bench context; hands out groups.
+pub struct Criterion {
+    /// Wall-clock budget spent measuring each benchmark.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_for: Duration::from_millis(40),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+}
+
+/// Unit used to report per-second rates alongside times.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the nominal sample count (scales measuring time down for
+    /// expensive benches, mirroring criterion's use of small sample sizes).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Report a rate together with the time.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = self.make_bencher();
+        f(&mut bencher, input);
+        self.report(&id.id, &bencher);
+        self
+    }
+
+    /// Benchmark `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = self.make_bencher();
+        f(&mut bencher);
+        self.report(&id.id, &bencher);
+        self
+    }
+
+    /// End the group (printing happens per-bench; this is for API parity).
+    pub fn finish(self) {}
+
+    fn make_bencher(&self) -> Bencher {
+        // Small nominal sample sizes signal an expensive bench: shrink the
+        // budget so full suites stay fast.
+        let scale = (self.sample_size.min(100) as u32).max(1);
+        Bencher {
+            measure_for: self.criterion.measure_for * scale / 100,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let iters = bencher.iters.max(1);
+        let per_iter = bencher.elapsed.as_nanos() / iters as u128;
+        let mut line = format!(
+            "{}/{}: {} iters, {} ns/iter",
+            self.name, id, bencher.iters, per_iter
+        );
+        if let Some(tp) = self.throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if per_iter > 0 {
+                let rate = count as f64 * 1e9 / per_iter as f64;
+                line.push_str(&format!(", {rate:.0} {unit}/s"));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    measure_for: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up call.
+        std::hint::black_box(f());
+        let budget = self.measure_for.max(Duration::from_millis(1));
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundle bench functions into a named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups (CLI filter args are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(2),
+        };
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        assert!(calls >= 2, "warm-up plus at least one measured call");
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 6).id, "f/6");
+        assert_eq!(BenchmarkId::from_parameter(9).id, "9");
+        let from_str: BenchmarkId = "plain".into();
+        assert_eq!(from_str.id, "plain");
+    }
+
+    #[test]
+    fn groups_share_settings() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(1), &3u32, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,124 @@
+//! Offline stand-in for `rand`, vendored because this build environment has
+//! no access to crates.io. Covers the surface the workspace uses:
+//! [`Rng::random_range`] over integer ranges and
+//! [`SeedableRng::seed_from_u64`].
+
+use std::ops::Range;
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience methods over an [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open).
+    fn random_range<T: UniformInt>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Integer types [`Rng::random_range`] can sample.
+pub trait UniformInt: Copy {
+    /// Uniform sample in `[range.start, range.end)`.
+    fn sample<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Unbiased u64 in `[0, bound)` by rejection sampling over the widening
+/// multiply (Lemire's method).
+fn uniform_u64<R: RngCore>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample from an empty range");
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let low = m as u64;
+        if low >= bound.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+        // Rejected: a biased low fragment; resample.
+    }
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                range.start + uniform_u64(rng, span) as $t
+            }
+        }
+    )*};
+}
+impl_uniform!(u32, u64, usize);
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a 64-bit seed, expanded with SplitMix64 (the same
+    /// construction the real `rand` uses, so small seeds diffuse well).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (dst, src) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *dst = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Step(u64);
+    impl RngCore for Step {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut rng = Step(42);
+        for _ in 0..1000 {
+            let x = rng.random_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.random_range(0usize..3);
+            assert!(y < 3);
+        }
+    }
+
+    #[test]
+    fn all_values_reachable() {
+        let mut rng = Step(7);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

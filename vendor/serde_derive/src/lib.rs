@@ -1,0 +1,469 @@
+//! Offline stand-in for `serde_derive`, vendored because this build
+//! environment has no access to crates.io (and therefore no `syn`/`quote`
+//! either — the input is parsed directly from the token stream).
+//!
+//! Supports exactly the shapes this workspace derives:
+//! plain structs with named fields, tuple structs (newtype structs
+//! serialize transparently, like real serde), unit structs, and enums whose
+//! variants are unit, newtype, tuple, or struct-like — externally tagged,
+//! matching real serde's default representation. Generics and `#[serde]`
+//! attributes are not supported and fail loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derive `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("generated impl parses")
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Shape {
+    Struct(String, Fields),
+    Enum(String, Vec<(String, Fields)>),
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skip `#[...]` attributes (including doc comments).
+    fn skip_attrs(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                other => panic!("expected attribute brackets after '#', got {other:?}"),
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(...)`.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Skip a type, stopping at a top-level `,` (consumed) or end of stream.
+    /// Tracks `<`/`>` nesting; parens/brackets/braces arrive as single
+    /// group tokens so only angle brackets need counting.
+    fn skip_type_until_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kw = c.expect_ident();
+    let name = c.expect_ident();
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize): generics are not supported by the vendored serde_derive");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(name, Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(name, Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(name, Fields::Unit),
+            other => panic!("unexpected token after struct name: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(name, parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, got {other:?}"),
+        },
+        other => panic!("expected struct or enum, got '{other}'"),
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        c.skip_vis();
+        if c.at_end() {
+            break;
+        }
+        let field = c.expect_ident();
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field '{field}', got {other:?}"),
+        }
+        c.skip_type_until_comma();
+        fields.push(field);
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    let mut count = 0;
+    loop {
+        c.skip_attrs();
+        c.skip_vis();
+        if c.at_end() {
+            break;
+        }
+        c.skip_type_until_comma();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<(String, Fields)> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                c.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut angle = 0i32;
+        while let Some(t) = c.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    c.next();
+                    break;
+                }
+                _ => {}
+            }
+            c.next();
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen (string-built; parsed back into a TokenStream by the caller).
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct(name, Fields::Named(fields)) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::serialize_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Struct(name, Fields::Tuple(1)) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::serialize_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Struct(name, Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{}])\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Struct(name, Fields::Unit) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => {
+                        format!("{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n")
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(x0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::serialize_value(x0))]),\n"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let pushes: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), \
+                                     ::serde::Serialize::serialize_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             (\"{v}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            pushes.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn named_fields_body(type_path: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize_value(\
+                 ::serde::get_field({src}, \"{f}\"))?"
+            )
+        })
+        .collect();
+    format!("{type_path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct(name, Fields::Named(fields)) => {
+            let body = named_fields_body(name, fields, "obj");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         let obj = v.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                         Ok({body})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Struct(name, Fields::Tuple(1)) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::deserialize_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Struct(name, Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         let items = v.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                         if items.len() != {n} {{\n\
+                             return Err(::serde::Error::custom(\"wrong tuple arity for {name}\"));\n\
+                         }}\n\
+                         Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Struct(name, Fields::Unit) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(_v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                     Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum(name, variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),\n"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .map(|(v, fields)| match fields {
+                    Fields::Tuple(1) => format!(
+                        "\"{v}\" => Ok({name}::{v}(\
+                         ::serde::Deserialize::deserialize_value(payload)?)),\n"
+                    ),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize_value(&items[{i}])?")
+                            })
+                            .collect();
+                        format!(
+                            "\"{v}\" => {{\n\
+                                 let items = payload.as_array().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected array for {name}::{v}\"))?;\n\
+                                 if items.len() != {n} {{\n\
+                                     return Err(::serde::Error::custom(\
+                                         \"wrong arity for {name}::{v}\"));\n\
+                                 }}\n\
+                                 Ok({name}::{v}({}))\n\
+                             }}\n",
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let body = named_fields_body(&format!("{name}::{v}"), fs, "obj");
+                        format!(
+                            "\"{v}\" => {{\n\
+                                 let obj = payload.as_object().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected object for {name}::{v}\"))?;\n\
+                                 Ok({body})\n\
+                             }}\n"
+                        )
+                    }
+                    Fields::Unit => unreachable!(),
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => Err(::serde::Error::custom(format!(\
+                                     \"unknown {name} variant '{{other}}'\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                                 let (tag, payload) = &fields[0];\n\
+                                 let _ = payload;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     other => Err(::serde::Error::custom(format!(\
+                                         \"unknown {name} variant '{{other}}'\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::Error::custom(\"expected {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
