@@ -37,7 +37,11 @@ pub fn required_runs(id: &str, cfg: &ExperimentConfig) -> Vec<RunKey> {
                 keys.push(RunKey::fast(StrategyKind::Clean, d));
                 keys.push(RunKey::fast(StrategyKind::CleanThroughRoot, d));
             }
-            for &d in cfg.sync_engine_dims.iter().filter(|&&d| d <= 9) {
+            for &d in cfg
+                .sync_engine_dims
+                .iter()
+                .filter(|&&d| d <= cfg.sync_ablation_max_dim)
+            {
                 keys.push(RunKey::engine(
                     StrategyKind::Cloning,
                     d,
@@ -310,7 +314,11 @@ pub fn e13_ablations(cfg: &ExperimentConfig, runs: &RunCache) -> ExperimentResul
         "cloning ideal time: largest-subtree-first vs smallest-subtree-first",
         &["d", "largest first", "smallest first", "d(d+1)/2"],
     );
-    for &d in cfg.sync_engine_dims.iter().filter(|&&d| d <= 9) {
+    for &d in cfg
+        .sync_engine_dims
+        .iter()
+        .filter(|&&d| d <= cfg.sync_ablation_max_dim)
+    {
         let a = runs.get_or_run(RunKey::engine(
             StrategyKind::Cloning,
             d,
@@ -362,7 +370,7 @@ pub fn e14_open_problem(cfg: &ExperimentConfig, _runs: &RunCache) -> ExperimentR
             "greedy/CLEAN",
         ],
     );
-    let greedy_max = cfg.fast_max_dim().min(11);
+    let greedy_max = cfg.fast_max_dim().min(cfg.greedy_planner_max_dim);
     for &d in cfg.fast_dims.iter().filter(|&&d| d <= greedy_max) {
         let cube = Hypercube::new(d);
         let lb = isoperimetric_team_lower_bound(d);

@@ -29,14 +29,14 @@ pub fn f1_broadcast_tree(cfg: &ExperimentConfig, _runs: &RunCache) -> Experiment
     );
     // Structural isomorphism for every fast dimension.
     let mut iso_ok = true;
-    for d in 0..=cfg.fast_max_dim().min(12) {
+    for d in 0..=cfg.fast_max_dim().min(cfg.heap_iso_max_dim) {
         let tree = BroadcastTree::new(Hypercube::new(d));
         let hq = HeapQueue::build(d);
         iso_ok &= hq.matches_broadcast_subtree(&tree, Node::ROOT);
     }
     r.notes.push(format!(
         "heap-queue isomorphism verified for d = 0..={}: {}",
-        cfg.fast_max_dim().min(12),
+        cfg.fast_max_dim().min(cfg.heap_iso_max_dim),
         if iso_ok { "OK" } else { "FAILED" }
     ));
     // The figure itself (the paper draws d = 6).

@@ -44,6 +44,35 @@ pub struct ExperimentConfig {
     /// Dimension used for the order/wavefront figures (the paper draws
     /// `H_4`).
     pub small_figure_dim: u32,
+    /// Cap on the heap-queue isomorphism sweep in F1 (`O(n log n)` work
+    /// per dimension; structural, so large `d` adds cost without insight).
+    pub heap_iso_max_dim: u32,
+    /// Cap on the engine-backed cloning-dispatch ablation in E13 (the
+    /// smallest-first variant runs `d(d+1)/2` synchronous rounds).
+    pub sync_ablation_max_dim: u32,
+    /// Cap on the greedy upper-bound planner in E14 (its per-step frontier
+    /// scan is quadratic in `n`).
+    pub greedy_planner_max_dim: u32,
+    /// Largest dimension whose fast runs are audited through the streaming
+    /// monitor; above this the `O(n)`-per-contiguity-check audit dominates
+    /// and runs report metrics with a vacuous verdict.
+    pub audit_max_dim: u32,
+}
+
+fn default_heap_iso_max_dim() -> u32 {
+    12
+}
+
+fn default_sync_ablation_max_dim() -> u32 {
+    9
+}
+
+fn default_greedy_planner_max_dim() -> u32 {
+    11
+}
+
+fn default_audit_max_dim() -> u32 {
+    12
 }
 
 impl ExperimentConfig {
@@ -56,24 +85,40 @@ impl ExperimentConfig {
             adversary_seeds: 2,
             figure_dim: 6,
             small_figure_dim: 4,
+            heap_iso_max_dim: default_heap_iso_max_dim(),
+            sync_ablation_max_dim: default_sync_ablation_max_dim(),
+            greedy_planner_max_dim: default_greedy_planner_max_dim(),
+            audit_max_dim: default_audit_max_dim(),
         }
     }
 
-    /// The full runs recorded in `EXPERIMENTS.md` (tens of seconds).
+    /// The full runs recorded in `EXPERIMENTS.md` (tens of seconds). The
+    /// fast (procedural, streamed-audit) paths scale to `H_20`.
     pub fn full() -> Self {
         ExperimentConfig {
-            fast_dims: (1..=14).collect(),
+            fast_dims: (1..=20).collect(),
             engine_dims: vec![2, 3, 4, 5, 6, 7, 8],
             sync_engine_dims: vec![2, 4, 6, 8],
             adversary_seeds: 5,
             figure_dim: 6,
             small_figure_dim: 4,
+            heap_iso_max_dim: default_heap_iso_max_dim(),
+            sync_ablation_max_dim: default_sync_ablation_max_dim(),
+            greedy_planner_max_dim: default_greedy_planner_max_dim(),
+            audit_max_dim: default_audit_max_dim(),
         }
     }
 
     /// Largest fast dimension.
     pub fn fast_max_dim(&self) -> u32 {
         self.fast_dims.iter().copied().max().unwrap_or(1)
+    }
+
+    /// Clamp every dimension list to `max_dim` (the CLI's `--max-dim`).
+    pub fn clamp_max_dim(&mut self, max_dim: u32) {
+        self.fast_dims.retain(|&d| d <= max_dim);
+        self.engine_dims.retain(|&d| d <= max_dim);
+        self.sync_engine_dims.retain(|&d| d <= max_dim);
     }
 }
 

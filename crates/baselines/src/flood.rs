@@ -8,11 +8,13 @@
 //! team-size axis of the comparison experiments from above.
 
 use hypersweep_core::outcome::{
-    audited_outcome, synthesized_outcome, SearchOutcome, SearchStrategy, StrategyError,
+    audited_outcome, streamed_outcome, synthesized_outcome, SearchOutcome, SearchStrategy,
+    StrategyError,
 };
 use hypersweep_core::visibility::VisBoard;
 use hypersweep_sim::{
-    Action, AgentProgram, Ctx, Engine, EngineConfig, Event, EventKind, Metrics, Policy, Role,
+    Action, AgentProgram, Ctx, Engine, EngineConfig, Event, EventKind, EventSink, Metrics,
+    NullSink, Policy, Role,
 };
 use hypersweep_topology::{BroadcastTree, Hypercube, Node};
 
@@ -78,28 +80,38 @@ impl FloodStrategy {
         self.cube.node_count() as u64
     }
 
-    /// Canonical trace: class `C_i` dispatches at round `i + 1`, exactly as
-    /// the visibility wave, but with subtree-sized squads.
+    /// Canonical trace, buffered into a `Vec` when `record_events` is set.
+    /// Thin wrapper over [`FloodStrategy::synthesize_into`].
     pub fn synthesize(&self, record_events: bool) -> (Metrics, Option<Vec<Event>>) {
+        if record_events {
+            let mut events = Vec::new();
+            let metrics = self.synthesize_into(&mut events);
+            (metrics, Some(events))
+        } else {
+            (self.synthesize_into(&mut NullSink), None)
+        }
+    }
+
+    /// Canonical trace streamed into `sink`: class `C_i` dispatches at
+    /// round `i + 1`, exactly as the visibility wave, but with
+    /// subtree-sized squads.
+    pub fn synthesize_into(&self, sink: &mut dyn EventSink) -> Metrics {
         let cube = self.cube;
         let d = cube.dim();
         let tree = BroadcastTree::new(cube);
         let n = cube.node_count();
         let team = self.team_size();
-        let mut events: Option<Vec<Event>> = record_events.then(Vec::new);
         let mut station: Vec<Vec<u32>> = vec![Vec::new(); n];
         station[Node::ROOT.index()] = (0..team as u32).collect();
-        if let Some(ev) = events.as_mut() {
-            for id in 0..team as u32 {
-                ev.push(Event {
-                    time: 0,
-                    kind: EventKind::Spawn {
-                        agent: id,
-                        node: Node::ROOT,
-                        role: Role::Worker,
-                    },
-                });
-            }
+        for id in 0..team as u32 {
+            sink.emit(Event {
+                time: 0,
+                kind: EventKind::Spawn {
+                    agent: id,
+                    node: Node::ROOT,
+                    role: Role::Worker,
+                },
+            });
         }
         let mut moves: u64 = 0;
         for i in 0..=d {
@@ -116,34 +128,30 @@ impl FloodStrategy {
                         Some(t) => {
                             let to = x.flip(d - t);
                             moves += 1;
-                            if let Some(ev) = events.as_mut() {
-                                ev.push(Event {
-                                    time: u64::from(i) + 1,
-                                    kind: EventKind::Move {
-                                        agent: id,
-                                        from: x,
-                                        to,
-                                        role: Role::Worker,
-                                    },
-                                });
-                            }
+                            sink.emit(Event {
+                                time: u64::from(i) + 1,
+                                kind: EventKind::Move {
+                                    agent: id,
+                                    from: x,
+                                    to,
+                                    role: Role::Worker,
+                                },
+                            });
                             station[to.index()].push(id);
                         }
                     }
                 }
             }
         }
-        if let Some(ev) = events.as_mut() {
-            for x in cube.nodes() {
-                for &id in &station[x.index()] {
-                    ev.push(Event {
-                        time: u64::from(d) + 1,
-                        kind: EventKind::Terminate { agent: id, node: x },
-                    });
-                }
+        for x in cube.nodes() {
+            for &id in &station[x.index()] {
+                sink.emit(Event {
+                    time: u64::from(d) + 1,
+                    kind: EventKind::Terminate { agent: id, node: x },
+                });
             }
         }
-        let metrics = Metrics {
+        Metrics {
             worker_moves: moves,
             coordinator_moves: 0,
             team_size: team,
@@ -152,8 +160,7 @@ impl FloodStrategy {
             activations: moves,
             peak_board_bits: 0,
             peak_local_bits: 0,
-        };
-        (metrics, events)
+        }
     }
 }
 
@@ -183,8 +190,11 @@ impl SearchStrategy for FloodStrategy {
     }
 
     fn fast(&self, audit: bool) -> SearchOutcome {
-        let (metrics, events) = self.synthesize(audit);
-        synthesized_outcome(self.cube, metrics, events.as_deref())
+        if audit {
+            streamed_outcome(self.cube, |sink| self.synthesize_into(sink))
+        } else {
+            synthesized_outcome(self.cube, self.synthesize_into(&mut NullSink), None)
+        }
     }
 }
 

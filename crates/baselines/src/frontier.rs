@@ -11,8 +11,8 @@
 //! dedicated round-trip journey, so moves total `Σ_v 2·level(v) = n·log n`
 //! — versus CLEAN's `(n/2)(log n + 1)`.
 
-use hypersweep_core::outcome::{synthesized_outcome, SearchOutcome};
-use hypersweep_sim::{Event, EventKind, Metrics, Role};
+use hypersweep_core::outcome::{streamed_outcome, synthesized_outcome, SearchOutcome};
+use hypersweep_sim::{Event, EventKind, EventSink, Metrics, NullSink, Role};
 use hypersweep_topology::combinatorics as comb;
 use hypersweep_topology::{BroadcastTree, Hypercube, Node};
 
@@ -47,14 +47,26 @@ impl FrontierStrategy {
         comb::pow2(d) * u128::from(d)
     }
 
-    /// Synthesize the plan.
+    /// Synthesize the plan, buffering the events into a `Vec` when
+    /// `record_events` is set. Thin wrapper over
+    /// [`FrontierStrategy::synthesize_into`].
     pub fn synthesize(&self, record_events: bool) -> (Metrics, Option<Vec<Event>>) {
+        if record_events {
+            let mut events = Vec::new();
+            let metrics = self.synthesize_into(&mut events);
+            (metrics, Some(events))
+        } else {
+            (self.synthesize_into(&mut NullSink), None)
+        }
+    }
+
+    /// Synthesize the plan, streaming every event into `sink`.
+    pub fn synthesize_into(&self, sink: &mut dyn EventSink) -> Metrics {
         let cube = self.cube;
         let d = cube.dim();
         let tree = BroadcastTree::new(cube);
         let n = cube.node_count();
         let team = self.team_size();
-        let mut events: Option<Vec<Event>> = record_events.then(Vec::new);
         let mut time: u64 = 0;
         let mut moves: u64 = 0;
         let mut away: u64 = 0;
@@ -64,10 +76,8 @@ impl FrontierStrategy {
 
         macro_rules! emit {
             ($kind:expr) => {
-                if let Some(ev) = events.as_mut() {
-                    time += 1;
-                    ev.push(Event { time, kind: $kind });
-                }
+                time += 1;
+                sink.emit(Event { time, kind: $kind });
             };
         }
         macro_rules! mv {
@@ -138,7 +148,7 @@ impl FrontierStrategy {
             });
         }
 
-        let metrics = Metrics {
+        Metrics {
             worker_moves: moves,
             coordinator_moves: 0,
             team_size: team,
@@ -147,14 +157,16 @@ impl FrontierStrategy {
             activations: moves,
             peak_board_bits: 0,
             peak_local_bits: 0,
-        };
-        (metrics, events)
+        }
     }
 
     /// Synthesize and audit.
     pub fn outcome(&self, audit: bool) -> SearchOutcome {
-        let (metrics, events) = self.synthesize(audit);
-        synthesized_outcome(self.cube, metrics, events.as_deref())
+        if audit {
+            streamed_outcome(self.cube, |sink| self.synthesize_into(sink))
+        } else {
+            synthesized_outcome(self.cube, self.synthesize_into(&mut NullSink), None)
+        }
     }
 }
 

@@ -1,0 +1,301 @@
+//! Audit throughput: events/sec streamed through the online monitor.
+//!
+//! Replays Algorithm CLEAN's canonical trace for `d ∈ {10, 14, 16}`
+//! (override with `BENCH_AUDIT_DIMS=15,16,20`) through two auditors with
+//! identical semantics:
+//!
+//! * **packed** — the real [`Monitor`], whose `ContaminationField` keeps
+//!   node predicates in packed `u64` bitsets and runs word-parallel
+//!   contiguity/spread kernels;
+//! * **vecbool** — a per-node `Vec<bool>` reference auditor (the layout the
+//!   field used before the packed kernel landed), with per-node BFS
+//!   contiguity.
+//!
+//! Both sample contiguity at the same stride as the harness's default
+//! monitor configuration for large cubes. Results land in
+//! `BENCH_audit.json` at the repo root (override with `BENCH_AUDIT_OUT`);
+//! set `BENCH_AUDIT_BASELINE=<path>` to compare against a committed
+//! baseline instead — the run exits non-zero if packed throughput regresses
+//! by more than 25% at any dimension.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use hypersweep_core::CleanStrategy;
+use hypersweep_intruder::{Monitor, MonitorConfig};
+use hypersweep_sim::{Event, EventKind};
+use hypersweep_topology::{Hypercube, Node, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Contiguity sampling stride for the benchmarked cubes (all have
+/// `n > 1024`, where the harness's default monitor samples every 64).
+const CONTIGUITY_EVERY: u64 = 64;
+
+/// Per-dimension measurement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct BenchEntry {
+    d: u32,
+    events: u64,
+    packed_events_per_sec: f64,
+    vecbool_events_per_sec: f64,
+    speedup: f64,
+}
+
+/// The committed `BENCH_audit.json` shape.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct BenchReport {
+    schema: String,
+    contiguity_every: u64,
+    dims: Vec<BenchEntry>,
+}
+
+/// The pre-packed-kernel auditor: `Vec<bool>` node predicates, per-node
+/// BFS for recontamination spread and contiguity.
+struct VecBoolAuditor<'a> {
+    cube: &'a Hypercube,
+    contaminated: Vec<bool>,
+    occupancy: Vec<u32>,
+    homebase: Node,
+    events_applied: u64,
+    recontaminations: u64,
+    contiguity_ok: bool,
+}
+
+impl<'a> VecBoolAuditor<'a> {
+    fn new(cube: &'a Hypercube, homebase: Node) -> Self {
+        VecBoolAuditor {
+            cube,
+            contaminated: vec![true; cube.node_count()],
+            occupancy: vec![0; cube.node_count()],
+            homebase,
+            events_applied: 0,
+            recontaminations: 0,
+            contiguity_ok: true,
+        }
+    }
+
+    fn occupy(&mut self, x: Node) {
+        self.occupancy[x.index()] += 1;
+        self.contaminated[x.index()] = false;
+    }
+
+    fn maybe_recontaminate(&mut self, x: Node) {
+        if self.contaminated[x.index()] || self.occupancy[x.index()] > 0 {
+            return;
+        }
+        let mut nbrs = Vec::new();
+        self.cube.neighbors_into(x, &mut nbrs);
+        if !nbrs.iter().any(|&y| self.contaminated[y.index()]) {
+            return;
+        }
+        self.contaminated[x.index()] = true;
+        self.recontaminations += 1;
+        let mut queue = VecDeque::new();
+        queue.push_back(x);
+        while let Some(u) = queue.pop_front() {
+            self.cube.neighbors_into(u, &mut nbrs);
+            for &y in &nbrs {
+                if !self.contaminated[y.index()] && self.occupancy[y.index()] == 0 {
+                    self.contaminated[y.index()] = true;
+                    self.recontaminations += 1;
+                    queue.push_back(y);
+                }
+            }
+        }
+    }
+
+    fn is_contiguous(&self) -> bool {
+        let safe_total = self.contaminated.iter().filter(|&&c| !c).count();
+        if safe_total == 0 {
+            return true;
+        }
+        if self.contaminated[self.homebase.index()] {
+            return false;
+        }
+        let mut seen = vec![false; self.cube.node_count()];
+        let mut queue = VecDeque::new();
+        let mut nbrs = Vec::new();
+        seen[self.homebase.index()] = true;
+        queue.push_back(self.homebase);
+        let mut count = 1usize;
+        while let Some(x) = queue.pop_front() {
+            self.cube.neighbors_into(x, &mut nbrs);
+            for &y in &nbrs {
+                if !self.contaminated[y.index()] && !seen[y.index()] {
+                    seen[y.index()] = true;
+                    count += 1;
+                    queue.push_back(y);
+                }
+            }
+        }
+        count == safe_total
+    }
+
+    fn observe(&mut self, event: &Event) {
+        self.events_applied += 1;
+        match event.kind {
+            EventKind::Spawn { node, .. } => self.occupy(node),
+            EventKind::Move { from, to, .. } => {
+                self.occupy(to);
+                self.occupancy[from.index()] -= 1;
+                if self.occupancy[from.index()] == 0 {
+                    self.maybe_recontaminate(from);
+                }
+            }
+            EventKind::CloneSpawn { to, .. } => self.occupy(to),
+            EventKind::Terminate { .. } => {}
+        }
+        if self.events_applied % CONTIGUITY_EVERY == 0 && !self.is_contiguous() {
+            self.contiguity_ok = false;
+        }
+    }
+
+    fn verdict(&self) -> bool {
+        self.recontaminations == 0 && self.contiguity_ok && self.is_contiguous()
+    }
+}
+
+/// Run `f` repeatedly until the time budget is spent (at least once) and
+/// return the fastest call — the minimum is far more stable than the mean
+/// on shared machines, which matters for the 25% regression gate.
+fn measure<F: FnMut() -> bool>(mut f: F, budget: Duration) -> Duration {
+    let start = Instant::now();
+    let mut best = Duration::MAX;
+    loop {
+        let t = Instant::now();
+        assert!(std::hint::black_box(f()), "auditor rejected a clean trace");
+        best = best.min(t.elapsed());
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    best
+}
+
+fn bench_dim(d: u32, budget: Duration, packed_only: bool) -> BenchEntry {
+    let cube = Hypercube::new(d);
+    let (_, events) = CleanStrategy::new(cube).synthesize(true);
+    let events = events.expect("recorded");
+    let n_events = events.len() as u64;
+    let cfg = MonitorConfig {
+        contiguity_every: CONTIGUITY_EVERY,
+        intruder_start: None,
+        greedy_evader: false,
+    };
+
+    let packed = measure(
+        || {
+            let mut monitor = Monitor::new(&cube, Node::ROOT, cfg);
+            monitor.observe_all(&events);
+            monitor.verdict().monotone
+        },
+        budget,
+    );
+    let rate = |t: Duration| n_events as f64 / t.as_secs_f64();
+    println!(
+        "audit_throughput/packed/d{}: {:.3e} elem/s ({} events)",
+        d,
+        rate(packed),
+        n_events
+    );
+    if packed_only {
+        return BenchEntry {
+            d,
+            events: n_events,
+            packed_events_per_sec: rate(packed),
+            vecbool_events_per_sec: 0.0,
+            speedup: 0.0,
+        };
+    }
+
+    let vecbool = measure(
+        || {
+            let mut auditor = VecBoolAuditor::new(&cube, Node::ROOT);
+            for e in &events {
+                auditor.observe(e);
+            }
+            auditor.verdict()
+        },
+        budget,
+    );
+    let entry = BenchEntry {
+        d,
+        events: n_events,
+        packed_events_per_sec: rate(packed),
+        vecbool_events_per_sec: rate(vecbool),
+        speedup: vecbool.as_secs_f64() / packed.as_secs_f64(),
+    };
+    println!(
+        "audit_throughput/vecbool/d{}: {:.3e} elem/s (speedup {:.2}x)",
+        d, entry.vecbool_events_per_sec, entry.speedup
+    );
+    entry
+}
+
+fn out_path() -> PathBuf {
+    if let Ok(p) = std::env::var("BENCH_AUDIT_OUT") {
+        return PathBuf::from(p);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_audit.json")
+}
+
+fn main() {
+    let budget = Duration::from_millis(
+        std::env::var("BENCH_AUDIT_BUDGET_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300),
+    );
+    // `BENCH_AUDIT_DIMS=15,16,20` overrides the default cube sizes;
+    // `BENCH_AUDIT_PACKED_ONLY=1` skips the reference auditor, whose
+    // per-node BFS takes hours on the d > 16 traces.
+    let dims: Vec<u32> = std::env::var("BENCH_AUDIT_DIMS")
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("BENCH_AUDIT_DIMS is a dim list"))
+                .collect()
+        })
+        .unwrap_or_else(|_| vec![10, 14, 16]);
+    let packed_only = std::env::var("BENCH_AUDIT_PACKED_ONLY").is_ok();
+    let report = BenchReport {
+        schema: "hypersweep-audit-bench/v1".into(),
+        contiguity_every: CONTIGUITY_EVERY,
+        dims: dims
+            .iter()
+            .map(|&d| bench_dim(d, budget, packed_only))
+            .collect(),
+    };
+
+    if let Ok(baseline_path) = std::env::var("BENCH_AUDIT_BASELINE") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let baseline: BenchReport = serde_json::from_str(&text).expect("baseline parses");
+        let mut regressed = false;
+        for entry in &report.dims {
+            let Some(base) = baseline.dims.iter().find(|b| b.d == entry.d) else {
+                continue;
+            };
+            let ratio = entry.packed_events_per_sec / base.packed_events_per_sec;
+            println!(
+                "audit_throughput/check/d{}: {:.2}x of baseline",
+                entry.d, ratio
+            );
+            if ratio < 0.75 {
+                eprintln!(
+                    "REGRESSION at d={}: {:.3e} events/s vs baseline {:.3e} (>25% slower)",
+                    entry.d, entry.packed_events_per_sec, base.packed_events_per_sec
+                );
+                regressed = true;
+            }
+        }
+        if regressed {
+            std::process::exit(1);
+        }
+    } else {
+        let path = out_path();
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&path, json + "\n").expect("write BENCH_audit.json");
+        println!("wrote {}", path.display());
+    }
+}

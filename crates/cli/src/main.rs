@@ -25,7 +25,7 @@ use hypersweep_topology::{Hypercube, Node};
 fn usage() -> &'static str {
     "usage:\n\
      \thypersweep list\n\
-     \thypersweep report <id...|all> [--full] [--json DIR] [--jobs N]\n\
+     \thypersweep report <id...|all> [--full] [--max-dim N] [--json DIR] [--jobs N]\n\
      \thypersweep figures [--full]\n\
      \thypersweep run <clean|visibility|cloning|synchronous> <d> [--policy P] [--fast]\n\
      \thypersweep watch <strategy> <d> [--stride N]\n\
@@ -86,14 +86,18 @@ fn cmd_list() {
 fn cmd_report(
     ids: &[String],
     full: bool,
+    max_dim: Option<u32>,
     json_dir: Option<PathBuf>,
     jobs: usize,
 ) -> Result<(), String> {
-    let cfg = if full {
+    let mut cfg = if full {
         ExperimentConfig::full()
     } else {
         ExperimentConfig::quick()
     };
+    if let Some(cap) = max_dim {
+        cfg.clamp_max_dim(cap);
+    }
     let ids: Vec<String> = if ids.iter().any(|i| i == "all") {
         ALL_IDS.iter().map(|s| s.to_string()).collect()
     } else {
@@ -125,7 +129,7 @@ fn cmd_run(strategy: &str, d: u32, policy: Policy, fast: bool) -> Result<(), Str
     let cube = Hypercube::new(d);
     let s = make_strategy(strategy, cube)?;
     let outcome = if fast {
-        s.fast(d <= 12)
+        s.fast(d <= ExperimentConfig::quick().audit_max_dim)
     } else {
         s.run(policy).map_err(|e| e.to_string())?
     };
@@ -244,6 +248,7 @@ fn main() -> ExitCode {
     let mut policy = Policy::Fifo;
     let mut stride: usize = 8;
     let mut jobs: usize = default_jobs();
+    let mut max_dim: Option<u32> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -265,6 +270,16 @@ fn main() -> ExitCode {
                     Some(v) if v >= 1 => jobs = v,
                     _ => {
                         eprintln!("--jobs needs a positive integer\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--max-dim" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) if v >= 1 => max_dim = Some(v),
+                    _ => {
+                        eprintln!("--max-dim needs a positive integer\n{}", usage());
                         return ExitCode::FAILURE;
                     }
                 }
@@ -303,11 +318,12 @@ fn main() -> ExitCode {
             Ok(())
         }
         Some("report") if positional.len() >= 2 => {
-            cmd_report(&positional[1..], full, json_dir, jobs)
+            cmd_report(&positional[1..], full, max_dim, json_dir, jobs)
         }
         Some("figures") => cmd_report(
             &["f1", "f2", "f3", "f4"].map(String::from),
             full,
+            max_dim,
             json_dir,
             jobs,
         ),

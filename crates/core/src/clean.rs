@@ -31,13 +31,15 @@
 //!    terminates; pooled agents terminate at the root.
 
 use hypersweep_sim::{
-    Action, AgentProgram, Board, Ctx, Engine, EngineConfig, Event, EventKind, Metrics, Policy, Role,
+    Action, AgentProgram, Board, Ctx, Engine, EngineConfig, Event, EventKind, EventSink, Metrics,
+    NullSink, Policy, Role,
 };
 use hypersweep_topology::combinatorics as comb;
 use hypersweep_topology::{BroadcastTree, Hypercube, Node};
 
 use crate::outcome::{
-    audited_outcome, synthesized_outcome, SearchOutcome, SearchStrategy, StrategyError,
+    audited_outcome, streamed_outcome, synthesized_outcome, SearchOutcome, SearchStrategy,
+    StrategyError,
 };
 
 /// Whiteboard of Algorithm CLEAN.
@@ -567,19 +569,34 @@ impl CleanStrategy {
         u64::try_from(comb::clean_team_size(self.cube.dim())).expect("team fits in u64")
     }
 
-    /// Synthesize the canonical sequential trace procedurally (no engine).
+    /// Synthesize the canonical sequential trace procedurally (no engine),
+    /// buffering the events into a `Vec` when `record_events` is set.
+    /// Thin wrapper over [`CleanStrategy::synthesize_into`] for callers
+    /// that need the materialized trace (figures, `trace` export).
+    pub fn synthesize(&self, record_events: bool) -> (Metrics, Option<Vec<Event>>) {
+        if record_events {
+            let mut events = Vec::new();
+            let metrics = self.synthesize_into(&mut events);
+            (metrics, Some(events))
+        } else {
+            (self.synthesize_into(&mut NullSink), None)
+        }
+    }
+
+    /// Synthesize the canonical sequential trace procedurally (no engine),
+    /// streaming every event into `sink` as it is produced.
     ///
     /// The emission order is a legal asynchronous schedule: reinforcements
     /// for a phase walk to their destinations before the sweep visits them,
     /// released guards return to the root immediately, and the synchronizer
     /// acts strictly sequentially.
-    pub fn synthesize(&self, record_events: bool) -> (Metrics, Option<Vec<Event>>) {
+    pub fn synthesize_into(&self, sink: &mut dyn EventSink) -> Metrics {
         let cube = self.cube;
         let d = cube.dim();
         let tree = BroadcastTree::new(cube);
         let n = cube.node_count();
         let team = self.team_size();
-        let mut rec = Recorder::new(record_events);
+        let mut rec = Recorder::new(sink);
 
         // Agent bookkeeping: pool of ids at the root; guard id per node.
         let sync_id: u32 = 0;
@@ -707,7 +724,7 @@ impl CleanStrategy {
             });
         }
 
-        let metrics = Metrics {
+        Metrics {
             worker_moves: rec.worker_moves,
             coordinator_moves: rec.sync_moves,
             team_size: team,
@@ -716,14 +733,14 @@ impl CleanStrategy {
             activations: rec.worker_moves + rec.sync_moves,
             peak_board_bits: 0,
             peak_local_bits: 0,
-        };
-        (metrics, rec.events)
+        }
     }
 }
 
-/// Move/event recorder for the procedural trace generator.
-struct Recorder {
-    events: Option<Vec<Event>>,
+/// Move/event recorder for the procedural trace generator: counts moves
+/// and streams each event straight into the caller's sink.
+struct Recorder<'s> {
+    sink: &'s mut dyn EventSink,
     worker_moves: u64,
     sync_moves: u64,
     away: u64,
@@ -732,10 +749,10 @@ struct Recorder {
     sync_pos: Node,
 }
 
-impl Recorder {
-    fn new(record_events: bool) -> Self {
+impl<'s> Recorder<'s> {
+    fn new(sink: &'s mut dyn EventSink) -> Self {
         Recorder {
-            events: record_events.then(Vec::new),
+            sink,
             worker_moves: 0,
             sync_moves: 0,
             away: 0,
@@ -746,13 +763,11 @@ impl Recorder {
     }
 
     fn emit(&mut self, kind: EventKind) {
-        if let Some(ev) = self.events.as_mut() {
-            self.time += 1;
-            ev.push(Event {
-                time: self.time,
-                kind,
-            });
-        }
+        self.time += 1;
+        self.sink.emit(Event {
+            time: self.time,
+            kind,
+        });
     }
 
     fn track_away(&mut self, from: Node, to: Node) {
@@ -860,8 +875,11 @@ impl SearchStrategy for CleanStrategy {
     }
 
     fn fast(&self, audit: bool) -> SearchOutcome {
-        let (metrics, events) = self.synthesize(audit);
-        synthesized_outcome(self.cube, metrics, events.as_deref())
+        if audit {
+            streamed_outcome(self.cube, |sink| self.synthesize_into(sink))
+        } else {
+            synthesized_outcome(self.cube, self.synthesize_into(&mut NullSink), None)
+        }
     }
 }
 

@@ -16,12 +16,14 @@
 //! to `g(k) = k` only for the decreasing-type order).
 
 use hypersweep_sim::{
-    Action, AgentProgram, Ctx, Engine, EngineConfig, Event, EventKind, Metrics, Policy, Role,
+    Action, AgentProgram, Ctx, Engine, EngineConfig, Event, EventKind, EventSink, Metrics,
+    NullSink, Policy, Role,
 };
 use hypersweep_topology::{BroadcastTree, Hypercube, Node};
 
 use crate::outcome::{
-    audited_outcome, synthesized_outcome, SearchOutcome, SearchStrategy, StrategyError,
+    audited_outcome, streamed_outcome, synthesized_outcome, SearchOutcome, SearchStrategy,
+    StrategyError,
 };
 use crate::visibility::VisBoard;
 
@@ -170,27 +172,38 @@ impl CloningStrategy {
         CloningStrategy { cube, order }
     }
 
-    /// Synthesize the canonical trace: node `x` dispatches at round
-    /// `m(x) + 1`; clone `j` of the dispatch materializes in that round.
+    /// Synthesize the canonical trace, buffering the events into a `Vec`
+    /// when `record_events` is set. Thin wrapper over
+    /// [`CloningStrategy::synthesize_into`].
     pub fn synthesize(&self, record_events: bool) -> (Metrics, Option<Vec<Event>>) {
+        if record_events {
+            let mut events = Vec::new();
+            let metrics = self.synthesize_into(&mut events);
+            (metrics, Some(events))
+        } else {
+            (self.synthesize_into(&mut NullSink), None)
+        }
+    }
+
+    /// Synthesize the canonical trace, streaming every event into `sink`:
+    /// node `x` dispatches at round `m(x) + 1`; clone `j` of the dispatch
+    /// materializes in that round.
+    pub fn synthesize_into(&self, sink: &mut dyn EventSink) -> Metrics {
         let cube = self.cube;
         let d = cube.dim();
         let tree = BroadcastTree::new(cube);
         let n = cube.node_count();
-        let mut events: Option<Vec<Event>> = record_events.then(Vec::new);
         let mut agent_at: Vec<Option<u32>> = vec![None; n];
         agent_at[Node::ROOT.index()] = Some(0);
         let mut next_agent: u32 = 1;
-        if let Some(ev) = events.as_mut() {
-            ev.push(Event {
-                time: 0,
-                kind: EventKind::Spawn {
-                    agent: 0,
-                    node: Node::ROOT,
-                    role: Role::Worker,
-                },
-            });
-        }
+        sink.emit(Event {
+            time: 0,
+            kind: EventKind::Spawn {
+                agent: 0,
+                node: Node::ROOT,
+                role: Role::Worker,
+            },
+        });
         let mut moves: u64 = 0;
         for i in 0..=d {
             for x in tree.msb_class_nodes(i) {
@@ -205,49 +218,43 @@ impl CloningStrategy {
                     moves += 1;
                     if port == d {
                         // The original moves to the T(0) child.
-                        if let Some(ev) = events.as_mut() {
-                            ev.push(Event {
-                                time: u64::from(i) + 1,
-                                kind: EventKind::Move {
-                                    agent: id,
-                                    from: x,
-                                    to,
-                                    role: Role::Worker,
-                                },
-                            });
-                        }
+                        sink.emit(Event {
+                            time: u64::from(i) + 1,
+                            kind: EventKind::Move {
+                                agent: id,
+                                from: x,
+                                to,
+                                role: Role::Worker,
+                            },
+                        });
                         agent_at[x.index()] = None;
                         agent_at[to.index()] = Some(id);
                     } else {
                         let child = next_agent;
                         next_agent += 1;
-                        if let Some(ev) = events.as_mut() {
-                            ev.push(Event {
-                                time: u64::from(i) + 1,
-                                kind: EventKind::CloneSpawn {
-                                    parent: id,
-                                    child,
-                                    from: x,
-                                    to,
-                                },
-                            });
-                        }
+                        sink.emit(Event {
+                            time: u64::from(i) + 1,
+                            kind: EventKind::CloneSpawn {
+                                parent: id,
+                                child,
+                                from: x,
+                                to,
+                            },
+                        });
                         agent_at[to.index()] = Some(child);
                     }
                 }
             }
         }
-        if let Some(ev) = events.as_mut() {
-            for x in tree.leaves() {
-                if let Some(id) = agent_at[x.index()] {
-                    ev.push(Event {
-                        time: u64::from(d) + 1,
-                        kind: EventKind::Terminate { agent: id, node: x },
-                    });
-                }
+        for x in tree.leaves() {
+            if let Some(id) = agent_at[x.index()] {
+                sink.emit(Event {
+                    time: u64::from(d) + 1,
+                    kind: EventKind::Terminate { agent: id, node: x },
+                });
             }
         }
-        let metrics = Metrics {
+        Metrics {
             worker_moves: moves,
             coordinator_moves: 0,
             team_size: u64::from(next_agent),
@@ -256,8 +263,7 @@ impl CloningStrategy {
             activations: moves,
             peak_board_bits: 0,
             peak_local_bits: 32 - (d.leading_zeros()),
-        };
-        (metrics, events)
+        }
     }
 }
 
@@ -289,8 +295,11 @@ impl SearchStrategy for CloningStrategy {
     }
 
     fn fast(&self, audit: bool) -> SearchOutcome {
-        let (metrics, events) = self.synthesize(audit);
-        synthesized_outcome(self.cube, metrics, events.as_deref())
+        if audit {
+            streamed_outcome(self.cube, |sink| self.synthesize_into(sink))
+        } else {
+            synthesized_outcome(self.cube, self.synthesize_into(&mut NullSink), None)
+        }
     }
 }
 

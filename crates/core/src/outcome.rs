@@ -1,7 +1,7 @@
 //! Common strategy interface and verified outcomes.
 
-use hypersweep_intruder::{verify_trace, MonitorConfig, Verdict};
-use hypersweep_sim::{Metrics, Policy, RunError, RunReport};
+use hypersweep_intruder::{verify_trace, Monitor, MonitorConfig, Verdict};
+use hypersweep_sim::{EventSink, Metrics, Policy, RunError, RunReport};
 use hypersweep_topology::{Hypercube, Node};
 
 /// Why a strategy could not run.
@@ -109,6 +109,24 @@ pub fn audited_outcome(cube: Hypercube, report: &RunReport) -> SearchOutcome {
     SearchOutcome {
         metrics: report.metrics,
         verdict,
+    }
+}
+
+/// Synthesize a run *through* an online monitor: the generator streams
+/// each event into the auditor as it is produced, so the full trace is
+/// never materialized — run memory is `O(n)` state instead of `O(moves)`.
+/// The verdict is identical to buffering the trace and calling
+/// [`verify_trace`], because feeding a [`Monitor`] sink *is* the observe
+/// loop.
+pub fn streamed_outcome<F>(cube: Hypercube, synthesize: F) -> SearchOutcome
+where
+    F: FnOnce(&mut dyn EventSink) -> Metrics,
+{
+    let mut monitor = Monitor::new(&cube, Node::ROOT, default_monitor_config(cube));
+    let metrics = synthesize(&mut monitor);
+    SearchOutcome {
+        metrics,
+        verdict: monitor.verdict(),
     }
 }
 

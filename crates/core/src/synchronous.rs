@@ -15,13 +15,15 @@
 //! requesting an asynchronous adversary is an error.
 
 use hypersweep_sim::{
-    Action, AgentProgram, Ctx, Engine, EngineConfig, Event, Metrics, Policy, Role,
+    Action, AgentProgram, Ctx, Engine, EngineConfig, Event, EventSink, Metrics, NullSink, Policy,
+    Role,
 };
 use hypersweep_topology::Hypercube;
 use hypersweep_topology::Node;
 
 use crate::outcome::{
-    audited_outcome, synthesized_outcome, SearchOutcome, SearchStrategy, StrategyError,
+    audited_outcome, streamed_outcome, synthesized_outcome, SearchOutcome, SearchStrategy,
+    StrategyError,
 };
 use crate::visibility::{slot_child_type, VisBoard, VisibilityStrategy};
 
@@ -77,6 +79,11 @@ impl SynchronousStrategy {
     pub fn synthesize(&self, record_events: bool) -> (Metrics, Option<Vec<Event>>) {
         VisibilityStrategy::new(self.cube).synthesize(record_events)
     }
+
+    /// Streaming form of [`SynchronousStrategy::synthesize`].
+    pub fn synthesize_into(&self, sink: &mut dyn EventSink) -> Metrics {
+        VisibilityStrategy::new(self.cube).synthesize_into(sink)
+    }
 }
 
 impl SearchStrategy for SynchronousStrategy {
@@ -111,8 +118,11 @@ impl SearchStrategy for SynchronousStrategy {
     }
 
     fn fast(&self, audit: bool) -> SearchOutcome {
-        let (metrics, events) = self.synthesize(audit);
-        synthesized_outcome(self.cube, metrics, events.as_deref())
+        if audit {
+            streamed_outcome(self.cube, |sink| self.synthesize_into(sink))
+        } else {
+            synthesized_outcome(self.cube, self.synthesize_into(&mut NullSink), None)
+        }
     }
 }
 

@@ -16,13 +16,15 @@
 //! type `T(i)` lies across port `d − i`.
 
 use hypersweep_sim::{
-    Action, AgentProgram, Board, Ctx, Engine, EngineConfig, Event, EventKind, Metrics, Policy, Role,
+    Action, AgentProgram, Board, Ctx, Engine, EngineConfig, Event, EventKind, EventSink, Metrics,
+    NullSink, Policy, Role,
 };
 use hypersweep_topology::combinatorics as comb;
 use hypersweep_topology::{BroadcastTree, Hypercube, Node};
 
 use crate::outcome::{
-    audited_outcome, synthesized_outcome, SearchOutcome, SearchStrategy, StrategyError,
+    audited_outcome, streamed_outcome, synthesized_outcome, SearchOutcome, SearchStrategy,
+    StrategyError,
 };
 
 /// Whiteboard of the visibility strategy: a dispatch-started flag and the
@@ -107,30 +109,39 @@ impl VisibilityStrategy {
         1 << (self.cube.dim() - 1)
     }
 
-    /// Synthesize the canonical synchronous trace directly: class `C_i`
-    /// dispatches at round `i + 1`. Returns metrics and, optionally, the
-    /// full event stream.
+    /// Synthesize the canonical synchronous trace, buffering the events
+    /// into a `Vec` when `record_events` is set. Thin wrapper over
+    /// [`VisibilityStrategy::synthesize_into`].
     pub fn synthesize(&self, record_events: bool) -> (Metrics, Option<Vec<Event>>) {
+        if record_events {
+            let mut events = Vec::new();
+            let metrics = self.synthesize_into(&mut events);
+            (metrics, Some(events))
+        } else {
+            (self.synthesize_into(&mut NullSink), None)
+        }
+    }
+
+    /// Synthesize the canonical synchronous trace directly, streaming every
+    /// event into `sink`: class `C_i` dispatches at round `i + 1`.
+    pub fn synthesize_into(&self, sink: &mut dyn EventSink) -> Metrics {
         let cube = self.cube;
         let d = cube.dim();
         let tree = BroadcastTree::new(cube);
         let n = cube.node_count();
         let team = self.team_size();
-        let mut events: Option<Vec<Event>> = record_events.then(Vec::new);
         // Agent groups stationed per node (ids), populated as waves arrive.
         let mut station: Vec<Vec<u32>> = vec![Vec::new(); n];
         station[Node::ROOT.index()] = (0..team as u32).collect();
-        if let Some(ev) = events.as_mut() {
-            for id in 0..team as u32 {
-                ev.push(Event {
-                    time: 0,
-                    kind: EventKind::Spawn {
-                        agent: id,
-                        node: Node::ROOT,
-                        role: Role::Worker,
-                    },
-                });
-            }
+        for id in 0..team as u32 {
+            sink.emit(Event {
+                time: 0,
+                kind: EventKind::Spawn {
+                    agent: id,
+                    node: Node::ROOT,
+                    role: Role::Worker,
+                },
+            });
         }
         let mut worker_moves: u64 = 0;
         // Wavefront: class C_i dispatches in round i+1. Within a class we
@@ -149,33 +160,29 @@ impl VisibilityStrategy {
                     let child_type = slot_child_type(slot as u32);
                     let to = x.flip(d - child_type);
                     worker_moves += 1;
-                    if let Some(ev) = events.as_mut() {
-                        ev.push(Event {
-                            time: u64::from(i) + 1,
-                            kind: EventKind::Move {
-                                agent: id,
-                                from: x,
-                                to,
-                                role: Role::Worker,
-                            },
-                        });
-                    }
+                    sink.emit(Event {
+                        time: u64::from(i) + 1,
+                        kind: EventKind::Move {
+                            agent: id,
+                            from: x,
+                            to,
+                            role: Role::Worker,
+                        },
+                    });
                     station[to.index()].push(id);
                 }
             }
         }
         // All survivors sit on leaves; emit terminations.
-        if let Some(ev) = events.as_mut() {
-            for x in tree.leaves() {
-                for &id in &station[x.index()] {
-                    ev.push(Event {
-                        time: u64::from(d) + 1,
-                        kind: EventKind::Terminate { agent: id, node: x },
-                    });
-                }
+        for x in tree.leaves() {
+            for &id in &station[x.index()] {
+                sink.emit(Event {
+                    time: u64::from(d) + 1,
+                    kind: EventKind::Terminate { agent: id, node: x },
+                });
             }
         }
-        let metrics = Metrics {
+        Metrics {
             worker_moves,
             coordinator_moves: 0,
             team_size: team,
@@ -184,8 +191,7 @@ impl VisibilityStrategy {
             activations: worker_moves,
             peak_board_bits: 0,
             peak_local_bits: 0,
-        };
-        (metrics, events)
+        }
     }
 }
 
@@ -215,8 +221,11 @@ impl SearchStrategy for VisibilityStrategy {
     }
 
     fn fast(&self, audit: bool) -> SearchOutcome {
-        let (metrics, events) = self.synthesize(audit);
-        synthesized_outcome(self.cube, metrics, events.as_deref())
+        if audit {
+            streamed_outcome(self.cube, |sink| self.synthesize_into(sink))
+        } else {
+            synthesized_outcome(self.cube, self.synthesize_into(&mut NullSink), None)
+        }
     }
 }
 

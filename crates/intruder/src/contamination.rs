@@ -1,6 +1,8 @@
 //! The true contamination state, maintained event by event.
 
-use hypersweep_topology::{Node, Topology};
+use std::collections::VecDeque;
+
+use hypersweep_topology::{Node, NodeSet, Topology};
 
 use hypersweep_sim::{Event, EventKind};
 
@@ -10,23 +12,42 @@ use hypersweep_sim::{Event, EventKind};
 /// structure implements the adversarial semantics faithfully: contamination
 /// spreads through any unguarded path the instant a guard is lifted.
 ///
-/// Complexity: applying an event is `O(1)` unless the event vacates a node,
-/// in which case a spread BFS costs up to `O(n)`; monotone strategies never
-/// trigger the spread, so auditing a full run of any correct strategy costs
-/// `O(moves · Δ)` where `Δ` is the maximum degree.
+/// Node predicates are packed [`NodeSet`] bitsets. On the hypercube (any
+/// topology reporting [`Topology::hypercube_dim`]) the recontamination
+/// flood and the contiguity BFS run word-parallel — whole 64-node frontier
+/// words are expanded per step via the cube's XOR structure — and all
+/// traversal scratch lives in the field, so applying events allocates
+/// nothing.
+///
+/// Complexity: applying an event is `O(d)` unless the event vacates a node
+/// next to contamination, in which case the spread flood costs up to
+/// `O(d · n/64)` words; monotone strategies never trigger the spread, so
+/// auditing a full run of any correct strategy costs `O(moves · Δ)` where
+/// `Δ` is the maximum degree.
 pub struct ContaminationField<'a, T: Topology + ?Sized> {
     topo: &'a T,
-    contaminated: Vec<bool>,
+    /// `Some(d)` when `topo` is `H_d`: enables the word-parallel kernels.
+    hyper_dim: Option<u32>,
+    contaminated: NodeSet,
     occupancy: Vec<u32>,
-    visited: Vec<bool>,
+    /// Nodes with `occupancy > 0`, as a bitset (mirrors `occupancy`).
+    guarded: NodeSet,
+    visited: NodeSet,
     /// Nodes that have been decontaminated at least once.
-    ever_safe: Vec<bool>,
+    ever_safe: NodeSet,
     /// Count of contaminated nodes (for O(1) "all clean" checks).
     dirty_count: usize,
     /// Recontamination incidents: (event index, node).
     recontaminations: Vec<(u64, Node)>,
     events_applied: u64,
     homebase: Node,
+    // Reusable traversal scratch (word-parallel frontiers and the
+    // per-node fallback queue).
+    scratch_frontier: NodeSet,
+    scratch_next: NodeSet,
+    scratch_reached: NodeSet,
+    scratch_nbrs: Vec<Node>,
+    scratch_queue: VecDeque<Node>,
 }
 
 impl<'a, T: Topology + ?Sized> ContaminationField<'a, T> {
@@ -37,14 +58,21 @@ impl<'a, T: Topology + ?Sized> ContaminationField<'a, T> {
         let n = topo.node_count();
         ContaminationField {
             topo,
-            contaminated: vec![true; n],
+            hyper_dim: topo.hypercube_dim(),
+            contaminated: NodeSet::full(n),
             occupancy: vec![0; n],
-            visited: vec![false; n],
-            ever_safe: vec![false; n],
+            guarded: NodeSet::new(n),
+            visited: NodeSet::new(n),
+            ever_safe: NodeSet::new(n),
             dirty_count: n,
             recontaminations: Vec::new(),
             events_applied: 0,
             homebase,
+            scratch_frontier: NodeSet::new(n),
+            scratch_next: NodeSet::new(n),
+            scratch_reached: NodeSet::new(n),
+            scratch_nbrs: Vec::new(),
+            scratch_queue: VecDeque::new(),
         }
     }
 
@@ -55,7 +83,7 @@ impl<'a, T: Topology + ?Sized> ContaminationField<'a, T> {
 
     /// Whether `x` is currently contaminated.
     pub fn is_contaminated(&self, x: Node) -> bool {
-        self.contaminated[x.index()]
+        self.contaminated.contains(x)
     }
 
     /// Whether `x` is currently guarded (occupied by at least one agent,
@@ -66,7 +94,7 @@ impl<'a, T: Topology + ?Sized> ContaminationField<'a, T> {
 
     /// Whether `x` is clean: visited, unguarded, not contaminated.
     pub fn is_clean(&self, x: Node) -> bool {
-        !self.contaminated[x.index()] && self.occupancy[x.index()] == 0
+        !self.contaminated.contains(x) && self.occupancy[x.index()] == 0
     }
 
     /// Number of currently contaminated nodes.
@@ -93,71 +121,179 @@ impl<'a, T: Topology + ?Sized> ContaminationField<'a, T> {
     /// Whether the decontaminated region (guarded ∪ clean) is connected and
     /// contains the homebase — the *contiguity* requirement. An entirely
     /// contaminated graph trivially satisfies it.
-    pub fn is_contiguous(&self) -> bool {
+    ///
+    /// Takes `&mut self` only to reuse the field's traversal scratch; the
+    /// logical state is untouched.
+    pub fn is_contiguous(&mut self) -> bool {
         let n = self.topo.node_count();
         let safe_total = n - self.dirty_count;
         if safe_total == 0 {
             return true;
         }
-        if self.contaminated[self.homebase.index()] {
+        if self.contaminated.contains(self.homebase) {
             return false;
         }
-        // BFS over decontaminated nodes from the homebase.
-        let mut seen = vec![false; n];
-        let mut queue = std::collections::VecDeque::new();
-        seen[self.homebase.index()] = true;
+        match self.hyper_dim {
+            Some(d) => self.is_contiguous_hyper(d, safe_total),
+            None => self.is_contiguous_generic(safe_total),
+        }
+    }
+
+    /// Word-parallel reachability: expand whole frontier words through the
+    /// non-contaminated region until a fixpoint.
+    fn is_contiguous_hyper(&mut self, d: u32, safe_total: usize) -> bool {
+        let mut reached = std::mem::take(&mut self.scratch_reached);
+        let mut frontier = std::mem::take(&mut self.scratch_frontier);
+        let mut next = std::mem::take(&mut self.scratch_next);
+        reached.clear();
+        frontier.clear();
+        reached.insert(self.homebase);
+        frontier.insert(self.homebase);
+        loop {
+            frontier.hypercube_expand_into(d, &mut next);
+            let mut grew = false;
+            for ((nw, rw), cw) in next
+                .words_mut()
+                .iter_mut()
+                .zip(reached.words_mut())
+                .zip(self.contaminated.words())
+            {
+                *nw &= !*cw & !*rw;
+                *rw |= *nw;
+                grew |= *nw != 0;
+            }
+            if !grew {
+                break;
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        let ok = reached.count_ones() == safe_total;
+        self.scratch_reached = reached;
+        self.scratch_frontier = frontier;
+        self.scratch_next = next;
+        ok
+    }
+
+    /// Per-node BFS over decontaminated nodes from the homebase, for
+    /// non-hypercube topologies.
+    fn is_contiguous_generic(&mut self, safe_total: usize) -> bool {
+        let mut reached = std::mem::take(&mut self.scratch_reached);
+        let mut queue = std::mem::take(&mut self.scratch_queue);
+        let mut nbrs = std::mem::take(&mut self.scratch_nbrs);
+        reached.clear();
+        queue.clear();
+        reached.insert(self.homebase);
         queue.push_back(self.homebase);
-        let mut reached = 1usize;
-        let mut nbrs = Vec::new();
+        let mut count = 1usize;
         while let Some(x) = queue.pop_front() {
             self.topo.neighbors_into(x, &mut nbrs);
             for &y in &nbrs {
-                if !seen[y.index()] && !self.contaminated[y.index()] {
-                    seen[y.index()] = true;
-                    reached += 1;
+                if !self.contaminated.contains(y) && reached.insert(y) {
+                    count += 1;
                     queue.push_back(y);
                 }
             }
         }
-        reached == safe_total
+        self.scratch_reached = reached;
+        self.scratch_queue = queue;
+        self.scratch_nbrs = nbrs;
+        count == safe_total
     }
 
     fn decontaminate(&mut self, x: Node) {
-        if self.contaminated[x.index()] {
-            self.contaminated[x.index()] = false;
+        if self.contaminated.remove(x) {
             self.dirty_count -= 1;
         }
-        self.ever_safe[x.index()] = true;
+        self.ever_safe.insert(x);
+    }
+
+    fn occupy(&mut self, x: Node) {
+        self.occupancy[x.index()] += 1;
+        self.guarded.insert(x);
+        self.visited.insert(x);
+        self.decontaminate(x);
     }
 
     /// Contamination floods into `x` (just vacated) if a contaminated
     /// neighbour exists, then cascades through unguarded nodes.
     fn maybe_recontaminate(&mut self, x: Node) {
-        if self.contaminated[x.index()] || self.occupancy[x.index()] > 0 {
+        if self.contaminated.contains(x) || self.occupancy[x.index()] > 0 {
             return;
         }
-        let mut nbrs = Vec::new();
-        self.topo.neighbors_into(x, &mut nbrs);
-        if !nbrs.iter().any(|&y| self.contaminated[y.index()]) {
+        let exposed = match self.hyper_dim {
+            Some(d) => (1..=d).any(|p| self.contaminated.contains(x.flip(p))),
+            None => {
+                let mut nbrs = std::mem::take(&mut self.scratch_nbrs);
+                self.topo.neighbors_into(x, &mut nbrs);
+                let any = nbrs.iter().any(|&y| self.contaminated.contains(y));
+                self.scratch_nbrs = nbrs;
+                any
+            }
+        };
+        if !exposed {
             return;
         }
-        // Spread BFS from x through unguarded, currently-safe nodes.
-        let mut queue = std::collections::VecDeque::new();
-        self.contaminated[x.index()] = true;
+        self.contaminated.insert(x);
         self.dirty_count += 1;
         self.recontaminations.push((self.events_applied, x));
+        match self.hyper_dim {
+            Some(d) => self.spread_hyper(d, x),
+            None => self.spread_generic(x),
+        }
+    }
+
+    /// Word-parallel spread: each wave contaminates every unguarded safe
+    /// neighbour of the previous wave, 64 nodes per word operation.
+    fn spread_hyper(&mut self, d: u32, x: Node) {
+        let mut frontier = std::mem::take(&mut self.scratch_frontier);
+        let mut next = std::mem::take(&mut self.scratch_next);
+        frontier.clear();
+        frontier.insert(x);
+        loop {
+            frontier.hypercube_expand_into(d, &mut next);
+            let mut grew = false;
+            for ((nw, cw), gw) in next
+                .words_mut()
+                .iter_mut()
+                .zip(self.contaminated.words_mut())
+                .zip(self.guarded.words())
+            {
+                *nw &= !(*cw | *gw);
+                *cw |= *nw;
+                grew |= *nw != 0;
+            }
+            if !grew {
+                break;
+            }
+            self.dirty_count += next.count_ones();
+            for y in next.iter() {
+                self.recontaminations.push((self.events_applied, y));
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        self.scratch_frontier = frontier;
+        self.scratch_next = next;
+    }
+
+    /// Per-node spread BFS through unguarded, currently-safe nodes.
+    fn spread_generic(&mut self, x: Node) {
+        let mut queue = std::mem::take(&mut self.scratch_queue);
+        let mut nbrs = std::mem::take(&mut self.scratch_nbrs);
+        queue.clear();
         queue.push_back(x);
         while let Some(u) = queue.pop_front() {
             self.topo.neighbors_into(u, &mut nbrs);
             for &y in &nbrs {
-                if !self.contaminated[y.index()] && self.occupancy[y.index()] == 0 {
-                    self.contaminated[y.index()] = true;
+                if !self.contaminated.contains(y) && self.occupancy[y.index()] == 0 {
+                    self.contaminated.insert(y);
                     self.dirty_count += 1;
                     self.recontaminations.push((self.events_applied, y));
                     queue.push_back(y);
                 }
             }
         }
+        self.scratch_queue = queue;
+        self.scratch_nbrs = nbrs;
     }
 
     /// Apply one event.
@@ -165,23 +301,18 @@ impl<'a, T: Topology + ?Sized> ContaminationField<'a, T> {
         self.events_applied += 1;
         match event.kind {
             EventKind::Spawn { node, .. } => {
-                self.occupancy[node.index()] += 1;
-                self.visited[node.index()] = true;
-                self.decontaminate(node);
+                self.occupy(node);
             }
             EventKind::Move { from, to, .. } => {
-                self.occupancy[to.index()] += 1;
-                self.visited[to.index()] = true;
-                self.decontaminate(to);
+                self.occupy(to);
                 self.occupancy[from.index()] -= 1;
                 if self.occupancy[from.index()] == 0 {
+                    self.guarded.remove(from);
                     self.maybe_recontaminate(from);
                 }
             }
             EventKind::CloneSpawn { to, .. } => {
-                self.occupancy[to.index()] += 1;
-                self.visited[to.index()] = true;
-                self.decontaminate(to);
+                self.occupy(to);
             }
             EventKind::Terminate { .. } => {
                 // The agent remains as a guard; nothing changes.
@@ -194,8 +325,8 @@ impl<'a, T: Topology + ?Sized> ContaminationField<'a, T> {
         &self.occupancy
     }
 
-    /// The contaminated indicator per node.
-    pub fn contaminated_mask(&self) -> &[bool] {
+    /// The currently contaminated nodes, as a packed set.
+    pub fn contaminated_set(&self) -> &NodeSet {
         &self.contaminated
     }
 }
@@ -230,7 +361,7 @@ mod tests {
     #[test]
     fn initial_state_fully_contaminated() {
         let h = Hypercube::new(3);
-        let f = ContaminationField::new(&h, Node::ROOT);
+        let mut f = ContaminationField::new(&h, Node::ROOT);
         assert_eq!(f.contaminated_count(), 8);
         assert!(
             f.is_contiguous(),
@@ -303,6 +434,37 @@ mod tests {
     }
 
     #[test]
+    fn hypercube_cascade_floods_the_unguarded_region() {
+        // H_3: build a clean unguarded chain 000–010–011 behind guards,
+        // then vacate 001 next to contaminated 101 — the flood must cascade
+        // through the whole chain (two waves) via the word-parallel spread.
+        let h = Hypercube::new(3);
+        let mut f = ContaminationField::new(&h, Node::ROOT);
+        for a in 0..4 {
+            f.apply(&spawn(a, 0));
+        }
+        f.apply(&mv(1, 0b000, 0b001));
+        f.apply(&mv(2, 0b000, 0b001));
+        f.apply(&mv(2, 0b001, 0b011));
+        f.apply(&mv(3, 0b000, 0b010));
+        f.apply(&mv(0, 0b000, 0b100)); // 000 clean, unguarded; no spread
+        f.apply(&mv(3, 0b010, 0b110)); // 010 clean, unguarded; no spread
+        f.apply(&mv(2, 0b011, 0b111)); // 011 clean, unguarded; no spread
+        assert!(f.recontaminations().is_empty());
+        assert_eq!(f.contaminated_count(), 1); // only 101 left
+
+        // 001 is vacated while 101 is contaminated: 001 catches, then the
+        // flood runs 001 → 011 → 010 (000 stays guarded).
+        f.apply(&mv(1, 0b001, 0b000));
+        assert_eq!(f.recontaminations().len(), 3);
+        assert!(f.is_contaminated(Node(0b001)));
+        assert!(f.is_contaminated(Node(0b011)));
+        assert!(f.is_contaminated(Node(0b010)));
+        assert!(!f.is_contaminated(Node(0b000)));
+        assert_eq!(f.contaminated_count(), 4);
+    }
+
+    #[test]
     fn contiguity_detects_split_regions() {
         // Ring of 6: clean nodes 0 and 3 without connecting them.
         let r = hypersweep_topology::graph::Ring::new(6);
@@ -312,6 +474,17 @@ mod tests {
         // Illegal teleport-style trace (only possible in a hand-written
         // trace — engines forbid it): an agent "spawns" at 3.
         f.apply(&spawn(1, 3));
+        assert!(!f.is_contiguous(), "two islands must be flagged");
+    }
+
+    #[test]
+    fn hypercube_contiguity_detects_split_regions() {
+        // H_3: clean 000 and the far corner 111 without connecting them.
+        let h = Hypercube::new(3);
+        let mut f = ContaminationField::new(&h, Node::ROOT);
+        f.apply(&spawn(0, 0));
+        assert!(f.is_contiguous());
+        f.apply(&spawn(1, 0b111));
         assert!(!f.is_contiguous(), "two islands must be flagged");
     }
 

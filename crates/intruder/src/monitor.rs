@@ -12,7 +12,7 @@
 
 use hypersweep_topology::{Node, Topology};
 
-use hypersweep_sim::Event;
+use hypersweep_sim::{Event, EventSink};
 
 use crate::contamination::ContaminationField;
 use crate::evader::{CaptureStatus, EvaderPolicy, Intruder};
@@ -188,7 +188,7 @@ impl<'a, T: Topology + ?Sized> Monitor<'a, T> {
     }
 
     /// Conclude and produce the verdict.
-    pub fn verdict(self) -> Verdict {
+    pub fn verdict(mut self) -> Verdict {
         // One final contiguity check regardless of sampling.
         let final_contig = if self.cfg.contiguity_every > 0 {
             self.contiguity_ok && self.field.is_contiguous()
@@ -203,6 +203,16 @@ impl<'a, T: Topology + ?Sized> Monitor<'a, T> {
             violations: self.violations,
             events: self.field.events_applied(),
         }
+    }
+}
+
+/// A [`Monitor`] is an [`EventSink`]: strategies can stream their trace
+/// straight into the auditor without ever materializing a `Vec<Event>`.
+/// Feeding a sink is exactly [`Monitor::observe`], so streamed verdicts
+/// are identical to buffered ones.
+impl<'a, T: Topology + ?Sized> EventSink for Monitor<'a, T> {
+    fn emit(&mut self, event: Event) {
+        self.observe(&event);
     }
 }
 

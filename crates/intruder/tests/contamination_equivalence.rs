@@ -1,0 +1,211 @@
+//! Property test: the packed, word-parallel [`ContaminationField`] agrees
+//! state-for-state with a naive `Vec<bool>` reference implementation of the
+//! adversarial contamination semantics — including vacate-triggered
+//! recontamination cascades and `is_contiguous` verdicts.
+//!
+//! Traces are generated interpretively: a vector of random draws is decoded
+//! into spawns (possibly on disconnected nodes, which exercises the
+//! contiguity check) and moves of already-spawned agents along random
+//! ports, so every `Move` leaves a node the agent actually occupies.
+
+use std::collections::VecDeque;
+
+use hypersweep_intruder::ContaminationField;
+use hypersweep_sim::{Event, EventKind, Role};
+use hypersweep_topology::{Hypercube, Node, Topology};
+
+use proptest::prelude::*;
+
+/// The obviously-correct reference: per-node `Vec<bool>` state and
+/// per-node BFS for spread and contiguity.
+struct ReferenceField<'a> {
+    cube: &'a Hypercube,
+    contaminated: Vec<bool>,
+    occupancy: Vec<u32>,
+    homebase: Node,
+    events_applied: u64,
+    recontaminations: Vec<(u64, Node)>,
+}
+
+impl<'a> ReferenceField<'a> {
+    fn new(cube: &'a Hypercube, homebase: Node) -> Self {
+        ReferenceField {
+            cube,
+            contaminated: vec![true; cube.node_count()],
+            occupancy: vec![0; cube.node_count()],
+            homebase,
+            events_applied: 0,
+            recontaminations: Vec::new(),
+        }
+    }
+
+    fn neighbors(&self, x: Node) -> Vec<Node> {
+        let mut nbrs = Vec::new();
+        self.cube.neighbors_into(x, &mut nbrs);
+        nbrs
+    }
+
+    fn occupy(&mut self, x: Node) {
+        self.occupancy[x.index()] += 1;
+        self.contaminated[x.index()] = false;
+    }
+
+    fn maybe_recontaminate(&mut self, x: Node) {
+        if self.contaminated[x.index()] || self.occupancy[x.index()] > 0 {
+            return;
+        }
+        if !self
+            .neighbors(x)
+            .iter()
+            .any(|&y| self.contaminated[y.index()])
+        {
+            return;
+        }
+        // Flood through every unguarded, currently-safe node.
+        let mut queue = VecDeque::new();
+        self.contaminated[x.index()] = true;
+        self.recontaminations.push((self.events_applied, x));
+        queue.push_back(x);
+        while let Some(u) = queue.pop_front() {
+            for y in self.neighbors(u) {
+                if !self.contaminated[y.index()] && self.occupancy[y.index()] == 0 {
+                    self.contaminated[y.index()] = true;
+                    self.recontaminations.push((self.events_applied, y));
+                    queue.push_back(y);
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, event: &Event) {
+        self.events_applied += 1;
+        match event.kind {
+            EventKind::Spawn { node, .. } => self.occupy(node),
+            EventKind::Move { from, to, .. } => {
+                self.occupy(to);
+                self.occupancy[from.index()] -= 1;
+                if self.occupancy[from.index()] == 0 {
+                    self.maybe_recontaminate(from);
+                }
+            }
+            EventKind::CloneSpawn { to, .. } => self.occupy(to),
+            EventKind::Terminate { .. } => {}
+        }
+    }
+
+    fn is_contiguous(&self) -> bool {
+        let safe_total = self.contaminated.iter().filter(|&&c| !c).count();
+        if safe_total == 0 {
+            return true;
+        }
+        if self.contaminated[self.homebase.index()] {
+            return false;
+        }
+        let mut seen = vec![false; self.cube.node_count()];
+        let mut queue = VecDeque::new();
+        seen[self.homebase.index()] = true;
+        queue.push_back(self.homebase);
+        let mut count = 1usize;
+        while let Some(x) = queue.pop_front() {
+            for y in self.neighbors(x) {
+                if !self.contaminated[y.index()] && !seen[y.index()] {
+                    seen[y.index()] = true;
+                    count += 1;
+                    queue.push_back(y);
+                }
+            }
+        }
+        count == safe_total
+    }
+}
+
+/// Decode random draws into a well-formed trace on `H_d`: draw 0 spawns a
+/// new agent (at the homebase, or — with low probability — anywhere, to
+/// force split safe regions), other draws move an existing agent across a
+/// random port.
+fn decode_trace(d: u32, draws: &[u64]) -> Vec<Event> {
+    let n = 1usize << d;
+    let mut positions: Vec<Node> = Vec::new();
+    let mut events = Vec::new();
+    for (i, &draw) in draws.iter().enumerate() {
+        let time = i as u64;
+        let spawn = positions.is_empty() || draw % 5 == 0;
+        if spawn {
+            let node = if draw % 11 == 0 {
+                Node((draw / 16) as u32 % n as u32) // an island spawn
+            } else {
+                Node(0)
+            };
+            events.push(Event {
+                time,
+                kind: EventKind::Spawn {
+                    agent: positions.len() as u32,
+                    node,
+                    role: Role::Worker,
+                },
+            });
+            positions.push(node);
+        } else {
+            let a = (draw / 8) as usize % positions.len();
+            let port = 1 + ((draw / 64) as u32 % d);
+            let from = positions[a];
+            let to = from.flip(port);
+            events.push(Event {
+                time,
+                kind: EventKind::Move {
+                    agent: a as u32,
+                    from,
+                    to,
+                    role: Role::Worker,
+                },
+            });
+            positions[a] = to;
+        }
+    }
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn packed_field_matches_reference_on_random_traces(
+        d in 1u32..=6,
+        draws in collection::vec(0u64..u64::MAX, 1..120usize),
+    ) {
+        let cube = Hypercube::new(d);
+        let events = decode_trace(d, &draws);
+        let mut packed = ContaminationField::new(&cube, Node::ROOT);
+        let mut reference = ReferenceField::new(&cube, Node::ROOT);
+        for (i, event) in events.iter().enumerate() {
+            packed.apply(event);
+            reference.apply(event);
+            for x in cube.nodes() {
+                prop_assert_eq!(
+                    packed.is_contaminated(x),
+                    reference.contaminated[x.index()],
+                    "event {}: node {} contamination diverged", i, x.index()
+                );
+            }
+            prop_assert_eq!(
+                packed.contaminated_count(),
+                reference.contaminated.iter().filter(|&&c| c).count(),
+                "event {}: dirty count diverged", i
+            );
+            prop_assert_eq!(packed.occupancy(), &reference.occupancy[..]);
+            prop_assert_eq!(
+                packed.is_contiguous(),
+                reference.is_contiguous(),
+                "event {}: contiguity verdict diverged", i
+            );
+        }
+        // The word-parallel flood pushes each cascade wave in ascending
+        // node order, the reference BFS in queue order: compare the
+        // recontamination incidents as sorted multisets.
+        let mut a = packed.recontaminations().to_vec();
+        let mut b = reference.recontaminations.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b, "recontamination incidents diverged");
+    }
+}

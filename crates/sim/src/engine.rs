@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use hypersweep_topology::{Hypercube, Node};
+use hypersweep_topology::{Hypercube, Node, NodeSet};
 
 use crate::event::{AgentId, Event, EventKind, Role};
 use crate::metrics::Metrics;
@@ -95,8 +95,8 @@ pub struct RunReport {
     pub metrics: Metrics,
     /// The linearized event stream (empty if recording was disabled).
     pub events: Vec<Event>,
-    /// Nodes that ended the run visited.
-    pub visited: Vec<bool>,
+    /// Nodes that ended the run visited, as a packed bitset.
+    pub visited: NodeSet,
     /// Final occupancy (guards, including terminated agents) per node.
     pub occupancy: Vec<u32>,
 }
@@ -105,7 +105,7 @@ impl RunReport {
     /// Whether every node of the cube was visited — necessary for a
     /// successful decontamination.
     pub fn all_visited(&self) -> bool {
-        self.visited.iter().all(|&v| v)
+        self.visited.count_ones() == self.visited.universe()
     }
 }
 
@@ -133,7 +133,9 @@ pub struct Engine<P: AgentProgram> {
     occupancy: Vec<u32>,
     /// Non-terminated occupants.
     active_here: Vec<u32>,
-    visited: Vec<bool>,
+    visited: NodeSet,
+    /// Reusable buffer for visibility snapshots in [`Engine::activate`].
+    nbr_scratch: Vec<NodeState>,
     parked_at: Vec<Vec<AgentId>>,
     runnable: VecDeque<AgentId>,
     in_runnable: Vec<bool>,
@@ -160,7 +162,8 @@ impl<P: AgentProgram> Engine<P> {
             boards: (0..n).map(|_| P::Board::default()).collect(),
             occupancy: vec![0; n],
             active_here: vec![0; n],
-            visited: vec![false; n],
+            visited: NodeSet::new(n),
+            nbr_scratch: Vec::new(),
             parked_at: vec![Vec::new(); n],
             runnable: VecDeque::new(),
             in_runnable: Vec::new(),
@@ -190,7 +193,7 @@ impl<P: AgentProgram> Engine<P> {
         });
         self.occupancy[node.index()] += 1;
         self.active_here[node.index()] += 1;
-        self.visited[node.index()] = true;
+        self.visited.insert(node);
         if node != Node::ROOT {
             self.away_now += 1;
         }
@@ -220,7 +223,7 @@ impl<P: AgentProgram> Engine<P> {
     pub fn node_state(&self, node: Node) -> NodeState {
         if self.occupancy[node.index()] > 0 {
             NodeState::Guarded
-        } else if self.visited[node.index()] {
+        } else if self.visited.contains(node) {
             NodeState::Clean
         } else {
             NodeState::Contaminated
@@ -330,10 +333,12 @@ impl<P: AgentProgram> Engine<P> {
         }
     }
 
-    fn neighbor_states_of(&self, node: Node) -> Vec<NodeState> {
-        (1..=self.cube.dim())
-            .map(|p| self.node_state(node.flip(p)))
-            .collect()
+    /// Fill `out` with the states of `node`'s neighbours, port order.
+    /// Writes into a caller-provided buffer so the per-activation
+    /// visibility snapshot allocates nothing after warm-up.
+    fn neighbor_states_into(&self, node: Node, out: &mut Vec<NodeState>) {
+        out.clear();
+        out.extend((1..=self.cube.dim()).map(|p| self.node_state(node.flip(p))));
     }
 
     fn meter(&mut self, node: Node, agent: AgentId) {
@@ -348,8 +353,10 @@ impl<P: AgentProgram> Engine<P> {
     fn activate(&mut self, id: AgentId) -> Result<Action, RunError> {
         self.metrics.activations += 1;
         let pos = self.agents[id as usize].pos;
+        let mut nbr_scratch = std::mem::take(&mut self.nbr_scratch);
         let neighbor_states = if self.cfg.visibility {
-            Some(self.neighbor_states_of(pos))
+            self.neighbor_states_into(pos, &mut nbr_scratch);
+            Some(&nbr_scratch[..])
         } else {
             None
         };
@@ -366,11 +373,12 @@ impl<P: AgentProgram> Engine<P> {
             alive_here,
             board,
             dirty: false,
-            neighbor_states: neighbor_states.as_deref(),
+            neighbor_states,
             round: None,
         };
         let action = slot.program.step(&mut ctx);
         let dirty = ctx.dirty;
+        self.nbr_scratch = nbr_scratch;
         self.meter(pos, id);
         self.clock += 1;
 
@@ -429,7 +437,7 @@ impl<P: AgentProgram> Engine<P> {
         self.active_here[from.index()] -= 1;
         self.occupancy[to.index()] += 1;
         self.active_here[to.index()] += 1;
-        self.visited[to.index()] = true;
+        self.visited.insert(to);
         self.agents[id as usize].pos = to;
         match (from == Node::ROOT, to == Node::ROOT) {
             (true, false) => self.away_now += 1,
@@ -466,7 +474,7 @@ impl<P: AgentProgram> Engine<P> {
         self.runnable.push_back(child);
         self.occupancy[to.index()] += 1;
         self.active_here[to.index()] += 1;
-        self.visited[to.index()] = true;
+        self.visited.insert(to);
         if to != Node::ROOT {
             self.away_now += 1;
         }
@@ -525,29 +533,30 @@ impl<P: AgentProgram> Engine<P> {
     /// active agent decides against the round-start snapshot; moves apply
     /// simultaneously at the round boundary.
     fn run_synchronous(mut self) -> Result<RunReport, RunError> {
+        enum Deferred {
+            Move(AgentId, u32),
+            Clone(AgentId, u32),
+            Terminate(AgentId),
+        }
         let mut rounds_with_moves: u64 = 0;
         let mut round: u64 = 0;
+        // Round-scoped buffers, reused across rounds.
+        let mut snapshot: Vec<NodeState> = Vec::new();
+        let mut active_snapshot: Vec<u32> = Vec::new();
+        let mut neighbor_scratch: Vec<NodeState> = Vec::new();
+        let mut deferred: Vec<Deferred> = Vec::new();
         loop {
             round += 1;
             self.clock = round;
             // Snapshot of node states for visibility decisions.
-            let snapshot: Option<Vec<NodeState>> = if self.cfg.visibility {
-                Some(
-                    (0..self.cube.node_count() as u32)
-                        .map(|i| self.node_state(Node(i)))
-                        .collect(),
-                )
-            } else {
-                None
-            };
-            let active_snapshot = self.active_here.clone();
-
-            enum Deferred {
-                Move(AgentId, u32),
-                Clone(AgentId, u32),
-                Terminate(AgentId),
+            if self.cfg.visibility {
+                snapshot.clear();
+                snapshot
+                    .extend((0..self.cube.node_count() as u32).map(|i| self.node_state(Node(i))));
             }
-            let mut deferred: Vec<Deferred> = Vec::new();
+            active_snapshot.clear();
+            active_snapshot.extend_from_slice(&self.active_here);
+
             let mut wrote = false;
 
             for idx in 0..self.agents.len() {
@@ -560,11 +569,14 @@ impl<P: AgentProgram> Engine<P> {
                 self.metrics.activations += 1;
                 let id = idx as AgentId;
                 let pos = self.agents[idx].pos;
-                let neighbor_states: Option<Vec<NodeState>> = snapshot.as_ref().map(|snap| {
-                    (1..=self.cube.dim())
-                        .map(|p| snap[pos.flip(p).index()])
-                        .collect()
-                });
+                let neighbor_states: Option<&[NodeState]> = if self.cfg.visibility {
+                    neighbor_scratch.clear();
+                    neighbor_scratch
+                        .extend((1..=self.cube.dim()).map(|p| snapshot[pos.flip(p).index()]));
+                    Some(&neighbor_scratch[..])
+                } else {
+                    None
+                };
                 let cube = self.cube;
                 let alive_here = active_snapshot[pos.index()];
                 let slot = &mut self.agents[idx];
@@ -576,7 +588,7 @@ impl<P: AgentProgram> Engine<P> {
                     alive_here,
                     board,
                     dirty: false,
-                    neighbor_states: neighbor_states.as_deref(),
+                    neighbor_states,
                     round: Some(round),
                 };
                 let action = slot.program.step(&mut ctx);
@@ -598,7 +610,7 @@ impl<P: AgentProgram> Engine<P> {
 
             let mut moved = false;
             let acted = !deferred.is_empty();
-            for d in deferred {
+            for d in deferred.drain(..) {
                 match d {
                     Deferred::Move(id, port) => {
                         self.apply_move(id, port);

@@ -31,6 +31,7 @@ pub mod event;
 pub mod metrics;
 pub mod policy;
 pub mod program;
+pub mod sink;
 pub mod state;
 pub mod threaded;
 
@@ -39,4 +40,5 @@ pub use event::{AgentId, Event, EventKind, Role};
 pub use metrics::Metrics;
 pub use policy::Policy;
 pub use program::{Action, AgentProgram, Board, Ctx};
+pub use sink::{EventSink, NullSink};
 pub use state::NodeState;

@@ -1,0 +1,68 @@
+//! Streaming event consumption.
+//!
+//! The closed-form trace generators (`synthesize` in the strategy crates)
+//! historically returned a materialized `Vec<Event>` — at `H_20` that is
+//! ~20M events held live just so an auditor could iterate them once. An
+//! [`EventSink`] inverts the flow: generators push each event into a sink
+//! as it is produced, and the sink decides whether to buffer (a
+//! `Vec<Event>`), audit online (the intruder crate's `Monitor`), or drop
+//! ([`NullSink`]). Run memory becomes O(state), not O(moves).
+
+use crate::event::Event;
+
+/// A consumer of a run's event stream, fed strictly in trace order.
+pub trait EventSink {
+    /// Consume one event.
+    fn emit(&mut self, event: Event);
+}
+
+/// Discards every event — for metrics-only synthesis.
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _event: Event) {}
+}
+
+/// Buffering sink: collects the full trace, for callers that genuinely
+/// need the materialized `Vec` (figures, trace export, engine replay).
+impl EventSink for Vec<Event> {
+    fn emit(&mut self, event: Event) {
+        self.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Role};
+    use hypersweep_topology::Node;
+
+    #[test]
+    fn vec_sink_buffers_in_order() {
+        let mut sink: Vec<Event> = Vec::new();
+        for t in 0..3 {
+            sink.emit(Event {
+                time: t,
+                kind: EventKind::Spawn {
+                    agent: t as u32,
+                    node: Node(0),
+                    role: Role::Worker,
+                },
+            });
+        }
+        assert_eq!(sink.len(), 3);
+        assert!(sink.iter().enumerate().all(|(i, e)| e.time == i as u64));
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        // Just exercise the impl; nothing observable.
+        NullSink.emit(Event {
+            time: 0,
+            kind: EventKind::Terminate {
+                agent: 0,
+                node: Node(0),
+            },
+        });
+    }
+}

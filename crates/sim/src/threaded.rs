@@ -202,11 +202,15 @@ pub fn run_threaded<P: AgentProgram>(
     Ok(RunReport {
         metrics,
         events: log.events,
-        visited: shared
-            .visited
-            .iter()
-            .map(|v| v.load(Ordering::Acquire))
-            .collect(),
+        visited: {
+            let mut set = hypersweep_topology::NodeSet::new(shared.visited.len());
+            for (i, v) in shared.visited.iter().enumerate() {
+                if v.load(Ordering::Acquire) {
+                    set.insert(Node(i as u32));
+                }
+            }
+            set
+        },
         occupancy: shared
             .occupancy
             .iter()

@@ -31,6 +31,13 @@ pub trait Topology {
         self.neighbors_vec(x).len()
     }
 
+    /// If this topology is the hypercube `H_d` with the standard node
+    /// numbering, its dimension — consumers may then use word-parallel
+    /// [`crate::NodeSet`] kernels instead of per-node adjacency walks.
+    fn hypercube_dim(&self) -> Option<u32> {
+        None
+    }
+
     /// Number of undirected edges.
     fn edge_count(&self) -> usize {
         let mut v = Vec::new();
@@ -106,6 +113,10 @@ impl Topology for Hypercube {
 
     fn edge_count(&self) -> usize {
         Hypercube::edge_count(self)
+    }
+
+    fn hypercube_dim(&self) -> Option<u32> {
+        Some(self.dim())
     }
 }
 

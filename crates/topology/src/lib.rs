@@ -30,6 +30,7 @@ pub mod graph;
 pub mod heap_queue;
 pub mod hypercube;
 pub mod node;
+pub mod nodeset;
 pub mod properties;
 pub mod render;
 
@@ -38,6 +39,7 @@ pub use graph::Topology;
 pub use heap_queue::HeapQueue;
 pub use hypercube::Hypercube;
 pub use node::Node;
+pub use nodeset::NodeSet;
 
 /// Maximum hypercube dimension supported by the crate.
 ///

@@ -11,6 +11,7 @@ fn tiny_cfg() -> ExperimentConfig {
         adversary_seeds: 1,
         figure_dim: 5,
         small_figure_dim: 3,
+        ..ExperimentConfig::quick()
     }
 }
 
