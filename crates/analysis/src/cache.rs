@@ -70,6 +70,10 @@ impl StrategyKind {
 pub enum Exec {
     /// `SearchStrategy::fast(false)` — procedural, no event trace kept.
     Fast,
+    /// `SearchStrategy::fast(true)` — procedural, with the synthesized
+    /// trace streamed through the contamination monitor (the server's
+    /// `audit` requests).
+    Audited,
     /// `SearchStrategy::run(policy)` — full engine with monitors.
     Engine(Policy),
 }
@@ -105,10 +109,20 @@ impl RunKey {
         }
     }
 
+    /// A fast-path run streamed through the contamination auditor.
+    pub fn audited(strategy: StrategyKind, dim: u32) -> Self {
+        RunKey {
+            strategy,
+            dim,
+            exec: Exec::Audited,
+        }
+    }
+
     /// Stable label for timing reports, e.g. `clean/d6/fifo`.
     pub fn label(&self) -> String {
         match self.exec {
             Exec::Fast => format!("{}/d{}/fast", self.strategy.label(), self.dim),
+            Exec::Audited => format!("{}/d{}/audited", self.strategy.label(), self.dim),
             Exec::Engine(p) => format!("{}/d{}/{}", self.strategy.label(), self.dim, p.name()),
         }
     }
@@ -123,6 +137,7 @@ pub fn execute_run(key: RunKey) -> SearchOutcome {
         // procedural trace is meaningful.
         match key.exec {
             Exec::Fast => return FrontierStrategy::new(cube).outcome(false),
+            Exec::Audited => return FrontierStrategy::new(cube).outcome(true),
             Exec::Engine(_) => panic!("the frontier baseline has no engine run ({key:?})"),
         }
     }
@@ -144,6 +159,7 @@ pub fn execute_run(key: RunKey) -> SearchOutcome {
     };
     match key.exec {
         Exec::Fast => strategy.fast(false),
+        Exec::Audited => strategy.fast(true),
         Exec::Engine(policy) => strategy
             .run(policy)
             .unwrap_or_else(|e| panic!("{} failed: {e}", key.label())),
@@ -162,21 +178,78 @@ pub struct JobTiming {
 enum Entry {
     /// Some thread is computing this key; wait on the condvar.
     InFlight,
-    /// Computed.
-    Ready(Arc<SearchOutcome>),
+    /// Computed; `last_used` orders entries for LRU eviction.
+    Ready {
+        outcome: Arc<SearchOutcome>,
+        last_used: u64,
+    },
+}
+
+/// Map plus the LRU bookkeeping, guarded by one mutex.
+struct CacheState {
+    entries: HashMap<RunKey, Entry>,
+    /// Monotonic access counter driving `last_used`.
+    tick: u64,
+    /// Maximum number of `Ready` entries kept; `None` = unbounded.
+    capacity: Option<usize>,
+}
+
+impl CacheState {
+    /// Evict least-recently-used `Ready` entries until the bound holds.
+    /// In-flight entries are never evicted (someone is waiting on them).
+    /// Returns how many entries were dropped.
+    fn enforce_capacity(&mut self) -> u64 {
+        let Some(cap) = self.capacity else { return 0 };
+        let mut evicted = 0;
+        loop {
+            let ready = self
+                .entries
+                .values()
+                .filter(|e| matches!(e, Entry::Ready { .. }))
+                .count();
+            if ready <= cap {
+                return evicted;
+            }
+            let oldest = self
+                .entries
+                .iter()
+                .filter_map(|(k, e)| match e {
+                    Entry::Ready { last_used, .. } => Some((*last_used, *k)),
+                    Entry::InFlight => None,
+                })
+                .min_by_key(|(last_used, _)| *last_used)
+                .map(|(_, k)| k);
+            match oldest {
+                Some(key) => {
+                    self.entries.remove(&key);
+                    evicted += 1;
+                }
+                None => return evicted,
+            }
+        }
+    }
 }
 
 type Runner = dyn Fn(RunKey) -> SearchOutcome + Send + Sync;
+
+/// Executed-run timing records kept at most this long; beyond it the
+/// fastest half is dropped. A long-running daemon re-executes evicted runs
+/// indefinitely, so the log must not grow without bound.
+const TIMINGS_HIGH_WATER: usize = 512;
 
 /// Concurrent memo table over [`RunKey`]s.
 ///
 /// The first requester of a key executes it; concurrent requesters of the
 /// same key block until the result is ready instead of duplicating work.
+/// An optional capacity bounds the number of retained outcomes with
+/// least-recently-used eviction, so a long-running server stays in bounded
+/// memory (an evicted key simply re-executes on its next request).
 pub struct RunCache {
-    entries: Mutex<HashMap<RunKey, Entry>>,
+    state: Mutex<CacheState>,
     ready: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     timings: Mutex<Vec<JobTiming>>,
     runner: Box<Runner>,
 }
@@ -188,38 +261,73 @@ impl Default for RunCache {
 }
 
 impl RunCache {
-    /// An empty cache backed by [`execute_run`].
+    /// An unbounded cache backed by [`execute_run`].
     pub fn new() -> Self {
         Self::with_runner(execute_run)
     }
 
-    /// An empty cache backed by a custom runner (for tests).
+    /// A cache backed by [`execute_run`] keeping at most `capacity`
+    /// computed outcomes (`None` = unbounded).
+    pub fn with_capacity(capacity: Option<usize>) -> Self {
+        let cache = Self::new();
+        cache.set_capacity(capacity);
+        cache
+    }
+
+    /// An empty unbounded cache backed by a custom runner (for tests).
     pub fn with_runner(runner: impl Fn(RunKey) -> SearchOutcome + Send + Sync + 'static) -> Self {
         RunCache {
-            entries: Mutex::new(HashMap::new()),
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                tick: 0,
+                capacity: None,
+            }),
             ready: Condvar::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             timings: Mutex::new(Vec::new()),
             runner: Box::new(runner),
         }
     }
 
+    /// Bound (or unbound, with `None`) the number of retained outcomes.
+    /// Shrinking evicts immediately.
+    pub fn set_capacity(&self, capacity: Option<usize>) {
+        let mut state = self.state.lock().unwrap();
+        state.capacity = capacity;
+        let evicted = state.enforce_capacity();
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// The current capacity bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.state.lock().unwrap().capacity
+    }
+
     /// The outcome for `key`, executing it exactly once across all callers.
     pub fn get_or_run(&self, key: RunKey) -> Arc<SearchOutcome> {
         {
-            let mut entries = self.entries.lock().unwrap();
+            let mut state = self.state.lock().unwrap();
             loop {
-                match entries.get(&key) {
-                    Some(Entry::Ready(outcome)) => {
+                match state.entries.get(&key) {
+                    Some(Entry::Ready { .. }) => {
+                        state.tick += 1;
+                        let tick = state.tick;
+                        let CacheState { entries, .. } = &mut *state;
+                        let Some(Entry::Ready { outcome, last_used }) = entries.get_mut(&key)
+                        else {
+                            unreachable!("entry observed ready under the same lock");
+                        };
+                        *last_used = tick;
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         return Arc::clone(outcome);
                     }
                     Some(Entry::InFlight) => {
-                        entries = self.ready.wait(entries).unwrap();
+                        state = self.ready.wait(state).unwrap();
                     }
                     None => {
-                        entries.insert(key, Entry::InFlight);
+                        state.entries.insert(key, Entry::InFlight);
                         self.misses.fetch_add(1, Ordering::Relaxed);
                         break;
                     }
@@ -230,14 +338,34 @@ impl RunCache {
         let start = Instant::now();
         let outcome = Arc::new((self.runner)(key));
         let elapsed = start.elapsed();
-        self.timings
-            .lock()
-            .unwrap()
-            .push(JobTiming { key, elapsed });
-        let mut entries = self.entries.lock().unwrap();
-        entries.insert(key, Entry::Ready(Arc::clone(&outcome)));
+        self.record_timing(JobTiming { key, elapsed });
+        let mut state = self.state.lock().unwrap();
+        state.tick += 1;
+        let tick = state.tick;
+        state.entries.insert(
+            key,
+            Entry::Ready {
+                outcome: Arc::clone(&outcome),
+                last_used: tick,
+            },
+        );
+        let evicted = state.enforce_capacity();
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        drop(state);
         self.ready.notify_all();
         outcome
+    }
+
+    fn record_timing(&self, timing: JobTiming) {
+        let mut timings = self.timings.lock().unwrap();
+        timings.push(timing);
+        if timings.len() > TIMINGS_HIGH_WATER {
+            // Keep the slowest half: the summary only ever reports the
+            // slowest runs, and totals stop being meaningful on a daemon
+            // anyway once eviction forces re-execution.
+            timings.sort_by_key(|t| std::cmp::Reverse(t.elapsed));
+            timings.truncate(TIMINGS_HIGH_WATER / 2);
+        }
     }
 
     /// Requests served from an already-computed entry.
@@ -250,19 +378,42 @@ impl RunCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct runs executed so far.
+    /// Outcomes dropped by the LRU capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Computed outcomes currently held.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap()
+            .entries
+            .values()
+            .filter(|e| matches!(e, Entry::Ready { .. }))
+            .count()
+    }
+
+    /// Whether the cache currently holds no computed outcome.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct runs executed so far (bounded on long-running
+    /// daemons; see [`RunCache::timings`]).
     pub fn unique_runs(&self) -> usize {
         self.timings.lock().unwrap().len()
     }
 
-    /// Wall-clock records of every executed run, slowest first.
+    /// Wall-clock records of executed runs, slowest first. On a
+    /// long-running daemon only the slowest records are retained.
     pub fn timings(&self) -> Vec<JobTiming> {
         let mut t = self.timings.lock().unwrap().clone();
         t.sort_by_key(|timing| std::cmp::Reverse(timing.elapsed));
         t
     }
 
-    /// Total time spent executing runs (sum over unique runs).
+    /// Total time spent executing runs (sum over retained records).
     pub fn total_run_time(&self) -> Duration {
         self.timings.lock().unwrap().iter().map(|t| t.elapsed).sum()
     }
@@ -350,6 +501,72 @@ mod tests {
             RunKey::engine(StrategyKind::Visibility, 4, Policy::Random(2)).label(),
             "visibility/d4/random[2]"
         );
+    }
+
+    #[test]
+    fn audited_exec_runs_the_monitor() {
+        let cache = RunCache::new();
+        let outcome = cache.get_or_run(RunKey::audited(StrategyKind::Clean, 4));
+        assert!(outcome.is_complete());
+        let summary = outcome.trace_summary.expect("audited runs are streamed");
+        assert!(summary.events > 0);
+        assert_eq!(summary.moves, outcome.metrics.total_moves());
+        // The unaudited fast run is a distinct key with a vacuous verdict
+        // and no summary.
+        let fast = cache.get_or_run(RunKey::fast(StrategyKind::Clean, 4));
+        assert!(fast.trace_summary.is_none());
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn lru_capacity_evicts_least_recently_used() {
+        let cache = RunCache::with_runner(|_| dummy_outcome());
+        cache.set_capacity(Some(2));
+        let a = RunKey::fast(StrategyKind::Clean, 2);
+        let b = RunKey::fast(StrategyKind::Clean, 3);
+        let c = RunKey::fast(StrategyKind::Clean, 4);
+        cache.get_or_run(a);
+        cache.get_or_run(b);
+        cache.get_or_run(a); // a is now more recent than b
+        cache.get_or_run(c); // evicts b
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        cache.get_or_run(a);
+        assert_eq!(cache.misses(), 3, "a and c must still be resident");
+        cache.get_or_run(b); // b was evicted: re-executes
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.evictions(), 2, "b's return evicts the next victim");
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let cache = RunCache::with_runner(|_| dummy_outcome());
+        for d in 1..=5 {
+            cache.get_or_run(RunKey::fast(StrategyKind::Flood, d));
+        }
+        assert_eq!(cache.len(), 5);
+        cache.set_capacity(Some(2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 3);
+        // Unbounding again stops eviction.
+        cache.set_capacity(None);
+        for d in 6..=9 {
+            cache.get_or_run(RunKey::fast(StrategyKind::Flood, d));
+        }
+        assert_eq!(cache.len(), 6);
+        assert_eq!(cache.evictions(), 3);
+    }
+
+    #[test]
+    fn evicted_outcome_recomputes_identically() {
+        let cache = RunCache::with_capacity(Some(1));
+        let key = RunKey::audited(StrategyKind::Visibility, 3);
+        let first = cache.get_or_run(key);
+        cache.get_or_run(RunKey::audited(StrategyKind::Cloning, 3)); // evicts
+        let second = cache.get_or_run(key);
+        assert!(!Arc::ptr_eq(&first, &second), "must have re-executed");
+        assert_eq!(first.metrics.worker_moves, second.metrics.worker_moves);
+        assert_eq!(first.trace_summary, second.trace_summary);
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //! exported JSON byte-identical across `--jobs` settings.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// The default worker count: the machine's available parallelism.
 pub fn default_jobs() -> usize {
@@ -95,10 +97,154 @@ where
         .collect()
 }
 
+/// The submission was rejected because the pool's queue is at capacity —
+/// the caller should shed load (e.g. answer `busy`) instead of buffering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolSaturated;
+
+impl std::fmt::Display for PoolSaturated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker pool queue is at capacity")
+    }
+}
+
+impl std::error::Error for PoolSaturated {}
+
+type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolQueue {
+    jobs: VecDeque<PoolJob>,
+    shutting_down: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    job_ready: Condvar,
+    /// Maximum queued (not yet running) jobs — the backpressure bound.
+    capacity: usize,
+    /// Jobs currently executing on a worker.
+    running: AtomicUsize,
+}
+
+/// A persistent, bounded sibling of [`execute_jobs`] for long-running
+/// services: `workers` threads drain a shared queue of at most
+/// `queue_capacity` pending jobs. [`WorkerPool::try_submit`] never blocks —
+/// a full queue is reported to the caller as [`PoolSaturated`] so services
+/// answer *busy* under overload instead of buffering unboundedly.
+///
+/// [`WorkerPool::shutdown`] drains: already-queued jobs still execute, the
+/// workers then exit, and the call returns only once every worker thread
+/// has been joined (no leaked threads).
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads (at least one) serving a queue bounded at
+    /// `queue_capacity` pending jobs.
+    pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+            }),
+            job_ready: Condvar::new(),
+            capacity: queue_capacity.max(1),
+            running: AtomicUsize::new(0),
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Worker threads serving the queue (0 once shut down).
+    pub fn workers(&self) -> usize {
+        self.handles.lock().unwrap().len()
+    }
+
+    /// Enqueue `job`, or refuse immediately if the queue is full or the
+    /// pool is shutting down.
+    pub fn try_submit<F>(&self, job: F) -> Result<(), PoolSaturated>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut queue = self.shared.queue.lock().unwrap();
+        if queue.shutting_down || queue.jobs.len() >= self.shared.capacity {
+            return Err(PoolSaturated);
+        }
+        queue.jobs.push_back(Box::new(job));
+        drop(queue);
+        self.shared.job_ready.notify_one();
+        Ok(())
+    }
+
+    /// Jobs queued or currently executing.
+    pub fn in_flight(&self) -> usize {
+        let queued = self.shared.queue.lock().unwrap().jobs.len();
+        queued + self.shared.running.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting work, finish everything already queued, and join
+    /// every worker thread. Idempotent; callable through a shared handle
+    /// (e.g. an `Arc` a server shares with its connection threads).
+    pub fn shutdown(&self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.shutting_down = true;
+        }
+        self.shared.job_ready.notify_all();
+        let handles: Vec<_> = self.handles.lock().unwrap().drain(..).collect();
+        for handle in handles {
+            handle.join().expect("worker thread panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Pools dropped without an explicit drain still join their
+        // workers; after an explicit `shutdown` this is a no-op.
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.shutting_down = true;
+        }
+        self.shared.job_ready.notify_all();
+        let handles: Vec<_> = self.handles.lock().unwrap().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut queue = shared.queue.lock().unwrap();
+    loop {
+        if let Some(job) = queue.jobs.pop_front() {
+            shared.running.fetch_add(1, Ordering::SeqCst);
+            drop(queue);
+            job();
+            shared.running.fetch_sub(1, Ordering::SeqCst);
+            queue = shared.queue.lock().unwrap();
+            continue;
+        }
+        if queue.shutting_down {
+            return;
+        }
+        queue = shared.job_ready.wait(queue).unwrap();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn results_come_back_in_submission_order() {
@@ -174,5 +320,61 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn worker_pool_runs_submitted_jobs() {
+        static DONE: AtomicUsize = AtomicUsize::new(0);
+        let pool = WorkerPool::new(2, 64);
+        for _ in 0..16 {
+            pool.try_submit(|| {
+                DONE.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(DONE.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn worker_pool_refuses_when_saturated() {
+        use std::sync::mpsc::channel;
+        let pool = WorkerPool::new(1, 1);
+        let (release, gate) = channel::<()>();
+        let gate = Mutex::new(gate);
+        // Occupy the single worker...
+        pool.try_submit(move || {
+            gate.lock().unwrap().recv().ok();
+        })
+        .unwrap();
+        // ...wait until it is actually running, so the queue is empty...
+        while pool.shared.running.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        // ...then fill the queue slot; the next submit must be refused.
+        pool.try_submit(|| {}).unwrap();
+        assert_eq!(pool.try_submit(|| {}), Err(PoolSaturated));
+        assert_eq!(pool.in_flight(), 2);
+        release.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_and_joins() {
+        static DONE: AtomicUsize = AtomicUsize::new(0);
+        let pool = WorkerPool::new(1, 32);
+        for _ in 0..8 {
+            pool.try_submit(|| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                DONE.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(
+            DONE.load(Ordering::SeqCst),
+            8,
+            "shutdown must drain, not drop, queued work"
+        );
     }
 }

@@ -59,6 +59,32 @@ pub struct ExperimentConfig {
     pub audit_max_dim: u32,
 }
 
+/// Largest dimension the report sweeps (and the default per-request cap a
+/// server enforces): `ExperimentConfig::full()` tops out here, and the
+/// streamed audit paths are validated to this size.
+pub const REPORT_MAX_DIM: u32 = 20;
+
+/// Validate a user-supplied dimension cap (the CLI's `report --max-dim N`
+/// and the server's per-request dimension limit): it must lie in
+/// `1..=REPORT_MAX_DIM`. Returns the cap unchanged, or a message naming
+/// the valid range.
+pub fn validate_max_dim(max_dim: u32) -> Result<u32, String> {
+    if max_dim == 0 {
+        Err(format!(
+            "--max-dim must be at least 1 (a 0-dimension cap would leave nothing to sweep); \
+             valid range is 1..={REPORT_MAX_DIM}"
+        ))
+    } else if max_dim > REPORT_MAX_DIM {
+        Err(format!(
+            "--max-dim {max_dim} exceeds the supported sweep limit {REPORT_MAX_DIM} \
+             (H_{REPORT_MAX_DIM} is the largest validated dimension); \
+             valid range is 1..={REPORT_MAX_DIM}"
+        ))
+    } else {
+        Ok(max_dim)
+    }
+}
+
 fn default_heap_iso_max_dim() -> u32 {
     12
 }
@@ -164,6 +190,8 @@ pub struct RunSummary {
     pub cache_hits: u64,
     /// Run requests that executed (once per unique configuration).
     pub cache_misses: u64,
+    /// Outcomes dropped by the LRU capacity bound (`0` when unbounded).
+    pub cache_evictions: u64,
     /// Distinct strategy runs executed.
     pub unique_runs: usize,
     /// Per-run wall-clock times, slowest first (label, elapsed).
@@ -185,11 +213,13 @@ impl RunSummary {
             .collect::<Vec<_>>()
             .join(", ");
         format!(
-            "pool: {} jobs; cache: {} hits / {} misses ({} unique runs, {:.1}s run time); \
+            "pool: {} jobs; cache: {} hits / {} misses / {} evicted \
+             ({} unique runs, {:.1}s run time); \
              wall {:.1}s; slowest runs: {}",
             self.jobs,
             self.cache_hits,
             self.cache_misses,
+            self.cache_evictions,
             self.unique_runs,
             self.run_timings
                 .iter()
@@ -214,13 +244,25 @@ pub struct HarnessReport {
     pub summary: RunSummary,
 }
 
-/// Run the given experiments on a pool of `jobs` workers with a shared run
-/// cache. Panics on unknown ids (callers validate against
+/// Run the given experiments on a pool of `jobs` workers with a shared,
+/// unbounded run cache. Panics on unknown ids (callers validate against
 /// [`experiments::ALL_IDS`]).
 pub fn run_ids_pooled(ids: &[&str], cfg: &ExperimentConfig, jobs: usize) -> HarnessReport {
+    run_ids_pooled_capped(ids, cfg, jobs, None)
+}
+
+/// [`run_ids_pooled`] with an optional LRU bound on retained strategy runs
+/// (the CLI's `--cache-cap`): long `report all --full` sweeps trade
+/// re-execution for bounded memory. `None` keeps every run (the default).
+pub fn run_ids_pooled_capped(
+    ids: &[&str],
+    cfg: &ExperimentConfig,
+    jobs: usize,
+    cache_cap: Option<usize>,
+) -> HarnessReport {
     let start = Instant::now();
     let jobs = jobs.max(1);
-    let cache = RunCache::new();
+    let cache = RunCache::with_capacity(cache_cap);
     let cache = &cache;
 
     // Phase 1: warm every declared run, deduped in declaration order.
@@ -263,6 +305,7 @@ pub fn run_ids_pooled(ids: &[&str], cfg: &ExperimentConfig, jobs: usize) -> Harn
         jobs,
         cache_hits: cache.hits(),
         cache_misses: cache.misses(),
+        cache_evictions: cache.evictions(),
         unique_runs: cache.unique_runs(),
         run_timings: cache
             .timings()
@@ -312,6 +355,43 @@ mod tests {
     fn config_max_dim() {
         let cfg = ExperimentConfig::quick();
         assert_eq!(cfg.fast_max_dim(), 10);
+    }
+
+    #[test]
+    fn max_dim_validation_bounds() {
+        assert!(validate_max_dim(0).is_err());
+        assert!(validate_max_dim(0).unwrap_err().contains("at least 1"));
+        assert_eq!(validate_max_dim(1), Ok(1));
+        assert_eq!(validate_max_dim(REPORT_MAX_DIM), Ok(REPORT_MAX_DIM));
+        let over = validate_max_dim(REPORT_MAX_DIM + 1).unwrap_err();
+        assert!(over.contains("exceeds"), "{over}");
+        assert!(over.contains("20"), "{over}");
+    }
+
+    #[test]
+    fn capped_cache_surfaces_evictions_in_summary() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.fast_dims = (1..=6).collect();
+        cfg.engine_dims = vec![2, 3];
+        cfg.sync_engine_dims = vec![2, 3];
+        cfg.adversary_seeds = 1;
+        let capped = run_ids_pooled_capped(&["t2", "t3"], &cfg, 1, Some(2));
+        assert!(
+            capped.summary.cache_evictions > 0,
+            "a 2-entry cap over t2+t3 must evict"
+        );
+        assert!(capped.summary.render().contains("evicted"));
+        // Results are unaffected by eviction: identical to the unbounded run.
+        let unbounded = run_ids_pooled(&["t2", "t3"], &cfg, 1);
+        assert_eq!(unbounded.summary.cache_evictions, 0);
+        for (a, b) in capped.results.iter().zip(&unbounded.results) {
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap(),
+                "experiment {} differs under a capped cache",
+                a.id
+            );
+        }
     }
 
     #[test]

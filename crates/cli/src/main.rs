@@ -14,23 +14,29 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use hypersweep_analysis::experiments::ALL_IDS;
-use hypersweep_analysis::{default_jobs, run_ids_pooled, runner, ExperimentConfig};
+use hypersweep_analysis::{
+    default_jobs, run_ids_pooled_capped, runner, validate_max_dim, ExperimentConfig,
+};
 use hypersweep_core::{
     CleanStrategy, CloningStrategy, SearchStrategy, SynchronousStrategy, VisibilityStrategy,
 };
 use hypersweep_intruder::{render_film, verify_trace, MonitorConfig};
+use hypersweep_server::{run_bench, BenchConfig, Server, ServerLimits};
 use hypersweep_sim::{Event, Policy};
 use hypersweep_topology::{Hypercube, Node};
+use serde::Deserialize as _;
 
 fn usage() -> &'static str {
     "usage:\n\
      \thypersweep list\n\
-     \thypersweep report <id...|all> [--full] [--max-dim N] [--json DIR] [--jobs N]\n\
+     \thypersweep report <id...|all> [--full] [--max-dim N] [--json DIR] [--jobs N] [--cache-cap N]\n\
      \thypersweep figures [--full]\n\
      \thypersweep run <clean|visibility|cloning|synchronous> <d> [--policy P] [--fast]\n\
      \thypersweep watch <strategy> <d> [--stride N]\n\
      \thypersweep trace <strategy> <d> <out.json>\n\
      \thypersweep audit <d> <trace.json>\n\
+     \thypersweep serve [--addr HOST:PORT] [--max-dim N] [--jobs N] [--cache-cap N] [--timeout-ms N]\n\
+     \thypersweep bench-serve [--addr HOST:PORT] [--clients N] [--requests N] [--max-dim N] [--out FILE]\n\
      \n\
      policies: fifo, lifo, round-robin, random:<seed>, synchronous\n\
      experiment ids: f1 f2 f3 f4 t2 t3 t4 t5 t6 t7 t8 t9 t10 e11 e12 e13 e14 e15 e16"
@@ -89,6 +95,7 @@ fn cmd_report(
     max_dim: Option<u32>,
     json_dir: Option<PathBuf>,
     jobs: usize,
+    cache_cap: Option<usize>,
 ) -> Result<(), String> {
     let mut cfg = if full {
         ExperimentConfig::full()
@@ -109,7 +116,7 @@ fn cmd_report(
         }
     }
     let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
-    let report = run_ids_pooled(&id_refs, &cfg, jobs);
+    let report = run_ids_pooled_capped(&id_refs, &cfg, jobs, cache_cap);
     for r in &report.results {
         println!("{}", r.render());
     }
@@ -239,6 +246,77 @@ fn cmd_audit(d: u32, path: &str) -> Result<(), String> {
     }
 }
 
+fn cmd_serve(addr: &str, limits: ServerLimits) -> Result<(), String> {
+    let server = Server::bind(addr, limits).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!(
+        "hypersweep-server listening on {bound} \
+         ({} workers, max dim {}, cache cap {})",
+        limits.workers,
+        limits.max_dim,
+        limits
+            .cache_capacity
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "unbounded".into())
+    );
+    hypersweep_server::daemon::install_sigint_handler();
+    let stats = server.run().map_err(|e| e.to_string())?;
+    eprintln!(
+        "drained after {:.1}s: {} plan / {} predict / {} audit / {} status, \
+         {} errors, {} busy, {} timeouts",
+        stats.uptime_ms as f64 / 1e3,
+        stats.served.plan,
+        stats.served.predict,
+        stats.served.audit,
+        stats.served.status,
+        stats.served.errors,
+        stats.served.busy,
+        stats.served.timeouts,
+    );
+    Ok(())
+}
+
+fn cmd_bench_serve(cfg: &BenchConfig, out: &str) -> Result<(), String> {
+    let report = run_bench(cfg).map_err(|e| format!("bench against {} failed: {e}", cfg.addr))?;
+    println!(
+        "bench-serve: {} clients x {} requests -> {:.0} req/s \
+         (p50 {:.2}ms, p99 {:.2}ms, {:.0}% cache hits, {} busy, {} errors)",
+        report.clients,
+        report.requests_per_client,
+        report.throughput_rps,
+        report.p50_ms,
+        report.p99_ms,
+        report.cache_hit_rate * 100.0,
+        report.busy,
+        report.errors,
+    );
+    // CI regression gate, mirroring the audit-throughput bench: with a
+    // committed baseline in the environment, compare instead of rewriting.
+    if let Ok(baseline_path) = std::env::var("BENCH_SERVE_BASELINE") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+        let value = serde_json::from_str_value(&text)
+            .map_err(|e| format!("baseline {baseline_path} is not JSON: {e}"))?;
+        let baseline_rps = value
+            .as_object()
+            .map(|fields| serde::get_field(fields, "throughput_rps"))
+            .and_then(|v| f64::deserialize_value(v).ok())
+            .ok_or_else(|| format!("baseline {baseline_path} lacks throughput_rps"))?;
+        let ratio = report.throughput_rps / baseline_rps;
+        println!("bench-serve/check: {ratio:.2}x of baseline");
+        if ratio < 0.75 {
+            return Err(format!(
+                "REGRESSION: {:.0} req/s vs baseline {baseline_rps:.0} (>25% slower)",
+                report.throughput_rps
+            ));
+        }
+    } else {
+        std::fs::write(out, report.to_json() + "\n").map_err(|e| e.to_string())?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional: Vec<String> = Vec::new();
@@ -247,8 +325,14 @@ fn main() -> ExitCode {
     let mut json_dir: Option<PathBuf> = None;
     let mut policy = Policy::Fifo;
     let mut stride: usize = 8;
-    let mut jobs: usize = default_jobs();
+    let mut jobs: Option<usize> = None;
     let mut max_dim: Option<u32> = None;
+    let mut cache_cap: Option<usize> = None;
+    let mut addr = "127.0.0.1:7071".to_string();
+    let mut clients: usize = 4;
+    let mut requests: usize = 64;
+    let mut timeout_ms: Option<u64> = None;
+    let mut out = "BENCH_serve.json".to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -267,7 +351,7 @@ fn main() -> ExitCode {
             "--jobs" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(v) if v >= 1 => jobs = v,
+                    Some(v) if v >= 1 => jobs = Some(v),
                     _ => {
                         eprintln!("--jobs needs a positive integer\n{}", usage());
                         return ExitCode::FAILURE;
@@ -276,10 +360,76 @@ fn main() -> ExitCode {
             }
             "--max-dim" => {
                 i += 1;
+                match args.get(i).and_then(|s| s.parse::<u32>().ok()) {
+                    Some(v) => match validate_max_dim(v) {
+                        Ok(v) => max_dim = Some(v),
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    None => {
+                        eprintln!("--max-dim needs an integer\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--cache-cap" => {
+                i += 1;
                 match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(v) if v >= 1 => max_dim = Some(v),
+                    Some(v) if v >= 1 => cache_cap = Some(v),
                     _ => {
-                        eprintln!("--max-dim needs a positive integer\n{}", usage());
+                        eprintln!("--cache-cap needs a positive integer\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--addr" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => addr = a.clone(),
+                    None => {
+                        eprintln!("--addr needs a host:port\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--clients" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) if v >= 1 => clients = v,
+                    _ => {
+                        eprintln!("--clients needs a positive integer\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--requests" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) if v >= 1 => requests = v,
+                    _ => {
+                        eprintln!("--requests needs a positive integer\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--timeout-ms" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) if v >= 1 => timeout_ms = Some(v),
+                    _ => {
+                        eprintln!("--timeout-ms needs a positive integer\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = p.clone(),
+                    None => {
+                        eprintln!("--out needs a file path\n{}", usage());
                         return ExitCode::FAILURE;
                     }
                 }
@@ -317,15 +467,46 @@ fn main() -> ExitCode {
             cmd_list();
             Ok(())
         }
-        Some("report") if positional.len() >= 2 => {
-            cmd_report(&positional[1..], full, max_dim, json_dir, jobs)
-        }
+        Some("report") if positional.len() >= 2 => cmd_report(
+            &positional[1..],
+            full,
+            max_dim,
+            json_dir,
+            jobs.unwrap_or_else(default_jobs),
+            cache_cap,
+        ),
         Some("figures") => cmd_report(
             &["f1", "f2", "f3", "f4"].map(String::from),
             full,
             max_dim,
             json_dir,
-            jobs,
+            jobs.unwrap_or_else(default_jobs),
+            cache_cap,
+        ),
+        Some("serve") if positional.len() == 1 => {
+            let mut limits = ServerLimits::default();
+            if let Some(v) = max_dim {
+                limits.max_dim = v;
+            }
+            if let Some(v) = jobs {
+                limits.workers = v;
+            }
+            if let Some(v) = cache_cap {
+                limits.cache_capacity = Some(v);
+            }
+            if let Some(v) = timeout_ms {
+                limits.request_timeout = std::time::Duration::from_millis(v);
+            }
+            cmd_serve(&addr, limits)
+        }
+        Some("bench-serve") if positional.len() == 1 => cmd_bench_serve(
+            &BenchConfig {
+                addr: addr.clone(),
+                clients,
+                requests,
+                max_dim: max_dim.unwrap_or(8),
+            },
+            &out,
         ),
         Some("run") if positional.len() == 3 => match positional[2].parse::<u32>() {
             Ok(d) if (1..=hypersweep_topology::MAX_DIMENSION).contains(&d) => {

@@ -1,6 +1,7 @@
 //! End-to-end tests of the `hypersweep` binary.
 
-use std::process::Command;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
 
 fn bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_hypersweep"))
@@ -99,6 +100,133 @@ fn trace_then_audit_roundtrip() {
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("monotone=true"));
     std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn report_rejects_out_of_range_max_dim() {
+    let out = bin()
+        .args(["report", "t5", "--max-dim", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--max-dim 0 must be rejected");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("at least 1"), "{err}");
+
+    let out = bin()
+        .args(["report", "t5", "--max-dim", "25"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--max-dim 25 must be rejected");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("exceeds"), "{err}");
+    assert!(err.contains("20"), "{err}");
+}
+
+#[test]
+fn report_with_cache_cap_is_byte_identical_and_reports_evictions() {
+    let dir = std::env::temp_dir().join("hypersweep-cli-cache-cap");
+    let unbounded = dir.join("unbounded");
+    let capped = dir.join("capped");
+    let out = bin()
+        .args(["report", "t3", "--json", unbounded.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = bin()
+        .args([
+            "report",
+            "t3",
+            "--cache-cap",
+            "1",
+            "--json",
+            capped.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("evicted"), "{err}");
+    let a = std::fs::read_to_string(unbounded.join("t3.json")).unwrap();
+    let b = std::fs::read_to_string(capped.join("t3.json")).unwrap();
+    assert_eq!(a, b, "a capped run cache changed the exported report");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_bench_and_graceful_shutdown() {
+    // Start the daemon on an ephemeral port and learn the port from its
+    // startup line.
+    let mut daemon = bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--max-dim", "10"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stderr = BufReader::new(daemon.stderr.take().unwrap());
+    let mut banner = String::new();
+    stderr.read_line(&mut banner).unwrap();
+    let addr = banner
+        .split_whitespace()
+        .find(|w| w.starts_with("127.0.0.1:"))
+        .unwrap_or_else(|| panic!("no address in banner: {banner}"))
+        .to_string();
+
+    // Mixed load from the bundled generator.
+    let bench_out = std::env::temp_dir().join("hypersweep-cli-bench-serve.json");
+    let out = bin()
+        .args([
+            "bench-serve",
+            "--addr",
+            &addr,
+            "--clients",
+            "4",
+            "--requests",
+            "24",
+            "--max-dim",
+            "6",
+            "--out",
+            bench_out.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8(out.stdout).unwrap();
+    assert!(summary.contains("req/s"), "{summary}");
+    let report = std::fs::read_to_string(&bench_out).unwrap();
+    assert!(report.contains("hypersweep-serve-bench/v1"), "{report}");
+    assert!(report.contains("\"errors\": 0"), "{report}");
+    std::fs::remove_file(&bench_out).ok();
+
+    // Graceful shutdown via the protocol; the daemon must exit 0 with a
+    // final status line on stdout and the drain summary on stderr.
+    let mut control = std::net::TcpStream::connect(&addr).unwrap();
+    writeln!(control, "{}", r#"{"type":"shutdown"}"#).unwrap();
+    let mut ack = String::new();
+    BufReader::new(control.try_clone().unwrap())
+        .read_line(&mut ack)
+        .unwrap();
+    assert!(ack.contains("\"type\":\"shutdown\""), "{ack}");
+
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "daemon exited with {status}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stderr, &mut rest).unwrap();
+    assert!(rest.contains("drained"), "{rest}");
+    let mut stdout = String::new();
+    std::io::Read::read_to_string(&mut daemon.stdout.take().unwrap(), &mut stdout).unwrap();
+    assert!(stdout.contains("\"type\":\"status\""), "{stdout}");
 }
 
 #[test]

@@ -1,7 +1,9 @@
 //! Common strategy interface and verified outcomes.
 
 use hypersweep_intruder::{verify_trace, Monitor, MonitorConfig, Verdict};
-use hypersweep_sim::{EventSink, Metrics, Policy, RunError, RunReport};
+use hypersweep_sim::{
+    EventSink, Metrics, Policy, RunError, RunReport, SummarizingSink, TraceSummary,
+};
 use hypersweep_topology::{Hypercube, Node};
 
 /// Why a strategy could not run.
@@ -49,6 +51,10 @@ pub struct SearchOutcome {
     pub metrics: Metrics,
     /// The monitors' verdict (monotonicity, contiguity, coverage, capture).
     pub verdict: Verdict,
+    /// Per-kind event counts of the trace, collected while streaming it
+    /// through the auditor. `None` when the run was not streamed (engine
+    /// runs, unaudited fast runs).
+    pub trace_summary: Option<TraceSummary>,
 }
 
 impl SearchOutcome {
@@ -109,6 +115,7 @@ pub fn audited_outcome(cube: Hypercube, report: &RunReport) -> SearchOutcome {
     SearchOutcome {
         metrics: report.metrics,
         verdict,
+        trace_summary: None,
     }
 }
 
@@ -123,10 +130,13 @@ where
     F: FnOnce(&mut dyn EventSink) -> Metrics,
 {
     let mut monitor = Monitor::new(&cube, Node::ROOT, default_monitor_config(cube));
-    let metrics = synthesize(&mut monitor);
+    let mut tee = SummarizingSink::new(&mut monitor);
+    let metrics = synthesize(&mut tee);
+    let summary = tee.summary();
     SearchOutcome {
         metrics,
         verdict: monitor.verdict(),
+        trace_summary: Some(summary),
     }
 }
 
@@ -153,7 +163,11 @@ pub fn synthesized_outcome(
             }
         }
     };
-    SearchOutcome { metrics, verdict }
+    SearchOutcome {
+        metrics,
+        verdict,
+        trace_summary: None,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,287 @@
+//! Client side: a blocking line-protocol client and the `bench-serve`
+//! load generator.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use hypersweep_analysis::StrategyKind;
+
+use crate::protocol::{ErrorKind, Request, Response};
+
+/// Schema tag stamped into `BENCH_serve.json`.
+pub const BENCH_SCHEMA: &str = "hypersweep-serve-bench/v1";
+
+/// A blocking client for the line-delimited JSON protocol.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one raw line and return the raw response line (no trailing
+    /// newline) — the malformed-input tests speak through this.
+    pub fn send_raw(&mut self, line: &str) -> io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let read = self.reader.read_line(&mut response)?;
+        if read == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+
+    /// Send a request and parse the response.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        let line = self.send_raw(&request.to_line())?;
+        Response::parse(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Load-generator configuration.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Daemon address, e.g. `127.0.0.1:7071`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests issued per client.
+    pub requests: usize,
+    /// Largest dimension the mixed workload asks for.
+    pub max_dim: u32,
+}
+
+/// What `bench-serve` measures; serialized to `BENCH_serve.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchReport {
+    /// Always [`BENCH_SCHEMA`].
+    pub schema: String,
+    /// Concurrent client connections.
+    pub clients: u64,
+    /// Requests issued per client.
+    pub requests_per_client: u64,
+    /// Total requests issued.
+    pub total_requests: u64,
+    /// Successful (non-error) responses.
+    pub ok: u64,
+    /// Structured error responses other than `busy`.
+    pub errors: u64,
+    /// `busy` rejections (backpressure working as designed).
+    pub busy: u64,
+    /// Wall-clock duration of the run, in milliseconds.
+    pub elapsed_ms: f64,
+    /// Requests per second over the whole run.
+    pub throughput_rps: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Run-cache hit rate observed by the daemon after the run.
+    pub cache_hit_rate: f64,
+}
+
+/// The deterministic mixed workload: request `seq` of any client. Cycles
+/// request types (`plan`, `predict`, `audit`, `status`), strategies, and
+/// dimensions, so every client issues the same stream — which is exactly
+/// what makes concurrent-vs-single-client byte-comparison meaningful.
+pub fn mixed_request(seq: usize, max_dim: u32) -> Request {
+    const CLOSED_FORM: [StrategyKind; 6] = [
+        StrategyKind::Clean,
+        StrategyKind::Visibility,
+        StrategyKind::Cloning,
+        StrategyKind::Synchronous,
+        StrategyKind::CleanThroughRoot,
+        StrategyKind::CloningSmallestFirst,
+    ];
+    const AUDITABLE: [StrategyKind; 8] = crate::protocol::WIRE_STRATEGIES;
+    let lo = 4u32.min(max_dim.max(1));
+    let hi = max_dim.min(8).max(lo);
+    let dim = lo + (seq / 4) as u32 % (hi - lo + 1);
+    match seq % 4 {
+        0 => Request::Plan {
+            strategy: CLOSED_FORM[(seq / 4) % CLOSED_FORM.len()],
+            dim,
+        },
+        1 => Request::Predict {
+            strategy: CLOSED_FORM[(seq / 4) % CLOSED_FORM.len()],
+            dim,
+        },
+        2 => Request::Audit {
+            strategy: AUDITABLE[(seq / 4) % AUDITABLE.len()],
+            dim,
+        },
+        _ => Request::Status,
+    }
+}
+
+/// Run the load generator against a live daemon and aggregate latencies.
+pub fn run_bench(cfg: &BenchConfig) -> io::Result<BenchReport> {
+    let clients = cfg.clients.max(1);
+    let requests = cfg.requests.max(1);
+    let started = Instant::now();
+    let mut per_client: Vec<io::Result<ClientTally>> = Vec::with_capacity(clients);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| scope.spawn(|| client_worker(cfg, requests)))
+            .collect();
+        for handle in handles {
+            per_client.push(handle.join().expect("bench client panicked"));
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let mut latencies: Vec<Duration> = Vec::with_capacity(clients * requests);
+    let (mut ok, mut errors, mut busy) = (0u64, 0u64, 0u64);
+    for tally in per_client {
+        let tally = tally?;
+        ok += tally.ok;
+        errors += tally.errors;
+        busy += tally.busy;
+        latencies.extend(tally.latencies);
+    }
+    latencies.sort();
+    let percentile = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
+        latencies[rank].as_secs_f64() * 1e3
+    };
+
+    // One follow-up status request reads the daemon's cache counters.
+    let mut probe = Client::connect(&cfg.addr)?;
+    let cache_hit_rate = match probe.request(&Request::Status)? {
+        Response::Status(status) => {
+            let total = status.cache.hits + status.cache.misses;
+            if total == 0 {
+                0.0
+            } else {
+                status.cache.hits as f64 / total as f64
+            }
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("status probe got a {} response", other.tag()),
+            ))
+        }
+    };
+
+    let total_requests = (clients * requests) as u64;
+    Ok(BenchReport {
+        schema: BENCH_SCHEMA.to_string(),
+        clients: clients as u64,
+        requests_per_client: requests as u64,
+        total_requests,
+        ok,
+        errors,
+        busy,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        throughput_rps: total_requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_ms: percentile(0.50),
+        p99_ms: percentile(0.99),
+        cache_hit_rate,
+    })
+}
+
+struct ClientTally {
+    ok: u64,
+    errors: u64,
+    busy: u64,
+    latencies: Vec<Duration>,
+}
+
+fn client_worker(cfg: &BenchConfig, requests: usize) -> io::Result<ClientTally> {
+    let mut client = Client::connect(&cfg.addr)?;
+    let mut tally = ClientTally {
+        ok: 0,
+        errors: 0,
+        busy: 0,
+        latencies: Vec::with_capacity(requests),
+    };
+    for seq in 0..requests {
+        let request = mixed_request(seq, cfg.max_dim);
+        let sent = Instant::now();
+        let response = client.request(&request)?;
+        tally.latencies.push(sent.elapsed());
+        match response {
+            Response::Error(e) if e.kind == ErrorKind::Busy => tally.busy += 1,
+            Response::Error(_) => tally.errors += 1,
+            _ => tally.ok += 1,
+        }
+    }
+    Ok(tally)
+}
+
+impl BenchReport {
+    /// Pretty JSON for `BENCH_serve.json`.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench reports serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_workload_is_deterministic_and_varied() {
+        let a: Vec<Request> = (0..64).map(|s| mixed_request(s, 8)).collect();
+        let b: Vec<Request> = (0..64).map(|s| mixed_request(s, 8)).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|r| matches!(r, Request::Plan { .. })));
+        assert!(a.iter().any(|r| matches!(r, Request::Predict { .. })));
+        assert!(a.iter().any(|r| matches!(r, Request::Audit { .. })));
+        assert!(a.iter().any(|r| matches!(r, Request::Status)));
+        // Every dimension stays within the requested bound.
+        for r in &a {
+            if let Request::Plan { dim, .. }
+            | Request::Predict { dim, .. }
+            | Request::Audit { dim, .. } = r
+            {
+                assert!((1..=8).contains(dim));
+            }
+        }
+    }
+
+    #[test]
+    fn bench_report_serializes_with_schema() {
+        let report = BenchReport {
+            schema: BENCH_SCHEMA.to_string(),
+            clients: 4,
+            requests_per_client: 32,
+            total_requests: 128,
+            ok: 120,
+            errors: 0,
+            busy: 8,
+            elapsed_ms: 10.0,
+            throughput_rps: 12_800.0,
+            p50_ms: 0.05,
+            p99_ms: 1.5,
+            cache_hit_rate: 0.9,
+        };
+        let json = report.to_json();
+        assert!(json.contains("hypersweep-serve-bench/v1"));
+        assert!(json.contains("throughput_rps"));
+    }
+}

@@ -1,0 +1,372 @@
+//! The TCP daemon: accept loop, connection handling, graceful shutdown.
+//!
+//! One thread per live connection (bounded by
+//! [`ServerLimits::max_connections`]); each connection reads line-delimited
+//! JSON requests and writes one response line per request. Compute requests
+//! (`plan`/`predict`/`audit`) are submitted to a bounded [`WorkerPool`] —
+//! a full queue turns into an immediate `busy` error, and a slow run turns
+//! into a `timeout` error after [`ServerLimits::request_timeout`] (the run
+//! itself still completes and warms the cache).
+//!
+//! Shutdown is cooperative: a SIGINT (when [`install_sigint_handler`] is
+//! active) or a `shutdown` request raises one flag; the accept loop stops,
+//! connection sockets notice at their next 50 ms read timeout, queued work
+//! drains, every thread is joined, and a final status line is emitted.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hypersweep_analysis::{RunCache, WorkerPool};
+
+use crate::dispatch::Dispatcher;
+use crate::limits::ServerLimits;
+use crate::protocol::{ErrorKind, Request, Response, ShutdownReply, StatusReply, WireError};
+
+/// How long a connection read blocks before re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// The final status snapshot [`Server::run`] returns after draining.
+pub type ServerStats = StatusReply;
+
+/// SIGINT handling without a libc dependency: registers a handler that
+/// flips one atomic the accept loop polls.
+#[allow(unsafe_code)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SEEN: AtomicBool = AtomicBool::new(false);
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        SEEN.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+
+    pub(super) fn seen() -> bool {
+        SEEN.load(Ordering::SeqCst)
+    }
+}
+
+/// Route SIGINT into a graceful drain instead of process death. Called by
+/// the CLI before [`Server::run`]; tests skip it and use
+/// [`Server::shutdown_flag`] instead.
+pub fn install_sigint_handler() {
+    sigint::install();
+}
+
+/// Everything a connection thread needs, shared by `Arc`.
+struct Shared {
+    dispatcher: Dispatcher,
+    pool: WorkerPool,
+    limits: ServerLimits,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl Shared {
+    fn status(&self) -> StatusReply {
+        self.dispatcher.status_reply(
+            self.started.elapsed().as_millis() as u64,
+            self.pool.in_flight() as u64,
+            self.pool.workers() as u64,
+        )
+    }
+}
+
+/// The daemon: bind, then [`Server::run`] until shutdown.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind `addr` with a fresh run cache bounded at
+    /// [`ServerLimits::cache_capacity`].
+    pub fn bind(addr: impl ToSocketAddrs, limits: ServerLimits) -> io::Result<Server> {
+        Self::with_cache(
+            addr,
+            limits,
+            Arc::new(RunCache::with_capacity(limits.cache_capacity)),
+        )
+    }
+
+    /// Bind `addr` serving from a caller-provided cache (tests inject slow
+    /// or pre-warmed runners this way).
+    pub fn with_cache(
+        addr: impl ToSocketAddrs,
+        limits: ServerLimits,
+        cache: Arc<RunCache>,
+    ) -> io::Result<Server> {
+        cache.set_capacity(limits.cache_capacity);
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                dispatcher: Dispatcher::new(cache, limits.max_dim),
+                pool: WorkerPool::new(limits.workers, limits.queue_capacity),
+                limits,
+                shutdown: AtomicBool::new(false),
+                started: Instant::now(),
+            }),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes [`Server::run`] drain and return when raised.
+    pub fn shutdown_flag(&self) -> Arc<impl Fn() + Send + Sync> {
+        let shared = Arc::clone(&self.shared);
+        Arc::new(move || shared.shutdown.store(true, Ordering::SeqCst))
+    }
+
+    /// Serve until SIGINT or a `shutdown` request, then drain in-flight
+    /// work, join every thread, emit a final status line on stdout, and
+    /// return the final stats.
+    pub fn run(self) -> io::Result<ServerStats> {
+        let Server { listener, shared } = self;
+        let live = Arc::new(AtomicUsize::new(0));
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        while !shared.shutdown.load(Ordering::SeqCst) && !sigint::seen() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if live.load(Ordering::SeqCst) >= shared.limits.max_connections {
+                        refuse_connection(stream);
+                        continue;
+                    }
+                    live.fetch_add(1, Ordering::SeqCst);
+                    let shared = Arc::clone(&shared);
+                    let live = Arc::clone(&live);
+                    handles.push(std::thread::spawn(move || {
+                        let _ = serve_connection(stream, &shared);
+                        live.fetch_sub(1, Ordering::SeqCst);
+                    }));
+                    handles.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: raise the flag for connection threads, finish queued work,
+        // then join everything — no leaked threads.
+        shared.shutdown.store(true, Ordering::SeqCst);
+        shared.pool.shutdown();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let stats = shared.status();
+        let mut stdout = io::stdout().lock();
+        let _ = writeln!(stdout, "{}", Response::Status(stats.clone()).to_line());
+        let _ = stdout.flush();
+        Ok(stats)
+    }
+}
+
+/// Over the connection cap: send one `busy` line and close.
+fn refuse_connection(mut stream: TcpStream) {
+    let response = Response::Error(WireError::new(
+        ErrorKind::Busy,
+        "connection limit reached; retry later",
+    ));
+    let _ = writeln!(stream, "{}", response.to_line());
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    writeln!(stream, "{}", response.to_line())?;
+    stream.flush()
+}
+
+/// What one pass over the socket buffer produced.
+enum LineStep {
+    /// A complete request line (possibly empty).
+    Line(Vec<u8>),
+    /// A complete line that exceeded the size bound (content discarded).
+    Oversized,
+    /// The client closed the connection.
+    Eof,
+    /// Read timeout — caller should check the shutdown flag and retry.
+    Idle,
+}
+
+/// Accumulate one newline-terminated line, never buffering more than
+/// `max_len` bytes: once a line exceeds the bound its remainder is consumed
+/// and discarded, and the line reports as [`LineStep::Oversized`].
+fn read_line_step(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    discarding: &mut bool,
+    max_len: usize,
+) -> io::Result<LineStep> {
+    loop {
+        let (newline_at, chunk_len) = match reader.fill_buf() {
+            Ok([]) => return Ok(LineStep::Eof),
+            Ok(chunk) => {
+                let newline_at = chunk.iter().position(|&b| b == b'\n');
+                let take = newline_at.unwrap_or(chunk.len());
+                if !*discarding {
+                    buf.extend_from_slice(&chunk[..take]);
+                    if buf.len() > max_len {
+                        *discarding = true;
+                        buf.clear();
+                    }
+                }
+                (newline_at, chunk.len())
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(LineStep::Idle)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        match newline_at {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                if *discarding {
+                    *discarding = false;
+                    return Ok(LineStep::Oversized);
+                }
+                return Ok(LineStep::Line(std::mem::take(buf)));
+            }
+            None => reader.consume(chunk_len),
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    let mut discarding = false;
+    loop {
+        let line = match read_line_step(
+            &mut reader,
+            &mut buf,
+            &mut discarding,
+            shared.limits.max_line_bytes,
+        )? {
+            LineStep::Eof => return Ok(()),
+            LineStep::Idle => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            LineStep::Oversized => {
+                shared.dispatcher.note_error();
+                write_response(
+                    &mut writer,
+                    &Response::Error(WireError::new(
+                        ErrorKind::Oversized,
+                        format!(
+                            "request line exceeds {} bytes",
+                            shared.limits.max_line_bytes
+                        ),
+                    )),
+                )?;
+                continue;
+            }
+            LineStep::Line(line) => line,
+        };
+        let Ok(text) = String::from_utf8(line) else {
+            shared.dispatcher.note_error();
+            write_response(
+                &mut writer,
+                &Response::Error(WireError::new(
+                    ErrorKind::Malformed,
+                    "request line is not valid UTF-8",
+                )),
+            )?;
+            continue;
+        };
+        if text.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(&text, shared);
+        write_response(&mut writer, &response)?;
+    }
+}
+
+/// Answer one request line (connection-agnostic; the determinism test also
+/// calls this path through a live socket).
+fn handle_line(text: &str, shared: &Arc<Shared>) -> Response {
+    let request = match Request::parse(text) {
+        Ok(request) => request,
+        Err(e) => {
+            shared.dispatcher.note_error();
+            return Response::Error(e);
+        }
+    };
+    match request {
+        Request::Status => Response::Status(shared.status()),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::Shutdown(ShutdownReply {
+                draining: shared.pool.in_flight() as u64,
+            })
+        }
+        compute @ (Request::Plan { .. } | Request::Predict { .. } | Request::Audit { .. }) => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                shared.dispatcher.note_error();
+                return Response::Error(WireError::new(
+                    ErrorKind::ShuttingDown,
+                    "server is draining; no new work accepted",
+                ));
+            }
+            dispatch_compute(compute, shared)
+        }
+    }
+}
+
+/// Hand a compute request to the pool and wait (bounded) for its answer.
+fn dispatch_compute(request: Request, shared: &Arc<Shared>) -> Response {
+    let (tx, rx) = mpsc::channel();
+    let job_shared = Arc::clone(shared);
+    let submitted = shared.pool.try_submit(move || {
+        let _ = tx.send(job_shared.dispatcher.handle(request));
+    });
+    if submitted.is_err() {
+        shared.dispatcher.note_busy();
+        return Response::Error(WireError::new(
+            ErrorKind::Busy,
+            "dispatch queue is full; retry later",
+        ));
+    }
+    match rx.recv_timeout(shared.limits.request_timeout) {
+        Ok(response) => response,
+        Err(_) => {
+            // The run keeps executing and will warm the cache; only this
+            // client's wait is abandoned.
+            shared.dispatcher.note_timeout();
+            Response::Error(WireError::new(
+                ErrorKind::Timeout,
+                format!(
+                    "request exceeded the {} ms budget",
+                    shared.limits.request_timeout.as_millis()
+                ),
+            ))
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Request handling: map a parsed [`Request`] to a [`Response`].
+//!
+//! The dispatcher is pure compute over shared state — the daemon decides
+//! *where* it runs (worker pool, with timeout) and the dispatcher decides
+//! *what* it answers. `plan` and `predict` evaluate the paper's closed
+//! forms directly; `audit` goes through the shared [`RunCache`] under an
+//! [`Exec::Audited`](hypersweep_analysis::Exec) key, so repeated audits of
+//! the same configuration are served from memory and concurrent duplicates
+//! execute exactly once.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hypersweep_analysis::{validate_max_dim, RunCache, RunKey, StrategyKind};
+use hypersweep_core::predictions::{
+    clean_phase_accounting, clean_prediction, cloning_prediction, visibility_prediction,
+};
+use hypersweep_topology::combinatorics as comb;
+
+use crate::protocol::{
+    AuditReply, CacheStats, ErrorKind, PhasePlan, PlanReply, PredictReply, Request, Response,
+    ServedCounts, StatusReply, WireError,
+};
+
+/// Narrow a closed-form `u128` to the wire's `u64`. Every quantity the
+/// server exposes fits comfortably at the dimensions it accepts (`d ≤ 20`).
+fn wire_u64(x: u128) -> u64 {
+    u64::try_from(x).expect("closed-form quantity exceeds u64 at a served dimension")
+}
+
+/// Shared request handler: validates, computes, and counts.
+pub struct Dispatcher {
+    cache: Arc<RunCache>,
+    max_dim: u32,
+    plan: AtomicU64,
+    predict: AtomicU64,
+    audit: AtomicU64,
+    status: AtomicU64,
+    errors: AtomicU64,
+    busy: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl Dispatcher {
+    /// Build a dispatcher over `cache`, refusing dimensions above
+    /// `max_dim`.
+    pub fn new(cache: Arc<RunCache>, max_dim: u32) -> Self {
+        Dispatcher {
+            cache,
+            max_dim,
+            plan: AtomicU64::new(0),
+            predict: AtomicU64::new(0),
+            audit: AtomicU64::new(0),
+            status: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared run cache.
+    pub fn cache(&self) -> &Arc<RunCache> {
+        &self.cache
+    }
+
+    /// The per-request dimension cap.
+    pub fn max_dim(&self) -> u32 {
+        self.max_dim
+    }
+
+    /// Handle a compute request (`plan`, `predict`, or `audit`). `status`
+    /// and `shutdown` are answered inline by the daemon, not here.
+    pub fn handle(&self, request: Request) -> Response {
+        let result = match request {
+            Request::Plan { strategy, dim } => self
+                .check_dim(dim)
+                .and_then(|dim| plan_reply(strategy, dim))
+                .map(Response::Plan)
+                .inspect(|_| {
+                    self.plan.fetch_add(1, Ordering::Relaxed);
+                }),
+            Request::Predict { strategy, dim } => self
+                .check_dim(dim)
+                .and_then(|dim| predict_reply(strategy, dim))
+                .map(Response::Predict)
+                .inspect(|_| {
+                    self.predict.fetch_add(1, Ordering::Relaxed);
+                }),
+            Request::Audit { strategy, dim } => self
+                .check_dim(dim)
+                .map(|dim| Response::Audit(self.audit_reply(strategy, dim)))
+                .inspect(|_| {
+                    self.audit.fetch_add(1, Ordering::Relaxed);
+                }),
+            Request::Status | Request::Shutdown => Err(WireError::new(
+                ErrorKind::UnknownRequest,
+                "status/shutdown are connection-level requests",
+            )),
+        };
+        result.unwrap_or_else(|e| {
+            self.note_error();
+            Response::Error(e)
+        })
+    }
+
+    /// Validate a requested dimension: the same rules as the offline
+    /// `report --max-dim` flag, tightened to this server's own cap.
+    fn check_dim(&self, dim: u32) -> Result<u32, WireError> {
+        let dim =
+            validate_max_dim(dim).map_err(|msg| WireError::new(ErrorKind::BadDimension, msg))?;
+        if dim > self.max_dim {
+            return Err(WireError::new(
+                ErrorKind::BadDimension,
+                format!(
+                    "dimension {dim} exceeds this server's limit of {}",
+                    self.max_dim
+                ),
+            ));
+        }
+        Ok(dim)
+    }
+
+    fn audit_reply(&self, strategy: StrategyKind, dim: u32) -> AuditReply {
+        let outcome = self.cache.get_or_run(RunKey::audited(strategy, dim));
+        AuditReply {
+            strategy: strategy.label().to_string(),
+            dim,
+            monotone: outcome.verdict.monotone,
+            contiguous: outcome.verdict.contiguous,
+            all_clean: outcome.verdict.all_clean,
+            captured: outcome.verdict.capture.map(|c| c.is_captured()),
+            violations: outcome.verdict.violations.len() as u64,
+            team_size: outcome.metrics.team_size,
+            worker_moves: outcome.metrics.worker_moves,
+            total_moves: outcome.metrics.total_moves(),
+            trace: outcome.trace_summary.unwrap_or_default(),
+        }
+    }
+
+    /// Record a backpressure rejection.
+    pub fn note_busy(&self) {
+        self.busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a per-request timeout.
+    pub fn note_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a structured error reply produced outside [`Dispatcher::handle`]
+    /// (parse failures, oversized lines).
+    pub fn note_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Request counters so far.
+    pub fn served(&self) -> ServedCounts {
+        ServedCounts {
+            plan: self.plan.load(Ordering::Relaxed),
+            predict: self.predict.load(Ordering::Relaxed),
+            audit: self.audit.load(Ordering::Relaxed),
+            status: self.status.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Build (and count) a `status` reply.
+    pub fn status_reply(&self, uptime_ms: u64, in_flight: u64, workers: u64) -> StatusReply {
+        self.status.fetch_add(1, Ordering::Relaxed);
+        StatusReply {
+            uptime_ms,
+            in_flight,
+            workers,
+            max_dim: self.max_dim,
+            served: self.served(),
+            cache: CacheStats {
+                hits: self.cache.hits(),
+                misses: self.cache.misses(),
+                evictions: self.cache.evictions(),
+                entries: self.cache.len() as u64,
+                capacity: self.cache.capacity().map(|c| c as u64),
+            },
+        }
+    }
+}
+
+fn unsupported(what: &str, strategy: StrategyKind) -> WireError {
+    WireError::new(
+        ErrorKind::Unsupported,
+        format!(
+            "the {} baseline has no closed-form {what}; use 'audit' to measure it",
+            strategy.label()
+        ),
+    )
+}
+
+/// The closed-form schedule for `strategy` on `H_dim`.
+fn plan_reply(strategy: StrategyKind, dim: u32) -> Result<PlanReply, WireError> {
+    let d = dim;
+    let nodes = wire_u64(comb::pow2(d));
+    let reply = match strategy {
+        StrategyKind::Clean | StrategyKind::CleanThroughRoot => {
+            // Phase l vacates level l: workers walk to level l+1, cleaning
+            // its C(d, l+1) nodes (Lemmas 3–4 give the agent accounting).
+            let p = clean_prediction(d);
+            let phases = (0..d)
+                .map(|l| {
+                    let (_, _, workers) = clean_phase_accounting(d, l);
+                    PhasePlan {
+                        phase: l,
+                        active_agents: wire_u64(workers),
+                        nodes_cleaned: wire_u64(comb::nodes_at_level(d, l + 1)),
+                    }
+                })
+                .collect();
+            PlanReply {
+                strategy: strategy.label().to_string(),
+                dim,
+                nodes,
+                team: wire_u64(p.team),
+                total_moves: wire_u64(p.worker_moves),
+                ideal_time: None,
+                phases,
+            }
+        }
+        StrategyKind::Visibility | StrategyKind::Synchronous => {
+            // Wave t ≥ 1 advances every agent still travelling — those
+            // destined to levels ≥ t, i.e. Σ_{l≥t} C(d−1, l−1) of them —
+            // and cleans the C(d, t) nodes of level t (Theorems 5–8).
+            let p = visibility_prediction(d);
+            let phases = (1..=d)
+                .map(|t| {
+                    let travelling: u128 = (t..=d).map(|l| comb::leaves_at_level(d, l)).sum();
+                    PhasePlan {
+                        phase: t,
+                        active_agents: wire_u64(travelling),
+                        nodes_cleaned: wire_u64(comb::nodes_at_level(d, t)),
+                    }
+                })
+                .collect();
+            PlanReply {
+                strategy: strategy.label().to_string(),
+                dim,
+                nodes,
+                team: wire_u64(p.agents),
+                total_moves: wire_u64(p.moves),
+                ideal_time: Some(wire_u64(p.ideal_time)),
+                phases,
+            }
+        }
+        StrategyKind::Cloning | StrategyKind::CloningSmallestFirst => {
+            // Broadcast wave t reaches level t: one clone crosses each of
+            // the C(d, t) tree edges into it (§5: n−1 moves in d waves).
+            let p = cloning_prediction(d);
+            let phases = (1..=d)
+                .map(|t| PhasePlan {
+                    phase: t,
+                    active_agents: wire_u64(comb::nodes_at_level(d, t)),
+                    nodes_cleaned: wire_u64(comb::nodes_at_level(d, t)),
+                })
+                .collect();
+            PlanReply {
+                strategy: strategy.label().to_string(),
+                dim,
+                nodes,
+                team: wire_u64(p.agents),
+                total_moves: wire_u64(p.moves),
+                ideal_time: Some(wire_u64(p.ideal_time)),
+                phases,
+            }
+        }
+        StrategyKind::Flood | StrategyKind::Frontier => {
+            return Err(unsupported("schedule", strategy))
+        }
+    };
+    Ok(reply)
+}
+
+/// The paper's exact theorem counts for `strategy` on `H_dim`.
+fn predict_reply(strategy: StrategyKind, dim: u32) -> Result<PredictReply, WireError> {
+    let d = dim;
+    let nodes = wire_u64(comb::pow2(d));
+    let label = strategy.label().to_string();
+    let reply = match strategy {
+        StrategyKind::Clean | StrategyKind::CleanThroughRoot => {
+            let p = clean_prediction(d);
+            PredictReply {
+                strategy: label,
+                dim,
+                nodes,
+                agents: wire_u64(p.team),
+                worker_moves: wire_u64(p.worker_moves),
+                sync_moves_upper: Some(wire_u64(p.sync_moves_upper)),
+                ideal_time: None,
+            }
+        }
+        StrategyKind::Visibility | StrategyKind::Synchronous => {
+            let p = visibility_prediction(d);
+            PredictReply {
+                strategy: label,
+                dim,
+                nodes,
+                agents: wire_u64(p.agents),
+                worker_moves: wire_u64(p.moves),
+                sync_moves_upper: None,
+                ideal_time: Some(wire_u64(p.ideal_time)),
+            }
+        }
+        StrategyKind::Cloning | StrategyKind::CloningSmallestFirst => {
+            let p = cloning_prediction(d);
+            PredictReply {
+                strategy: label,
+                dim,
+                nodes,
+                agents: wire_u64(p.agents),
+                worker_moves: wire_u64(p.moves),
+                sync_moves_upper: None,
+                ideal_time: Some(wire_u64(p.ideal_time)),
+            }
+        }
+        StrategyKind::Flood | StrategyKind::Frontier => {
+            return Err(unsupported("prediction", strategy))
+        }
+    };
+    Ok(reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dispatcher() -> Dispatcher {
+        Dispatcher::new(Arc::new(RunCache::new()), 20)
+    }
+
+    #[test]
+    fn plan_clean_matches_theorem_3() {
+        let d = dispatcher();
+        let Response::Plan(plan) = d.handle(Request::Plan {
+            strategy: StrategyKind::Clean,
+            dim: 6,
+        }) else {
+            panic!("expected a plan reply");
+        };
+        assert_eq!(plan.nodes, 64);
+        assert_eq!(plan.team, 26);
+        assert_eq!(plan.total_moves, 224);
+        assert_eq!(plan.phases.len(), 6);
+        // The schedule covers every node except the homebase.
+        let cleaned: u64 = plan.phases.iter().map(|p| p.nodes_cleaned).sum();
+        assert_eq!(cleaned, plan.nodes - 1);
+    }
+
+    #[test]
+    fn plan_wave_strategies_cover_and_sum() {
+        let d = dispatcher();
+        for strategy in [StrategyKind::Visibility, StrategyKind::Cloning] {
+            let Response::Plan(plan) = d.handle(Request::Plan { strategy, dim: 8 }) else {
+                panic!("expected a plan reply");
+            };
+            let cleaned: u64 = plan.phases.iter().map(|p| p.nodes_cleaned).sum();
+            assert_eq!(cleaned, plan.nodes - 1, "{}", plan.strategy);
+            assert_eq!(plan.ideal_time, Some(8));
+            // Per-wave movers sum to the total move count.
+            let moves: u64 = plan.phases.iter().map(|p| p.active_agents).sum();
+            assert_eq!(moves, plan.total_moves, "{}", plan.strategy);
+        }
+    }
+
+    #[test]
+    fn predict_visibility_matches_theorems() {
+        let d = dispatcher();
+        let Response::Predict(p) = d.handle(Request::Predict {
+            strategy: StrategyKind::Visibility,
+            dim: 10,
+        }) else {
+            panic!("expected a predict reply");
+        };
+        assert_eq!(p.agents, 512);
+        assert_eq!(p.ideal_time, Some(10));
+        assert_eq!(p.worker_moves, 256 * 11);
+    }
+
+    #[test]
+    fn audit_reports_verdict_and_digest() {
+        let d = dispatcher();
+        let Response::Audit(a) = d.handle(Request::Audit {
+            strategy: StrategyKind::Clean,
+            dim: 5,
+        }) else {
+            panic!("expected an audit reply");
+        };
+        assert!(a.monotone && a.contiguous && a.all_clean);
+        assert_eq!(a.captured, Some(true));
+        assert_eq!(a.violations, 0);
+        assert_eq!(a.trace.moves, a.total_moves);
+        // A second identical audit is a cache hit.
+        d.handle(Request::Audit {
+            strategy: StrategyKind::Clean,
+            dim: 5,
+        });
+        assert_eq!(d.cache().hits(), 1);
+        assert_eq!(d.served().audit, 2);
+    }
+
+    #[test]
+    fn dimension_validation_mirrors_report() {
+        let d = Dispatcher::new(Arc::new(RunCache::new()), 10);
+        for (dim, expect_ok) in [(0, false), (1, true), (10, true), (11, false), (25, false)] {
+            let response = d.handle(Request::Predict {
+                strategy: StrategyKind::Clean,
+                dim,
+            });
+            assert_eq!(response.is_ok(), expect_ok, "dim={dim}");
+            if !expect_ok {
+                let Response::Error(e) = response else {
+                    unreachable!()
+                };
+                assert_eq!(e.kind, ErrorKind::BadDimension);
+            }
+        }
+        assert_eq!(d.served().errors, 3);
+    }
+
+    #[test]
+    fn baselines_are_unsupported_for_closed_forms() {
+        let d = dispatcher();
+        for strategy in [StrategyKind::Flood, StrategyKind::Frontier] {
+            for request in [
+                Request::Plan { strategy, dim: 4 },
+                Request::Predict { strategy, dim: 4 },
+            ] {
+                let Response::Error(e) = d.handle(request) else {
+                    panic!("baselines must refuse closed-form requests");
+                };
+                assert_eq!(e.kind, ErrorKind::Unsupported);
+            }
+            // They still audit fine.
+            assert!(d.handle(Request::Audit { strategy, dim: 4 }).is_ok());
+        }
+    }
+}

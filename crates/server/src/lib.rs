@@ -1,0 +1,42 @@
+//! `hypersweep-server`: an online query daemon for the hypercube search
+//! harness.
+//!
+//! The offline harness answers questions in batch (`hypersweep report`);
+//! this crate answers them on demand over TCP, in a line-delimited JSON
+//! protocol (see [`protocol`]):
+//!
+//! * `plan` — the closed-form per-phase cleaning schedule for a strategy
+//!   on `H_d`;
+//! * `predict` — the paper's exact theorem counts (agents, moves, time);
+//! * `audit` — run the strategy's trace through the packed contamination
+//!   monitor and return the verdict plus measured metrics, streaming the
+//!   trace so memory stays `O(n)` even at `H_20`;
+//! * `status` — uptime, request counters, cache statistics, in-flight work.
+//!
+//! Requests dispatch onto the analysis crate's bounded [`WorkerPool`]
+//! (backpressure surfaces to clients as `busy` errors, never as unbounded
+//! queueing) and are deduplicated through the shared [`RunCache`] with an
+//! LRU capacity bound, so the daemon stays in bounded memory no matter how
+//! long it serves. Graceful shutdown (SIGINT or a `shutdown` request)
+//! drains in-flight work and emits a final stats line.
+//!
+//! [`WorkerPool`]: hypersweep_analysis::WorkerPool
+//! [`RunCache`]: hypersweep_analysis::RunCache
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod dispatch;
+pub mod limits;
+pub mod protocol;
+
+pub use client::{run_bench, BenchConfig, BenchReport, Client, BENCH_SCHEMA};
+pub use daemon::{Server, ServerStats};
+pub use dispatch::Dispatcher;
+pub use limits::ServerLimits;
+pub use protocol::{
+    parse_strategy, AuditReply, CacheStats, ErrorKind, PhasePlan, PlanReply, PredictReply, Request,
+    Response, ServedCounts, ShutdownReply, StatusReply, WireError, WIRE_STRATEGIES,
+};

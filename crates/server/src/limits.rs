@@ -1,0 +1,61 @@
+//! Resource bounds enforced by the daemon.
+
+use std::time::Duration;
+
+use hypersweep_analysis::REPORT_MAX_DIM;
+
+/// Everything the daemon refuses to exceed. Every limit has a conservative
+/// default; the CLI exposes the interesting ones as flags.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerLimits {
+    /// Largest dimension a request may ask for. Validated with the same
+    /// rules as the offline `report --max-dim` flag.
+    pub max_dim: u32,
+    /// Longest accepted request line, in bytes. Longer lines are consumed
+    /// and answered with an `oversized` error — the connection survives,
+    /// and the excess bytes are discarded without buffering.
+    pub max_line_bytes: usize,
+    /// How long a single `plan`/`predict`/`audit` request may take before
+    /// the client gets a `timeout` error. The underlying run still
+    /// completes and populates the cache for the next request.
+    pub request_timeout: Duration,
+    /// Dispatch-queue bound: requests beyond `workers` executing plus this
+    /// many queued are refused with `busy`.
+    pub queue_capacity: usize,
+    /// Concurrent connections served; excess connections receive a single
+    /// `busy` error line and are closed.
+    pub max_connections: usize,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// LRU bound on cached run outcomes (`None` = unbounded).
+    pub cache_capacity: Option<usize>,
+}
+
+impl Default for ServerLimits {
+    fn default() -> Self {
+        ServerLimits {
+            max_dim: REPORT_MAX_DIM,
+            max_line_bytes: 64 * 1024,
+            request_timeout: Duration::from_secs(30),
+            queue_capacity: 64,
+            max_connections: 32,
+            workers: hypersweep_analysis::default_jobs().min(4),
+            cache_capacity: Some(256),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let limits = ServerLimits::default();
+        assert_eq!(limits.max_dim, REPORT_MAX_DIM);
+        assert!(limits.workers >= 1);
+        assert!(limits.queue_capacity >= limits.workers);
+        assert!(limits.max_line_bytes >= 1024);
+        assert!(limits.cache_capacity.is_some());
+    }
+}

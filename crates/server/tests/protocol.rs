@@ -1,0 +1,208 @@
+//! Wire-protocol round trips and structured parse errors.
+//!
+//! Every request and response variant must survive
+//! serialize → parse → serialize byte-identically (the protocol's field
+//! order is fixed), and every malformed input must map to a structured
+//! [`ErrorKind`], never a panic.
+
+use hypersweep_server::{
+    AuditReply, CacheStats, ErrorKind, PhasePlan, PlanReply, PredictReply, Request, Response,
+    ServedCounts, ShutdownReply, StatusReply, WireError, WIRE_STRATEGIES,
+};
+use hypersweep_sim::TraceSummary;
+
+fn round_trip_request(request: Request) {
+    let line = request.to_line();
+    let parsed = Request::parse(&line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
+    assert_eq!(parsed, request, "request changed across the wire");
+    assert_eq!(parsed.to_line(), line, "re-serialization differs");
+}
+
+fn round_trip_response(response: Response) {
+    let line = response.to_line();
+    let parsed = Response::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+    assert_eq!(parsed, response, "response changed across the wire");
+    assert_eq!(parsed.to_line(), line, "re-serialization differs");
+}
+
+#[test]
+fn every_request_variant_round_trips() {
+    for strategy in WIRE_STRATEGIES {
+        for dim in [1, 6, 20] {
+            round_trip_request(Request::Plan { strategy, dim });
+            round_trip_request(Request::Predict { strategy, dim });
+            round_trip_request(Request::Audit { strategy, dim });
+        }
+    }
+    round_trip_request(Request::Status);
+    round_trip_request(Request::Shutdown);
+}
+
+#[test]
+fn every_response_variant_round_trips() {
+    round_trip_response(Response::Plan(PlanReply {
+        strategy: "clean".into(),
+        dim: 6,
+        nodes: 64,
+        team: 26,
+        total_moves: 224,
+        ideal_time: None,
+        phases: vec![
+            PhasePlan {
+                phase: 0,
+                active_agents: 6,
+                nodes_cleaned: 6,
+            },
+            PhasePlan {
+                phase: 1,
+                active_agents: 21,
+                nodes_cleaned: 15,
+            },
+        ],
+    }));
+    round_trip_response(Response::Predict(PredictReply {
+        strategy: "visibility".into(),
+        dim: 10,
+        nodes: 1024,
+        agents: 512,
+        worker_moves: 2816,
+        sync_moves_upper: None,
+        ideal_time: Some(10),
+    }));
+    round_trip_response(Response::Audit(AuditReply {
+        strategy: "cloning".into(),
+        dim: 8,
+        monotone: true,
+        contiguous: true,
+        all_clean: true,
+        captured: Some(true),
+        violations: 0,
+        team_size: 128,
+        worker_moves: 255,
+        total_moves: 255,
+        trace: TraceSummary {
+            events: 511,
+            spawns: 1,
+            moves: 255,
+            clones: 127,
+            terminates: 128,
+            max_time: 8,
+        },
+    }));
+    round_trip_response(Response::Status(StatusReply {
+        uptime_ms: 12345,
+        in_flight: 2,
+        workers: 4,
+        max_dim: 20,
+        served: ServedCounts {
+            plan: 10,
+            predict: 11,
+            audit: 12,
+            status: 13,
+            errors: 2,
+            busy: 1,
+            timeouts: 0,
+        },
+        cache: CacheStats {
+            hits: 30,
+            misses: 12,
+            evictions: 3,
+            entries: 9,
+            capacity: Some(256),
+        },
+    }));
+    round_trip_response(Response::Status(StatusReply {
+        uptime_ms: 0,
+        in_flight: 0,
+        workers: 1,
+        max_dim: 1,
+        served: ServedCounts::default(),
+        cache: CacheStats {
+            capacity: None, // unbounded serializes as null and comes back
+            ..CacheStats::default()
+        },
+    }));
+    round_trip_response(Response::Shutdown(ShutdownReply { draining: 3 }));
+    for kind in [
+        ErrorKind::Malformed,
+        ErrorKind::UnknownRequest,
+        ErrorKind::UnknownStrategy,
+        ErrorKind::BadDimension,
+        ErrorKind::Oversized,
+        ErrorKind::Timeout,
+        ErrorKind::Busy,
+        ErrorKind::ShuttingDown,
+        ErrorKind::Unsupported,
+    ] {
+        round_trip_response(Response::Error(WireError::new(kind, "detail text")));
+    }
+}
+
+#[test]
+fn request_tags_are_flat_json() {
+    let line = Request::Plan {
+        strategy: hypersweep_analysis::StrategyKind::Clean,
+        dim: 6,
+    }
+    .to_line();
+    assert_eq!(line, r#"{"type":"plan","strategy":"clean","dim":6}"#);
+    assert_eq!(Request::Status.to_line(), r#"{"type":"status"}"#);
+}
+
+#[test]
+fn malformed_inputs_yield_structured_errors() {
+    let cases: [(&str, ErrorKind); 9] = [
+        // Truncated JSON.
+        (r#"{"type":"plan","strategy":"clea"#, ErrorKind::Malformed),
+        // Not JSON at all.
+        ("hello there", ErrorKind::Malformed),
+        // Valid JSON, wrong shape.
+        (r#"[1,2,3]"#, ErrorKind::Malformed),
+        // Missing type.
+        (r#"{"strategy":"clean","dim":6}"#, ErrorKind::UnknownRequest),
+        // Unknown request type.
+        (r#"{"type":"teleport","dim":6}"#, ErrorKind::UnknownRequest),
+        // Unknown strategy.
+        (
+            r#"{"type":"plan","strategy":"quantum","dim":6}"#,
+            ErrorKind::UnknownStrategy,
+        ),
+        // Missing strategy.
+        (r#"{"type":"audit","dim":6}"#, ErrorKind::UnknownStrategy),
+        // Missing dim.
+        (
+            r#"{"type":"predict","strategy":"clean"}"#,
+            ErrorKind::BadDimension,
+        ),
+        // Non-integer dim.
+        (
+            r#"{"type":"plan","strategy":"clean","dim":"six"}"#,
+            ErrorKind::BadDimension,
+        ),
+    ];
+    for (line, expected) in cases {
+        let err = Request::parse(line).expect_err(line);
+        assert_eq!(err.kind, expected, "{line}: {}", err.message);
+        assert!(!err.message.is_empty(), "{line} produced an empty message");
+        // Every parse error is itself a serializable response.
+        round_trip_response(Response::Error(err));
+    }
+}
+
+#[test]
+fn error_kind_labels_are_stable_and_parseable() {
+    for kind in [
+        ErrorKind::Malformed,
+        ErrorKind::UnknownRequest,
+        ErrorKind::UnknownStrategy,
+        ErrorKind::BadDimension,
+        ErrorKind::Oversized,
+        ErrorKind::Timeout,
+        ErrorKind::Busy,
+        ErrorKind::ShuttingDown,
+        ErrorKind::Unsupported,
+    ] {
+        assert_eq!(ErrorKind::parse(kind.label()), Some(kind));
+    }
+    assert_eq!(ErrorKind::parse("nonsense"), None);
+}

@@ -1,0 +1,299 @@
+//! End-to-end daemon tests over real TCP sockets: robustness (oversized
+//! lines, malformed input, backpressure, timeouts) and graceful shutdown.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use hypersweep_analysis::{execute_run, RunCache, StrategyKind};
+use hypersweep_server::{Client, ErrorKind, Request, Response, Server, ServerLimits, ServerStats};
+
+/// Spawn a daemon on an ephemeral port; returns its address, a shutdown
+/// trigger, and the join handle yielding the final stats.
+fn spawn_server(
+    limits: ServerLimits,
+    cache: Arc<RunCache>,
+) -> (
+    String,
+    Arc<impl Fn() + Send + Sync>,
+    std::thread::JoinHandle<ServerStats>,
+) {
+    let server = Server::with_cache("127.0.0.1:0", limits, cache).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let shutdown = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, shutdown, handle)
+}
+
+fn quick_limits() -> ServerLimits {
+    ServerLimits {
+        request_timeout: Duration::from_secs(10),
+        ..ServerLimits::default()
+    }
+}
+
+#[test]
+fn serves_all_request_types_and_survives_malformed_lines() {
+    let (addr, shutdown, handle) = spawn_server(quick_limits(), Arc::new(RunCache::new()));
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Malformed lines produce structured errors, not dropped connections.
+    for (line, kind) in [
+        (r#"{"type":"plan","strategy":"clea"#, ErrorKind::Malformed),
+        (r#"{"type":"teleport"}"#, ErrorKind::UnknownRequest),
+        (
+            r#"{"type":"audit","strategy":"quantum","dim":4}"#,
+            ErrorKind::UnknownStrategy,
+        ),
+        (
+            r#"{"type":"plan","strategy":"clean","dim":0}"#,
+            ErrorKind::BadDimension,
+        ),
+        (
+            r#"{"type":"plan","strategy":"clean","dim":25}"#,
+            ErrorKind::BadDimension,
+        ),
+    ] {
+        let raw = client.send_raw(line).expect(line);
+        let Ok(Response::Error(e)) = Response::parse(&raw) else {
+            panic!("{line} -> {raw}");
+        };
+        assert_eq!(e.kind, kind, "{line}");
+    }
+
+    // The same connection still serves real work after all those errors.
+    let Response::Plan(plan) = client
+        .request(&Request::Plan {
+            strategy: StrategyKind::Clean,
+            dim: 6,
+        })
+        .expect("plan")
+    else {
+        panic!("expected plan reply");
+    };
+    assert_eq!(plan.team, 26);
+
+    let Response::Predict(predict) = client
+        .request(&Request::Predict {
+            strategy: StrategyKind::Visibility,
+            dim: 8,
+        })
+        .expect("predict")
+    else {
+        panic!("expected predict reply");
+    };
+    assert_eq!(predict.agents, 128);
+
+    let Response::Audit(audit) = client
+        .request(&Request::Audit {
+            strategy: StrategyKind::Cloning,
+            dim: 6,
+        })
+        .expect("audit")
+    else {
+        panic!("expected audit reply");
+    };
+    assert!(audit.monotone && audit.contiguous && audit.all_clean);
+    assert_eq!(audit.worker_moves, 63); // n - 1
+
+    let Response::Status(status) = client.request(&Request::Status).expect("status") else {
+        panic!("expected status reply");
+    };
+    assert_eq!(status.served.plan, 1);
+    assert_eq!(status.served.predict, 1);
+    assert_eq!(status.served.audit, 1);
+    assert_eq!(status.served.errors, 5);
+
+    shutdown();
+    let stats = handle.join().expect("no leaked panics");
+    assert_eq!(stats.served.audit, 1);
+    assert_eq!(stats.in_flight, 0, "drained server still had work queued");
+}
+
+#[test]
+fn oversized_lines_are_discarded_without_killing_the_connection() {
+    let limits = ServerLimits {
+        max_line_bytes: 512,
+        ..quick_limits()
+    };
+    let (addr, shutdown, handle) = spawn_server(limits, Arc::new(RunCache::new()));
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // 64 KiB of garbage on one line: bounded buffering, structured error.
+    let huge = "x".repeat(64 * 1024);
+    let raw = client.send_raw(&huge).expect("oversized line answered");
+    let Ok(Response::Error(e)) = Response::parse(&raw) else {
+        panic!("oversized -> {raw}");
+    };
+    assert_eq!(e.kind, ErrorKind::Oversized);
+
+    // The connection keeps serving.
+    let response = client
+        .request(&Request::Predict {
+            strategy: StrategyKind::Clean,
+            dim: 4,
+        })
+        .expect("request after oversized line");
+    assert!(response.is_ok(), "{response:?}");
+
+    shutdown();
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
+fn saturation_returns_busy_and_timeouts_expire() {
+    // A runner that blocks until released, making pool occupancy
+    // deterministic.
+    let (release, gate) = mpsc::channel::<()>();
+    let gate = Mutex::new(gate);
+    let cache = Arc::new(RunCache::with_runner(move |key| {
+        gate.lock().unwrap().recv().ok();
+        execute_run(key)
+    }));
+    let limits = ServerLimits {
+        workers: 1,
+        queue_capacity: 1,
+        request_timeout: Duration::from_millis(100),
+        ..ServerLimits::default()
+    };
+    let (addr, shutdown, handle) = spawn_server(limits, cache);
+
+    // Distinct dims so the cache cannot deduplicate the three requests.
+    let audit = |dim| Request::Audit {
+        strategy: StrategyKind::Clean,
+        dim,
+    };
+    let spawn_waiter = |dim| {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).expect("connect");
+            c.request(&audit(dim)).expect("response")
+        })
+    };
+    let mut probe = Client::connect(&addr).expect("probe connect");
+    let in_flight = |probe: &mut Client| -> u64 {
+        match probe.request(&Request::Status).expect("status") {
+            Response::Status(s) => s.in_flight,
+            other => panic!("{other:?}"),
+        }
+    };
+
+    // Occupy the single worker, then the single queue slot.
+    let first = spawn_waiter(3);
+    while in_flight(&mut probe) < 1 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let second = spawn_waiter(4);
+    while in_flight(&mut probe) < 2 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The pool is saturated: the next compute request is refused as busy
+    // immediately (it never waits on the timeout).
+    let mut third = Client::connect(&addr).expect("connect");
+    let Response::Error(e) = third.request(&audit(5)).expect("busy reply") else {
+        panic!("expected busy");
+    };
+    assert_eq!(e.kind, ErrorKind::Busy);
+
+    // The two waiters outlive their 100ms budget: both time out.
+    let Response::Error(t1) = first.join().expect("waiter 1") else {
+        panic!("expected timeout");
+    };
+    let Response::Error(t2) = second.join().expect("waiter 2") else {
+        panic!("expected timeout");
+    };
+    assert_eq!(t1.kind, ErrorKind::Timeout);
+    assert_eq!(t2.kind, ErrorKind::Timeout);
+
+    // Release the gated runs; the abandoned jobs complete and warm the
+    // cache, so a repeat of the first request is now an instant hit.
+    release.send(()).ok();
+    release.send(()).ok();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match probe.request(&audit(3)).expect("retry") {
+            Response::Audit(a) => {
+                assert!(a.monotone);
+                break;
+            }
+            Response::Error(e) if e.kind == ErrorKind::Timeout => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "request never completed after release"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    let Response::Status(status) = probe.request(&Request::Status).expect("status") else {
+        panic!()
+    };
+    assert!(status.served.busy >= 1);
+    assert!(status.served.timeouts >= 2);
+
+    shutdown();
+    let stats = handle.join().expect("clean shutdown");
+    assert_eq!(stats.in_flight, 0);
+}
+
+#[test]
+fn connection_cap_refuses_excess_clients_with_busy() {
+    let limits = ServerLimits {
+        max_connections: 1,
+        ..quick_limits()
+    };
+    let (addr, shutdown, handle) = spawn_server(limits, Arc::new(RunCache::new()));
+
+    let mut resident = Client::connect(&addr).expect("first connection");
+    assert!(resident.request(&Request::Status).expect("status").is_ok());
+
+    // The second connection gets one busy line.
+    let mut refused = Client::connect(&addr).expect("tcp connect still succeeds");
+    let raw = refused.send_raw(r#"{"type":"status"}"#).expect("busy line");
+    let Ok(Response::Error(e)) = Response::parse(&raw) else {
+        panic!("expected busy, got {raw}");
+    };
+    assert_eq!(e.kind, ErrorKind::Busy);
+
+    // The resident connection is unaffected.
+    assert!(resident.request(&Request::Status).expect("status").is_ok());
+
+    shutdown();
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
+fn shutdown_request_drains_and_reports_final_stats() {
+    static RUNS: AtomicUsize = AtomicUsize::new(0);
+    let cache = Arc::new(RunCache::with_runner(|key| {
+        RUNS.fetch_add(1, Ordering::SeqCst);
+        execute_run(key)
+    }));
+    let (addr, _shutdown, handle) = spawn_server(quick_limits(), cache);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    for dim in [3, 4, 5] {
+        let response = client
+            .request(&Request::Audit {
+                strategy: StrategyKind::Visibility,
+                dim,
+            })
+            .expect("audit");
+        assert!(response.is_ok(), "{response:?}");
+    }
+
+    let Response::Shutdown(ack) = client.request(&Request::Shutdown).expect("shutdown") else {
+        panic!("expected shutdown ack");
+    };
+    assert_eq!(ack.draining, 0);
+
+    // run() returns only after every worker and connection thread is
+    // joined; the final stats reflect the whole session.
+    let stats = handle.join().expect("no leaked threads or panics");
+    assert_eq!(stats.served.audit, 3);
+    assert_eq!(RUNS.load(Ordering::SeqCst), 3);
+    assert_eq!(stats.cache.misses, 3);
+    assert_eq!(stats.in_flight, 0);
+}

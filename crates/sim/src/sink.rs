@@ -8,12 +8,78 @@
 //! `Vec<Event>`), audit online (the intruder crate's `Monitor`), or drop
 //! ([`NullSink`]). Run memory becomes O(state), not O(moves).
 
-use crate::event::Event;
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventKind};
 
 /// A consumer of a run's event stream, fed strictly in trace order.
 pub trait EventSink {
     /// Consume one event.
     fn emit(&mut self, event: Event);
+}
+
+/// Streaming digest of a trace: per-kind event counts and the last logical
+/// timestamp, computed in `O(1)` space while the events flow past. This is
+/// what a server can return for an audited multi-million-event trace
+/// without ever materializing it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Total events observed.
+    pub events: u64,
+    /// `Spawn` events.
+    pub spawns: u64,
+    /// `Move` events.
+    pub moves: u64,
+    /// `CloneSpawn` events.
+    pub clones: u64,
+    /// `Terminate` events.
+    pub terminates: u64,
+    /// Largest logical timestamp observed (`0` for an empty trace).
+    pub max_time: u64,
+}
+
+impl TraceSummary {
+    /// Fold one event into the digest.
+    pub fn record(&mut self, event: &Event) {
+        self.events += 1;
+        self.max_time = self.max_time.max(event.time);
+        match event.kind {
+            EventKind::Spawn { .. } => self.spawns += 1,
+            EventKind::Move { .. } => self.moves += 1,
+            EventKind::CloneSpawn { .. } => self.clones += 1,
+            EventKind::Terminate { .. } => self.terminates += 1,
+        }
+    }
+}
+
+/// Adapter sink that keeps a [`TraceSummary`] while forwarding every event
+/// to an inner sink — tee a stream through an online auditor *and* collect
+/// the digest in one pass.
+pub struct SummarizingSink<'a> {
+    inner: &'a mut dyn EventSink,
+    summary: TraceSummary,
+}
+
+impl<'a> SummarizingSink<'a> {
+    /// Wrap `inner`, starting from an empty summary.
+    pub fn new(inner: &'a mut dyn EventSink) -> Self {
+        SummarizingSink {
+            inner,
+            summary: TraceSummary::default(),
+        }
+    }
+
+    /// The digest accumulated so far.
+    pub fn summary(&self) -> TraceSummary {
+        self.summary
+    }
+}
+
+impl EventSink for SummarizingSink<'_> {
+    fn emit(&mut self, event: Event) {
+        self.summary.record(&event);
+        self.inner.emit(event);
+    }
 }
 
 /// Discards every event — for metrics-only synthesis.
@@ -52,6 +118,49 @@ mod tests {
         }
         assert_eq!(sink.len(), 3);
         assert!(sink.iter().enumerate().all(|(i, e)| e.time == i as u64));
+    }
+
+    #[test]
+    fn summarizing_sink_counts_and_forwards() {
+        let mut buffer: Vec<Event> = Vec::new();
+        let mut sink = SummarizingSink::new(&mut buffer);
+        sink.emit(Event {
+            time: 0,
+            kind: EventKind::Spawn {
+                agent: 0,
+                node: Node(0),
+                role: Role::Worker,
+            },
+        });
+        sink.emit(Event {
+            time: 3,
+            kind: EventKind::Move {
+                agent: 0,
+                from: Node(0),
+                to: Node(1),
+                role: Role::Worker,
+            },
+        });
+        sink.emit(Event {
+            time: 5,
+            kind: EventKind::Terminate {
+                agent: 0,
+                node: Node(1),
+            },
+        });
+        let summary = sink.summary();
+        assert_eq!(
+            summary,
+            TraceSummary {
+                events: 3,
+                spawns: 1,
+                moves: 1,
+                clones: 0,
+                terminates: 1,
+                max_time: 5,
+            }
+        );
+        assert_eq!(buffer.len(), 3, "events must still reach the inner sink");
     }
 
     #[test]

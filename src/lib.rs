@@ -36,6 +36,7 @@ pub use hypersweep_analysis as analysis;
 pub use hypersweep_baselines as baselines;
 pub use hypersweep_core as core;
 pub use hypersweep_intruder as intruder;
+pub use hypersweep_server as server;
 pub use hypersweep_sim as sim;
 pub use hypersweep_topology as topology;
 

@@ -4,8 +4,11 @@
 //! shared run cache must actually dedupe the runs experiments have in
 //! common.
 
+use std::sync::Arc;
+
 use hypersweep::analysis::experiments::ALL_IDS;
-use hypersweep::analysis::{run_ids_pooled, ExperimentConfig};
+use hypersweep::analysis::{run_ids_pooled, ExperimentConfig, RunCache, StrategyKind};
+use hypersweep::server::{Client, Dispatcher, Request, Server, ServerLimits};
 
 #[test]
 fn exported_json_is_byte_identical_across_jobs() {
@@ -44,4 +47,76 @@ fn exported_json_is_byte_identical_across_jobs() {
         sequential.summary.cache_misses, pooled.summary.cache_misses,
         "the pool must not change which unique runs execute"
     );
+}
+
+/// The same guarantee for the online daemon: a `plan`/`predict`/`audit`
+/// request answered under 8-way client concurrency is byte-identical to
+/// the single-client answer, and both match the offline dispatcher over a
+/// fresh cache (serving-with-contention must not leak into responses).
+#[test]
+fn served_responses_are_byte_identical_across_client_counts() {
+    let workload: Vec<Request> = {
+        let mut w = Vec::new();
+        for strategy in [
+            StrategyKind::Clean,
+            StrategyKind::Visibility,
+            StrategyKind::Cloning,
+            StrategyKind::Synchronous,
+        ] {
+            w.push(Request::Plan { strategy, dim: 6 });
+            w.push(Request::Predict { strategy, dim: 8 });
+            w.push(Request::Audit { strategy, dim: 6 });
+        }
+        w.push(Request::Audit {
+            strategy: StrategyKind::Frontier,
+            dim: 5,
+        });
+        w
+    };
+
+    let server = Server::bind("127.0.0.1:0", ServerLimits::default()).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let shutdown = server.shutdown_flag();
+    let run = std::thread::spawn(move || server.run().expect("server run"));
+
+    let fetch_all = |addr: &str| -> Vec<String> {
+        let mut client = Client::connect(addr).expect("connect");
+        workload
+            .iter()
+            .map(|r| client.send_raw(&r.to_line()).expect("response"))
+            .collect()
+    };
+
+    // Single client first (also warms the cache), then 8 concurrent
+    // clients issuing the identical stream.
+    let single = fetch_all(&addr);
+    let concurrent: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8).map(|_| scope.spawn(|| fetch_all(&addr))).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (c, streams) in concurrent.iter().enumerate() {
+        assert_eq!(
+            streams, &single,
+            "client {c} of 8 saw different bytes than the single client"
+        );
+    }
+
+    // And the wire bytes equal the offline answer over a fresh cache.
+    let offline = Dispatcher::new(Arc::new(RunCache::new()), 20);
+    for (request, served) in workload.iter().zip(&single) {
+        assert_eq!(
+            &offline.handle(*request).to_line(),
+            served,
+            "served response for {} diverged from the offline dispatcher",
+            request.to_line()
+        );
+    }
+
+    shutdown();
+    let stats = run.join().expect("clean shutdown");
+    assert_eq!(
+        stats.served.errors, 0,
+        "the deterministic workload must not produce errors"
+    );
+    assert_eq!(stats.served.busy + stats.served.timeouts, 0);
 }
