@@ -13,8 +13,7 @@
 //! exported JSON is unaffected by caching or execution order.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use hypersweep_baselines::{FloodStrategy, FrontierStrategy};
@@ -23,6 +22,7 @@ use hypersweep_core::{
     SynchronousStrategy, VisibilityStrategy,
 };
 use hypersweep_sim::Policy;
+use hypersweep_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use hypersweep_topology::Hypercube;
 
 /// Which strategy (including ablation variants) a run executes.
@@ -232,6 +232,60 @@ impl CacheState {
 
 type Runner = dyn Fn(RunKey) -> SearchOutcome + Send + Sync;
 
+/// Lock that recovers from poisoning. The cache's invariants hold at every
+/// release point (runs execute outside the lock), so poison only means
+/// some *other* thread panicked — which must not wedge this one.
+fn recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Live cache counters; these *are* the accounting (the accessors read
+/// them back), registered either in a caller-provided registry so a daemon
+/// sees them in its snapshots, or in a private one.
+struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    entries: Gauge,
+    run_us: Histogram,
+}
+
+impl CacheMetrics {
+    fn resolve(registry: &MetricsRegistry) -> Self {
+        CacheMetrics {
+            hits: registry.counter("cache.hits"),
+            misses: registry.counter("cache.misses"),
+            evictions: registry.counter("cache.evictions"),
+            entries: registry.gauge("cache.entries"),
+            run_us: registry.histogram("cache.run_us"),
+        }
+    }
+}
+
+/// Removes the `InFlight` marker if the runner unwinds, waking waiters so
+/// one of them retries instead of blocking forever on an entry nobody is
+/// computing. Disarmed on the successful path before `Ready` goes in.
+struct InFlightGuard<'a> {
+    cache: &'a RunCache,
+    key: RunKey,
+    armed: bool,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut state = recover(&self.cache.state);
+            if matches!(state.entries.get(&self.key), Some(Entry::InFlight)) {
+                state.entries.remove(&self.key);
+            }
+            drop(state);
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
 /// Executed-run timing records kept at most this long; beyond it the
 /// fastest half is dropped. A long-running daemon re-executes evicted runs
 /// indefinitely, so the log must not grow without bound.
@@ -247,9 +301,10 @@ const TIMINGS_HIGH_WATER: usize = 512;
 pub struct RunCache {
     state: Mutex<CacheState>,
     ready: Condvar,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    metrics: CacheMetrics,
+    /// The registry `metrics` lives in; the daemon folds this into its own
+    /// snapshot when the cache was built with a private registry.
+    registry: MetricsRegistry,
     timings: Mutex<Vec<JobTiming>>,
     runner: Box<Runner>,
 }
@@ -274,8 +329,36 @@ impl RunCache {
         cache
     }
 
+    /// A capacity-bounded cache whose `cache.*` series live in `registry`,
+    /// so a daemon's metrics snapshot sees them directly.
+    pub fn with_capacity_and_telemetry(
+        capacity: Option<usize>,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        let cache = Self::with_runner_and_telemetry(execute_run, registry);
+        cache.set_capacity(capacity);
+        cache
+    }
+
     /// An empty unbounded cache backed by a custom runner (for tests).
     pub fn with_runner(runner: impl Fn(RunKey) -> SearchOutcome + Send + Sync + 'static) -> Self {
+        // A private registry keeps the accounting accessors live even for
+        // callers that never look at telemetry.
+        Self::with_runner_and_telemetry(runner, &MetricsRegistry::new())
+    }
+
+    /// A cache with both a custom runner and a caller-chosen registry.
+    pub fn with_runner_and_telemetry(
+        runner: impl Fn(RunKey) -> SearchOutcome + Send + Sync + 'static,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        // A disabled registry would silently zero the accounting the
+        // harness relies on; fall back to a private live one.
+        let registry = if registry.is_enabled() {
+            registry.clone()
+        } else {
+            MetricsRegistry::new()
+        };
         RunCache {
             state: Mutex::new(CacheState {
                 entries: HashMap::new(),
@@ -283,32 +366,42 @@ impl RunCache {
                 capacity: None,
             }),
             ready: Condvar::new(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            metrics: CacheMetrics::resolve(&registry),
+            registry,
             timings: Mutex::new(Vec::new()),
             runner: Box::new(runner),
         }
     }
 
+    /// The registry holding this cache's `cache.*` series.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
     /// Bound (or unbound, with `None`) the number of retained outcomes.
     /// Shrinking evicts immediately.
     pub fn set_capacity(&self, capacity: Option<usize>) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = recover(&self.state);
         state.capacity = capacity;
         let evicted = state.enforce_capacity();
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.metrics.evictions.add(evicted);
+        self.metrics.entries.set(ready_count(&state) as i64);
     }
 
     /// The current capacity bound (`None` = unbounded).
     pub fn capacity(&self) -> Option<usize> {
-        self.state.lock().unwrap().capacity
+        recover(&self.state).capacity
     }
 
     /// The outcome for `key`, executing it exactly once across all callers.
+    ///
+    /// If the executing runner panics, the panic propagates to *its*
+    /// caller, the in-flight marker is removed, and one blocked waiter
+    /// retries the run (counting a fresh miss) — waiters never hang on an
+    /// entry nobody is computing.
     pub fn get_or_run(&self, key: RunKey) -> Arc<SearchOutcome> {
         {
-            let mut state = self.state.lock().unwrap();
+            let mut state = recover(&self.state);
             loop {
                 match state.entries.get(&key) {
                     Some(Entry::Ready { .. }) => {
@@ -320,26 +413,37 @@ impl RunCache {
                             unreachable!("entry observed ready under the same lock");
                         };
                         *last_used = tick;
-                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.hits.inc();
                         return Arc::clone(outcome);
                     }
                     Some(Entry::InFlight) => {
-                        state = self.ready.wait(state).unwrap();
+                        state = self
+                            .ready
+                            .wait(state)
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
                     }
                     None => {
                         state.entries.insert(key, Entry::InFlight);
-                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.misses.inc();
                         break;
                     }
                 }
             }
         }
         // Execute outside the lock so unrelated keys proceed concurrently.
+        // The guard undoes the in-flight marker if the runner unwinds.
+        let mut guard = InFlightGuard {
+            cache: self,
+            key,
+            armed: true,
+        };
         let start = Instant::now();
         let outcome = Arc::new((self.runner)(key));
         let elapsed = start.elapsed();
+        guard.armed = false;
         self.record_timing(JobTiming { key, elapsed });
-        let mut state = self.state.lock().unwrap();
+        self.metrics.run_us.record_duration(elapsed);
+        let mut state = recover(&self.state);
         state.tick += 1;
         let tick = state.tick;
         state.entries.insert(
@@ -350,14 +454,15 @@ impl RunCache {
             },
         );
         let evicted = state.enforce_capacity();
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.metrics.evictions.add(evicted);
+        self.metrics.entries.set(ready_count(&state) as i64);
         drop(state);
         self.ready.notify_all();
         outcome
     }
 
     fn record_timing(&self, timing: JobTiming) {
-        let mut timings = self.timings.lock().unwrap();
+        let mut timings = recover(&self.timings);
         timings.push(timing);
         if timings.len() > TIMINGS_HIGH_WATER {
             // Keep the slowest half: the summary only ever reports the
@@ -368,30 +473,27 @@ impl RunCache {
         }
     }
 
-    /// Requests served from an already-computed entry.
+    /// Requests served from an already-computed entry (the live
+    /// `cache.hits` counter).
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.metrics.hits.get()
     }
 
-    /// Requests that executed the run (once per unique key).
+    /// Requests that executed the run (once per unique key; the live
+    /// `cache.misses` counter).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.metrics.misses.get()
     }
 
-    /// Outcomes dropped by the LRU capacity bound.
+    /// Outcomes dropped by the LRU capacity bound (the live
+    /// `cache.evictions` counter).
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.metrics.evictions.get()
     }
 
     /// Computed outcomes currently held.
     pub fn len(&self) -> usize {
-        self.state
-            .lock()
-            .unwrap()
-            .entries
-            .values()
-            .filter(|e| matches!(e, Entry::Ready { .. }))
-            .count()
+        ready_count(&recover(&self.state))
     }
 
     /// Whether the cache currently holds no computed outcome.
@@ -402,27 +504,36 @@ impl RunCache {
     /// Number of distinct runs executed so far (bounded on long-running
     /// daemons; see [`RunCache::timings`]).
     pub fn unique_runs(&self) -> usize {
-        self.timings.lock().unwrap().len()
+        recover(&self.timings).len()
     }
 
     /// Wall-clock records of executed runs, slowest first. On a
     /// long-running daemon only the slowest records are retained.
     pub fn timings(&self) -> Vec<JobTiming> {
-        let mut t = self.timings.lock().unwrap().clone();
+        let mut t = recover(&self.timings).clone();
         t.sort_by_key(|timing| std::cmp::Reverse(timing.elapsed));
         t
     }
 
     /// Total time spent executing runs (sum over retained records).
     pub fn total_run_time(&self) -> Duration {
-        self.timings.lock().unwrap().iter().map(|t| t.elapsed).sum()
+        recover(&self.timings).iter().map(|t| t.elapsed).sum()
     }
+}
+
+/// `Ready` entries in the table (in-flight markers are not outcomes).
+fn ready_count(state: &CacheState) -> usize {
+    state
+        .entries
+        .values()
+        .filter(|e| matches!(e, Entry::Ready { .. }))
+        .count()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Barrier;
 
     fn dummy_outcome() -> SearchOutcome {
@@ -567,6 +678,67 @@ mod tests {
         assert!(!Arc::ptr_eq(&first, &second), "must have re-executed");
         assert_eq!(first.metrics.worker_moves, second.metrics.worker_moves);
         assert_eq!(first.trace_summary, second.trace_summary);
+    }
+
+    /// A runner that panics must not strand its `InFlight` marker: blocked
+    /// waiters wake up, one retries, and (here) the retry succeeds.
+    #[test]
+    fn panicking_runner_does_not_strand_waiters() {
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let cache = Arc::new(RunCache::with_runner(|_| {
+            if CALLS.fetch_add(1, Ordering::SeqCst) == 0 {
+                // Give the waiter time to block on the in-flight entry
+                // before the executor unwinds.
+                std::thread::sleep(Duration::from_millis(30));
+                panic!("first run fails (expected in this test)");
+            }
+            dummy_outcome()
+        }));
+        let key = RunKey::fast(StrategyKind::Clean, 5);
+
+        let executor = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cache.get_or_run(key)))
+            })
+        };
+        // Let the executor claim the key first, then pile on a waiter.
+        std::thread::sleep(Duration::from_millis(10));
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || cache.get_or_run(key))
+        };
+
+        assert!(executor.join().unwrap().is_err(), "first run must panic");
+        let outcome = waiter.join().expect("waiter must not deadlock or die");
+        assert!(outcome.is_complete());
+        assert_eq!(CALLS.load(Ordering::SeqCst), 2, "waiter retried the run");
+        // Both attempts counted as misses; the retry's result is cached.
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 1);
+        // The cache stays fully usable afterwards.
+        cache.get_or_run(key);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn telemetry_registry_sees_live_cache_series() {
+        let registry = MetricsRegistry::new();
+        let cache = RunCache::with_capacity_and_telemetry(Some(2), &registry);
+        assert!(cache.registry().ptr_eq(&registry));
+        for d in 1..=3 {
+            cache.get_or_run(RunKey::fast(StrategyKind::Clean, d));
+        }
+        cache.get_or_run(RunKey::fast(StrategyKind::Clean, 3));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("cache.misses"), Some(3));
+        assert_eq!(snap.counter("cache.hits"), Some(1));
+        assert_eq!(snap.counter("cache.evictions"), Some(1));
+        assert_eq!(snap.gauge("cache.entries"), Some(2));
+        assert_eq!(snap.histogram("cache.run_us").map(|h| h.count), Some(3));
+        // The accessors read the same cells.
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.evictions(), 1);
     }
 
     #[test]

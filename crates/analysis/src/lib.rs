@@ -24,11 +24,12 @@ pub mod stats;
 pub mod table;
 
 pub use cache::{execute_run, Exec, RunCache, RunKey, StrategyKind};
-pub use pool::{default_jobs, execute_jobs, PoolSaturated, WorkerPool};
+pub use pool::{default_jobs, execute_jobs, execute_jobs_metered, PoolSaturated, WorkerPool};
 pub use result::ExperimentResult;
 pub use runner::{
-    run_all, run_experiment, run_ids_pooled, run_ids_pooled_capped, validate_max_dim,
-    ExperimentConfig, HarnessReport, RunSummary, REPORT_MAX_DIM,
+    run_all, run_experiment, run_ids_pooled, run_ids_pooled_capped, run_ids_pooled_with,
+    validate_cache_cap, validate_max_dim, ExperimentConfig, HarnessReport, RunSummary,
+    REPORT_MAX_DIM,
 };
 pub use series::Series;
 pub use table::Table;

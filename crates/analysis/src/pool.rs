@@ -8,18 +8,44 @@
 //! own runs dry. Results come back **in submission order** regardless of
 //! which worker ran what — the property the runner relies on to keep
 //! exported JSON byte-identical across `--jobs` settings.
+//!
+//! Both the batch API and the persistent [`WorkerPool`] report into a
+//! [`MetricsRegistry`]: queue depth and running jobs as gauges, completed
+//! jobs / panics / steals as counters, and per-job wall time as the
+//! `pool.job_us` histogram. The plain constructors use a disabled registry,
+//! which costs one dead branch per event.
+//!
+//! Worker threads survive panicking jobs: the panic is caught at the job
+//! boundary, counted (`pool.job_panics`, [`WorkerPool::failed_jobs`]), and
+//! the worker moves on. Queue locks recover from poisoning, so a panic can
+//! never wedge `try_submit`, `shutdown`, or `in_flight` — the failure mode
+//! this replaced was a daemon that hung on drain after one bad job.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use hypersweep_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// The default worker count: the machine's available parallelism.
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Lock that shrugs off poisoning: the pool's queue invariants hold at
+/// every release point, so a panic elsewhere never invalidates the data —
+/// propagating the poison would just turn one failed job into a wedged
+/// pool.
+fn recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Run every job on a pool of `workers` threads and return their results in
@@ -29,14 +55,42 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    execute_jobs_metered(jobs, workers, &MetricsRegistry::disabled())
+}
+
+/// [`execute_jobs`] with instrumentation: per-job wall time lands in the
+/// `pool.job_us` histogram, completed jobs in `pool.jobs`, and cross-deque
+/// steals in `pool.steals`.
+pub fn execute_jobs_metered<T, F>(
+    jobs: Vec<F>,
+    workers: usize,
+    registry: &MetricsRegistry,
+) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
     let total = jobs.len();
     if total == 0 {
         return Vec::new();
     }
+    let job_us = registry.histogram("pool.job_us");
+    let jobs_counter = registry.counter("pool.jobs");
+    let steals = registry.counter("pool.steals");
+
     let workers = workers.max(1).min(total);
     if workers == 1 {
         // No threads needed; run inline in order.
-        return jobs.into_iter().map(|job| job()).collect();
+        return jobs
+            .into_iter()
+            .map(|job| {
+                let started = Instant::now();
+                let result = job();
+                job_us.record_duration(started.elapsed());
+                jobs_counter.inc();
+                result
+            })
+            .collect();
     }
 
     // Seed the deques round-robin so every worker starts with local work.
@@ -54,23 +108,30 @@ where
     std::thread::scope(|scope| {
         for me in 0..workers {
             let sender = sender.clone();
+            let job_us = job_us.clone();
+            let jobs_counter = jobs_counter.clone();
+            let steals = steals.clone();
             scope.spawn(move || {
                 loop {
                     // Own work first (front), then steal (back) walking the
                     // other deques starting after ours.
-                    let mut next = deques[me].lock().unwrap().pop_front();
+                    let mut next = recover(&deques[me]).pop_front();
                     if next.is_none() {
                         for offset in 1..workers {
                             let victim = (me + offset) % workers;
-                            next = deques[victim].lock().unwrap().pop_back();
+                            next = recover(&deques[victim]).pop_back();
                             if next.is_some() {
+                                steals.inc();
                                 break;
                             }
                         }
                     }
                     match next {
                         Some((index, job)) => {
+                            let started = Instant::now();
                             let result = job();
+                            job_us.record_duration(started.elapsed());
+                            jobs_counter.inc();
                             // The receiver outlives the scope; a send can
                             // only fail if the main thread is unwinding.
                             let _ = sender.send((index, result));
@@ -124,6 +185,31 @@ struct PoolShared {
     capacity: usize,
     /// Jobs currently executing on a worker.
     running: AtomicUsize,
+    /// Jobs that panicked instead of completing (also `pool.job_panics`).
+    failed: AtomicU64,
+    metrics: PoolMetrics,
+}
+
+/// Handles resolved once at pool construction; all no-ops when the pool
+/// was built without a registry.
+struct PoolMetrics {
+    queued: Gauge,
+    running: Gauge,
+    jobs: Counter,
+    panics: Counter,
+    job_us: Histogram,
+}
+
+impl PoolMetrics {
+    fn resolve(registry: &MetricsRegistry) -> Self {
+        PoolMetrics {
+            queued: registry.gauge("pool.queued"),
+            running: registry.gauge("pool.running"),
+            jobs: registry.counter("pool.jobs"),
+            panics: registry.counter("pool.job_panics"),
+            job_us: registry.histogram("pool.job_us"),
+        }
+    }
 }
 
 /// A persistent, bounded sibling of [`execute_jobs`] for long-running
@@ -134,7 +220,9 @@ struct PoolShared {
 ///
 /// [`WorkerPool::shutdown`] drains: already-queued jobs still execute, the
 /// workers then exit, and the call returns only once every worker thread
-/// has been joined (no leaked threads).
+/// has been joined (no leaked threads). A job that panics is caught at the
+/// job boundary and counted; it cannot take a worker down or poison the
+/// queue against later submitters.
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
     handles: Mutex<Vec<JoinHandle<()>>>,
@@ -142,8 +230,19 @@ pub struct WorkerPool {
 
 impl WorkerPool {
     /// Spawn `workers` threads (at least one) serving a queue bounded at
-    /// `queue_capacity` pending jobs.
+    /// `queue_capacity` pending jobs, with telemetry disabled.
     pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        WorkerPool::with_telemetry(workers, queue_capacity, &MetricsRegistry::disabled())
+    }
+
+    /// [`WorkerPool::new`] reporting into `registry`: `pool.queued` /
+    /// `pool.running` gauges, `pool.jobs` / `pool.job_panics` counters,
+    /// and the `pool.job_us` latency histogram.
+    pub fn with_telemetry(
+        workers: usize,
+        queue_capacity: usize,
+        registry: &MetricsRegistry,
+    ) -> Self {
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(PoolQueue {
                 jobs: VecDeque::new(),
@@ -152,6 +251,8 @@ impl WorkerPool {
             job_ready: Condvar::new(),
             capacity: queue_capacity.max(1),
             running: AtomicUsize::new(0),
+            failed: AtomicU64::new(0),
+            metrics: PoolMetrics::resolve(registry),
         });
         let handles = (0..workers.max(1))
             .map(|_| {
@@ -167,7 +268,7 @@ impl WorkerPool {
 
     /// Worker threads serving the queue (0 once shut down).
     pub fn workers(&self) -> usize {
-        self.handles.lock().unwrap().len()
+        recover(&self.handles).len()
     }
 
     /// Enqueue `job`, or refuse immediately if the queue is full or the
@@ -176,20 +277,26 @@ impl WorkerPool {
     where
         F: FnOnce() + Send + 'static,
     {
-        let mut queue = self.shared.queue.lock().unwrap();
+        let mut queue = recover(&self.shared.queue);
         if queue.shutting_down || queue.jobs.len() >= self.shared.capacity {
             return Err(PoolSaturated);
         }
         queue.jobs.push_back(Box::new(job));
         drop(queue);
+        self.shared.metrics.queued.inc();
         self.shared.job_ready.notify_one();
         Ok(())
     }
 
     /// Jobs queued or currently executing.
     pub fn in_flight(&self) -> usize {
-        let queued = self.shared.queue.lock().unwrap().jobs.len();
+        let queued = recover(&self.shared.queue).jobs.len();
         queued + self.shared.running.load(Ordering::SeqCst)
+    }
+
+    /// Jobs that panicked instead of completing, over the pool's lifetime.
+    pub fn failed_jobs(&self) -> u64 {
+        self.shared.failed.load(Ordering::SeqCst)
     }
 
     /// Stop accepting work, finish everything already queued, and join
@@ -197,13 +304,15 @@ impl WorkerPool {
     /// (e.g. an `Arc` a server shares with its connection threads).
     pub fn shutdown(&self) {
         {
-            let mut queue = self.shared.queue.lock().unwrap();
+            let mut queue = recover(&self.shared.queue);
             queue.shutting_down = true;
         }
         self.shared.job_ready.notify_all();
-        let handles: Vec<_> = self.handles.lock().unwrap().drain(..).collect();
+        let handles: Vec<_> = recover(&self.handles).drain(..).collect();
         for handle in handles {
-            handle.join().expect("worker thread panicked");
+            // Workers catch job panics, so join only fails if a worker
+            // itself died abnormally; drain must still complete then.
+            let _ = handle.join();
         }
     }
 }
@@ -212,33 +321,41 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Pools dropped without an explicit drain still join their
         // workers; after an explicit `shutdown` this is a no-op.
-        {
-            let mut queue = self.shared.queue.lock().unwrap();
-            queue.shutting_down = true;
-        }
-        self.shared.job_ready.notify_all();
-        let handles: Vec<_> = self.handles.lock().unwrap().drain(..).collect();
-        for handle in handles {
-            let _ = handle.join();
-        }
+        self.shutdown();
     }
 }
 
 fn worker_loop(shared: &PoolShared) {
-    let mut queue = shared.queue.lock().unwrap();
+    let mut queue = recover(&shared.queue);
     loop {
         if let Some(job) = queue.jobs.pop_front() {
             shared.running.fetch_add(1, Ordering::SeqCst);
             drop(queue);
-            job();
+            shared.metrics.queued.dec();
+            shared.metrics.running.inc();
+            let started = Instant::now();
+            // The job owns everything it captured, and the pool shares no
+            // state with it beyond the (recovering) queue lock — catching
+            // the unwind cannot observe broken invariants.
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(job));
+            shared.metrics.job_us.record_duration(started.elapsed());
+            shared.metrics.running.dec();
+            shared.metrics.jobs.inc();
+            if outcome.is_err() {
+                shared.failed.fetch_add(1, Ordering::SeqCst);
+                shared.metrics.panics.inc();
+            }
             shared.running.fetch_sub(1, Ordering::SeqCst);
-            queue = shared.queue.lock().unwrap();
+            queue = recover(&shared.queue);
             continue;
         }
         if queue.shutting_down {
             return;
         }
-        queue = shared.job_ready.wait(queue).unwrap();
+        queue = shared
+            .job_ready
+            .wait(queue)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
     }
 }
 
@@ -318,6 +435,33 @@ mod tests {
     }
 
     #[test]
+    fn metered_batch_reports_jobs_latency_and_steals() {
+        let registry = MetricsRegistry::new();
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16)
+            .map(|i| {
+                let job: Box<dyn FnOnce() -> usize + Send> = if i % 4 == 0 {
+                    Box::new(move || {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                        i
+                    })
+                } else {
+                    Box::new(move || i)
+                };
+                job
+            })
+            .collect();
+        let results = execute_jobs_metered(jobs, 4, &registry);
+        assert_eq!(results, (0..16).collect::<Vec<_>>());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("pool.jobs"), Some(16));
+        assert_eq!(snap.histogram("pool.job_us").map(|h| h.count), Some(16));
+        assert!(
+            snap.counter("pool.steals").unwrap_or(0) > 0,
+            "the skewed durations must force at least one steal"
+        );
+    }
+
+    #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
     }
@@ -376,5 +520,55 @@ mod tests {
             8,
             "shutdown must drain, not drop, queued work"
         );
+    }
+
+    /// The satellite regression: a panicking job must not take down its
+    /// worker, wedge later submissions, or hang `shutdown` — and it must
+    /// show up in `failed_jobs` and `pool.job_panics`.
+    #[test]
+    fn panicking_job_does_not_wedge_the_pool() {
+        static DONE: AtomicUsize = AtomicUsize::new(0);
+        let registry = MetricsRegistry::new();
+        let pool = WorkerPool::with_telemetry(1, 32, &registry);
+
+        pool.try_submit(|| panic!("job exploded (expected in this test)"))
+            .unwrap();
+        // The single worker just panicked a job; it must still serve these.
+        for _ in 0..4 {
+            pool.try_submit(|| {
+                DONE.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+
+        assert_eq!(DONE.load(Ordering::SeqCst), 4);
+        assert_eq!(pool.failed_jobs(), 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("pool.job_panics"), Some(1));
+        assert_eq!(snap.counter("pool.jobs"), Some(5));
+        // Both gauges must have unwound to zero.
+        assert_eq!(snap.gauge("pool.queued"), Some(0));
+        assert_eq!(snap.gauge("pool.running"), Some(0));
+    }
+
+    /// `in_flight` and a second `try_submit` keep working while a panicked
+    /// job is mid-unwind (the poisoned-lock recovery path).
+    #[test]
+    fn pool_survives_many_panics_under_contention() {
+        let registry = MetricsRegistry::new();
+        let pool = WorkerPool::with_telemetry(4, 64, &registry);
+        for i in 0..32 {
+            let submitted = pool.try_submit(move || {
+                if i % 3 == 0 {
+                    panic!("scheduled failure {i}");
+                }
+            });
+            assert!(submitted.is_ok(), "submission {i} was refused");
+        }
+        pool.shutdown();
+        assert_eq!(pool.failed_jobs(), 11);
+        assert_eq!(registry.snapshot().counter("pool.jobs"), Some(32));
+        assert_eq!(pool.in_flight(), 0);
     }
 }

@@ -19,11 +19,12 @@ use std::io::Write as _;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
+use hypersweep_telemetry::{MetricsRegistry, Span};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::RunCache;
 use crate::experiments;
-use crate::pool::{default_jobs, execute_jobs};
+use crate::pool::{default_jobs, execute_jobs_metered};
 use crate::result::ExperimentResult;
 
 /// How large and how thorough an experiment run should be.
@@ -82,6 +83,24 @@ pub fn validate_max_dim(max_dim: u32) -> Result<u32, String> {
         ))
     } else {
         Ok(max_dim)
+    }
+}
+
+/// Validate a user-supplied run-cache capacity (the CLI's and server's
+/// `--cache-cap N`): a zero-entry cache would evict every outcome the
+/// moment it lands, silently re-executing every shared run. Mirrors
+/// [`validate_max_dim`]. Returns the capacity unchanged, or a message
+/// naming the valid range.
+pub fn validate_cache_cap(cache_cap: usize) -> Result<usize, String> {
+    if cache_cap == 0 {
+        Err(
+            "--cache-cap must be at least 1 (a 0-entry cache would evict every run \
+             as it completes and re-execute everything); \
+             omit the flag for an unbounded cache"
+                .to_string(),
+        )
+    } else {
+        Ok(cache_cap)
     }
 }
 
@@ -198,6 +217,10 @@ pub struct RunSummary {
     pub run_timings: Vec<(String, Duration)>,
     /// Per-experiment wall-clock times in presentation order (id, elapsed).
     pub experiment_timings: Vec<(String, Duration)>,
+    /// Wall-clock time of the warm phase (deduped strategy runs).
+    pub warm_wall: Duration,
+    /// Wall-clock time of the experiment phase.
+    pub experiments_wall: Duration,
     /// End-to-end wall-clock time of both phases.
     pub wall: Duration,
 }
@@ -260,40 +283,70 @@ pub fn run_ids_pooled_capped(
     jobs: usize,
     cache_cap: Option<usize>,
 ) -> HarnessReport {
+    run_ids_pooled_with(ids, cfg, jobs, cache_cap, &MetricsRegistry::disabled())
+}
+
+/// [`run_ids_pooled_capped`] reporting into `registry`: phase spans
+/// (`span.report.warm_us`, `span.report.experiments_us`), per-experiment
+/// wall time (`experiment.<id>_us` histograms), the pool's job/steal
+/// series, and the shared cache's `cache.*` series.
+pub fn run_ids_pooled_with(
+    ids: &[&str],
+    cfg: &ExperimentConfig,
+    jobs: usize,
+    cache_cap: Option<usize>,
+    registry: &MetricsRegistry,
+) -> HarnessReport {
     let start = Instant::now();
     let jobs = jobs.max(1);
-    let cache = RunCache::with_capacity(cache_cap);
+    let cache = RunCache::with_capacity_and_telemetry(cache_cap, registry);
     let cache = &cache;
+    let report_span = Span::enter_in(registry, "report");
 
     // Phase 1: warm every declared run, deduped in declaration order.
-    let mut seen = HashSet::new();
-    let warm_jobs: Vec<_> = ids
-        .iter()
-        .flat_map(|id| experiments::required_runs(id, cfg))
-        .filter(|key| seen.insert(*key))
-        .map(|key| {
-            move || {
-                cache.get_or_run(key);
-            }
-        })
-        .collect();
-    execute_jobs(warm_jobs, jobs);
+    let warm_start = Instant::now();
+    {
+        let _warm = Span::enter_in(registry, "warm");
+        let mut seen = HashSet::new();
+        let warm_jobs: Vec<_> = ids
+            .iter()
+            .flat_map(|id| experiments::required_runs(id, cfg))
+            .filter(|key| seen.insert(*key))
+            .map(|key| {
+                move || {
+                    cache.get_or_run(key);
+                }
+            })
+            .collect();
+        execute_jobs_metered(warm_jobs, jobs, registry);
+    }
+    let warm_wall = warm_start.elapsed();
 
     // Phase 2: the experiments; their declared runs are now cache hits.
     // `execute_jobs` preserves submission order, so the merge below is
     // deterministic regardless of worker interleaving.
-    let experiment_jobs: Vec<_> = ids
-        .iter()
-        .map(|&id| {
-            move || {
-                let t = Instant::now();
-                let result = dispatch(id, cfg, cache)
-                    .unwrap_or_else(|| panic!("unknown experiment id '{id}'"));
-                (result, t.elapsed())
-            }
-        })
-        .collect();
-    let timed = execute_jobs(experiment_jobs, jobs);
+    let experiments_start = Instant::now();
+    let timed = {
+        let _experiments = Span::enter_in(registry, "experiments");
+        let experiment_jobs: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                move || {
+                    let t = Instant::now();
+                    let result = dispatch(id, cfg, cache)
+                        .unwrap_or_else(|| panic!("unknown experiment id '{id}'"));
+                    let elapsed = t.elapsed();
+                    registry
+                        .histogram(&format!("experiment.{id}_us"))
+                        .record_duration(elapsed);
+                    (result, elapsed)
+                }
+            })
+            .collect();
+        execute_jobs_metered(experiment_jobs, jobs, registry)
+    };
+    let experiments_wall = experiments_start.elapsed();
+    drop(report_span);
 
     let mut results = Vec::with_capacity(timed.len());
     let mut experiment_timings = Vec::with_capacity(timed.len());
@@ -313,6 +366,8 @@ pub fn run_ids_pooled_capped(
             .map(|t| (t.key.label(), t.elapsed))
             .collect(),
         experiment_timings,
+        warm_wall,
+        experiments_wall,
         wall: start.elapsed(),
     };
     HarnessReport { results, summary }
@@ -366,6 +421,61 @@ mod tests {
         let over = validate_max_dim(REPORT_MAX_DIM + 1).unwrap_err();
         assert!(over.contains("exceeds"), "{over}");
         assert!(over.contains("20"), "{over}");
+    }
+
+    #[test]
+    fn cache_cap_validation_bounds() {
+        let err = validate_cache_cap(0).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(err.contains("--cache-cap"), "{err}");
+        assert_eq!(validate_cache_cap(1), Ok(1));
+        assert_eq!(validate_cache_cap(256), Ok(256));
+    }
+
+    #[test]
+    fn instrumented_run_records_phases_and_experiments() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.fast_dims = (1..=5).collect();
+        cfg.engine_dims = vec![2];
+        cfg.sync_engine_dims = vec![2];
+        cfg.adversary_seeds = 1;
+        let registry = MetricsRegistry::new();
+        let report = run_ids_pooled_with(&["t2", "t3"], &cfg, 2, None, &registry);
+        assert_eq!(report.results.len(), 2);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("span.report_us").map(|h| h.count), Some(1));
+        assert_eq!(
+            snap.histogram("span.report.warm_us").map(|h| h.count),
+            Some(1)
+        );
+        assert_eq!(
+            snap.histogram("span.report.experiments_us")
+                .map(|h| h.count),
+            Some(1)
+        );
+        for id in ["t2", "t3"] {
+            assert_eq!(
+                snap.histogram(&format!("experiment.{id}_us"))
+                    .map(|h| h.count),
+                Some(1),
+                "missing experiment series for {id}"
+            );
+        }
+        // The shared cache reported into the same registry, and the pool
+        // counted every warm + experiment job.
+        assert_eq!(
+            snap.counter("cache.misses"),
+            Some(report.summary.cache_misses)
+        );
+        assert_eq!(snap.counter("cache.hits"), Some(report.summary.cache_hits));
+        let pool_jobs = snap.counter("pool.jobs").unwrap_or(0);
+        assert!(
+            pool_jobs >= report.summary.cache_misses + 2,
+            "pool.jobs = {pool_jobs} must cover warm jobs plus 2 experiments"
+        );
+        // Phase walls are recorded and consistent with the total.
+        assert!(report.summary.warm_wall + report.summary.experiments_wall <= report.summary.wall);
     }
 
     #[test]

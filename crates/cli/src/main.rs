@@ -15,7 +15,8 @@ use std::process::ExitCode;
 
 use hypersweep_analysis::experiments::ALL_IDS;
 use hypersweep_analysis::{
-    default_jobs, run_ids_pooled_capped, runner, validate_max_dim, ExperimentConfig,
+    default_jobs, run_ids_pooled_with, runner, validate_cache_cap, validate_max_dim,
+    ExperimentConfig,
 };
 use hypersweep_core::{
     CleanStrategy, CloningStrategy, SearchStrategy, SynchronousStrategy, VisibilityStrategy,
@@ -29,14 +30,16 @@ use serde::Deserialize as _;
 fn usage() -> &'static str {
     "usage:\n\
      \thypersweep list\n\
-     \thypersweep report <id...|all> [--full] [--max-dim N] [--json DIR] [--jobs N] [--cache-cap N]\n\
+     \thypersweep report <id...|all> [--full] [--max-dim N] [--json DIR] [--jobs N] [--cache-cap N] [--timings]\n\
      \thypersweep figures [--full]\n\
      \thypersweep run <clean|visibility|cloning|synchronous> <d> [--policy P] [--fast]\n\
      \thypersweep watch <strategy> <d> [--stride N]\n\
      \thypersweep trace <strategy> <d> <out.json>\n\
      \thypersweep audit <d> <trace.json>\n\
      \thypersweep serve [--addr HOST:PORT] [--max-dim N] [--jobs N] [--cache-cap N] [--timeout-ms N]\n\
+     \t                 [--metrics-file FILE] [--metrics-interval-ms N] [--no-telemetry]\n\
      \thypersweep bench-serve [--addr HOST:PORT] [--clients N] [--requests N] [--max-dim N] [--out FILE]\n\
+     \thypersweep telemetry-gate <with.json> <without.json> [--out FILE]\n\
      \n\
      policies: fifo, lifo, round-robin, random:<seed>, synchronous\n\
      experiment ids: f1 f2 f3 f4 t2 t3 t4 t5 t6 t7 t8 t9 t10 e11 e12 e13 e14 e15 e16"
@@ -96,6 +99,7 @@ fn cmd_report(
     json_dir: Option<PathBuf>,
     jobs: usize,
     cache_cap: Option<usize>,
+    timings: bool,
 ) -> Result<(), String> {
     let mut cfg = if full {
         ExperimentConfig::full()
@@ -116,7 +120,14 @@ fn cmd_report(
         }
     }
     let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
-    let report = run_ids_pooled_capped(&id_refs, &cfg, jobs, cache_cap);
+    // Telemetry is recorded only when the phase table was asked for; the
+    // disabled registry keeps the default path zero-cost.
+    let registry = if timings {
+        hypersweep_telemetry::MetricsRegistry::new()
+    } else {
+        hypersweep_telemetry::MetricsRegistry::disabled()
+    };
+    let report = run_ids_pooled_with(&id_refs, &cfg, jobs, cache_cap, &registry);
     for r in &report.results {
         println!("{}", r.render());
     }
@@ -125,11 +136,53 @@ fn cmd_report(
     for (id, t) in &report.summary.experiment_timings {
         eprintln!("  {id:>4}: {:.0}ms", t.as_secs_f64() * 1e3);
     }
+    if timings {
+        render_timings(&registry.snapshot(), &report.summary);
+    }
     if let Some(dir) = json_dir {
         let paths = runner::export_json(&report.results, &dir).map_err(|e| e.to_string())?;
         eprintln!("wrote {} JSON files under {}", paths.len(), dir.display());
     }
     Ok(())
+}
+
+/// The `report --timings` phase table, rendered from the telemetry spans
+/// the harness recorded (`span.report.*_us`, `experiment.<id>_us`) plus
+/// the pool's job-latency histogram.
+fn render_timings(
+    snapshot: &hypersweep_telemetry::MetricsSnapshot,
+    summary: &hypersweep_analysis::RunSummary,
+) {
+    let span_ms = |name: &str| {
+        snapshot
+            .histogram(name)
+            .map(|h| h.sum as f64 / 1e3)
+            .unwrap_or(0.0)
+    };
+    eprintln!("phase timings (telemetry spans):");
+    eprintln!("  {:<16} {:>10}", "phase", "wall");
+    eprintln!("  {:<16} {:>8.0}ms", "warm", span_ms("span.report.warm_us"));
+    eprintln!(
+        "  {:<16} {:>8.0}ms",
+        "experiments",
+        span_ms("span.report.experiments_us")
+    );
+    eprintln!("  {:<16} {:>8.0}ms", "report", span_ms("span.report_us"));
+    eprintln!("per-experiment spans:");
+    for (id, _) in &summary.experiment_timings {
+        eprintln!(
+            "  {:<16} {:>8.1}ms",
+            id,
+            span_ms(&format!("experiment.{id}_us"))
+        );
+    }
+    if let Some(jobs) = snapshot.histogram("pool.job_us") {
+        eprintln!(
+            "pool: {} jobs, mean {:.1}ms/job",
+            jobs.count,
+            jobs.mean().unwrap_or(0.0) / 1e3
+        );
+    }
 }
 
 fn cmd_run(strategy: &str, d: u32, policy: Policy, fast: bool) -> Result<(), String> {
@@ -247,32 +300,100 @@ fn cmd_audit(d: u32, path: &str) -> Result<(), String> {
 }
 
 fn cmd_serve(addr: &str, limits: ServerLimits) -> Result<(), String> {
-    let server = Server::bind(addr, limits).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let server =
+        Server::bind(addr, limits.clone()).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     eprintln!(
         "hypersweep-server listening on {bound} \
-         ({} workers, max dim {}, cache cap {})",
+         ({} workers, max dim {}, cache cap {}, telemetry {})",
         limits.workers,
         limits.max_dim,
         limits
             .cache_capacity
             .map(|c| c.to_string())
-            .unwrap_or_else(|| "unbounded".into())
+            .unwrap_or_else(|| "unbounded".into()),
+        if limits.telemetry { "on" } else { "off" },
     );
+    if let Some(path) = &limits.metrics_file {
+        eprintln!(
+            "exporting metrics to {} every {:.1}s",
+            path.display(),
+            limits.metrics_interval.as_secs_f64()
+        );
+    }
     hypersweep_server::daemon::install_sigint_handler();
     let stats = server.run().map_err(|e| e.to_string())?;
     eprintln!(
-        "drained after {:.1}s: {} plan / {} predict / {} audit / {} status, \
+        "drained after {:.1}s: {} plan / {} predict / {} audit / {} status / {} metrics, \
          {} errors, {} busy, {} timeouts",
         stats.uptime_ms as f64 / 1e3,
         stats.served.plan,
         stats.served.predict,
         stats.served.audit,
         stats.served.status,
+        stats.served.metrics,
         stats.served.errors,
         stats.served.busy,
         stats.served.timeouts,
     );
+    Ok(())
+}
+
+/// Pull `throughput_rps` out of a `bench-serve` report file.
+fn read_bench_rps(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read bench report {path}: {e}"))?;
+    let value = serde_json::from_str_value(&text)
+        .map_err(|e| format!("bench report {path} is not JSON: {e}"))?;
+    value
+        .as_object()
+        .map(|fields| serde::get_field(fields, "throughput_rps"))
+        .and_then(|v| f64::deserialize_value(v).ok())
+        .ok_or_else(|| format!("bench report {path} lacks throughput_rps"))
+}
+
+/// The telemetry overhead an enabled registry may cost before the gate
+/// fails, in percent of bench-serve throughput.
+const TELEMETRY_GATE_PCT: f64 = 5.0;
+
+/// Compare two `bench-serve` reports — one taken with telemetry on, one
+/// with `--no-telemetry` — and fail if the instrumented daemon lost more
+/// than [`TELEMETRY_GATE_PCT`] of its throughput. Writes the comparison to
+/// `out` (CI commits it as `BENCH_telemetry.json`).
+fn cmd_telemetry_gate(with_path: &str, without_path: &str, out: &str) -> Result<(), String> {
+    use serde::{Serialize as _, Value};
+    let with_rps = read_bench_rps(with_path)?;
+    let without_rps = read_bench_rps(without_path)?;
+    if without_rps <= 0.0 {
+        return Err(format!("baseline {without_path} reports zero throughput"));
+    }
+    let overhead_pct = (1.0 - with_rps / without_rps) * 100.0;
+    println!(
+        "telemetry-gate: {with_rps:.0} req/s instrumented vs {without_rps:.0} req/s bare \
+         ({overhead_pct:+.1}% overhead, gate {TELEMETRY_GATE_PCT:.0}%)"
+    );
+    let json = Value::Object(vec![
+        ("telemetry_on_rps".to_string(), with_rps.serialize_value()),
+        (
+            "telemetry_off_rps".to_string(),
+            without_rps.serialize_value(),
+        ),
+        ("overhead_pct".to_string(), overhead_pct.serialize_value()),
+        ("gate_pct".to_string(), TELEMETRY_GATE_PCT.serialize_value()),
+        (
+            "pass".to_string(),
+            Value::Bool(overhead_pct <= TELEMETRY_GATE_PCT),
+        ),
+    ]);
+    let text = serde_json::to_string(&json).map_err(|e| e.to_string())?;
+    std::fs::write(out, text + "\n").map_err(|e| e.to_string())?;
+    eprintln!("wrote {out}");
+    if overhead_pct > TELEMETRY_GATE_PCT {
+        return Err(format!(
+            "REGRESSION: telemetry costs {overhead_pct:.1}% of throughput \
+             (gate: {TELEMETRY_GATE_PCT:.0}%)"
+        ));
+    }
     Ok(())
 }
 
@@ -322,6 +443,7 @@ fn main() -> ExitCode {
     let mut positional: Vec<String> = Vec::new();
     let mut full = false;
     let mut fast = false;
+    let mut timings = false;
     let mut json_dir: Option<PathBuf> = None;
     let mut policy = Policy::Fifo;
     let mut stride: usize = 8;
@@ -332,12 +454,40 @@ fn main() -> ExitCode {
     let mut clients: usize = 4;
     let mut requests: usize = 64;
     let mut timeout_ms: Option<u64> = None;
-    let mut out = "BENCH_serve.json".to_string();
+    let mut out: Option<String> = None;
+    let mut metrics_file: Option<PathBuf> = None;
+    let mut metrics_interval_ms: Option<u64> = None;
+    let mut no_telemetry = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--full" => full = true,
             "--fast" => fast = true,
+            "--timings" => timings = true,
+            "--no-telemetry" => no_telemetry = true,
+            "--metrics-file" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => metrics_file = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--metrics-file needs a file path\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--metrics-interval-ms" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(v) if v >= 1 => metrics_interval_ms = Some(v),
+                    _ => {
+                        eprintln!(
+                            "--metrics-interval-ms needs a positive integer\n{}",
+                            usage()
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--json" => {
                 i += 1;
                 match args.get(i) {
@@ -376,10 +526,16 @@ fn main() -> ExitCode {
             }
             "--cache-cap" => {
                 i += 1;
-                match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(v) if v >= 1 => cache_cap = Some(v),
-                    _ => {
-                        eprintln!("--cache-cap needs a positive integer\n{}", usage());
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(v) => match validate_cache_cap(v) {
+                        Ok(v) => cache_cap = Some(v),
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    None => {
+                        eprintln!("--cache-cap needs an integer\n{}", usage());
                         return ExitCode::FAILURE;
                     }
                 }
@@ -427,7 +583,7 @@ fn main() -> ExitCode {
             "--out" => {
                 i += 1;
                 match args.get(i) {
-                    Some(p) => out = p.clone(),
+                    Some(p) => out = Some(p.clone()),
                     None => {
                         eprintln!("--out needs a file path\n{}", usage());
                         return ExitCode::FAILURE;
@@ -474,6 +630,7 @@ fn main() -> ExitCode {
             json_dir,
             jobs.unwrap_or_else(default_jobs),
             cache_cap,
+            timings,
         ),
         Some("figures") => cmd_report(
             &["f1", "f2", "f3", "f4"].map(String::from),
@@ -482,6 +639,7 @@ fn main() -> ExitCode {
             json_dir,
             jobs.unwrap_or_else(default_jobs),
             cache_cap,
+            timings,
         ),
         Some("serve") if positional.len() == 1 => {
             let mut limits = ServerLimits::default();
@@ -497,6 +655,11 @@ fn main() -> ExitCode {
             if let Some(v) = timeout_ms {
                 limits.request_timeout = std::time::Duration::from_millis(v);
             }
+            limits.telemetry = !no_telemetry;
+            limits.metrics_file = metrics_file.clone();
+            if let Some(v) = metrics_interval_ms {
+                limits.metrics_interval = std::time::Duration::from_millis(v);
+            }
             cmd_serve(&addr, limits)
         }
         Some("bench-serve") if positional.len() == 1 => cmd_bench_serve(
@@ -506,7 +669,12 @@ fn main() -> ExitCode {
                 requests,
                 max_dim: max_dim.unwrap_or(8),
             },
-            &out,
+            out.as_deref().unwrap_or("BENCH_serve.json"),
+        ),
+        Some("telemetry-gate") if positional.len() == 3 => cmd_telemetry_gate(
+            &positional[1],
+            &positional[2],
+            out.as_deref().unwrap_or("BENCH_telemetry.json"),
         ),
         Some("run") if positional.len() == 3 => match positional[2].parse::<u32>() {
             Ok(d) if (1..=hypersweep_topology::MAX_DIMENSION).contains(&d) => {

@@ -161,6 +161,59 @@ fn report_with_cache_cap_is_byte_identical_and_reports_evictions() {
 }
 
 #[test]
+fn cache_cap_zero_is_rejected_with_a_clear_message() {
+    // `report` and `serve` share the flag; both must refuse 0 before doing
+    // any work, with the same mirrored validation message.
+    for command in [
+        vec!["report", "t5", "--cache-cap", "0"],
+        vec!["serve", "--addr", "127.0.0.1:0", "--cache-cap", "0"],
+    ] {
+        let out = bin().args(&command).output().unwrap();
+        assert!(!out.status.success(), "{command:?} must be rejected");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains("--cache-cap must be at least 1"),
+            "{command:?}: {err}"
+        );
+        assert!(err.contains("omit the flag"), "{command:?}: {err}");
+    }
+    // Non-numeric input still gets the usage-shaped error.
+    let out = bin()
+        .args(["report", "t5", "--cache-cap", "many"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--cache-cap needs an integer"), "{err}");
+}
+
+#[test]
+fn report_timings_renders_the_phase_table() {
+    let out = bin()
+        .args(["report", "t2", "t5", "--timings"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("phase timings (telemetry spans):"), "{err}");
+    for phase in ["warm", "experiments", "report"] {
+        assert!(err.contains(phase), "missing phase row '{phase}': {err}");
+    }
+    assert!(err.contains("per-experiment spans:"), "{err}");
+    for id in ["t2", "t5"] {
+        assert!(err.contains(id), "missing experiment row '{id}': {err}");
+    }
+    assert!(err.contains("jobs, mean"), "missing pool line: {err}");
+    // The table rides on stderr; stdout stays the report alone.
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(!text.contains("phase timings"), "{text}");
+}
+
+#[test]
 fn serve_bench_and_graceful_shutdown() {
     // Start the daemon on an ephemeral port and learn the port from its
     // startup line.
@@ -227,6 +280,59 @@ fn serve_bench_and_graceful_shutdown() {
     let mut stdout = String::new();
     std::io::Read::read_to_string(&mut daemon.stdout.take().unwrap(), &mut stdout).unwrap();
     assert!(stdout.contains("\"type\":\"status\""), "{stdout}");
+}
+
+#[test]
+fn telemetry_gate_passes_and_fails_on_the_5_percent_line() {
+    let dir = std::env::temp_dir().join("hypersweep-cli-telemetry-gate");
+    std::fs::create_dir_all(&dir).unwrap();
+    let write = |name: &str, rps: f64| {
+        let path = dir.join(name);
+        std::fs::write(&path, format!("{{\"throughput_rps\": {rps}}}\n")).unwrap();
+        path
+    };
+    let off = write("off.json", 1000.0);
+    let within = write("within.json", 970.0); // 3% overhead
+    let beyond = write("beyond.json", 900.0); // 10% overhead
+    let out_file = dir.join("BENCH_telemetry.json");
+
+    let out = bin()
+        .args([
+            "telemetry-gate",
+            within.to_str().unwrap(),
+            off.to_str().unwrap(),
+            "--out",
+            out_file.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("telemetry-gate:"), "{text}");
+    let written = std::fs::read_to_string(&out_file).unwrap();
+    assert!(written.contains("\"pass\":true"), "{written}");
+    assert!(written.contains("\"gate_pct\""), "{written}");
+
+    let out = bin()
+        .args([
+            "telemetry-gate",
+            beyond.to_str().unwrap(),
+            off.to_str().unwrap(),
+            "--out",
+            out_file.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "10% overhead must fail the gate");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("REGRESSION"), "{err}");
+    let written = std::fs::read_to_string(&out_file).unwrap();
+    assert!(written.contains("\"pass\":false"), "{written}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -2,7 +2,7 @@
 
 use hypersweep_intruder::{verify_trace, Monitor, MonitorConfig, Verdict};
 use hypersweep_sim::{
-    EventSink, Metrics, Policy, RunError, RunReport, SummarizingSink, TraceSummary,
+    EventSink, MeteredSink, Metrics, Policy, RunError, RunReport, SummarizingSink, TraceSummary,
 };
 use hypersweep_topology::{Hypercube, Node};
 
@@ -130,9 +130,14 @@ where
     F: FnOnce(&mut dyn EventSink) -> Metrics,
 {
     let mut monitor = Monitor::new(&cube, Node::ROOT, default_monitor_config(cube));
-    let mut tee = SummarizingSink::new(&mut monitor);
+    // Meter the stream into the `sink.events` counter of the process
+    // telemetry registry (no-op unless one is installed), so a daemon can
+    // watch a multi-million-event audit advance while it runs.
+    let mut tee = MeteredSink::new(SummarizingSink::new(&mut monitor));
     let metrics = synthesize(&mut tee);
-    let summary = tee.summary();
+    let summary = tee.inner().summary();
+    // Flush the metered tail and release the monitor borrow.
+    drop(tee);
     SearchOutcome {
         metrics,
         verdict: monitor.verdict(),
@@ -184,6 +189,31 @@ mod tests {
         let large = default_monitor_config(Hypercube::new(14));
         assert_eq!(large.contiguity_every, 64);
         assert!(!large.greedy_evader);
+    }
+
+    #[test]
+    fn streamed_outcome_meters_events_into_the_global_registry() {
+        let registry = hypersweep_telemetry::MetricsRegistry::new();
+        hypersweep_telemetry::install_global(&registry);
+        let cube = Hypercube::new(3);
+        let outcome = streamed_outcome(cube, |sink| {
+            for t in 0..3u64 {
+                sink.emit(hypersweep_sim::Event {
+                    time: t,
+                    kind: hypersweep_sim::EventKind::Spawn {
+                        agent: t as u32,
+                        node: Node::ROOT,
+                        role: hypersweep_sim::Role::Worker,
+                    },
+                });
+            }
+            Metrics::default()
+        });
+        assert_eq!(outcome.trace_summary.map(|s| s.events), Some(3));
+        // The metered tee flushed into `sink.events` on drop. Other tests
+        // in this process may also stream through the global registry, so
+        // assert a floor, not equality.
+        assert!(registry.snapshot().counter("sink.events").unwrap_or(0) >= 3);
     }
 
     #[test]

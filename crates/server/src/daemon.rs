@@ -13,6 +13,7 @@
 //! connection sockets notice at their next 50 ms read timeout, queued work
 //! drains, every thread is joined, and a final status line is emitted.
 
+use std::fs::File;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -21,10 +22,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use hypersweep_analysis::{RunCache, WorkerPool};
+use hypersweep_telemetry::{Histogram, MetricsRegistry};
 
 use crate::dispatch::Dispatcher;
 use crate::limits::ServerLimits;
-use crate::protocol::{ErrorKind, Request, Response, ShutdownReply, StatusReply, WireError};
+use crate::protocol::{
+    ErrorKind, MetricsReply, Request, Response, ShutdownReply, StatusReply, WireError,
+};
 
 /// How long a connection read blocks before re-checking the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
@@ -68,22 +72,76 @@ pub fn install_sigint_handler() {
     sigint::install();
 }
 
+/// Per-request-kind latency histograms (`server.latency.<kind>_us`),
+/// resolved once at bind so the per-request cost is one `Instant` pair and
+/// one lock-free record. Disabled telemetry makes every record a no-op.
+struct LatencyMetrics {
+    plan: Histogram,
+    predict: Histogram,
+    audit: Histogram,
+    status: Histogram,
+    metrics: Histogram,
+}
+
+impl LatencyMetrics {
+    fn resolve(registry: &MetricsRegistry) -> Self {
+        LatencyMetrics {
+            plan: registry.histogram("server.latency.plan_us"),
+            predict: registry.histogram("server.latency.predict_us"),
+            audit: registry.histogram("server.latency.audit_us"),
+            status: registry.histogram("server.latency.status_us"),
+            metrics: registry.histogram("server.latency.metrics_us"),
+        }
+    }
+
+    /// The histogram timing `request`, if its kind is timed (`shutdown`
+    /// is a drain edge, not a served request).
+    fn for_request(&self, request: &Request) -> Option<&Histogram> {
+        match request {
+            Request::Plan { .. } => Some(&self.plan),
+            Request::Predict { .. } => Some(&self.predict),
+            Request::Audit { .. } => Some(&self.audit),
+            Request::Status => Some(&self.status),
+            Request::Metrics => Some(&self.metrics),
+            Request::Shutdown => None,
+        }
+    }
+}
+
 /// Everything a connection thread needs, shared by `Arc`.
 struct Shared {
     dispatcher: Dispatcher,
     pool: WorkerPool,
     limits: ServerLimits,
+    latency: LatencyMetrics,
     shutdown: AtomicBool,
     started: Instant,
 }
 
 impl Shared {
+    fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
     fn status(&self) -> StatusReply {
         self.dispatcher.status_reply(
-            self.started.elapsed().as_millis() as u64,
+            self.uptime_ms(),
             self.pool.in_flight() as u64,
             self.pool.workers() as u64,
         )
+    }
+
+    fn metrics(&self) -> MetricsReply {
+        self.dispatcher
+            .metrics_reply(self.uptime_ms(), self.limits.telemetry)
+    }
+
+    /// A snapshot for the file exporter: identical shape to a `metrics`
+    /// reply but not counted as a served request, so exporter ticks never
+    /// inflate `served.metrics`.
+    fn export(&self) -> MetricsReply {
+        self.dispatcher
+            .export_reply(self.uptime_ms(), self.limits.telemetry)
     }
 }
 
@@ -95,30 +153,57 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` with a fresh run cache bounded at
-    /// [`ServerLimits::cache_capacity`].
+    /// [`ServerLimits::cache_capacity`], accounting into the daemon's own
+    /// telemetry registry (one unmerged snapshot serves `metrics`).
     pub fn bind(addr: impl ToSocketAddrs, limits: ServerLimits) -> io::Result<Server> {
-        Self::with_cache(
-            addr,
-            limits,
-            Arc::new(RunCache::with_capacity(limits.cache_capacity)),
-        )
+        let registry = Self::registry_for(&limits);
+        let cache = Arc::new(RunCache::with_capacity_and_telemetry(
+            limits.cache_capacity,
+            &registry,
+        ));
+        Self::build(addr, limits, cache, registry)
     }
 
     /// Bind `addr` serving from a caller-provided cache (tests inject slow
-    /// or pre-warmed runners this way).
+    /// or pre-warmed runners this way). The cache keeps its own registry;
+    /// `metrics` replies merge it into the daemon's snapshot.
     pub fn with_cache(
         addr: impl ToSocketAddrs,
         limits: ServerLimits,
         cache: Arc<RunCache>,
     ) -> io::Result<Server> {
+        let registry = Self::registry_for(&limits);
+        Self::build(addr, limits, cache, registry)
+    }
+
+    fn registry_for(limits: &ServerLimits) -> MetricsRegistry {
+        if limits.telemetry {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::disabled()
+        }
+    }
+
+    fn build(
+        addr: impl ToSocketAddrs,
+        limits: ServerLimits,
+        cache: Arc<RunCache>,
+        registry: MetricsRegistry,
+    ) -> io::Result<Server> {
         cache.set_capacity(limits.cache_capacity);
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        if limits.telemetry {
+            // Streamed audits meter their event flow through the process
+            // global (`sink.events`); point it at this daemon's registry.
+            hypersweep_telemetry::install_global(&registry);
+        }
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                dispatcher: Dispatcher::new(cache, limits.max_dim),
-                pool: WorkerPool::new(limits.workers, limits.queue_capacity),
+                dispatcher: Dispatcher::with_telemetry(cache, limits.max_dim, &registry),
+                pool: WorkerPool::with_telemetry(limits.workers, limits.queue_capacity, &registry),
+                latency: LatencyMetrics::resolve(&registry),
                 limits,
                 shutdown: AtomicBool::new(false),
                 started: Instant::now(),
@@ -142,6 +227,17 @@ impl Server {
     /// return the final stats.
     pub fn run(self) -> io::Result<ServerStats> {
         let Server { listener, shared } = self;
+        let exporter = match &shared.limits.metrics_file {
+            Some(path) => {
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?;
+                let shared = Arc::clone(&shared);
+                Some(std::thread::spawn(move || export_metrics(file, &shared)))
+            }
+            None => None,
+        };
         let live = Arc::new(AtomicUsize::new(0));
         let mut handles: Vec<JoinHandle<()>> = Vec::new();
         while !shared.shutdown.load(Ordering::SeqCst) && !sigint::seen() {
@@ -174,11 +270,42 @@ impl Server {
         for handle in handles {
             let _ = handle.join();
         }
+        if let Some(handle) = exporter {
+            // The exporter notices the flag within one poll interval and
+            // appends its final post-drain snapshot before exiting.
+            let _ = handle.join();
+        }
         let stats = shared.status();
         let mut stdout = io::stdout().lock();
         let _ = writeln!(stdout, "{}", Response::Status(stats.clone()).to_line());
         let _ = stdout.flush();
         Ok(stats)
+    }
+}
+
+/// The `--metrics-file` exporter loop: append one `metrics` JSON line per
+/// interval (each line parses with [`Response::parse`]), plus a final
+/// snapshot when the daemon drains. Write failures end the export quietly —
+/// observability must never take the serving path down.
+fn export_metrics(mut file: File, shared: &Arc<Shared>) {
+    let interval = shared.limits.metrics_interval;
+    loop {
+        let mut waited = Duration::ZERO;
+        while waited < interval && !shared.shutdown.load(Ordering::SeqCst) {
+            let step = POLL_INTERVAL.min(interval - waited);
+            std::thread::sleep(step);
+            waited += step;
+        }
+        let line = Response::Metrics(shared.export()).to_line();
+        if writeln!(file, "{line}")
+            .and_then(|()| file.flush())
+            .is_err()
+        {
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
     }
 }
 
@@ -319,8 +446,13 @@ fn handle_line(text: &str, shared: &Arc<Shared>) -> Response {
             return Response::Error(e);
         }
     };
-    match request {
+    let timer = shared.latency.for_request(&request).map(|histogram| {
+        let started = Instant::now();
+        (histogram, started)
+    });
+    let response = match request {
         Request::Status => Response::Status(shared.status()),
+        Request::Metrics => Response::Metrics(shared.metrics()),
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             Response::Shutdown(ShutdownReply {
@@ -337,7 +469,11 @@ fn handle_line(text: &str, shared: &Arc<Shared>) -> Response {
             }
             dispatch_compute(compute, shared)
         }
+    };
+    if let Some((histogram, started)) = timer {
+        histogram.record_duration(started.elapsed());
     }
+    response
 }
 
 /// Hand a compute request to the pool and wait (bounded) for its answer.
@@ -356,7 +492,7 @@ fn dispatch_compute(request: Request, shared: &Arc<Shared>) -> Response {
     }
     match rx.recv_timeout(shared.limits.request_timeout) {
         Ok(response) => response,
-        Err(_) => {
+        Err(mpsc::RecvTimeoutError::Timeout) => {
             // The run keeps executing and will warm the cache; only this
             // client's wait is abandoned.
             shared.dispatcher.note_timeout();
@@ -366,6 +502,18 @@ fn dispatch_compute(request: Request, shared: &Arc<Shared>) -> Response {
                     "request exceeded the {} ms budget",
                     shared.limits.request_timeout.as_millis()
                 ),
+            ))
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The worker dropped the sender without replying: the job
+            // panicked. The pool caught it (`pool.job_panics` counts it)
+            // and the worker thread survives; this client gets a
+            // structured internal error instead of a hung wait.
+            shared.dispatcher.note_error();
+            Response::Error(WireError::new(
+                ErrorKind::Internal,
+                "request worker failed before producing a reply; \
+                 see the pool.job_panics counter",
             ))
         }
     }

@@ -8,19 +8,24 @@
 //! the same configuration are served from memory and concurrent duplicates
 //! execute exactly once.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use hypersweep_analysis::{validate_max_dim, RunCache, RunKey, StrategyKind};
 use hypersweep_core::predictions::{
     clean_phase_accounting, clean_prediction, cloning_prediction, visibility_prediction,
 };
+use hypersweep_telemetry::{Counter, MetricsRegistry};
 use hypersweep_topology::combinatorics as comb;
 
 use crate::protocol::{
-    AuditReply, CacheStats, ErrorKind, PhasePlan, PlanReply, PredictReply, Request, Response,
-    ServedCounts, StatusReply, WireError,
+    AuditReply, CacheStats, ErrorKind, MetricsReply, PhasePlan, PlanReply, PredictReply, Request,
+    Response, ServedCounts, StatusReply, WireError,
 };
+
+/// The version string every `status` and `metrics` reply carries.
+pub(crate) fn build_version() -> String {
+    env!("CARGO_PKG_VERSION").to_string()
+}
 
 /// Narrow a closed-form `u128` to the wire's `u64`. Every quantity the
 /// server exposes fits comfortably at the dimensions it accepts (`d ≤ 20`).
@@ -29,38 +34,66 @@ fn wire_u64(x: u128) -> u64 {
 }
 
 /// Shared request handler: validates, computes, and counts.
+///
+/// The request counters live in a telemetry [`MetricsRegistry`]
+/// (`server.requests.*`, `server.errors`, `server.busy`,
+/// `server.timeouts`) — they *are* the accounting behind
+/// [`Dispatcher::served`], and a `metrics` request serializes the whole
+/// registry, so `status` and `metrics` can never disagree.
 pub struct Dispatcher {
     cache: Arc<RunCache>,
     max_dim: u32,
-    plan: AtomicU64,
-    predict: AtomicU64,
-    audit: AtomicU64,
-    status: AtomicU64,
-    errors: AtomicU64,
-    busy: AtomicU64,
-    timeouts: AtomicU64,
+    registry: MetricsRegistry,
+    plan: Counter,
+    predict: Counter,
+    audit: Counter,
+    status: Counter,
+    metrics: Counter,
+    errors: Counter,
+    busy: Counter,
+    timeouts: Counter,
 }
 
 impl Dispatcher {
     /// Build a dispatcher over `cache`, refusing dimensions above
-    /// `max_dim`.
+    /// `max_dim`, counting into a private registry.
     pub fn new(cache: Arc<RunCache>, max_dim: u32) -> Self {
+        Dispatcher::with_telemetry(cache, max_dim, &MetricsRegistry::new())
+    }
+
+    /// Build a dispatcher counting into `registry`. A disabled registry is
+    /// replaced with a private enabled one: the request counters double as
+    /// the `served()` accounting, which must work even when the daemon's
+    /// exported telemetry is switched off.
+    pub fn with_telemetry(cache: Arc<RunCache>, max_dim: u32, registry: &MetricsRegistry) -> Self {
+        let registry = if registry.is_enabled() {
+            registry.clone()
+        } else {
+            MetricsRegistry::new()
+        };
         Dispatcher {
             cache,
             max_dim,
-            plan: AtomicU64::new(0),
-            predict: AtomicU64::new(0),
-            audit: AtomicU64::new(0),
-            status: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            busy: AtomicU64::new(0),
-            timeouts: AtomicU64::new(0),
+            plan: registry.counter("server.requests.plan"),
+            predict: registry.counter("server.requests.predict"),
+            audit: registry.counter("server.requests.audit"),
+            status: registry.counter("server.requests.status"),
+            metrics: registry.counter("server.requests.metrics"),
+            errors: registry.counter("server.errors"),
+            busy: registry.counter("server.busy"),
+            timeouts: registry.counter("server.timeouts"),
+            registry,
         }
     }
 
     /// The shared run cache.
     pub fn cache(&self) -> &Arc<RunCache> {
         &self.cache
+    }
+
+    /// The registry the request counters live in.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     /// The per-request dimension cap.
@@ -76,25 +109,19 @@ impl Dispatcher {
                 .check_dim(dim)
                 .and_then(|dim| plan_reply(strategy, dim))
                 .map(Response::Plan)
-                .inspect(|_| {
-                    self.plan.fetch_add(1, Ordering::Relaxed);
-                }),
+                .inspect(|_| self.plan.inc()),
             Request::Predict { strategy, dim } => self
                 .check_dim(dim)
                 .and_then(|dim| predict_reply(strategy, dim))
                 .map(Response::Predict)
-                .inspect(|_| {
-                    self.predict.fetch_add(1, Ordering::Relaxed);
-                }),
+                .inspect(|_| self.predict.inc()),
             Request::Audit { strategy, dim } => self
                 .check_dim(dim)
                 .map(|dim| Response::Audit(self.audit_reply(strategy, dim)))
-                .inspect(|_| {
-                    self.audit.fetch_add(1, Ordering::Relaxed);
-                }),
-            Request::Status | Request::Shutdown => Err(WireError::new(
+                .inspect(|_| self.audit.inc()),
+            Request::Status | Request::Metrics | Request::Shutdown => Err(WireError::new(
                 ErrorKind::UnknownRequest,
-                "status/shutdown are connection-level requests",
+                "status/metrics/shutdown are connection-level requests",
             )),
         };
         result.unwrap_or_else(|e| {
@@ -139,38 +166,40 @@ impl Dispatcher {
 
     /// Record a backpressure rejection.
     pub fn note_busy(&self) {
-        self.busy.fetch_add(1, Ordering::Relaxed);
+        self.busy.inc();
     }
 
     /// Record a per-request timeout.
     pub fn note_timeout(&self) {
-        self.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.timeouts.inc();
     }
 
     /// Record a structured error reply produced outside [`Dispatcher::handle`]
     /// (parse failures, oversized lines).
     pub fn note_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
     /// Request counters so far.
     pub fn served(&self) -> ServedCounts {
         ServedCounts {
-            plan: self.plan.load(Ordering::Relaxed),
-            predict: self.predict.load(Ordering::Relaxed),
-            audit: self.audit.load(Ordering::Relaxed),
-            status: self.status.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            busy: self.busy.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
+            plan: self.plan.get(),
+            predict: self.predict.get(),
+            audit: self.audit.get(),
+            status: self.status.get(),
+            metrics: self.metrics.get(),
+            errors: self.errors.get(),
+            busy: self.busy.get(),
+            timeouts: self.timeouts.get(),
         }
     }
 
     /// Build (and count) a `status` reply.
     pub fn status_reply(&self, uptime_ms: u64, in_flight: u64, workers: u64) -> StatusReply {
-        self.status.fetch_add(1, Ordering::Relaxed);
+        self.status.inc();
         StatusReply {
             uptime_ms,
+            version: build_version(),
             in_flight,
             workers,
             max_dim: self.max_dim,
@@ -182,6 +211,30 @@ impl Dispatcher {
                 entries: self.cache.len() as u64,
                 capacity: self.cache.capacity().map(|c| c as u64),
             },
+        }
+    }
+
+    /// Build (and count) a `metrics` reply: every series of the daemon's
+    /// registry, merged with the run cache's own registry when the cache
+    /// accounts into a separate one (a caller-injected cache does).
+    pub fn metrics_reply(&self, uptime_ms: u64, enabled: bool) -> MetricsReply {
+        self.metrics.inc();
+        self.export_reply(uptime_ms, enabled)
+    }
+
+    /// [`Dispatcher::metrics_reply`] without counting a served request —
+    /// the daemon's periodic file exporter snapshots through this so its
+    /// ticks don't inflate `served.metrics`.
+    pub fn export_reply(&self, uptime_ms: u64, enabled: bool) -> MetricsReply {
+        let mut series = self.registry.snapshot();
+        if !self.registry.ptr_eq(self.cache.registry()) {
+            series.merge(&self.cache.registry().snapshot());
+        }
+        MetricsReply {
+            uptime_ms,
+            version: build_version(),
+            enabled,
+            series,
         }
     }
 }
@@ -422,6 +475,39 @@ mod tests {
             }
         }
         assert_eq!(d.served().errors, 3);
+    }
+
+    #[test]
+    fn metrics_reply_merges_request_and_cache_series() {
+        let d = dispatcher();
+        for _ in 0..2 {
+            let response = d.handle(Request::Audit {
+                strategy: StrategyKind::Clean,
+                dim: 4,
+            });
+            assert!(response.is_ok());
+        }
+        let reply = d.metrics_reply(7, true);
+        assert!(reply.enabled);
+        assert_eq!(reply.uptime_ms, 7);
+        assert_eq!(reply.version, env!("CARGO_PKG_VERSION"));
+        // The dispatcher's own counters and the injected cache's separate
+        // registry both appear in one merged snapshot.
+        assert_eq!(reply.series.counter("server.requests.audit"), Some(2));
+        assert_eq!(reply.series.counter("cache.hits"), Some(1));
+        assert_eq!(reply.series.counter("cache.misses"), Some(1));
+        assert!(reply.series.histogram("cache.run_us").is_some());
+        assert_eq!(d.served().metrics, 1);
+    }
+
+    #[test]
+    fn status_reply_reports_version_and_uptime() {
+        let d = dispatcher();
+        let status = d.status_reply(1234, 0, 2);
+        assert_eq!(status.uptime_ms, 1234);
+        assert_eq!(status.version, env!("CARGO_PKG_VERSION"));
+        assert_eq!(status.served.status, 1);
+        assert_eq!(status.served.metrics, 0);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! * `audit` — run the strategy's trace through the packed contamination
 //!   monitor and return the verdict plus measured metrics, streaming the
 //!   trace so memory stays `O(n)` even at `H_20`;
-//! * `status` — uptime, request counters, cache statistics, in-flight work.
+//! * `status` — uptime, request counters, cache statistics, in-flight work;
+//! * `metrics` — the daemon's full telemetry snapshot (pool, cache, sink,
+//!   and per-request-kind latency series), also exportable as JSON lines
+//!   via [`ServerLimits::metrics_file`].
 //!
 //! Requests dispatch onto the analysis crate's bounded [`WorkerPool`]
 //! (backpressure surfaces to clients as `busy` errors, never as unbounded
@@ -37,6 +40,7 @@ pub use daemon::{Server, ServerStats};
 pub use dispatch::Dispatcher;
 pub use limits::ServerLimits;
 pub use protocol::{
-    parse_strategy, AuditReply, CacheStats, ErrorKind, PhasePlan, PlanReply, PredictReply, Request,
-    Response, ServedCounts, ShutdownReply, StatusReply, WireError, WIRE_STRATEGIES,
+    parse_strategy, AuditReply, CacheStats, ErrorKind, MetricsReply, PhasePlan, PlanReply,
+    PredictReply, Request, Response, ServedCounts, ShutdownReply, StatusReply, WireError,
+    WIRE_STRATEGIES,
 };

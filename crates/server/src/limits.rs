@@ -1,12 +1,14 @@
-//! Resource bounds enforced by the daemon.
+//! Resource bounds enforced by the daemon, plus its observability knobs.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use hypersweep_analysis::REPORT_MAX_DIM;
 
-/// Everything the daemon refuses to exceed. Every limit has a conservative
-/// default; the CLI exposes the interesting ones as flags.
-#[derive(Clone, Copy, Debug)]
+/// Everything the daemon refuses to exceed, plus how it exposes its
+/// telemetry. Every limit has a conservative default; the CLI exposes the
+/// interesting ones as flags.
+#[derive(Clone, Debug)]
 pub struct ServerLimits {
     /// Largest dimension a request may ask for. Validated with the same
     /// rules as the offline `report --max-dim` flag.
@@ -29,6 +31,15 @@ pub struct ServerLimits {
     pub workers: usize,
     /// LRU bound on cached run outcomes (`None` = unbounded).
     pub cache_capacity: Option<usize>,
+    /// Record telemetry. Off, the daemon still answers `metrics` with
+    /// `"enabled":false` and the always-on accounting (request counters,
+    /// cache statistics) but records no pool, sink, or latency series.
+    pub telemetry: bool,
+    /// Append a JSON-lines telemetry snapshot to this file every
+    /// [`ServerLimits::metrics_interval`], plus one final line at drain.
+    pub metrics_file: Option<PathBuf>,
+    /// Export cadence for [`ServerLimits::metrics_file`].
+    pub metrics_interval: Duration,
 }
 
 impl Default for ServerLimits {
@@ -41,6 +52,9 @@ impl Default for ServerLimits {
             max_connections: 32,
             workers: hypersweep_analysis::default_jobs().min(4),
             cache_capacity: Some(256),
+            telemetry: true,
+            metrics_file: None,
+            metrics_interval: Duration::from_secs(10),
         }
     }
 }
@@ -57,5 +71,8 @@ mod tests {
         assert!(limits.queue_capacity >= limits.workers);
         assert!(limits.max_line_bytes >= 1024);
         assert!(limits.cache_capacity.is_some());
+        assert!(limits.telemetry, "telemetry records by default");
+        assert!(limits.metrics_file.is_none(), "no export file by default");
+        assert!(limits.metrics_interval >= Duration::from_millis(100));
     }
 }

@@ -13,6 +13,7 @@
 //! {"type":"predict","strategy":"visibility","dim":8}
 //! {"type":"audit","strategy":"cloning","dim":10}
 //! {"type":"status"}
+//! {"type":"metrics"}
 //! {"type":"shutdown"}
 //! ```
 //!
@@ -26,6 +27,7 @@ use serde::{Deserialize, Serialize, Value};
 
 use hypersweep_analysis::StrategyKind;
 use hypersweep_sim::TraceSummary;
+use hypersweep_telemetry::MetricsSnapshot;
 
 /// Every strategy the server can plan, predict, or audit, in wire order.
 pub const WIRE_STRATEGIES: [StrategyKind; 8] = [
@@ -67,6 +69,9 @@ pub enum ErrorKind {
     /// The request is structurally valid but unsupported (e.g. a plan for
     /// a baseline strategy with no closed-form schedule).
     Unsupported,
+    /// The server failed internally while computing the reply (e.g. the
+    /// dispatched job panicked); the request itself was well-formed.
+    Internal,
 }
 
 impl ErrorKind {
@@ -82,6 +87,7 @@ impl ErrorKind {
             ErrorKind::Busy => "busy",
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::Unsupported => "unsupported",
+            ErrorKind::Internal => "internal",
         }
     }
 
@@ -97,6 +103,7 @@ impl ErrorKind {
             ErrorKind::Busy,
             ErrorKind::ShuttingDown,
             ErrorKind::Unsupported,
+            ErrorKind::Internal,
         ]
         .into_iter()
         .find(|k| k.label() == label)
@@ -149,6 +156,9 @@ pub enum Request {
     },
     /// Daemon health: uptime, cache statistics, in-flight requests.
     Status,
+    /// The full telemetry snapshot: pool, cache, sink, and per-request
+    /// series as an ordered name → value object.
+    Metrics,
     /// Ask the daemon to drain in-flight work and exit.
     Shutdown,
 }
@@ -161,6 +171,7 @@ impl Request {
             Request::Predict { .. } => "predict",
             Request::Audit { .. } => "audit",
             Request::Status => "status",
+            Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
         }
     }
@@ -178,7 +189,7 @@ impl Request {
                 ));
                 fields.push(("dim".to_string(), dim.serialize_value()));
             }
-            Request::Status | Request::Shutdown => {}
+            Request::Status | Request::Metrics | Request::Shutdown => {}
         }
         serde_json::to_string(&Value::Object(fields)).expect("requests serialize")
     }
@@ -193,7 +204,7 @@ impl Request {
         let tag = serde::get_field(fields, "type").as_str().ok_or_else(|| {
             WireError::new(
                 ErrorKind::UnknownRequest,
-                "missing request 'type' (expected plan|predict|audit|status|shutdown)",
+                "missing request 'type' (expected plan|predict|audit|status|metrics|shutdown)",
             )
         })?;
         match tag {
@@ -231,12 +242,13 @@ impl Request {
                 })
             }
             "status" => Ok(Request::Status),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(WireError::new(
                 ErrorKind::UnknownRequest,
                 format!(
                     "unknown request type '{other}' \
-                     (expected plan|predict|audit|status|shutdown)"
+                     (expected plan|predict|audit|status|metrics|shutdown)"
                 ),
             )),
         }
@@ -331,6 +343,8 @@ pub struct ServedCounts {
     pub audit: u64,
     /// `status` replies.
     pub status: u64,
+    /// `metrics` replies.
+    pub metrics: u64,
     /// Structured error replies (malformed, unknown, bad dimension, …).
     pub errors: u64,
     /// `busy` rejections under backpressure.
@@ -359,6 +373,8 @@ pub struct CacheStats {
 pub struct StatusReply {
     /// Milliseconds since the daemon started.
     pub uptime_ms: u64,
+    /// The daemon's build version (the crate version it was built from).
+    pub version: String,
     /// Requests queued or executing right now.
     pub in_flight: u64,
     /// Worker threads serving the dispatch pool.
@@ -369,6 +385,20 @@ pub struct StatusReply {
     pub served: ServedCounts,
     /// Run-cache statistics.
     pub cache: CacheStats,
+}
+
+/// Reply to a `metrics` request: the daemon's full telemetry snapshot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReply {
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// The daemon's build version.
+    pub version: String,
+    /// Whether telemetry recording is enabled (`false` ⇒ `series` only
+    /// carries the cache's always-on accounting, if anything).
+    pub enabled: bool,
+    /// Every metric, name-sorted: `{"name": {"type": "counter", ...}}`.
+    pub series: MetricsSnapshot,
 }
 
 /// Reply to a `shutdown` request.
@@ -389,6 +419,8 @@ pub enum Response {
     Audit(AuditReply),
     /// Status reply.
     Status(StatusReply),
+    /// Telemetry snapshot reply.
+    Metrics(MetricsReply),
     /// Shutdown acknowledgement.
     Shutdown(ShutdownReply),
     /// Structured failure.
@@ -403,6 +435,7 @@ impl Response {
             Response::Predict(_) => "predict",
             Response::Audit(_) => "audit",
             Response::Status(_) => "status",
+            Response::Metrics(_) => "metrics",
             Response::Shutdown(_) => "shutdown",
             Response::Error(_) => "error",
         }
@@ -421,6 +454,7 @@ impl Response {
             Response::Predict(r) => r.serialize_value(),
             Response::Audit(r) => r.serialize_value(),
             Response::Status(r) => r.serialize_value(),
+            Response::Metrics(r) => r.serialize_value(),
             Response::Shutdown(r) => r.serialize_value(),
             Response::Error(e) => Value::Object(vec![
                 (
@@ -461,6 +495,9 @@ impl Response {
             )),
             "status" => Ok(Response::Status(
                 StatusReply::deserialize_value(&value).map_err(parse_err)?,
+            )),
+            "metrics" => Ok(Response::Metrics(
+                MetricsReply::deserialize_value(&value).map_err(parse_err)?,
             )),
             "shutdown" => Ok(Response::Shutdown(
                 ShutdownReply::deserialize_value(&value).map_err(parse_err)?,

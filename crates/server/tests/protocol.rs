@@ -6,10 +6,11 @@
 //! [`ErrorKind`], never a panic.
 
 use hypersweep_server::{
-    AuditReply, CacheStats, ErrorKind, PhasePlan, PlanReply, PredictReply, Request, Response,
-    ServedCounts, ShutdownReply, StatusReply, WireError, WIRE_STRATEGIES,
+    AuditReply, CacheStats, ErrorKind, MetricsReply, PhasePlan, PlanReply, PredictReply, Request,
+    Response, ServedCounts, ShutdownReply, StatusReply, WireError, WIRE_STRATEGIES,
 };
 use hypersweep_sim::TraceSummary;
+use hypersweep_telemetry::MetricsRegistry;
 
 fn round_trip_request(request: Request) {
     let line = request.to_line();
@@ -35,6 +36,7 @@ fn every_request_variant_round_trips() {
         }
     }
     round_trip_request(Request::Status);
+    round_trip_request(Request::Metrics);
     round_trip_request(Request::Shutdown);
 }
 
@@ -91,6 +93,7 @@ fn every_response_variant_round_trips() {
     }));
     round_trip_response(Response::Status(StatusReply {
         uptime_ms: 12345,
+        version: "0.1.0".into(),
         in_flight: 2,
         workers: 4,
         max_dim: 20,
@@ -99,6 +102,7 @@ fn every_response_variant_round_trips() {
             predict: 11,
             audit: 12,
             status: 13,
+            metrics: 4,
             errors: 2,
             busy: 1,
             timeouts: 0,
@@ -113,6 +117,7 @@ fn every_response_variant_round_trips() {
     }));
     round_trip_response(Response::Status(StatusReply {
         uptime_ms: 0,
+        version: String::new(),
         in_flight: 0,
         workers: 1,
         max_dim: 1,
@@ -133,9 +138,59 @@ fn every_response_variant_round_trips() {
         ErrorKind::Busy,
         ErrorKind::ShuttingDown,
         ErrorKind::Unsupported,
+        ErrorKind::Internal,
     ] {
         round_trip_response(Response::Error(WireError::new(kind, "detail text")));
     }
+}
+
+#[test]
+fn metrics_responses_round_trip() {
+    // An empty snapshot (telemetry off, nothing recorded yet).
+    round_trip_response(Response::Metrics(MetricsReply {
+        uptime_ms: 0,
+        version: "0.1.0".into(),
+        enabled: false,
+        series: hypersweep_telemetry::MetricsSnapshot::default(),
+    }));
+    // A live snapshot with every metric kind, including an empty histogram
+    // (whose min/max serialize as null) and a negative gauge.
+    let registry = MetricsRegistry::new();
+    registry.counter("server.requests.audit").add(17);
+    registry.gauge("pool.queued").set(-2);
+    let h = registry.histogram("server.latency.audit_us");
+    h.record(0);
+    h.record(1023);
+    h.record(u64::MAX);
+    let _ = registry.histogram("cache.run_us"); // registered, never recorded
+    round_trip_response(Response::Metrics(MetricsReply {
+        uptime_ms: 98765,
+        version: "9.9.9-test".into(),
+        enabled: true,
+        series: registry.snapshot(),
+    }));
+}
+
+#[test]
+fn malformed_metrics_responses_are_rejected() {
+    // A metrics response whose series is not an object cannot parse.
+    for line in [
+        r#"{"type":"metrics","uptime_ms":1,"version":"x","enabled":true,"series":7}"#,
+        r#"{"type":"metrics","uptime_ms":1,"version":"x","enabled":true,"series":[1,2]}"#,
+        // A series entry with an unknown metric type.
+        r#"{"type":"metrics","uptime_ms":1,"version":"x","enabled":true,"series":{"a":{"type":"sparkline","value":3}}}"#,
+        // Missing the enabled flag entirely.
+        r#"{"type":"metrics","uptime_ms":1,"version":"x","series":{}}"#,
+    ] {
+        assert!(Response::parse(line).is_err(), "must reject: {line}");
+    }
+    // The well-formed empty snapshot still parses.
+    let ok = r#"{"type":"metrics","uptime_ms":1,"version":"x","enabled":true,"series":{}}"#;
+    let parsed = Response::parse(ok).expect("empty series parses");
+    let Response::Metrics(reply) = parsed else {
+        panic!("expected a metrics response");
+    };
+    assert!(reply.series.is_empty());
 }
 
 #[test]
@@ -201,8 +256,21 @@ fn error_kind_labels_are_stable_and_parseable() {
         ErrorKind::Busy,
         ErrorKind::ShuttingDown,
         ErrorKind::Unsupported,
+        ErrorKind::Internal,
     ] {
         assert_eq!(ErrorKind::parse(kind.label()), Some(kind));
     }
     assert_eq!(ErrorKind::parse("nonsense"), None);
+    // The wire labels are frozen; clients match on them.
+    assert_eq!(ErrorKind::Internal.label(), "internal");
+}
+
+#[test]
+fn unknown_request_errors_advertise_metrics() {
+    let err = Request::parse(r#"{"type":"teleport"}"#).expect_err("unknown type");
+    assert!(
+        err.message.contains("metrics"),
+        "the expected-type list must include metrics: {}",
+        err.message
+    );
 }

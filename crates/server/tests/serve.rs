@@ -239,6 +239,200 @@ fn saturation_returns_busy_and_timeouts_expire() {
 }
 
 #[test]
+fn metrics_request_reports_live_series_after_warm_audits() {
+    // bind() (not with_cache) so the run cache accounts straight into the
+    // daemon's registry — the path `hypersweep serve` takes.
+    let server = Server::bind("127.0.0.1:0", quick_limits()).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let shutdown = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Two identical audits: one miss that executes, one cache hit.
+    for _ in 0..2 {
+        let response = client
+            .request(&Request::Audit {
+                strategy: StrategyKind::Clean,
+                dim: 5,
+            })
+            .expect("audit");
+        assert!(response.is_ok(), "{response:?}");
+    }
+
+    let Response::Metrics(reply) = client.request(&Request::Metrics).expect("metrics") else {
+        panic!("expected a metrics reply");
+    };
+    assert!(reply.enabled);
+    assert!(!reply.version.is_empty());
+    let series = &reply.series;
+    // Request accounting.
+    assert_eq!(series.counter("server.requests.audit"), Some(2));
+    assert_eq!(series.counter("server.requests.metrics"), Some(1));
+    // Live cache series, straight from the daemon's registry (no merge).
+    assert_eq!(series.counter("cache.hits"), Some(1));
+    assert_eq!(series.counter("cache.misses"), Some(1));
+    assert_eq!(series.gauge("cache.entries"), Some(1));
+    // Pool series: both audits dispatched through the worker pool.
+    assert_eq!(series.counter("pool.jobs"), Some(2));
+    assert_eq!(series.counter("pool.job_panics"), Some(0));
+    // Latency histograms recorded one sample per audit request.
+    let latency = series
+        .histogram("server.latency.audit_us")
+        .expect("audit latency histogram");
+    assert_eq!(latency.count, 2);
+    assert!(series
+        .histogram("cache.run_us")
+        .is_some_and(|h| h.count == 1));
+
+    // A second metrics request observes the first (and itself).
+    let Response::Metrics(again) = client.request(&Request::Metrics).expect("metrics") else {
+        panic!("expected a metrics reply");
+    };
+    assert_eq!(again.series.counter("server.requests.metrics"), Some(2));
+    assert!(again
+        .series
+        .histogram("server.latency.metrics_us")
+        .is_some_and(|h| h.count >= 1));
+
+    shutdown();
+    let stats = handle.join().expect("clean shutdown");
+    assert_eq!(stats.served.metrics, 2);
+}
+
+#[test]
+fn disabled_telemetry_still_answers_metrics_with_accounting_only() {
+    let limits = ServerLimits {
+        telemetry: false,
+        ..quick_limits()
+    };
+    let (addr, shutdown, handle) = spawn_server(limits, Arc::new(RunCache::new()));
+    let mut client = Client::connect(&addr).expect("connect");
+    let response = client
+        .request(&Request::Audit {
+            strategy: StrategyKind::Clean,
+            dim: 4,
+        })
+        .expect("audit");
+    assert!(response.is_ok(), "{response:?}");
+
+    let Response::Metrics(reply) = client.request(&Request::Metrics).expect("metrics") else {
+        panic!("expected a metrics reply");
+    };
+    assert!(!reply.enabled);
+    // The always-on accounting survives the disabled registry…
+    assert_eq!(reply.series.counter("server.requests.audit"), Some(1));
+    assert_eq!(reply.series.counter("cache.misses"), Some(1));
+    // …but nothing was recorded into the disabled pool/latency series.
+    assert!(reply.series.histogram("server.latency.audit_us").is_none());
+    assert!(reply.series.counter("pool.jobs").is_none());
+
+    shutdown();
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
+fn panicking_runner_yields_internal_error_and_daemon_survives() {
+    // A runner that panics on dim 3 exactly once, then behaves.
+    static PANICS: AtomicUsize = AtomicUsize::new(0);
+    let cache = Arc::new(RunCache::with_runner(|key| {
+        if key.dim == 3 && PANICS.fetch_add(1, Ordering::SeqCst) == 0 {
+            panic!("injected runner failure");
+        }
+        execute_run(key)
+    }));
+    let (addr, shutdown, handle) = spawn_server(quick_limits(), cache);
+    let mut client = Client::connect(&addr).expect("connect");
+    let audit = |dim| Request::Audit {
+        strategy: StrategyKind::Clean,
+        dim,
+    };
+
+    // The panicked job surfaces as a structured internal error — not a
+    // hung client, not a dead daemon.
+    let Response::Error(e) = client.request(&audit(3)).expect("internal error reply") else {
+        panic!("expected an error reply");
+    };
+    assert_eq!(e.kind, ErrorKind::Internal);
+    assert!(e.message.contains("pool.job_panics"), "{}", e.message);
+
+    // The same connection and the same cache key still work: the retry
+    // re-executes (the in-flight guard released the key) and succeeds.
+    let Response::Audit(a) = client.request(&audit(3)).expect("retry") else {
+        panic!("expected a successful retry");
+    };
+    assert!(a.monotone && a.contiguous && a.all_clean);
+    assert_eq!(PANICS.load(Ordering::SeqCst), 2);
+
+    // The panic is visible in the telemetry, and the error was counted.
+    let Response::Metrics(reply) = client.request(&Request::Metrics).expect("metrics") else {
+        panic!("expected a metrics reply");
+    };
+    assert_eq!(reply.series.counter("pool.job_panics"), Some(1));
+    let Response::Status(status) = client.request(&Request::Status).expect("status") else {
+        panic!("expected a status reply");
+    };
+    assert!(status.served.errors >= 1);
+
+    shutdown();
+    let stats = handle.join().expect("daemon drains after a panicked job");
+    assert_eq!(stats.in_flight, 0);
+}
+
+#[test]
+fn metrics_file_exporter_appends_parseable_snapshots() {
+    let dir = std::env::temp_dir().join(format!(
+        "hypersweep-metrics-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("metrics.jsonl");
+    let limits = ServerLimits {
+        metrics_file: Some(path.clone()),
+        metrics_interval: Duration::from_millis(100),
+        ..quick_limits()
+    };
+    let (addr, shutdown, handle) = spawn_server(limits, Arc::new(RunCache::new()));
+    let mut client = Client::connect(&addr).expect("connect");
+    let response = client
+        .request(&Request::Audit {
+            strategy: StrategyKind::Visibility,
+            dim: 4,
+        })
+        .expect("audit");
+    assert!(response.is_ok(), "{response:?}");
+
+    // Let at least one interval tick elapse, then drain (which appends a
+    // final snapshot before run() returns).
+    std::thread::sleep(Duration::from_millis(250));
+    shutdown();
+    handle.join().expect("clean shutdown");
+
+    let exported = std::fs::read_to_string(&path).expect("exporter wrote the file");
+    let lines: Vec<&str> = exported.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(
+        lines.len() >= 2,
+        "expected interval ticks plus a final snapshot, got {} lines",
+        lines.len()
+    );
+    for line in &lines {
+        let Ok(Response::Metrics(reply)) = Response::parse(line) else {
+            panic!("unparseable exporter line: {line}");
+        };
+        assert!(reply.enabled);
+    }
+    // The final (post-drain) snapshot saw the audit's request counter,
+    // and exporter ticks never count as served metrics requests.
+    let Ok(Response::Metrics(last)) = Response::parse(lines.last().expect("nonempty")) else {
+        unreachable!()
+    };
+    assert_eq!(last.series.counter("server.requests.audit"), Some(1));
+    assert_eq!(last.series.counter("server.requests.metrics"), Some(0));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn connection_cap_refuses_excess_clients_with_busy() {
     let limits = ServerLimits {
         max_connections: 1,

@@ -82,6 +82,70 @@ impl EventSink for SummarizingSink<'_> {
     }
 }
 
+/// How many events a [`MeteredSink`] accumulates locally before flushing
+/// them to the shared `sink.events` counter. Per-event atomic traffic from
+/// an `H_20` synthesis (~20M events) would dominate the stream; batched,
+/// the counter costs one increment per 1024 events plus one on drop.
+const METER_FLUSH_EVERY: u64 = 1024;
+
+/// Adapter sink that counts events into a telemetry counter while
+/// forwarding them to the inner sink, so multi-million-event streamed
+/// audits are observable (`sink.events`) while in flight.
+///
+/// The count is batched (see [`METER_FLUSH_EVERY`]) and the remainder is
+/// flushed on drop; readers see the stream advance in coarse steps.
+pub struct MeteredSink<S: EventSink> {
+    inner: S,
+    counter: hypersweep_telemetry::Counter,
+    pending: u64,
+}
+
+impl<S: EventSink> MeteredSink<S> {
+    /// Wrap `inner`, counting into `sink.events` of the process-global
+    /// telemetry registry (a no-op until one is installed).
+    pub fn new(inner: S) -> Self {
+        MeteredSink::with_counter(inner, hypersweep_telemetry::global().counter("sink.events"))
+    }
+
+    /// Wrap `inner`, counting into an explicit counter.
+    pub fn with_counter(inner: S, counter: hypersweep_telemetry::Counter) -> Self {
+        MeteredSink {
+            inner,
+            counter,
+            pending: 0,
+        }
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Push the locally-batched count to the counter.
+    pub fn flush(&mut self) {
+        if self.pending > 0 {
+            self.counter.add(self.pending);
+            self.pending = 0;
+        }
+    }
+}
+
+impl<S: EventSink> EventSink for MeteredSink<S> {
+    fn emit(&mut self, event: Event) {
+        self.pending += 1;
+        if self.pending >= METER_FLUSH_EVERY {
+            self.flush();
+        }
+        self.inner.emit(event);
+    }
+}
+
+impl<S: EventSink> Drop for MeteredSink<S> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 /// Discards every event — for metrics-only synthesis.
 pub struct NullSink;
 
@@ -161,6 +225,56 @@ mod tests {
             }
         );
         assert_eq!(buffer.len(), 3, "events must still reach the inner sink");
+    }
+
+    #[test]
+    fn metered_sink_counts_batched_and_flushes_on_drop() {
+        let registry = hypersweep_telemetry::MetricsRegistry::new();
+        let counter = registry.counter("sink.events");
+        let spawn = |t| Event {
+            time: t,
+            kind: EventKind::Spawn {
+                agent: 0,
+                node: Node(0),
+                role: Role::Worker,
+            },
+        };
+        {
+            let mut sink = MeteredSink::with_counter(Vec::new(), counter.clone());
+            // One short of a batch: nothing flushed yet.
+            for t in 0..(METER_FLUSH_EVERY - 1) {
+                sink.emit(spawn(t));
+            }
+            assert_eq!(counter.get(), 0, "the batch must not flush early");
+            sink.emit(spawn(METER_FLUSH_EVERY));
+            assert_eq!(counter.get(), METER_FLUSH_EVERY);
+            // A partial tail, flushed by drop.
+            for t in 0..5 {
+                sink.emit(spawn(t));
+            }
+            assert_eq!(sink.inner().len() as u64, METER_FLUSH_EVERY + 5);
+        }
+        assert_eq!(counter.get(), METER_FLUSH_EVERY + 5);
+    }
+
+    #[test]
+    fn metered_sink_forwards_through_nested_sinks() {
+        let registry = hypersweep_telemetry::MetricsRegistry::new();
+        let mut buffer: Vec<Event> = Vec::new();
+        {
+            let summarizing = SummarizingSink::new(&mut buffer);
+            let mut sink = MeteredSink::with_counter(summarizing, registry.counter("sink.events"));
+            sink.emit(Event {
+                time: 2,
+                kind: EventKind::Terminate {
+                    agent: 0,
+                    node: Node(1),
+                },
+            });
+            assert_eq!(sink.inner().summary().terminates, 1);
+        }
+        assert_eq!(buffer.len(), 1);
+        assert_eq!(registry.snapshot().counter("sink.events"), Some(1));
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! `hypersweep-telemetry`: metrics and tracing for the hypersweep stack.
+//!
+//! The daemon introduced in the server crate ran blind: the only visibility
+//! into a live `hypersweep serve` was the coarse `status` reply, and
+//! offline `report` runs exposed timings as ad-hoc prints. This crate is
+//! the first-class observability layer: a [`MetricsRegistry`] of named
+//! [`Counter`]s, [`Gauge`]s, and log2-bucketed [`Histogram`]s, plus scoped
+//! timing [`Span`]s that record wall time into histograms and nest into
+//! dotted phase paths.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Atomics only on the hot path.** Handles are resolved once (a short
+//!    registry lock, cold path); every `add`/`set`/`record` thereafter is a
+//!    handful of relaxed atomic operations on shared cells. No lock is ever
+//!    taken while recording.
+//! 2. **Zero-cost when disabled.** [`MetricsRegistry::disabled`] returns a
+//!    registry with the same API whose handles carry no cell: recording is
+//!    one branch on an `Option` that the optimizer folds away. The serve
+//!    benchmark gates the enabled path at <5% overhead.
+//! 3. **Std-only.** No dependencies beyond the workspace's vendored serde
+//!    stand-in (used solely to serialize [`MetricsSnapshot`]s).
+//!
+//! A [`MetricsSnapshot`] is an ordered (name-sorted), serializable view of
+//! every metric at one instant; snapshots from disjoint registries
+//! [`merge`](MetricsSnapshot::merge) associatively, which is what a future
+//! sharded daemon needs to aggregate per-shard registries.
+//!
+//! Deep layers that cannot thread a registry handle (e.g. the event-sink
+//! adapters inside strategy fast paths) read the process-wide default via
+//! [`global`]; the daemon and CLI [`install_global`] their registry at
+//! startup, and the default is disabled (no-op) otherwise.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+mod snapshot;
+mod span;
+
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use snapshot::{HistogramSnapshot, MetricValue, MetricsSnapshot};
+pub use span::Span;
+
+use std::sync::Mutex;
+
+static GLOBAL: Mutex<Option<MetricsRegistry>> = Mutex::new(None);
+
+/// Install `registry` as the process-wide default returned by [`global`].
+/// Later installs replace earlier ones; handles already resolved from a
+/// previous global keep recording into that registry.
+pub fn install_global(registry: &MetricsRegistry) {
+    *GLOBAL.lock().unwrap_or_else(|e| e.into_inner()) = Some(registry.clone());
+}
+
+/// The process-wide default registry: whatever [`install_global`] last
+/// installed, or a disabled (no-op) registry. Cheap to call, but callers
+/// should resolve handles once and keep them, not call this per event.
+pub fn global() -> MetricsRegistry {
+    GLOBAL
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+        .unwrap_or_else(MetricsRegistry::disabled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_defaults_to_disabled_and_install_replaces() {
+        // Note: the global is process-wide; this test only asserts the
+        // install/replace contract through a private registry, leaving
+        // whatever other tests installed in place at the end.
+        let registry = MetricsRegistry::new();
+        install_global(&registry);
+        let seen = global();
+        assert!(seen.is_enabled());
+        seen.counter("global.test").add(2);
+        assert_eq!(registry.counter("global.test").get(), 2);
+    }
+}

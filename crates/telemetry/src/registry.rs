@@ -1,0 +1,441 @@
+//! The metric registry and its three handle types.
+//!
+//! A [`MetricsRegistry`] is a cheap-to-clone handle over a shared table of
+//! named metrics. Resolving a handle ([`MetricsRegistry::counter`] etc.)
+//! takes a short lock on the table — callers do that once, at setup — and
+//! the handle thereafter points straight at the shared atomic cell, so the
+//! recording path is lock-free. A disabled registry hands out cell-less
+//! handles whose recording methods are a single always-false branch.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::snapshot::{HistogramSnapshot, MetricValue, MetricsSnapshot};
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `k >= 1`
+/// holds values whose bit length is `k`, i.e. `[2^(k-1), 2^k)`, up to
+/// bucket 64 for values with the top bit set.
+pub(crate) const BUCKET_COUNT: usize = 65;
+
+/// Bucket index for a sample: 0 for 0, otherwise the bit length of `v`.
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket, used by quantile estimation.
+pub(crate) fn bucket_upper_bound(index: u8) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        k => (1u64 << k) - 1,
+    }
+}
+
+/// The shared storage behind a [`Histogram`] handle. All fields are
+/// updated with relaxed atomics; a snapshot taken mid-record may therefore
+/// be off by the in-flight sample, which is acceptable for telemetry (the
+/// conservation proptest runs single-threaded where reads are exact).
+pub(crate) struct HistogramCell {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first sample lands.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        HistogramCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let mut buckets = Vec::new();
+        for (k, cell) in self.buckets.iter().enumerate() {
+            let c = cell.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((k as u8, c));
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: (count > 0).then(|| self.min.load(Ordering::Relaxed)),
+            max: (count > 0).then(|| self.max.load(Ordering::Relaxed)),
+            buckets,
+        }
+    }
+}
+
+/// One registered metric: the kind tag and the shared cell.
+enum Metric {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCell>),
+}
+
+impl Metric {
+    fn read(&self) -> MetricValue {
+        match self {
+            Metric::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+            Metric::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Relaxed)),
+            Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+        }
+    }
+}
+
+/// A registry of named metrics, or a no-op stand-in.
+///
+/// Clones share the same table; `MetricsRegistry` is the handle you pass
+/// around, not the storage. [`MetricsRegistry::disabled`] builds a registry
+/// with no table at all: every handle it resolves is inert and every
+/// snapshot is empty, at the cost of one branch per recording call.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<Mutex<BTreeMap<String, Metric>>>>,
+}
+
+impl MetricsRegistry {
+    /// A live registry with an empty metric table.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            inner: Some(Arc::new(Mutex::new(BTreeMap::new()))),
+        }
+    }
+
+    /// A no-op registry: handles record nothing, snapshots are empty.
+    pub fn disabled() -> Self {
+        MetricsRegistry { inner: None }
+    }
+
+    /// Whether this registry actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether two handles share the same underlying table (two disabled
+    /// registries are *not* considered equal — there is nothing shared).
+    pub fn ptr_eq(&self, other: &MetricsRegistry) -> bool {
+        match (&self.inner, &other.inner) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    fn table(&self) -> Option<std::sync::MutexGuard<'_, BTreeMap<String, Metric>>> {
+        self.inner
+            .as_ref()
+            .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Resolve (registering on first use) the counter called `name`.
+    ///
+    /// If `name` is already registered as a different kind the returned
+    /// handle is backed by a fresh detached cell: it works locally but is
+    /// invisible to snapshots, rather than corrupting the existing series.
+    pub fn counter(&self, name: &str) -> Counter {
+        let Some(mut table) = self.table() else {
+            return Counter { cell: None };
+        };
+        let metric = table
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))));
+        let cell = match metric {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => {
+                debug_assert!(
+                    false,
+                    "metric {name:?} already registered with another kind"
+                );
+                Arc::new(AtomicU64::new(0))
+            }
+        };
+        Counter { cell: Some(cell) }
+    }
+
+    /// Resolve (registering on first use) the gauge called `name`.
+    /// Kind mismatches behave as in [`MetricsRegistry::counter`].
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let Some(mut table) = self.table() else {
+            return Gauge { cell: None };
+        };
+        let metric = table
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(AtomicI64::new(0))));
+        let cell = match metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => {
+                debug_assert!(
+                    false,
+                    "metric {name:?} already registered with another kind"
+                );
+                Arc::new(AtomicI64::new(0))
+            }
+        };
+        Gauge { cell: Some(cell) }
+    }
+
+    /// Resolve (registering on first use) the histogram called `name`.
+    /// Kind mismatches behave as in [`MetricsRegistry::counter`].
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let Some(mut table) = self.table() else {
+            return Histogram { cell: None };
+        };
+        let metric = table
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(HistogramCell::new())));
+        let cell = match metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => {
+                debug_assert!(
+                    false,
+                    "metric {name:?} already registered with another kind"
+                );
+                Arc::new(HistogramCell::new())
+            }
+        };
+        Histogram { cell: Some(cell) }
+    }
+
+    /// An ordered (name-sorted) view of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let entries = match self.table() {
+            Some(table) => table.iter().map(|(k, m)| (k.clone(), m.read())).collect(),
+            None => Vec::new(),
+        };
+        MetricsSnapshot::from_entries(entries)
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.table() {
+            Some(table) => write!(f, "MetricsRegistry({} metrics)", table.len()),
+            None => write!(f, "MetricsRegistry(disabled)"),
+        }
+    }
+}
+
+/// A monotonically increasing count. Cloning shares the cell.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A counter connected to nothing; useful as a field default.
+    pub fn noop() -> Self {
+        Counter { cell: None }
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value (0 for a no-op counter).
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A signed instantaneous value (queue depths, entry counts).
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicI64>>,
+}
+
+impl Gauge {
+    /// A gauge connected to nothing; useful as a field default.
+    pub fn noop() -> Self {
+        Gauge { cell: None }
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.cell {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adjust by a signed delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// The current value (0 for a no-op gauge).
+    pub fn get(&self) -> i64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A log2-bucketed distribution of u64 samples.
+#[derive(Clone)]
+pub struct Histogram {
+    cell: Option<Arc<HistogramCell>>,
+}
+
+impl Histogram {
+    /// A histogram connected to nothing; useful as a field default.
+    pub fn noop() -> Self {
+        Histogram { cell: None }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(cell) = &self.cell {
+            cell.record(v);
+        }
+    }
+
+    /// Record a wall-time duration in microseconds (saturating).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Total number of samples recorded (0 for a no-op histogram).
+    pub fn count(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_index_range() {
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(10), 1023);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        for k in 1..64u8 {
+            assert_eq!(bucket_index(bucket_upper_bound(k)), k as usize);
+        }
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_round_trip_through_snapshot() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a.count").add(3);
+        registry.gauge("a.depth").set(-2);
+        let h = registry.histogram("a.lat_us");
+        h.record(0);
+        h.record(7);
+        h.record(7);
+        h.record(4096);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("a.count"), Some(3));
+        assert_eq!(snap.gauge("a.depth"), Some(-2));
+        let hist = snap.histogram("a.lat_us").expect("histogram present");
+        assert_eq!(hist.count, 4);
+        assert_eq!(hist.sum, 4110);
+        assert_eq!(hist.min, Some(0));
+        assert_eq!(hist.max, Some(4096));
+        assert_eq!(hist.buckets, vec![(0, 1), (3, 2), (13, 1)]);
+        // Names come out sorted.
+        let names: Vec<&str> = snap.entries().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.count", "a.depth", "a.lat_us"]);
+    }
+
+    #[test]
+    fn handles_share_cells_across_lookups_and_clones() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("shared");
+        let b = registry.counter("shared");
+        let c = a.clone();
+        a.inc();
+        b.add(2);
+        c.inc();
+        assert_eq!(registry.counter("shared").get(), 4);
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let registry = MetricsRegistry::disabled();
+        assert!(!registry.is_enabled());
+        let c = registry.counter("x");
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        registry.gauge("g").set(5);
+        registry.histogram("h").record(1);
+        assert!(registry.snapshot().is_empty());
+        assert!(!registry.ptr_eq(&MetricsRegistry::disabled()));
+    }
+
+    #[test]
+    fn clones_share_the_table_and_ptr_eq_sees_it() {
+        let a = MetricsRegistry::new();
+        let b = a.clone();
+        assert!(a.ptr_eq(&b));
+        assert!(!a.ptr_eq(&MetricsRegistry::new()));
+        b.counter("via.clone").inc();
+        assert_eq!(a.snapshot().counter("via.clone"), Some(1));
+    }
+}

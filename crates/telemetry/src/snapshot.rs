@@ -1,0 +1,361 @@
+//! Ordered, serializable views of a registry at one instant.
+//!
+//! Snapshots are plain data: name-sorted `(name, value)` pairs that
+//! serialize to a JSON object in that order, so two snapshots of the same
+//! state produce byte-identical JSON. Snapshots from disjoint registries
+//! merge associatively (counters and gauges add, histograms combine
+//! bucket-wise), which is how the daemon folds a separately-owned cache
+//! registry into its own before answering a `metrics` request.
+
+use std::collections::BTreeMap;
+
+use serde::{get_field, Deserialize, Error, Serialize, Value};
+
+use crate::registry::bucket_upper_bound;
+
+/// A point-in-time reading of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow, like the live cell).
+    pub sum: u64,
+    /// Smallest sample, `None` when empty.
+    pub min: Option<u64>,
+    /// Largest sample, `None` when empty.
+    pub max: Option<u64>,
+    /// Sparse `(bucket_index, count)` pairs, ascending by index. Bucket 0
+    /// holds the value 0; bucket `k >= 1` holds values in `[2^(k-1), 2^k)`.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// An empty distribution.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: None,
+            max: None,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Mean sample value, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`0.0..=1.0`),
+    /// `None` when empty. Log2 buckets make this an estimate that is never
+    /// below the true quantile but at most 2x above it.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(k, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper_bound(k));
+            }
+        }
+        // Concurrent tearing can leave bucket totals momentarily behind
+        // `count`; fall back to the last occupied bucket.
+        self.buckets.last().map(|&(k, _)| bucket_upper_bound(k))
+    }
+
+    /// Fold `other` into `self` bucket-wise.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        let mut merged: BTreeMap<u8, u64> = self.buckets.iter().copied().collect();
+        for &(k, c) in &other.buckets {
+            *merged.entry(k).or_insert(0) += c;
+        }
+        self.buckets = merged.into_iter().collect();
+    }
+}
+
+/// One metric reading, tagged by kind.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic count.
+    Counter(u64),
+    /// A signed instantaneous value.
+    Gauge(i64),
+    /// A bucketed distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// An ordered collection of named metric readings.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Build from entries, sorting by name (duplicates keep the last).
+    pub fn from_entries(mut entries: Vec<(String, MetricValue)>) -> Self {
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                earlier.1 = later.1.clone();
+                true
+            } else {
+                false
+            }
+        });
+        MetricsSnapshot { entries }
+    }
+
+    /// The name-sorted `(name, value)` pairs.
+    pub fn entries(&self) -> &[(String, MetricValue)] {
+        &self.entries
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a metric by exact name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Counter value by name, `None` if absent or a different kind.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name, `None` if absent or a different kind.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram by name, `None` if absent or a different kind.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Fold `other` into `self`: counters and gauges add, histograms merge
+    /// bucket-wise, names only in `other` are inserted. A name present in
+    /// both with different kinds keeps `self`'s reading (this indicates a
+    /// naming bug, not something a merge can resolve).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        let mut merged: BTreeMap<String, MetricValue> = self.entries.drain(..).collect();
+        for (name, value) in other.entries() {
+            match merged.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(value.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    match (slot.get_mut(), value) {
+                        (MetricValue::Counter(a), MetricValue::Counter(b)) => {
+                            *a = a.wrapping_add(*b);
+                        }
+                        (MetricValue::Gauge(a), MetricValue::Gauge(b)) => {
+                            *a = a.wrapping_add(*b);
+                        }
+                        (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        self.entries = merged.into_iter().collect();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization. Hand-written because the vendored derive handles neither
+// the tagged-by-kind value shape nor sparse bucket pairs. The wire shape:
+//
+//   {"pool.jobs": {"type": "counter", "value": 12},
+//    "pool.queued": {"type": "gauge", "value": 0},
+//    "pool.job_us": {"type": "histogram", "count": 12, "sum": 3480,
+//                    "min": 101, "max": 612, "buckets": [[7, 3], [9, 9]]}}
+
+impl Serialize for MetricValue {
+    fn serialize_value(&self) -> Value {
+        match self {
+            MetricValue::Counter(v) => Value::Object(vec![
+                ("type".to_string(), Value::String("counter".to_string())),
+                ("value".to_string(), v.serialize_value()),
+            ]),
+            MetricValue::Gauge(v) => Value::Object(vec![
+                ("type".to_string(), Value::String("gauge".to_string())),
+                ("value".to_string(), v.serialize_value()),
+            ]),
+            MetricValue::Histogram(h) => Value::Object(vec![
+                ("type".to_string(), Value::String("histogram".to_string())),
+                ("count".to_string(), h.count.serialize_value()),
+                ("sum".to_string(), h.sum.serialize_value()),
+                ("min".to_string(), h.min.serialize_value()),
+                ("max".to_string(), h.max.serialize_value()),
+                ("buckets".to_string(), h.buckets.serialize_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for MetricValue {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| Error::custom("metric value must be an object"))?;
+        let kind = get_field(fields, "type")
+            .as_str()
+            .ok_or_else(|| Error::custom("metric value needs a string `type`"))?;
+        match kind {
+            "counter" => Ok(MetricValue::Counter(u64::deserialize_value(get_field(
+                fields, "value",
+            ))?)),
+            "gauge" => Ok(MetricValue::Gauge(i64::deserialize_value(get_field(
+                fields, "value",
+            ))?)),
+            "histogram" => Ok(MetricValue::Histogram(HistogramSnapshot {
+                count: u64::deserialize_value(get_field(fields, "count"))?,
+                sum: u64::deserialize_value(get_field(fields, "sum"))?,
+                min: Option::<u64>::deserialize_value(get_field(fields, "min"))?,
+                max: Option::<u64>::deserialize_value(get_field(fields, "max"))?,
+                buckets: Vec::<(u8, u64)>::deserialize_value(get_field(fields, "buckets"))?,
+            })),
+            other => Err(Error::custom(format!(
+                "unknown metric type {other:?} (expected counter|gauge|histogram)"
+            ))),
+        }
+    }
+}
+
+impl Serialize for MetricsSnapshot {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.entries
+                .iter()
+                .map(|(name, value)| (name.clone(), value.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for MetricsSnapshot {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| Error::custom("metrics snapshot must be an object"))?;
+        let entries = fields
+            .iter()
+            .map(|(name, value)| Ok((name.clone(), MetricValue::deserialize_value(value)?)))
+            .collect::<Result<Vec<_>, Error>>()?;
+        Ok(MetricsSnapshot::from_entries(entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(samples: &[u64]) -> HistogramSnapshot {
+        let registry = crate::MetricsRegistry::new();
+        let h = registry.histogram("h");
+        for &s in samples {
+            h.record(s);
+        }
+        registry.snapshot().histogram("h").unwrap().clone()
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let snap = MetricsSnapshot::from_entries(vec![
+            ("b.gauge".to_string(), MetricValue::Gauge(-7)),
+            ("a.count".to_string(), MetricValue::Counter(42)),
+            (
+                "c.hist".to_string(),
+                MetricValue::Histogram(hist(&[0, 3, 900])),
+            ),
+        ]);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        // Serialized in name order, independent of construction order.
+        assert!(json.find("a.count").unwrap() < json.find("b.gauge").unwrap());
+        assert!(json.find("b.gauge").unwrap() < json.find("c.hist").unwrap());
+    }
+
+    #[test]
+    fn empty_histogram_serializes_null_bounds() {
+        let snap = MetricsSnapshot::from_entries(vec![(
+            "h".to_string(),
+            MetricValue::Histogram(HistogramSnapshot::empty()),
+        )]);
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"min\":null"), "json was {json}");
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.histogram("h").unwrap().min, None);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_combines_histograms() {
+        let mut a = MetricsSnapshot::from_entries(vec![
+            ("c".to_string(), MetricValue::Counter(5)),
+            ("g".to_string(), MetricValue::Gauge(2)),
+            ("h".to_string(), MetricValue::Histogram(hist(&[1, 8]))),
+            ("only_a".to_string(), MetricValue::Counter(1)),
+        ]);
+        let b = MetricsSnapshot::from_entries(vec![
+            ("c".to_string(), MetricValue::Counter(7)),
+            ("g".to_string(), MetricValue::Gauge(-3)),
+            ("h".to_string(), MetricValue::Histogram(hist(&[8, 1000]))),
+            ("only_b".to_string(), MetricValue::Gauge(9)),
+        ]);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), Some(12));
+        assert_eq!(a.gauge("g"), Some(-1));
+        assert_eq!(a.counter("only_a"), Some(1));
+        assert_eq!(a.gauge("only_b"), Some(9));
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!((h.min, h.max), (Some(1), Some(1000)));
+        assert_eq!(h, &hist(&[1, 8, 8, 1000]));
+    }
+
+    #[test]
+    fn quantile_uses_bucket_upper_bounds() {
+        let h = hist(&[1, 2, 3, 4, 100]);
+        assert_eq!(h.quantile(0.0), Some(1));
+        // rank ceil(0.5*5)=3 → third sample (3) lives in bucket 2, bound 3.
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(1.0), Some(127));
+        assert_eq!(HistogramSnapshot::empty().quantile(0.5), None);
+        assert_eq!(h.mean(), Some(22.0));
+    }
+}

@@ -1,0 +1,175 @@
+//! Scoped timing spans.
+//!
+//! A [`Span`] measures the wall time between `enter` and drop and records
+//! it, in microseconds, into a histogram named `span.<path>_us`. The path
+//! is the dot-joined chain of the spans currently live on this thread, so
+//!
+//! ```
+//! # use hypersweep_telemetry::{MetricsRegistry, Span};
+//! let registry = MetricsRegistry::new();
+//! {
+//!     let _report = Span::enter_in(&registry, "report");
+//!     let _warm = Span::enter_in(&registry, "warm");
+//!     // ... the warm phase ...
+//! } // records span.report.warm_us, then span.report_us
+//! assert_eq!(registry.snapshot().histogram("span.report.warm_us").unwrap().count, 1);
+//! ```
+//!
+//! [`Span::enter`] uses the process [`global`](crate::global) registry,
+//! which is what instrumented library code should call; hot paths that
+//! already hold a registry use [`Span::enter_in`]. Spans are thread-local
+//! bookkeeping and deliberately `!Send`: moving one across threads would
+//! desynchronize the path stack.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+use crate::registry::{Histogram, MetricsRegistry};
+
+thread_local! {
+    /// The names of the spans currently open on this thread, outermost
+    /// first. Only spans on enabled registries push here.
+    static SPAN_PATH: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII timing scope; see the module docs for the naming scheme.
+pub struct Span {
+    /// `None` when the registry was disabled: the span is inert.
+    start: Option<Instant>,
+    histogram: Histogram,
+    /// Keeps the span `!Send`/`!Sync`: it owns a slot in this thread's path
+    /// stack that must be popped on the same thread.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Span {
+    /// Open a span on the process-global registry (a no-op until
+    /// [`install_global`](crate::install_global) runs).
+    pub fn enter(name: &str) -> Span {
+        Span::enter_in(&crate::global(), name)
+    }
+
+    /// Open a span on `registry`. The histogram handle is resolved here,
+    /// once, so only entry pays the registry lock — drop is lock-free.
+    pub fn enter_in(registry: &MetricsRegistry, name: &str) -> Span {
+        if !registry.is_enabled() {
+            return Span {
+                start: None,
+                histogram: Histogram::noop(),
+                _not_send: PhantomData,
+            };
+        }
+        let metric = SPAN_PATH.with(|path| {
+            let mut path = path.borrow_mut();
+            path.push(name.to_string());
+            let mut metric = String::with_capacity(8 + name.len() + 8 * path.len());
+            metric.push_str("span.");
+            for (i, segment) in path.iter().enumerate() {
+                if i > 0 {
+                    metric.push('.');
+                }
+                metric.push_str(segment);
+            }
+            metric.push_str("_us");
+            metric
+        });
+        Span {
+            start: Some(Instant::now()),
+            histogram: registry.histogram(&metric),
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.histogram.record_duration(start.elapsed());
+            SPAN_PATH.with(|path| {
+                path.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_record_dotted_paths() {
+        let registry = MetricsRegistry::new();
+        {
+            let _outer = Span::enter_in(&registry, "report");
+            {
+                let _inner = Span::enter_in(&registry, "warm");
+            }
+            {
+                let _inner = Span::enter_in(&registry, "experiments");
+                let _leaf = Span::enter_in(&registry, "t2");
+            }
+        }
+        let snap = registry.snapshot();
+        for name in [
+            "span.report_us",
+            "span.report.warm_us",
+            "span.report.experiments_us",
+            "span.report.experiments.t2_us",
+        ] {
+            assert_eq!(
+                snap.histogram(name).map(|h| h.count),
+                Some(1),
+                "missing or miscounted {name}"
+            );
+        }
+        // The stack unwound fully: a new span is top-level again.
+        {
+            let _again = Span::enter_in(&registry, "again");
+        }
+        assert_eq!(
+            registry
+                .snapshot()
+                .histogram("span.again_us")
+                .map(|h| h.count),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn disabled_spans_leave_no_trace_and_do_not_pollute_the_stack() {
+        let enabled = MetricsRegistry::new();
+        let disabled = MetricsRegistry::disabled();
+        {
+            let _outer = Span::enter_in(&disabled, "ghost");
+            // The disabled outer span must not become part of this path.
+            let _inner = Span::enter_in(&enabled, "real");
+        }
+        let snap = enabled.snapshot();
+        assert_eq!(snap.histogram("span.real_us").map(|h| h.count), Some(1));
+        assert!(snap.get("span.ghost.real_us").is_none());
+    }
+
+    #[test]
+    fn sibling_threads_have_independent_paths() {
+        let registry = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for name in ["left", "right"] {
+                let registry = &registry;
+                scope.spawn(move || {
+                    let _outer = Span::enter_in(registry, name);
+                    let _inner = Span::enter_in(registry, "leaf");
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.histogram("span.left.leaf_us").map(|h| h.count),
+            Some(1)
+        );
+        assert_eq!(
+            snap.histogram("span.right.leaf_us").map(|h| h.count),
+            Some(1)
+        );
+    }
+}

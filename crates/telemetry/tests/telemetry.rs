@@ -1,0 +1,141 @@
+//! Property and stress tests for the telemetry core:
+//!
+//! * bucket-count conservation: for any u64 samples, the histogram's
+//!   bucket totals, count, sum, min, and max all agree with the samples;
+//! * merge correctness: recording a sample set split across two
+//!   registries and merging the snapshots equals recording the whole set
+//!   sequentially into one registry;
+//! * an 8-thread stress test asserting no counter increment or histogram
+//!   sample is lost under contention;
+//! * JSON round-trips of arbitrary snapshots.
+
+use proptest::prelude::*;
+
+use hypersweep_telemetry::{MetricsRegistry, MetricsSnapshot};
+
+/// u64 samples with varied magnitude: a uniform draw right-shifted by a
+/// uniform amount, so small, medium, and full-width values all occur.
+fn sample() -> impl Strategy<Value = u64> {
+    (0u64..=u64::MAX, 0u32..=63).prop_map(|(v, s)| v >> s)
+}
+
+fn record_all(samples: &[u64]) -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+    let h = registry.histogram("h");
+    for &s in samples {
+        h.record(s);
+    }
+    registry
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every sample lands in exactly one bucket, and the scalar summaries
+    /// match a direct fold over the samples.
+    #[test]
+    fn histogram_bucket_counts_are_conserved(samples in proptest::collection::vec(sample(), 0..200usize)) {
+        let snap = record_all(&samples).snapshot();
+        let h = snap.histogram("h").unwrap();
+        let bucket_total: u64 = h.buckets.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, samples.len() as u64);
+        prop_assert_eq!(h.count, samples.len() as u64);
+        let expected_sum = samples.iter().fold(0u64, |a, &s| a.wrapping_add(s));
+        prop_assert_eq!(h.sum, expected_sum);
+        prop_assert_eq!(h.min, samples.iter().copied().min());
+        prop_assert_eq!(h.max, samples.iter().copied().max());
+        // Buckets are sparse (non-zero), sorted, and within the index range.
+        for window in h.buckets.windows(2) {
+            prop_assert!(window[0].0 < window[1].0);
+        }
+        for &(k, c) in &h.buckets {
+            prop_assert!(c > 0);
+            prop_assert!(k <= 64);
+        }
+    }
+
+    /// Splitting the samples across two registries and merging their
+    /// snapshots gives the same snapshot as sequential recording.
+    #[test]
+    fn merged_snapshots_equal_sequential_recording(
+        samples in proptest::collection::vec(sample(), 0..200usize),
+        split in 0u64..=u64::MAX,
+        counter_a in 0u64..1_000_000,
+        counter_b in 0u64..1_000_000,
+    ) {
+        let cut = (split as usize) % (samples.len() + 1);
+        let (left, right) = samples.split_at(cut);
+
+        let a = record_all(left);
+        a.counter("c").add(counter_a);
+        let b = record_all(right);
+        b.counter("c").add(counter_b);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+
+        let sequential = record_all(&samples);
+        sequential.counter("c").add(counter_a + counter_b);
+        prop_assert_eq!(merged, sequential.snapshot());
+    }
+
+    /// Snapshot JSON round-trips losslessly through the wire format.
+    #[test]
+    fn snapshot_json_round_trips(
+        samples in proptest::collection::vec(sample(), 0..64usize),
+        count in 0u64..=u64::MAX,
+        level in 0u64..=u64::MAX,
+    ) {
+        let registry = record_all(&samples);
+        registry.counter("requests").add(count);
+        // Exercise negative gauges too.
+        registry.gauge("depth").set((level as i64).wrapping_neg());
+        let snap = registry.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, snap);
+    }
+}
+
+/// 8 threads hammering one counter, one gauge, and one histogram: every
+/// increment and sample must be visible in the final snapshot.
+#[test]
+fn eight_thread_stress_loses_no_increments() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50_000;
+
+    let registry = MetricsRegistry::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = registry.clone();
+            scope.spawn(move || {
+                // Resolve handles once, like real instrumentation does.
+                let counter = registry.counter("stress.count");
+                let gauge = registry.gauge("stress.balance");
+                let histogram = registry.histogram("stress.samples");
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    gauge.inc();
+                    gauge.dec();
+                    histogram.record(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("stress.count"), Some(THREADS * PER_THREAD));
+    assert_eq!(snap.gauge("stress.balance"), Some(0));
+    let h = snap.histogram("stress.samples").unwrap();
+    assert_eq!(h.count, THREADS * PER_THREAD);
+    let bucket_total: u64 = h.buckets.iter().map(|&(_, c)| c).sum();
+    assert_eq!(
+        bucket_total,
+        THREADS * PER_THREAD,
+        "a sample missed its bucket"
+    );
+    assert_eq!(h.min, Some(0));
+    assert_eq!(h.max, Some(THREADS * PER_THREAD - 1));
+    // Sum of 0..N-1 for N = THREADS*PER_THREAD.
+    let n = THREADS * PER_THREAD;
+    assert_eq!(h.sum, n * (n - 1) / 2);
+}

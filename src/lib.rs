@@ -38,6 +38,7 @@ pub use hypersweep_core as core;
 pub use hypersweep_intruder as intruder;
 pub use hypersweep_server as server;
 pub use hypersweep_sim as sim;
+pub use hypersweep_telemetry as telemetry;
 pub use hypersweep_topology as topology;
 
 /// The items most programs need.
