@@ -1,0 +1,280 @@
+//! Parallel schedule-exploration campaigns on the harness worker pool.
+//!
+//! `hypersweep-check` explores one schedule at a time; a campaign is
+//! thousands of them, embarrassingly parallel. This module chunks the
+//! schedule range into fixed-size slices (independent of the worker count,
+//! so *which* schedules run never depends on `--jobs`), fans the slices out
+//! through [`execute_jobs_metered`], and merges the per-slice outcomes
+//! submission-ordered — the reported counterexample is always the one with
+//! the **lowest schedule index**, making the campaign verdict deterministic
+//! for a fixed `(strategy, dim, schedules, seed)` regardless of
+//! parallelism.
+//!
+//! Telemetry lands in the `check.*` series: `check.schedules`,
+//! `check.steps`, `check.events`, `check.violations` counters and the
+//! per-schedule `check.schedule_us` wall-time histogram.
+
+use std::time::{Duration, Instant};
+
+use hypersweep_check::{explore_schedule, shrunk_replay, CheckConfig, ReplayFile};
+use hypersweep_telemetry::MetricsRegistry;
+
+use crate::pool::execute_jobs_metered;
+use crate::table::Table;
+
+/// Fixed slice width for the fan-out. Small enough to load-balance a
+/// contended pool, large enough that per-job overhead stays negligible.
+const SLICE: u64 = 32;
+
+/// One campaign: explore `schedules` seeded schedules of `cfg`.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckCampaign {
+    /// The checking problem (strategy, dimension, bounds).
+    pub cfg: CheckConfig,
+    /// How many schedules to explore (`0..schedules`).
+    pub schedules: u64,
+    /// Campaign seed; schedule `s` runs under the adversary
+    /// `Adversary::for_schedule(seed, s)`.
+    pub seed: u64,
+}
+
+/// What a campaign found.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// Strategy name.
+    pub strategy: String,
+    /// Hypercube dimension.
+    pub dim: u32,
+    /// Schedules actually explored (slices stop at their first violation,
+    /// so this can undershoot the request when a counterexample exists).
+    pub schedules_run: u64,
+    /// Decision steps executed across all explored schedules.
+    pub steps: u64,
+    /// Events fed through the oracles.
+    pub events: u64,
+    /// Violating schedules seen across all slices.
+    pub violations: u64,
+    /// The lowest-index counterexample, shrunk and ready to serialize.
+    /// `None` means every explored schedule upheld every invariant.
+    pub counterexample: Option<ReplayFile>,
+    /// Campaign wall time.
+    pub elapsed: Duration,
+}
+
+impl CampaignOutcome {
+    /// Schedules per second of wall time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.schedules_run as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// What one pool job (a slice of the schedule range) reports back.
+struct SliceOutcome {
+    schedules_run: u64,
+    steps: u64,
+    events: u64,
+    violations: u64,
+    /// Lowest violating schedule in the slice, with its run.
+    first: Option<(u64, hypersweep_check::ScheduleRun)>,
+}
+
+/// Run one campaign on `jobs` pool workers, recording `check.*` telemetry
+/// into `registry`. Deterministic verdict: the returned counterexample is
+/// the lowest-index violating schedule regardless of `jobs`.
+pub fn run_campaign(
+    campaign: &CheckCampaign,
+    jobs: usize,
+    registry: &MetricsRegistry,
+) -> CampaignOutcome {
+    let started = Instant::now();
+    let cfg = campaign.cfg;
+    let seed = campaign.seed;
+    let schedules_counter = registry.counter("check.schedules");
+    let steps_counter = registry.counter("check.steps");
+    let events_counter = registry.counter("check.events");
+    let violations_counter = registry.counter("check.violations");
+    let schedule_us = registry.histogram("check.schedule_us");
+
+    let slices: Vec<(u64, u64)> = (0..campaign.schedules)
+        .step_by(SLICE.max(1) as usize)
+        .map(|lo| (lo, (lo + SLICE).min(campaign.schedules)))
+        .collect();
+    let work: Vec<_> = slices
+        .into_iter()
+        .map(|(lo, hi)| {
+            let schedules_counter = schedules_counter.clone();
+            let steps_counter = steps_counter.clone();
+            let events_counter = events_counter.clone();
+            let violations_counter = violations_counter.clone();
+            let schedule_us = schedule_us.clone();
+            move || {
+                let mut out = SliceOutcome {
+                    schedules_run: 0,
+                    steps: 0,
+                    events: 0,
+                    violations: 0,
+                    first: None,
+                };
+                for schedule in lo..hi {
+                    let t0 = Instant::now();
+                    let run = explore_schedule(&cfg, seed, schedule);
+                    schedule_us.record(t0.elapsed().as_micros() as u64);
+                    out.schedules_run += 1;
+                    out.steps += run.steps;
+                    out.events += run.events;
+                    schedules_counter.add(1);
+                    steps_counter.add(run.steps);
+                    events_counter.add(run.events);
+                    if run.violation.is_some() {
+                        out.violations += 1;
+                        violations_counter.add(1);
+                        out.first = Some((schedule, run));
+                        // The slice stops here; lower-index slices keep
+                        // running, so the merged winner is still global.
+                        break;
+                    }
+                }
+                out
+            }
+        })
+        .collect();
+
+    let results = execute_jobs_metered(work, jobs.max(1), registry);
+
+    let mut outcome = CampaignOutcome {
+        strategy: cfg.strategy.name().to_string(),
+        dim: cfg.dim,
+        schedules_run: 0,
+        steps: 0,
+        events: 0,
+        violations: 0,
+        counterexample: None,
+        elapsed: Duration::ZERO,
+    };
+    let mut winner: Option<(u64, hypersweep_check::ScheduleRun)> = None;
+    for slice in results {
+        outcome.schedules_run += slice.schedules_run;
+        outcome.steps += slice.steps;
+        outcome.events += slice.events;
+        outcome.violations += slice.violations;
+        if let Some((schedule, run)) = slice.first {
+            // Slices arrive in submission order (ascending ranges), so the
+            // first hit is the lowest schedule; keep the min anyway for
+            // robustness.
+            if winner.as_ref().is_none_or(|(s, _)| schedule < *s) {
+                winner = Some((schedule, run));
+            }
+        }
+    }
+    if let Some((schedule, run)) = winner {
+        outcome.counterexample = Some(shrunk_replay(&cfg, seed, schedule, run));
+    }
+    outcome.elapsed = started.elapsed();
+    outcome
+}
+
+/// Render campaign outcomes as the summary table `hypersweep check` prints.
+pub fn campaign_table(outcomes: &[CampaignOutcome]) -> Table {
+    let mut table = Table::new(
+        "schedule-exploration campaigns",
+        &[
+            "strategy",
+            "dim",
+            "schedules",
+            "steps",
+            "events",
+            "sched/s",
+            "violations",
+            "verdict",
+        ],
+    );
+    for o in outcomes {
+        let verdict = match &o.counterexample {
+            Some(replay) => format!("FAIL @ schedule {} ({})", replay.schedule, replay.violation),
+            None => "ok".to_string(),
+        };
+        table.push_row(vec![
+            o.strategy.clone(),
+            o.dim.to_string(),
+            o.schedules_run.to_string(),
+            o.steps.to_string(),
+            o.events.to_string(),
+            format!("{:.0}", o.throughput()),
+            o.violations.to_string(),
+            verdict,
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersweep_check::CheckStrategy;
+
+    fn campaign(strategy: CheckStrategy, schedules: u64) -> CheckCampaign {
+        CheckCampaign {
+            cfg: CheckConfig::new(strategy, 4),
+            schedules,
+            seed: 0xFEED,
+        }
+    }
+
+    #[test]
+    fn clean_campaign_is_quiet_and_deterministic_across_jobs() {
+        let c = campaign(CheckStrategy::Clean, 80);
+        let reg = MetricsRegistry::disabled();
+        let serial = run_campaign(&c, 1, &reg);
+        let pooled = run_campaign(&c, 8, &reg);
+        assert_eq!(serial.violations, 0);
+        assert_eq!(serial.counterexample.as_ref().map(|r| r.to_json()), None);
+        assert_eq!(serial.schedules_run, pooled.schedules_run);
+        assert_eq!(serial.steps, pooled.steps);
+        assert_eq!(serial.events, pooled.events);
+    }
+
+    #[test]
+    fn mutant_campaign_reports_the_lowest_counterexample_for_any_jobs() {
+        let c = campaign(CheckStrategy::MutantEagerGuard, 200);
+        let reg = MetricsRegistry::disabled();
+        let serial = run_campaign(&c, 1, &reg);
+        let pooled = run_campaign(&c, 8, &reg);
+        let a = serial.counterexample.expect("mutant caught serially");
+        let b = pooled.counterexample.expect("mutant caught pooled");
+        assert_eq!(a.to_json(), b.to_json(), "verdict depends on --jobs");
+        assert!(serial.violations >= 1);
+    }
+
+    #[test]
+    fn campaign_telemetry_lands_in_check_series() {
+        let reg = MetricsRegistry::new();
+        let c = campaign(CheckStrategy::Visibility, 12);
+        let out = run_campaign(&c, 2, &reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("check.schedules"), Some(out.schedules_run));
+        assert_eq!(snap.counter("check.steps"), Some(out.steps));
+        assert_eq!(snap.counter("check.violations"), Some(0));
+        assert_eq!(
+            snap.histogram("check.schedule_us").map(|h| h.count),
+            Some(out.schedules_run)
+        );
+    }
+
+    #[test]
+    fn table_renders_one_row_per_campaign() {
+        let reg = MetricsRegistry::disabled();
+        let outcomes: Vec<_> = [CheckStrategy::Clean, CheckStrategy::MutantEagerGuard]
+            .into_iter()
+            .map(|s| run_campaign(&campaign(s, 120), 4, &reg))
+            .collect();
+        let table = campaign_table(&outcomes);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.rows[0].last().unwrap(), "ok");
+        assert!(table.rows[1].last().unwrap().starts_with("FAIL @ schedule"));
+    }
+}

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod checking;
 pub mod experiments;
 pub mod pool;
 pub mod result;
@@ -24,6 +25,7 @@ pub mod stats;
 pub mod table;
 
 pub use cache::{execute_run, Exec, RunCache, RunKey, StrategyKind};
+pub use checking::{campaign_table, run_campaign, CampaignOutcome, CheckCampaign};
 pub use pool::{default_jobs, execute_jobs, execute_jobs_metered, PoolSaturated, WorkerPool};
 pub use result::ExperimentResult;
 pub use runner::{

@@ -1,0 +1,224 @@
+//! Adversarial activation-order policies.
+//!
+//! An adversary is a deterministic function from (seed, decision history)
+//! to an index into the current runnable set. Five families are explored,
+//! round-robin across the schedule index, so a campaign of `N` schedules
+//! exercises each family `N/5` times with distinct seeds:
+//!
+//! * **seeded-random** — uniform choice from a splitmix64 stream;
+//! * **round-robin-skew** — a rotating cursor that periodically sticks,
+//!   so one agent gets activated twice in a row while another starves;
+//! * **laggard-agent** — one seed-chosen agent is starved: it only runs
+//!   when it is the sole runnable agent;
+//! * **delayed-wakeup** — a freshly woken agent has its first activation
+//!   withheld for a seed-chosen window, modelling a late wake-up delivery;
+//! * **stalled-synchronizer** — agent 0 (the CLEAN synchronizer, or the
+//!   seed agent of the cloning variant) is starved like a laggard.
+
+use hypersweep_sim::AgentId;
+
+/// The adversary families (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdversaryKind {
+    /// Uniform seeded-random choice.
+    SeededRandom,
+    /// Rotating cursor with periodic sticking.
+    RoundRobinSkew,
+    /// Starve one seed-chosen agent.
+    Laggard,
+    /// Withhold freshly runnable agents for a window of decisions.
+    DelayedWakeup,
+    /// Starve agent 0 — the coordinator/seed agent.
+    StalledSynchronizer,
+}
+
+impl AdversaryKind {
+    /// All families, in campaign rotation order.
+    pub const ALL: [AdversaryKind; 5] = [
+        AdversaryKind::SeededRandom,
+        AdversaryKind::RoundRobinSkew,
+        AdversaryKind::Laggard,
+        AdversaryKind::DelayedWakeup,
+        AdversaryKind::StalledSynchronizer,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdversaryKind::SeededRandom => "seeded-random",
+            AdversaryKind::RoundRobinSkew => "round-robin-skew",
+            AdversaryKind::Laggard => "laggard-agent",
+            AdversaryKind::DelayedWakeup => "delayed-wakeup",
+            AdversaryKind::StalledSynchronizer => "stalled-synchronizer",
+        }
+    }
+}
+
+/// splitmix64 — tiny, seedable, dependency-free. Used only to *generate*
+/// schedules; replays never consult an RNG (the decision trace is the
+/// schedule).
+#[derive(Clone, Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next() % n
+    }
+}
+
+/// A stateful adversary: one per explored schedule.
+#[derive(Clone, Debug)]
+pub struct Adversary {
+    kind: AdversaryKind,
+    rng: SplitMix64,
+    /// Round-robin cursor (RoundRobinSkew).
+    cursor: usize,
+    /// The starved agent (Laggard / StalledSynchronizer).
+    laggard: AgentId,
+    /// Delayed-wakeup state: the withheld agent and how many more
+    /// decisions to withhold it for.
+    delayed: Option<(AgentId, u64)>,
+}
+
+impl Adversary {
+    /// Build an adversary of `kind` from a raw seed.
+    pub fn new(kind: AdversaryKind, seed: u64) -> Self {
+        let mut rng = SplitMix64(seed ^ 0xA076_1D64_78BD_642F);
+        let laggard = match kind {
+            AdversaryKind::StalledSynchronizer => 0,
+            // Starve a small id: early agents carry the coordination load,
+            // so starving one of them stresses the most wait conditions.
+            _ => (rng.below(8)) as AgentId,
+        };
+        Adversary {
+            kind,
+            rng,
+            cursor: 0,
+            laggard,
+            delayed: None,
+        }
+    }
+
+    /// The adversary used for schedule number `schedule` of a campaign
+    /// seeded with `seed`: families rotate with the schedule index and the
+    /// per-schedule RNG stream is derived from both.
+    pub fn for_schedule(seed: u64, schedule: u64) -> Self {
+        let kind = AdversaryKind::ALL[(schedule % AdversaryKind::ALL.len() as u64) as usize];
+        Adversary::new(kind, seed.wrapping_mul(0x9E37_79B9).wrapping_add(schedule))
+    }
+
+    /// The family this adversary belongs to.
+    pub fn kind(&self) -> AdversaryKind {
+        self.kind
+    }
+
+    /// Pick an index into `runnable` (ascending agent ids, non-empty).
+    pub fn choose(&mut self, runnable: &[AgentId], step: u64) -> u32 {
+        let len = runnable.len();
+        debug_assert!(len > 0);
+        if len == 1 {
+            return 0;
+        }
+        match self.kind {
+            AdversaryKind::SeededRandom => self.rng.below(len as u64) as u32,
+            AdversaryKind::RoundRobinSkew => {
+                let idx = self.cursor % len;
+                // Stick every third decision: the same index is chosen
+                // again next time while the rest of the queue ages.
+                if step % 3 != 0 {
+                    self.cursor += 1;
+                }
+                idx as u32
+            }
+            AdversaryKind::Laggard | AdversaryKind::StalledSynchronizer => {
+                let others: Vec<u32> = runnable
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &id)| id != self.laggard)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                if others.is_empty() {
+                    0
+                } else {
+                    others[self.rng.below(others.len() as u64) as usize]
+                }
+            }
+            AdversaryKind::DelayedWakeup => {
+                // Withhold one agent for a window; everything else is
+                // seeded-random. When the window closes, pick a new victim.
+                match self.delayed {
+                    Some((id, left)) if left > 0 => {
+                        self.delayed = Some((id, left - 1));
+                        let others: Vec<u32> = runnable
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &r)| r != id)
+                            .map(|(i, _)| i as u32)
+                            .collect();
+                        if others.is_empty() {
+                            0
+                        } else {
+                            others[self.rng.below(others.len() as u64) as usize]
+                        }
+                    }
+                    _ => {
+                        let victim = runnable[self.rng.below(len as u64) as usize];
+                        let window = 4 + self.rng.below(28);
+                        self.delayed = Some((victim, window));
+                        self.rng.below(len as u64) as u32
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_decisions() {
+        for kind in AdversaryKind::ALL {
+            let runnable: Vec<AgentId> = (0..6).collect();
+            let mut a = Adversary::new(kind, 42);
+            let mut b = Adversary::new(kind, 42);
+            for step in 0..100 {
+                assert_eq!(a.choose(&runnable, step), b.choose(&runnable, step));
+            }
+        }
+    }
+
+    #[test]
+    fn choices_are_in_range() {
+        for kind in AdversaryKind::ALL {
+            let mut a = Adversary::new(kind, 7);
+            for step in 0..200 {
+                let len = 1 + (step as usize % 5);
+                let runnable: Vec<AgentId> = (0..len as AgentId).collect();
+                let idx = a.choose(&runnable, step);
+                assert!((idx as usize) < len, "{kind:?} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn stalled_synchronizer_never_picks_agent_zero_unless_alone() {
+        let mut a = Adversary::new(AdversaryKind::StalledSynchronizer, 3);
+        let runnable: Vec<AgentId> = vec![0, 2, 5];
+        for step in 0..100 {
+            let idx = a.choose(&runnable, step);
+            assert_ne!(runnable[idx as usize], 0);
+        }
+        assert_eq!(a.choose(&[0], 0), 0);
+    }
+}

@@ -1,0 +1,417 @@
+//! The schedule driver: builds an engine per strategy, lets a decision
+//! source pick every activation, and folds the oracles over the resulting
+//! event stream under a virtual clock (the decision step counter).
+
+use hypersweep_core::clean::CleanAgent;
+use hypersweep_core::cloning::CloningAgent;
+use hypersweep_core::synchronous::SynchronousAgent;
+use hypersweep_core::visibility::VisibilityAgent;
+use hypersweep_core::CleanStrategy;
+use hypersweep_sim::{AgentProgram, Engine, EngineConfig, Policy, Role};
+use hypersweep_topology::{Hypercube, Node};
+
+use crate::adversary::Adversary;
+use crate::mutant::EagerVisibilityAgent;
+use crate::oracle::{StepOracle, ViolationKind, ViolationReport};
+
+/// Which strategy the checker drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckStrategy {
+    /// §3's CLEAN (synchronizer + workers, whiteboards only).
+    Clean,
+    /// §4's CLEAN WITH VISIBILITY (`n/2` local agents).
+    Visibility,
+    /// §5's cloning variant (one seed agent).
+    Cloning,
+    /// §5's synchronous variant (lock-step rounds).
+    Synchronous,
+    /// Negative control: the visibility mutant that releases its guard one
+    /// step early (see [`EagerVisibilityAgent`]).
+    MutantEagerGuard,
+}
+
+impl CheckStrategy {
+    /// The four paper strategies (no mutants).
+    pub const PAPER: [CheckStrategy; 4] = [
+        CheckStrategy::Clean,
+        CheckStrategy::Visibility,
+        CheckStrategy::Cloning,
+        CheckStrategy::Synchronous,
+    ];
+
+    /// Stable name, as accepted by [`CheckStrategy::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckStrategy::Clean => "clean",
+            CheckStrategy::Visibility => "visibility",
+            CheckStrategy::Cloning => "cloning",
+            CheckStrategy::Synchronous => "synchronous",
+            CheckStrategy::MutantEagerGuard => "mutant-eager-guard",
+        }
+    }
+
+    /// Parse a strategy name.
+    pub fn parse(name: &str) -> Option<CheckStrategy> {
+        match name {
+            "clean" => Some(CheckStrategy::Clean),
+            "visibility" => Some(CheckStrategy::Visibility),
+            "cloning" => Some(CheckStrategy::Cloning),
+            "synchronous" => Some(CheckStrategy::Synchronous),
+            "mutant-eager-guard" => Some(CheckStrategy::MutantEagerGuard),
+            _ => None,
+        }
+    }
+
+    /// Whether schedules are explored per lock-step round rather than per
+    /// activation (the synchronous variant has a single canonical
+    /// schedule; the oracles still check every round).
+    pub fn is_synchronous(self) -> bool {
+        matches!(self, CheckStrategy::Synchronous)
+    }
+}
+
+/// One checking problem: a strategy on `H_dim` plus exploration bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckConfig {
+    /// The strategy under check.
+    pub strategy: CheckStrategy,
+    /// Hypercube dimension (`1..=16`; team sizes are exponential in it).
+    pub dim: u32,
+    /// Step budget per schedule; `0` derives a generous default from the
+    /// dimension.
+    pub max_steps: u64,
+    /// Run the contiguity/frontier oracles every `stride` events; `0`
+    /// derives the default (1 for `n ≤ 1024`, 64 above).
+    pub stride: u64,
+}
+
+impl CheckConfig {
+    /// A config with derived bounds.
+    pub fn new(strategy: CheckStrategy, dim: u32) -> Self {
+        CheckConfig {
+            strategy,
+            dim,
+            max_steps: 0,
+            stride: 0,
+        }
+    }
+
+    /// Validate the dimension range.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(1..=16).contains(&self.dim) {
+            return Err(format!(
+                "check supports dimensions 1..=16, got {} (team sizes grow as 2^d)",
+                self.dim
+            ));
+        }
+        Ok(())
+    }
+
+    fn effective_max_steps(&self) -> u64 {
+        if self.max_steps > 0 {
+            return self.max_steps;
+        }
+        let n = 1u64 << self.dim;
+        // Every step either emits an event (bounded by O(n log n) moves)
+        // or parks an agent; 200·n·d dominates both with a wide margin.
+        200 * n * u64::from(self.dim) + 10_000
+    }
+
+    fn effective_stride(&self) -> u64 {
+        if self.stride > 0 {
+            return self.stride;
+        }
+        if self.dim <= 10 {
+            1
+        } else {
+            64
+        }
+    }
+}
+
+/// The outcome of one explored schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleRun {
+    /// The decision trace actually executed (index into the runnable set
+    /// per step, already reduced modulo its size). Empty for the
+    /// synchronous variant, whose schedule is canonical.
+    pub decisions: Vec<u32>,
+    /// Decision steps executed (rounds, for the synchronous variant).
+    pub steps: u64,
+    /// Events applied to the oracle.
+    pub events: u64,
+    /// The first invariant violation, if any.
+    pub violation: Option<ViolationReport>,
+}
+
+/// Where the next decision comes from.
+enum Source<'s> {
+    /// Generative: an adversary invents the schedule.
+    Adversary(&'s mut Adversary),
+    /// Replay: a recorded trace, padded with `0` (lowest runnable id) once
+    /// exhausted.
+    Trace(&'s [u32]),
+}
+
+/// Explore one schedule with `adversary` inventing the decisions.
+pub fn run_with_adversary(cfg: &CheckConfig, adversary: &mut Adversary) -> ScheduleRun {
+    run_impl(cfg, Source::Adversary(adversary))
+}
+
+/// Deterministically re-execute a recorded decision trace. Decisions are
+/// reduced modulo the runnable-set size and the trace is padded with `0`
+/// once exhausted, so shrunk (shortened) traces stay executable.
+pub fn run_with_trace(cfg: &CheckConfig, trace: &[u32]) -> ScheduleRun {
+    run_impl(cfg, Source::Trace(trace))
+}
+
+/// Explore schedule number `schedule` of the campaign seeded with `seed`
+/// (see [`Adversary::for_schedule`] for the family rotation).
+pub fn explore_schedule(cfg: &CheckConfig, seed: u64, schedule: u64) -> ScheduleRun {
+    let mut adversary = Adversary::for_schedule(seed, schedule);
+    run_with_adversary(cfg, &mut adversary)
+}
+
+fn run_impl(cfg: &CheckConfig, source: Source<'_>) -> ScheduleRun {
+    let cube = Hypercube::new(cfg.dim);
+    let engine_cfg = |visibility: bool, policy: Policy| EngineConfig {
+        policy,
+        visibility,
+        record_events: true,
+        ..EngineConfig::default()
+    };
+    match cfg.strategy {
+        CheckStrategy::Clean => {
+            let mut engine = Engine::new(cube, engine_cfg(false, Policy::Fifo));
+            let team = CleanStrategy::new(cube).team_size();
+            engine.spawn(CleanAgent::synchronizer(), Node::ROOT, Role::Coordinator);
+            for _ in 1..team {
+                engine.spawn(CleanAgent::worker(), Node::ROOT, Role::Worker);
+            }
+            drive_async(engine, cube, cfg, source)
+        }
+        CheckStrategy::Visibility => {
+            let mut engine = Engine::new(cube, engine_cfg(true, Policy::Fifo));
+            for _ in 0..1u64 << (cfg.dim - 1) {
+                engine.spawn(VisibilityAgent, Node::ROOT, Role::Worker);
+            }
+            drive_async(engine, cube, cfg, source)
+        }
+        CheckStrategy::Cloning => {
+            let mut engine = Engine::new(cube, engine_cfg(true, Policy::Fifo));
+            engine.spawn(CloningAgent::new(), Node::ROOT, Role::Worker);
+            drive_async(engine, cube, cfg, source)
+        }
+        CheckStrategy::MutantEagerGuard => {
+            let mut engine = Engine::new(cube, engine_cfg(true, Policy::Fifo));
+            for _ in 0..1u64 << (cfg.dim - 1) {
+                engine.spawn(EagerVisibilityAgent, Node::ROOT, Role::Worker);
+            }
+            drive_async(engine, cube, cfg, source)
+        }
+        CheckStrategy::Synchronous => {
+            let mut engine = Engine::new(cube, engine_cfg(false, Policy::Synchronous));
+            for _ in 0..1u64 << (cfg.dim - 1) {
+                engine.spawn(SynchronousAgent, Node::ROOT, Role::Worker);
+            }
+            drive_sync(engine, cube, cfg)
+        }
+    }
+}
+
+/// Asynchronous driver: one decision per activation.
+fn drive_async<P: AgentProgram>(
+    mut engine: Engine<P>,
+    cube: Hypercube,
+    cfg: &CheckConfig,
+    mut source: Source<'_>,
+) -> ScheduleRun {
+    let mut oracle = StepOracle::new(&cube, Node::ROOT, cfg.effective_stride());
+    let max_steps = cfg.effective_max_steps();
+    let mut decisions: Vec<u32> = Vec::new();
+    let mut seen = 0usize;
+    let mut step: u64 = 0;
+    let violation = loop {
+        if engine.all_terminated() {
+            break oracle.finish(step).err();
+        }
+        let runnable = engine.runnable_agents();
+        if runnable.is_empty() {
+            break Some(ViolationReport {
+                step,
+                event: oracle.events_applied(),
+                kind: ViolationKind::Deadlock {
+                    waiting: engine.live_agents() as u64,
+                },
+            });
+        }
+        if step >= max_steps {
+            break Some(ViolationReport {
+                step,
+                event: oracle.events_applied(),
+                kind: ViolationKind::StepLimit,
+            });
+        }
+        let raw = match &mut source {
+            Source::Adversary(a) => a.choose(&runnable, step),
+            Source::Trace(t) => t.get(step as usize).copied().unwrap_or(0),
+        };
+        let idx = (raw as usize) % runnable.len();
+        decisions.push(idx as u32);
+        if let Err(e) = engine.step_agent(runnable[idx]) {
+            break Some(ViolationReport {
+                step,
+                event: oracle.events_applied(),
+                kind: ViolationKind::EngineError {
+                    message: e.to_string(),
+                },
+            });
+        }
+        match feed_oracle(&engine, &mut oracle, &mut seen, step) {
+            Some(v) => break Some(v),
+            None => step += 1,
+        }
+    };
+    ScheduleRun {
+        decisions,
+        steps: step,
+        events: oracle.events_applied(),
+        violation,
+    }
+}
+
+/// Synchronous driver: one decision step per lock-step round. There is
+/// nothing for an adversary to choose (the round schedule is canonical),
+/// but every round still passes through the oracles.
+fn drive_sync<P: AgentProgram>(
+    mut engine: Engine<P>,
+    cube: Hypercube,
+    cfg: &CheckConfig,
+) -> ScheduleRun {
+    let mut oracle = StepOracle::new(&cube, Node::ROOT, cfg.effective_stride());
+    let max_steps = cfg.effective_max_steps();
+    let mut seen = 0usize;
+    let mut step: u64 = 0;
+    let violation = loop {
+        if step >= max_steps {
+            break Some(ViolationReport {
+                step,
+                event: oracle.events_applied(),
+                kind: ViolationKind::StepLimit,
+            });
+        }
+        let outcome = match engine.step_round() {
+            Ok(o) => o,
+            Err(e) => {
+                break Some(ViolationReport {
+                    step,
+                    event: oracle.events_applied(),
+                    kind: ViolationKind::EngineError {
+                        message: e.to_string(),
+                    },
+                });
+            }
+        };
+        if let Some(v) = feed_oracle(&engine, &mut oracle, &mut seen, step) {
+            break Some(v);
+        }
+        if outcome.done {
+            break oracle.finish(step).err();
+        }
+        if !outcome.acted && !outcome.wrote {
+            break Some(ViolationReport {
+                step,
+                event: oracle.events_applied(),
+                kind: ViolationKind::Deadlock {
+                    waiting: engine.live_agents() as u64,
+                },
+            });
+        }
+        step += 1;
+    };
+    ScheduleRun {
+        decisions: Vec::new(),
+        steps: step,
+        events: oracle.events_applied(),
+        violation,
+    }
+}
+
+/// Apply all events newer than `*seen` to the oracle; first violation wins.
+fn feed_oracle<P: AgentProgram>(
+    engine: &Engine<P>,
+    oracle: &mut StepOracle<'_>,
+    seen: &mut usize,
+    step: u64,
+) -> Option<ViolationReport> {
+    let events = engine.events();
+    while *seen < events.len() {
+        let ev = events[*seen];
+        *seen += 1;
+        if let Err(v) = oracle.observe(&ev, step) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::AdversaryKind;
+
+    #[test]
+    fn all_paper_strategies_pass_a_small_campaign() {
+        for strategy in CheckStrategy::PAPER {
+            let cfg = CheckConfig::new(strategy, 4);
+            for schedule in 0..25 {
+                let run = explore_schedule(&cfg, 0xC0FFEE, schedule);
+                assert_eq!(
+                    run.violation,
+                    None,
+                    "{} schedule {schedule}: {:?}",
+                    strategy.name(),
+                    run.violation
+                );
+                assert!(run.events > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let cfg = CheckConfig::new(CheckStrategy::Clean, 4);
+        let a = explore_schedule(&cfg, 7, 3);
+        let b = explore_schedule(&cfg, 7, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recorded_trace_replays_to_the_same_run() {
+        for strategy in [CheckStrategy::Clean, CheckStrategy::Visibility] {
+            let cfg = CheckConfig::new(strategy, 4);
+            for schedule in 0..10 {
+                let run = explore_schedule(&cfg, 99, schedule);
+                let replayed = run_with_trace(&cfg, &run.decisions);
+                assert_eq!(run, replayed, "{} schedule {schedule}", strategy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn mutant_is_caught_by_some_adversary() {
+        let cfg = CheckConfig::new(CheckStrategy::MutantEagerGuard, 4);
+        let caught = (0..200).any(|s| explore_schedule(&cfg, 1, s).violation.is_some());
+        assert!(
+            caught,
+            "the eager-guard mutant must be caught within 200 schedules"
+        );
+    }
+
+    #[test]
+    fn adversary_families_rotate_with_the_schedule_index() {
+        for (s, kind) in AdversaryKind::ALL.iter().enumerate() {
+            assert_eq!(Adversary::for_schedule(5, s as u64).kind(), *kind);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Deliberately broken strategies — negative controls for the oracles.
+//!
+//! A checker whose oracles never fire proves nothing; these mutants carry
+//! a known asynchronous-model bug that a sufficiently adversarial schedule
+//! must expose, giving the campaign a sensitivity baseline.
+
+use hypersweep_core::visibility::VisBoard;
+use hypersweep_sim::{Action, AgentProgram, Ctx};
+use hypersweep_topology::combinatorics as comb;
+
+/// A visibility agent that releases its guard one step early.
+///
+/// The correct rule (§4.2) dispatches from `x` only once **every** smaller
+/// neighbour is clean or guarded. This mutant treats the port-1 neighbour
+/// as already safe: it departs one step before that neighbour's guard
+/// actually arrives. The port-1 neighbour is often a node of the *same*
+/// wavefront class whose own wave an adversarial schedule can delay
+/// arbitrarily, so the early release lets contamination flood back into
+/// the vacated node. Under the canonical synchronous schedule the whole
+/// class dispatches at once and the bug is invisible — exactly the class
+/// of error the schedule explorer exists to catch.
+pub struct EagerVisibilityAgent;
+
+impl AgentProgram for EagerVisibilityAgent {
+    type Board = VisBoard;
+
+    fn step(&mut self, ctx: &mut Ctx<'_, VisBoard>) -> Action {
+        let x = ctx.node();
+        let d = ctx.cube().dim();
+        let m = x.msb_position();
+        let k = d - m;
+        if k == 0 {
+            return Action::Terminate;
+        }
+        if !ctx.board().dispatch_started {
+            let need = comb::visibility_need(k);
+            if u128::from(ctx.active_here()) < need {
+                return Action::Wait;
+            }
+            // BUG (deliberate): ports 2..=m checked, port 1 assumed safe.
+            if !(2..=m).all(|p| ctx.neighbor_state(p).is_safe()) {
+                return Action::Wait;
+            }
+            ctx.board_mut().dispatch_started = true;
+        }
+        let slot = ctx.board().next_slot;
+        ctx.board_mut().next_slot = slot + 1;
+        let child_type = hypersweep_core::visibility::slot_child_type(slot);
+        Action::Move(d - child_type)
+    }
+
+    fn local_bits(&self) -> u32 {
+        0
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-step invariant oracles over the ground-truth contamination state.
+
+use hypersweep_intruder::ContaminationField;
+use hypersweep_sim::Event;
+use hypersweep_topology::{Hypercube, Node};
+use serde::{Deserialize, Serialize};
+
+/// What went wrong, exactly. Serialized into replay files, so variants
+/// carry plain integers rather than domain types.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// A clean node was recontaminated — monotonicity broken.
+    Recontamination {
+        /// The recontaminated node (first of the flood).
+        node: u32,
+    },
+    /// The decontaminated region split or lost the homebase.
+    ContiguityBroken,
+    /// A clean, unguarded node borders contamination — the frontier guard
+    /// coverage failed.
+    UnguardedFrontier {
+        /// The exposed node.
+        node: u32,
+    },
+    /// All agents terminated but the reachability intruder still has
+    /// somewhere to hide.
+    CaptureEscaped {
+        /// Contaminated nodes remaining at termination.
+        contaminated: u64,
+    },
+    /// No agent was runnable while some had not terminated.
+    Deadlock {
+        /// Agents still alive.
+        waiting: u64,
+    },
+    /// The engine rejected an action (bad port, activation cap, …).
+    EngineError {
+        /// The engine's message.
+        message: String,
+    },
+    /// The schedule exceeded the step budget without completing.
+    StepLimit,
+}
+
+/// A violation pinned to the decision step and event index where the
+/// oracle first saw it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViolationReport {
+    /// Decision step (index into the decision trace) at which the
+    /// violating state was produced.
+    pub step: u64,
+    /// Events applied to the contamination field when the oracle fired.
+    pub event: u64,
+    /// What the oracle saw.
+    pub kind: ViolationKind,
+}
+
+impl std::fmt::Display for ViolationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "step {} event {}: ", self.step, self.event)?;
+        match &self.kind {
+            ViolationKind::Recontamination { node } => {
+                write!(f, "recontamination at node {node}")
+            }
+            ViolationKind::ContiguityBroken => write!(f, "clean region no longer contiguous"),
+            ViolationKind::UnguardedFrontier { node } => {
+                write!(f, "unguarded frontier node {node}")
+            }
+            ViolationKind::CaptureEscaped { contaminated } => {
+                write!(
+                    f,
+                    "intruder escaped: {contaminated} nodes still contaminated"
+                )
+            }
+            ViolationKind::Deadlock { waiting } => {
+                write!(f, "deadlock with {waiting} agents alive")
+            }
+            ViolationKind::EngineError { message } => write!(f, "engine error: {message}"),
+            ViolationKind::StepLimit => write!(f, "step budget exhausted"),
+        }
+    }
+}
+
+/// The invariant oracles, folded over the event stream as the scheduler
+/// produces it. Wraps the adversarial-semantics [`ContaminationField`]
+/// (contamination spreads the instant a guard lifts), so the checked
+/// invariants are exactly the paper's.
+pub struct StepOracle<'a> {
+    field: ContaminationField<'a, Hypercube>,
+    /// Check the (word-parallel but linear-ish) contiguity and frontier
+    /// oracles every `stride` events; the monotonicity oracle is O(1) and
+    /// always on.
+    stride: u64,
+    recontaminations_seen: usize,
+}
+
+impl<'a> StepOracle<'a> {
+    /// A fresh oracle for a search of `cube` starting at `homebase`.
+    /// `stride` ≥ 1 samples the expensive oracles (1 = after every event).
+    pub fn new(cube: &'a Hypercube, homebase: Node, stride: u64) -> Self {
+        StepOracle {
+            field: ContaminationField::new(cube, homebase),
+            stride: stride.max(1),
+            recontaminations_seen: 0,
+        }
+    }
+
+    /// Events applied so far.
+    pub fn events_applied(&self) -> u64 {
+        self.field.events_applied()
+    }
+
+    /// Apply one engine event and check the per-step invariants. `step` is
+    /// the current decision step, recorded into any violation.
+    pub fn observe(&mut self, event: &Event, step: u64) -> Result<(), ViolationReport> {
+        self.field.apply(event);
+        let at_event = self.field.events_applied();
+        let recon = self.field.recontaminations();
+        if recon.len() > self.recontaminations_seen {
+            let node = recon[self.recontaminations_seen].1;
+            self.recontaminations_seen = recon.len();
+            return Err(ViolationReport {
+                step,
+                event: at_event,
+                kind: ViolationKind::Recontamination { node: node.0 },
+            });
+        }
+        if at_event % self.stride == 0 {
+            self.check_region(step)?;
+        }
+        Ok(())
+    }
+
+    /// The sampled region oracles: contiguity and frontier guard coverage.
+    fn check_region(&mut self, step: u64) -> Result<(), ViolationReport> {
+        let at_event = self.field.events_applied();
+        if !self.field.is_contiguous() {
+            return Err(ViolationReport {
+                step,
+                event: at_event,
+                kind: ViolationKind::ContiguityBroken,
+            });
+        }
+        if let Some(node) = self.field.unguarded_frontier() {
+            return Err(ViolationReport {
+                step,
+                event: at_event,
+                kind: ViolationKind::UnguardedFrontier { node: node.0 },
+            });
+        }
+        Ok(())
+    }
+
+    /// Final oracles once every agent has terminated: the region checks
+    /// regardless of stride, then capture — the worst-case reachability
+    /// intruder can be anywhere still contaminated, so capture is exactly
+    /// "nothing is".
+    pub fn finish(&mut self, step: u64) -> Result<(), ViolationReport> {
+        self.check_region(step)?;
+        if !self.field.all_clean() {
+            return Err(ViolationReport {
+                step,
+                event: self.field.events_applied(),
+                kind: ViolationKind::CaptureEscaped {
+                    contaminated: self.field.contaminated_count() as u64,
+                },
+            });
+        }
+        Ok(())
+    }
+
+    /// Read access to the wrapped field (tests inspect it).
+    pub fn field(&self) -> &ContaminationField<'a, Hypercube> {
+        &self.field
+    }
+}

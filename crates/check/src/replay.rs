@@ -1,0 +1,193 @@
+//! Serialized counterexamples: found once, reproducible forever.
+
+use serde::{Deserialize, Serialize};
+
+use crate::adversary::Adversary;
+use crate::explore::{run_with_trace, CheckConfig, CheckStrategy, ScheduleRun};
+use crate::oracle::ViolationReport;
+use crate::shrink::shrink;
+
+/// Current replay-file format version.
+pub const REPLAY_VERSION: u32 = 1;
+
+/// Re-execution budget used when shrinking a fresh counterexample.
+pub(crate) const SHRINK_BUDGET: u64 = 2_000;
+
+/// A shrunk counterexample on disk: everything needed to re-execute the
+/// violating schedule deterministically, plus provenance (which campaign
+/// and adversary found it) and the violation the replay must reproduce.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReplayFile {
+    /// Format version ([`REPLAY_VERSION`]).
+    pub version: u32,
+    /// Strategy name (see [`CheckStrategy::parse`]).
+    pub strategy: String,
+    /// Hypercube dimension.
+    pub dim: u32,
+    /// Campaign seed that found the violation.
+    pub campaign_seed: u64,
+    /// Schedule index within the campaign.
+    pub schedule: u64,
+    /// Adversary family that produced the original schedule.
+    pub adversary: String,
+    /// The shrunk decision trace.
+    pub decisions: Vec<u32>,
+    /// The violation the trace must reproduce, step-exact.
+    pub violation: ViolationReport,
+}
+
+/// Why a replay failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReplayError {
+    /// The file did not parse.
+    Parse(String),
+    /// Unknown format version.
+    UnsupportedVersion(u32),
+    /// Unknown strategy name.
+    UnknownStrategy(String),
+    /// The re-execution did not reproduce the recorded violation.
+    Diverged {
+        /// The recorded violation.
+        expected: ViolationReport,
+        /// What the re-execution produced instead.
+        actual: Option<ViolationReport>,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Parse(m) => write!(f, "replay file did not parse: {m}"),
+            ReplayError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported replay version {v} (this build reads {REPLAY_VERSION})"
+                )
+            }
+            ReplayError::UnknownStrategy(s) => write!(f, "unknown strategy {s:?}"),
+            ReplayError::Diverged { expected, actual } => match actual {
+                Some(a) => write!(f, "replay diverged: expected [{expected}], got [{a}]"),
+                None => write!(
+                    f,
+                    "replay diverged: expected [{expected}], got no violation"
+                ),
+            },
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl ReplayFile {
+    /// Serialize as pretty JSON (the on-disk format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("replay files always serialize")
+    }
+
+    /// Parse from JSON, validating version and strategy.
+    pub fn from_json(text: &str) -> Result<ReplayFile, ReplayError> {
+        let file: ReplayFile =
+            serde_json::from_str(text).map_err(|e| ReplayError::Parse(e.to_string()))?;
+        if file.version != REPLAY_VERSION {
+            return Err(ReplayError::UnsupportedVersion(file.version));
+        }
+        file.check_config()?;
+        Ok(file)
+    }
+
+    /// The checking problem this replay belongs to.
+    pub fn check_config(&self) -> Result<CheckConfig, ReplayError> {
+        let strategy = CheckStrategy::parse(&self.strategy)
+            .ok_or_else(|| ReplayError::UnknownStrategy(self.strategy.clone()))?;
+        Ok(CheckConfig::new(strategy, self.dim))
+    }
+
+    /// Re-execute the recorded trace.
+    pub fn replay(&self) -> Result<ScheduleRun, ReplayError> {
+        Ok(run_with_trace(&self.check_config()?, &self.decisions))
+    }
+
+    /// Re-execute and demand the recorded violation, step-exact.
+    pub fn verify(&self) -> Result<ScheduleRun, ReplayError> {
+        let run = self.replay()?;
+        if run.violation.as_ref() != Some(&self.violation) {
+            return Err(ReplayError::Diverged {
+                expected: self.violation.clone(),
+                actual: run.violation,
+            });
+        }
+        Ok(run)
+    }
+}
+
+/// Shrink a violating run (found as schedule number `schedule` of the
+/// campaign seeded with `seed`) and wrap it as a replay file.
+pub fn shrunk_replay(cfg: &CheckConfig, seed: u64, schedule: u64, run: ScheduleRun) -> ReplayFile {
+    let (shrunk, _stats) = shrink(cfg, run, SHRINK_BUDGET);
+    let violation = shrunk
+        .violation
+        .clone()
+        .expect("shrinking preserves the violation");
+    ReplayFile {
+        version: REPLAY_VERSION,
+        strategy: cfg.strategy.name().to_string(),
+        dim: cfg.dim,
+        campaign_seed: seed,
+        schedule,
+        adversary: Adversary::for_schedule(seed, schedule)
+            .kind()
+            .name()
+            .to_string(),
+        decisions: shrunk.decisions,
+        violation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::find_counterexample;
+
+    #[test]
+    fn counterexample_roundtrips_and_verifies() {
+        let cfg = CheckConfig::new(CheckStrategy::MutantEagerGuard, 4);
+        let (replay, _, _) = find_counterexample(&cfg, 2, 400);
+        let replay = replay.expect("mutant caught");
+        let json = replay.to_json();
+        let parsed = ReplayFile::from_json(&json).expect("parses");
+        assert_eq!(parsed, replay);
+        parsed.verify().expect("reproduces the violation");
+        // Byte-identical round-trip: serialize → parse → serialize.
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn tampered_violation_is_flagged_as_divergence() {
+        let cfg = CheckConfig::new(CheckStrategy::MutantEagerGuard, 4);
+        let (replay, _, _) = find_counterexample(&cfg, 2, 400);
+        let mut replay = replay.expect("mutant caught");
+        replay.violation.step += 1;
+        assert!(matches!(replay.verify(), Err(ReplayError::Diverged { .. })));
+    }
+
+    #[test]
+    fn version_and_strategy_are_validated() {
+        let cfg = CheckConfig::new(CheckStrategy::MutantEagerGuard, 4);
+        let (replay, _, _) = find_counterexample(&cfg, 2, 400);
+        let replay = replay.expect("mutant caught");
+
+        let mut bad_version = replay.clone();
+        bad_version.version = 99;
+        assert!(matches!(
+            ReplayFile::from_json(&bad_version.to_json()),
+            Err(ReplayError::UnsupportedVersion(99))
+        ));
+
+        let mut bad_strategy = replay;
+        bad_strategy.strategy = "warp-drive".to_string();
+        assert!(matches!(
+            ReplayFile::from_json(&bad_strategy.to_json()),
+            Err(ReplayError::UnknownStrategy(_))
+        ));
+    }
+}

@@ -18,6 +18,7 @@ use hypersweep_analysis::{
     default_jobs, run_ids_pooled_with, runner, validate_cache_cap, validate_max_dim,
     ExperimentConfig,
 };
+use hypersweep_check::{CheckConfig, CheckStrategy, ReplayFile};
 use hypersweep_core::{
     CleanStrategy, CloningStrategy, SearchStrategy, SynchronousStrategy, VisibilityStrategy,
 };
@@ -36,12 +37,16 @@ fn usage() -> &'static str {
      \thypersweep watch <strategy> <d> [--stride N]\n\
      \thypersweep trace <strategy> <d> <out.json>\n\
      \thypersweep audit <d> <trace.json>\n\
+     \thypersweep check [--strategy S|all] [--dim D] [--schedules N] [--seed K] [--jobs N]\n\
+     \t                 [--max-steps N] [--out FILE]\n\
+     \thypersweep check --replay FILE\n\
      \thypersweep serve [--addr HOST:PORT] [--max-dim N] [--jobs N] [--cache-cap N] [--timeout-ms N]\n\
      \t                 [--metrics-file FILE] [--metrics-interval-ms N] [--no-telemetry]\n\
      \thypersweep bench-serve [--addr HOST:PORT] [--clients N] [--requests N] [--max-dim N] [--out FILE]\n\
      \thypersweep telemetry-gate <with.json> <without.json> [--out FILE]\n\
      \n\
      policies: fifo, lifo, round-robin, random:<seed>, synchronous\n\
+     check strategies: clean, visibility, cloning, synchronous, mutant-eager-guard, all\n\
      experiment ids: f1 f2 f3 f4 t2 t3 t4 t5 t6 t7 t8 t9 t10 e11 e12 e13 e14 e15 e16"
 }
 
@@ -299,6 +304,102 @@ fn cmd_audit(d: u32, path: &str) -> Result<(), String> {
     }
 }
 
+/// `hypersweep check`: explore adversarial schedules against the paper's
+/// invariants; any counterexample is shrunk and written as a replay file.
+fn cmd_check(
+    strategy: &str,
+    dim: u32,
+    schedules: u64,
+    seed: u64,
+    jobs: usize,
+    max_steps: u64,
+    out: Option<&str>,
+) -> Result<(), String> {
+    let strategies: Vec<CheckStrategy> = if strategy == "all" {
+        CheckStrategy::PAPER.to_vec()
+    } else {
+        vec![CheckStrategy::parse(strategy)
+            .ok_or_else(|| format!("unknown check strategy '{strategy}'"))?]
+    };
+    let registry = hypersweep_telemetry::MetricsRegistry::new();
+    let mut outcomes = Vec::new();
+    for s in strategies {
+        let mut cfg = CheckConfig::new(s, dim);
+        cfg.max_steps = max_steps;
+        cfg.validate()?;
+        outcomes.push(hypersweep_analysis::run_campaign(
+            &hypersweep_analysis::CheckCampaign {
+                cfg,
+                schedules,
+                seed,
+            },
+            jobs,
+            &registry,
+        ));
+    }
+    println!(
+        "{}",
+        hypersweep_analysis::campaign_table(&outcomes).render()
+    );
+    let snap = registry.snapshot();
+    eprintln!(
+        "check: {} schedules, {} steps, {} events, {} violations \
+         (mean {:.2}ms/schedule, {jobs} jobs)",
+        snap.counter("check.schedules").unwrap_or(0),
+        snap.counter("check.steps").unwrap_or(0),
+        snap.counter("check.events").unwrap_or(0),
+        snap.counter("check.violations").unwrap_or(0),
+        snap.histogram("check.schedule_us")
+            .and_then(|h| h.mean())
+            .unwrap_or(0.0)
+            / 1e3,
+    );
+    let failed: Vec<&hypersweep_analysis::CampaignOutcome> = outcomes
+        .iter()
+        .filter(|o| o.counterexample.is_some())
+        .collect();
+    if let Some(first) = failed.first() {
+        let replay = first.counterexample.as_ref().expect("filtered");
+        let path = out.unwrap_or("counterexample.json");
+        std::fs::write(path, replay.to_json() + "\n").map_err(|e| e.to_string())?;
+        eprintln!(
+            "wrote shrunk counterexample ({} decisions) to {path}; \
+             reproduce with: hypersweep check --replay {path}",
+            replay.decisions.len()
+        );
+        return Err(format!(
+            "{} of {} campaigns found invariant violations",
+            failed.len(),
+            outcomes.len()
+        ));
+    }
+    Ok(())
+}
+
+/// `hypersweep check --replay`: re-execute a recorded counterexample and
+/// demand the recorded violation, step-exact. Output is deterministic —
+/// two consecutive runs print identical bytes.
+fn cmd_check_replay(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let replay = ReplayFile::from_json(&text).map_err(|e| e.to_string())?;
+    println!(
+        "replay {path}: {} on H_{} (campaign seed {}, schedule {}, adversary {}, {} decisions)",
+        replay.strategy,
+        replay.dim,
+        replay.campaign_seed,
+        replay.schedule,
+        replay.adversary,
+        replay.decisions.len()
+    );
+    println!("expected violation: {}", replay.violation);
+    let run = replay.verify().map_err(|e| e.to_string())?;
+    println!(
+        "reproduced exactly: {} steps, {} events, violation at step {} event {}",
+        run.steps, run.events, replay.violation.step, replay.violation.event
+    );
+    Ok(())
+}
+
 fn cmd_serve(addr: &str, limits: ServerLimits) -> Result<(), String> {
     let server =
         Server::bind(addr, limits.clone()).map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -458,6 +559,12 @@ fn main() -> ExitCode {
     let mut metrics_file: Option<PathBuf> = None;
     let mut metrics_interval_ms: Option<u64> = None;
     let mut no_telemetry = false;
+    let mut check_strategy = "all".to_string();
+    let mut check_dim: u32 = 6;
+    let mut schedules: u64 = 200;
+    let mut seed: u64 = 0;
+    let mut max_steps: u64 = 0;
+    let mut replay_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -590,6 +697,66 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--strategy" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => check_strategy = s.clone(),
+                    None => {
+                        eprintln!("--strategy needs a value\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--dim" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u32>().ok()) {
+                    Some(v) if v >= 1 => check_dim = v,
+                    _ => {
+                        eprintln!("--dim needs a positive integer\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--schedules" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(v) if v >= 1 => schedules = v,
+                    _ => {
+                        eprintln!("--schedules needs a positive integer\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(v) => seed = v,
+                    None => {
+                        eprintln!("--seed needs an integer\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--max-steps" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(v) => max_steps = v,
+                    None => {
+                        eprintln!("--max-steps needs an integer\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--replay" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => replay_path = Some(p.clone()),
+                    None => {
+                        eprintln!("--replay needs a file path\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--stride" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse().ok()) {
@@ -641,6 +808,18 @@ fn main() -> ExitCode {
             cache_cap,
             timings,
         ),
+        Some("check") if positional.len() == 1 => match &replay_path {
+            Some(path) => cmd_check_replay(path),
+            None => cmd_check(
+                &check_strategy,
+                check_dim,
+                schedules,
+                seed,
+                jobs.unwrap_or_else(default_jobs),
+                max_steps,
+                out.as_deref(),
+            ),
+        },
         Some("serve") if positional.len() == 1 => {
             let mut limits = ServerLimits::default();
             if let Some(v) = max_dim {

@@ -200,6 +200,55 @@ impl<'a, T: Topology + ?Sized> ContaminationField<'a, T> {
         count == safe_total
     }
 
+    /// Frontier guard-coverage oracle: every decontaminated node adjacent
+    /// to the contaminated region must be guarded, else the intruder walks
+    /// straight in. Returns a witness — some clean (visited, unguarded)
+    /// node with a contaminated neighbour — or `None` when the frontier is
+    /// fully covered.
+    ///
+    /// Under this field's instant-spread semantics the invariant holds by
+    /// construction after every applied event, so the oracle is a
+    /// self-consistency check: a `Some` means the field itself (or a
+    /// hand-mutated trace) broke the adversarial semantics. On the
+    /// hypercube the scan is word-parallel (one expand plus three masks per
+    /// word).
+    ///
+    /// Takes `&mut self` only to reuse the field's traversal scratch; the
+    /// logical state is untouched.
+    pub fn unguarded_frontier(&mut self) -> Option<Node> {
+        match self.hyper_dim {
+            Some(d) => {
+                let mut next = std::mem::take(&mut self.scratch_next);
+                self.contaminated.hypercube_expand_into(d, &mut next);
+                for (nw, (cw, gw)) in next
+                    .words_mut()
+                    .iter_mut()
+                    .zip(self.contaminated.words().iter().zip(self.guarded.words()))
+                {
+                    *nw &= !(*cw | *gw);
+                }
+                let hit = next.iter().next();
+                self.scratch_next = next;
+                hit
+            }
+            None => {
+                let mut nbrs = std::mem::take(&mut self.scratch_nbrs);
+                let mut hit = None;
+                'outer: for x in self.contaminated.iter() {
+                    self.topo.neighbors_into(x, &mut nbrs);
+                    for &y in &nbrs {
+                        if !self.contaminated.contains(y) && self.occupancy[y.index()] == 0 {
+                            hit = Some(y);
+                            break 'outer;
+                        }
+                    }
+                }
+                self.scratch_nbrs = nbrs;
+                hit
+            }
+        }
+    }
+
     fn decontaminate(&mut self, x: Node) {
         if self.contaminated.remove(x) {
             self.dirty_count -= 1;
@@ -390,6 +439,34 @@ mod tests {
         assert!(f.is_contaminated(Node(0)), "00 must be recontaminated");
         assert_eq!(f.recontaminations().len(), 1);
         assert!(!f.is_contaminated(Node(1)));
+    }
+
+    #[test]
+    fn unguarded_frontier_agrees_with_instant_spread_semantics() {
+        // Under the field's instant-spread rule a clean unguarded node
+        // bordering contamination can never persist (it is recontaminated
+        // the moment it arises), so the frontier oracle must stay empty
+        // through a well-guarded sweep — on both the word-parallel
+        // hypercube path and the generic-graph path.
+        let h = Hypercube::new(2);
+        let mut f = ContaminationField::new(&h, Node::ROOT);
+        assert_eq!(f.unguarded_frontier(), None, "fully contaminated start");
+        f.apply(&spawn(0, 0));
+        f.apply(&spawn(1, 0));
+        f.apply(&mv(1, 0, 1));
+        assert_eq!(f.unguarded_frontier(), None, "both clean nodes guarded");
+        f.apply(&mv(1, 1, 3));
+        f.apply(&mv(1, 3, 2));
+        assert!(f.all_clean());
+        assert_eq!(f.unguarded_frontier(), None, "no contamination left");
+
+        let g =
+            hypersweep_topology::graph::AdjGraph::from_edges(4, &[(0, 1), (1, 3), (3, 2), (2, 0)]);
+        let mut f = ContaminationField::new(&g, Node(0));
+        f.apply(&spawn(0, 0));
+        f.apply(&spawn(1, 0));
+        f.apply(&mv(1, 0, 1));
+        assert_eq!(f.unguarded_frontier(), None, "generic path agrees");
     }
 
     #[test]

@@ -6,31 +6,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use hypersweep_analysis::{execute_run, RunCache, StrategyKind};
-use hypersweep_server::{Client, ErrorKind, Request, Response, Server, ServerLimits, ServerStats};
-
-/// Spawn a daemon on an ephemeral port; returns its address, a shutdown
-/// trigger, and the join handle yielding the final stats.
-fn spawn_server(
-    limits: ServerLimits,
-    cache: Arc<RunCache>,
-) -> (
-    String,
-    Arc<impl Fn() + Send + Sync>,
-    std::thread::JoinHandle<ServerStats>,
-) {
-    let server = Server::with_cache("127.0.0.1:0", limits, cache).expect("bind");
-    let addr = server.local_addr().expect("addr").to_string();
-    let shutdown = server.shutdown_flag();
-    let handle = std::thread::spawn(move || server.run().expect("server run"));
-    (addr, shutdown, handle)
-}
-
-fn quick_limits() -> ServerLimits {
-    ServerLimits {
-        request_timeout: Duration::from_secs(10),
-        ..ServerLimits::default()
-    }
-}
+use hypersweep_server::{Client, ErrorKind, Request, Response, ServerLimits};
+use hypersweep_testutil::{quick_limits, spawn_bound_server, spawn_server};
 
 #[test]
 fn serves_all_request_types_and_survives_malformed_lines() {
@@ -242,10 +219,7 @@ fn saturation_returns_busy_and_timeouts_expire() {
 fn metrics_request_reports_live_series_after_warm_audits() {
     // bind() (not with_cache) so the run cache accounts straight into the
     // daemon's registry — the path `hypersweep serve` takes.
-    let server = Server::bind("127.0.0.1:0", quick_limits()).expect("bind");
-    let addr = server.local_addr().expect("addr").to_string();
-    let shutdown = server.shutdown_flag();
-    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    let (addr, shutdown, handle) = spawn_bound_server(quick_limits());
     let mut client = Client::connect(&addr).expect("connect");
 
     // Two identical audits: one miss that executes, one cache hit.

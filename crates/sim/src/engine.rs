@@ -123,6 +123,35 @@ struct AgentSlot<P> {
     status: AgentStatus,
 }
 
+/// An action decided during a lock-step round, applied at the boundary.
+enum Deferred {
+    Move(AgentId, u32),
+    Clone(AgentId, u32),
+    Terminate(AgentId),
+}
+
+/// Round-scoped buffers for [`Engine::sync_round`], reused across rounds.
+#[derive(Default)]
+struct SyncBufs {
+    snapshot: Vec<NodeState>,
+    active_snapshot: Vec<u32>,
+    neighbor_scratch: Vec<NodeState>,
+    deferred: Vec<Deferred>,
+}
+
+/// What one lock-step round did (see [`Engine::step_round`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// At least one edge was traversed (a move or a clone materialized).
+    pub moved: bool,
+    /// At least one agent returned a non-`Wait` action.
+    pub acted: bool,
+    /// At least one whiteboard write happened.
+    pub wrote: bool,
+    /// Every agent has terminated after this round.
+    pub done: bool,
+}
+
 /// The discrete-event executor. See the module docs.
 pub struct Engine<P: AgentProgram> {
     cube: Hypercube,
@@ -518,11 +547,7 @@ impl<P: AgentProgram> Engine<P> {
             };
             self.activate(id)?;
         }
-        let waiting = self
-            .agents
-            .iter()
-            .filter(|a| a.status != AgentStatus::Terminated)
-            .count();
+        let waiting = self.live_agents();
         if waiting > 0 {
             return Err(RunError::Deadlock { waiting });
         }
@@ -533,118 +558,116 @@ impl<P: AgentProgram> Engine<P> {
     /// active agent decides against the round-start snapshot; moves apply
     /// simultaneously at the round boundary.
     fn run_synchronous(mut self) -> Result<RunReport, RunError> {
-        enum Deferred {
-            Move(AgentId, u32),
-            Clone(AgentId, u32),
-            Terminate(AgentId),
-        }
         let mut rounds_with_moves: u64 = 0;
-        let mut round: u64 = 0;
-        // Round-scoped buffers, reused across rounds.
-        let mut snapshot: Vec<NodeState> = Vec::new();
-        let mut active_snapshot: Vec<u32> = Vec::new();
-        let mut neighbor_scratch: Vec<NodeState> = Vec::new();
-        let mut deferred: Vec<Deferred> = Vec::new();
+        let mut bufs = SyncBufs::default();
         loop {
-            round += 1;
-            self.clock = round;
-            // Snapshot of node states for visibility decisions.
-            if self.cfg.visibility {
-                snapshot.clear();
-                snapshot
-                    .extend((0..self.cube.node_count() as u32).map(|i| self.node_state(Node(i))));
-            }
-            active_snapshot.clear();
-            active_snapshot.extend_from_slice(&self.active_here);
-
-            let mut wrote = false;
-
-            for idx in 0..self.agents.len() {
-                if self.agents[idx].status == AgentStatus::Terminated {
-                    continue;
-                }
-                if self.metrics.activations >= self.cfg.max_activations {
-                    return Err(RunError::ActivationLimit);
-                }
-                self.metrics.activations += 1;
-                let id = idx as AgentId;
-                let pos = self.agents[idx].pos;
-                let neighbor_states: Option<&[NodeState]> = if self.cfg.visibility {
-                    neighbor_scratch.clear();
-                    neighbor_scratch
-                        .extend((1..=self.cube.dim()).map(|p| snapshot[pos.flip(p).index()]));
-                    Some(&neighbor_scratch[..])
-                } else {
-                    None
-                };
-                let cube = self.cube;
-                let alive_here = active_snapshot[pos.index()];
-                let slot = &mut self.agents[idx];
-                let board = &mut self.boards[pos.index()];
-                let mut ctx = Ctx {
-                    cube,
-                    node: pos,
-                    agent: id,
-                    alive_here,
-                    board,
-                    dirty: false,
-                    neighbor_states,
-                    round: Some(round),
-                };
-                let action = slot.program.step(&mut ctx);
-                wrote |= ctx.dirty;
-                self.meter(pos, id);
-                match action {
-                    Action::Wait => {}
-                    Action::Move(port) => {
-                        self.check_port(id, port)?;
-                        deferred.push(Deferred::Move(id, port));
-                    }
-                    Action::Clone(port) => {
-                        self.check_port(id, port)?;
-                        deferred.push(Deferred::Clone(id, port));
-                    }
-                    Action::Terminate => deferred.push(Deferred::Terminate(id)),
-                }
-            }
-
-            let mut moved = false;
-            let acted = !deferred.is_empty();
-            for d in deferred.drain(..) {
-                match d {
-                    Deferred::Move(id, port) => {
-                        self.apply_move(id, port);
-                        moved = true;
-                    }
-                    Deferred::Clone(id, port) => {
-                        self.apply_clone(id, port);
-                        moved = true;
-                    }
-                    Deferred::Terminate(id) => self.apply_terminate(id),
-                }
-            }
-            if moved {
+            let out = self.sync_round(&mut bufs)?;
+            if out.moved {
                 rounds_with_moves += 1;
             }
-
-            let all_done = self
-                .agents
-                .iter()
-                .all(|a| a.status == AgentStatus::Terminated);
-            if all_done {
+            if out.done {
                 break;
             }
-            if !acted && !wrote {
-                let waiting = self
-                    .agents
-                    .iter()
-                    .filter(|a| a.status != AgentStatus::Terminated)
-                    .count();
-                return Err(RunError::Deadlock { waiting });
+            if !out.acted && !out.wrote {
+                return Err(RunError::Deadlock {
+                    waiting: self.live_agents(),
+                });
             }
         }
         self.metrics.ideal_time = Some(rounds_with_moves);
         Ok(self.report())
+    }
+
+    /// One lock-step round against the round-start snapshot; moves apply
+    /// simultaneously at the round boundary.
+    fn sync_round(&mut self, bufs: &mut SyncBufs) -> Result<RoundOutcome, RunError> {
+        self.clock += 1;
+        let round = self.clock;
+        // Snapshot of node states for visibility decisions.
+        if self.cfg.visibility {
+            bufs.snapshot.clear();
+            bufs.snapshot
+                .extend((0..self.cube.node_count() as u32).map(|i| self.node_state(Node(i))));
+        }
+        bufs.active_snapshot.clear();
+        bufs.active_snapshot.extend_from_slice(&self.active_here);
+
+        let mut wrote = false;
+
+        for idx in 0..self.agents.len() {
+            if self.agents[idx].status == AgentStatus::Terminated {
+                continue;
+            }
+            if self.metrics.activations >= self.cfg.max_activations {
+                return Err(RunError::ActivationLimit);
+            }
+            self.metrics.activations += 1;
+            let id = idx as AgentId;
+            let pos = self.agents[idx].pos;
+            let neighbor_states: Option<&[NodeState]> = if self.cfg.visibility {
+                bufs.neighbor_scratch.clear();
+                bufs.neighbor_scratch
+                    .extend((1..=self.cube.dim()).map(|p| bufs.snapshot[pos.flip(p).index()]));
+                Some(&bufs.neighbor_scratch[..])
+            } else {
+                None
+            };
+            let cube = self.cube;
+            let alive_here = bufs.active_snapshot[pos.index()];
+            let slot = &mut self.agents[idx];
+            let board = &mut self.boards[pos.index()];
+            let mut ctx = Ctx {
+                cube,
+                node: pos,
+                agent: id,
+                alive_here,
+                board,
+                dirty: false,
+                neighbor_states,
+                round: Some(round),
+            };
+            let action = slot.program.step(&mut ctx);
+            wrote |= ctx.dirty;
+            self.meter(pos, id);
+            match action {
+                Action::Wait => {}
+                Action::Move(port) => {
+                    self.check_port(id, port)?;
+                    bufs.deferred.push(Deferred::Move(id, port));
+                }
+                Action::Clone(port) => {
+                    self.check_port(id, port)?;
+                    bufs.deferred.push(Deferred::Clone(id, port));
+                }
+                Action::Terminate => bufs.deferred.push(Deferred::Terminate(id)),
+            }
+        }
+
+        let mut moved = false;
+        let acted = !bufs.deferred.is_empty();
+        for d in bufs.deferred.drain(..) {
+            match d {
+                Deferred::Move(id, port) => {
+                    self.apply_move(id, port);
+                    moved = true;
+                }
+                Deferred::Clone(id, port) => {
+                    self.apply_clone(id, port);
+                    moved = true;
+                }
+                Deferred::Terminate(id) => self.apply_terminate(id),
+            }
+        }
+        let done = self
+            .agents
+            .iter()
+            .all(|a| a.status == AgentStatus::Terminated);
+        Ok(RoundOutcome {
+            moved,
+            acted,
+            wrote,
+            done,
+        })
     }
 
     fn report(self) -> RunReport {
@@ -654,6 +677,92 @@ impl<P: AgentProgram> Engine<P> {
             visited: self.visited,
             occupancy: self.occupancy,
         }
+    }
+}
+
+/// Step-granular hooks: an external scheduler (the `hypersweep-check`
+/// adversary) drives activations one at a time instead of delegating the
+/// pick to the configured [`Policy`]. The engine still owns all state
+/// transitions — wake-ups, parking, occupancy — so any schedule expressed
+/// through these hooks is a schedule some [`Policy`] adversary could have
+/// produced.
+impl<P: AgentProgram> Engine<P> {
+    /// Ids of agents that can act right now (spawned or woken, not parked,
+    /// not terminated), in ascending id order. The order is part of the
+    /// deterministic contract: external schedulers index into this list.
+    pub fn runnable_agents(&self) -> Vec<AgentId> {
+        self.agents
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.status == AgentStatus::Runnable)
+            .map(|(i, _)| i as AgentId)
+            .collect()
+    }
+
+    /// Activate one specific runnable agent. Mirrors exactly what the
+    /// internal scheduler loop does for a picked agent, including the
+    /// activation cap; choosing a non-runnable agent is an error.
+    pub fn step_agent(&mut self, id: AgentId) -> Result<Action, RunError> {
+        if self.metrics.activations >= self.cfg.max_activations {
+            return Err(RunError::ActivationLimit);
+        }
+        match self.agents.get(id as usize).map(|a| a.status) {
+            Some(AgentStatus::Runnable) => {}
+            _ => {
+                return Err(RunError::InvalidAction {
+                    agent: id,
+                    message: "stepped agent is not runnable".to_string(),
+                });
+            }
+        }
+        // Keep the queue bookkeeping consistent with `pick` so a later
+        // wake re-enqueues the agent instead of being dropped as stale.
+        self.in_runnable[id as usize] = false;
+        self.activate(id)
+    }
+
+    /// One lock-step round (synchronous model), for round-granular external
+    /// checking. Unlike [`Engine::run`] this does not accumulate
+    /// `ideal_time`; callers wanting it count rounds with
+    /// [`RoundOutcome::moved`] themselves.
+    pub fn step_round(&mut self) -> Result<RoundOutcome, RunError> {
+        let mut bufs = SyncBufs::default();
+        self.sync_round(&mut bufs)
+    }
+
+    /// Total agents spawned so far, terminated guards included.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Agents not yet terminated (runnable or parked).
+    pub fn live_agents(&self) -> usize {
+        self.agents
+            .iter()
+            .filter(|a| a.status != AgentStatus::Terminated)
+            .count()
+    }
+
+    /// Whether every agent has terminated (the run is complete).
+    pub fn all_terminated(&self) -> bool {
+        self.live_agents() == 0
+    }
+
+    /// The event stream recorded so far; step-granular callers read the
+    /// suffix since their last observation to feed per-step oracles.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Aggregate counters so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Finish an externally-driven run: consume the engine into its report
+    /// without requiring termination (the checker reports partial runs).
+    pub fn into_report(self) -> RunReport {
+        self.report()
     }
 }
 

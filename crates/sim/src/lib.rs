@@ -35,7 +35,7 @@ pub mod sink;
 pub mod state;
 pub mod threaded;
 
-pub use engine::{Engine, EngineConfig, RunError, RunReport};
+pub use engine::{Engine, EngineConfig, RoundOutcome, RunError, RunReport};
 pub use event::{AgentId, Event, EventKind, Role};
 pub use metrics::Metrics;
 pub use policy::Policy;

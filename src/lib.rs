@@ -34,6 +34,7 @@
 
 pub use hypersweep_analysis as analysis;
 pub use hypersweep_baselines as baselines;
+pub use hypersweep_check as check;
 pub use hypersweep_core as core;
 pub use hypersweep_intruder as intruder;
 pub use hypersweep_server as server;

@@ -1,0 +1,153 @@
+//! The checker's replay contract: shrunk counterexamples round-trip
+//! through serde and re-execute to the identical violation, both for
+//! freshly-found failures (property-tested) and for the committed corpus
+//! under `tests/corpus/` (regression-tested on every `cargo test`).
+
+use std::path::PathBuf;
+
+use hypersweep::check::{explore_schedule, shrunk_replay, CheckConfig, CheckStrategy, ReplayFile};
+use proptest::prelude::*;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Every committed counterexample still parses, re-executes, and
+/// reproduces its recorded violation step-exactly — and its serialized
+/// form is byte-stable (parse → serialize is the identity).
+#[test]
+fn committed_corpus_replays_reproduce_their_violations() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 3,
+        "the corpus must hold at least 3 replays, found {}",
+        files.len()
+    );
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let replay =
+            ReplayFile::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let run = replay
+            .verify()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(run.violation.as_ref(), Some(&replay.violation));
+        assert_eq!(
+            replay.to_json() + "\n",
+            text,
+            "{}: corpus file is not in canonical form",
+            path.display()
+        );
+    }
+}
+
+/// The corpus spans several adversary families, not five copies of one.
+#[test]
+fn corpus_covers_multiple_adversary_families() {
+    let mut families: Vec<String> = corpus_files()
+        .iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(p).unwrap();
+            ReplayFile::from_json(&text).unwrap().adversary
+        })
+        .collect();
+    families.sort();
+    families.dedup();
+    assert!(
+        families.len() >= 3,
+        "corpus covers only {families:?}; regenerate with more variety"
+    );
+}
+
+/// Negative control: the eager-guard mutant (guard released one step
+/// early) is caught within a bounded schedule budget at every small
+/// dimension — while the correct strategy stays quiet under the identical
+/// budget, so the catch is the mutation's fault, not oracle noise.
+#[test]
+fn mutant_is_caught_and_correct_strategy_is_not_under_the_same_budget() {
+    const BUDGET: u64 = 100;
+    for dim in 3..=5 {
+        let mutant = CheckConfig::new(CheckStrategy::MutantEagerGuard, dim);
+        let caught = (0..BUDGET).find(|&s| explore_schedule(&mutant, 3, s).violation.is_some());
+        assert!(
+            caught.is_some(),
+            "d={dim}: mutant not caught within {BUDGET} schedules"
+        );
+
+        let correct = CheckConfig::new(CheckStrategy::Visibility, dim);
+        for schedule in 0..BUDGET {
+            let run = explore_schedule(&correct, 3, schedule);
+            assert_eq!(
+                run.violation, None,
+                "d={dim} schedule {schedule}: false positive on the correct strategy"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A freshly-found counterexample, shrunk and serialized, parses back
+    /// equal and re-executes to the identical violation (same step, same
+    /// event, same kind).
+    #[test]
+    fn shrunk_replays_roundtrip_and_reexecute(seed in 0u64..200, dim in 3u32..=5) {
+        let cfg = CheckConfig::new(CheckStrategy::MutantEagerGuard, dim);
+        let Some(schedule) = (0..50u64)
+            .find(|&s| explore_schedule(&cfg, seed, s).violation.is_some())
+        else {
+            return Err("mutant never caught in 50 schedules".to_string());
+        };
+        let run = explore_schedule(&cfg, seed, schedule);
+        let replay = shrunk_replay(&cfg, seed, schedule, run);
+
+        let parsed = ReplayFile::from_json(&replay.to_json())
+            .expect("shrunk replay serializes losslessly");
+        prop_assert_eq!(&parsed, &replay);
+
+        let reexecuted = parsed.verify().expect("replay reproduces the violation");
+        prop_assert_eq!(reexecuted.violation, Some(replay.violation));
+    }
+}
+
+/// Regenerates `tests/corpus/` (run manually:
+/// `cargo test --test check_replays -- --ignored regenerate_corpus`).
+/// Picks the first violating schedule of each adversary family so the
+/// corpus exercises all five.
+#[test]
+#[ignore]
+fn regenerate_corpus() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    // (dim, seed, starting schedule); stepping by 5 keeps the family.
+    for (dim, seed, start) in [(4, 1, 0), (4, 1, 1), (4, 1, 2), (5, 7, 3), (3, 2, 4)] {
+        let cfg = CheckConfig::new(CheckStrategy::MutantEagerGuard, dim);
+        let mut schedule = start;
+        let run = loop {
+            let run = explore_schedule(&cfg, seed, schedule);
+            if run.violation.is_some() {
+                break run;
+            }
+            schedule += 5;
+            assert!(schedule < start + 500, "family never caught the mutant");
+        };
+        let replay = shrunk_replay(&cfg, seed, schedule, run);
+        let name = format!("mutant-d{}-{}.json", dim, replay.adversary);
+        std::fs::write(dir.join(&name), replay.to_json() + "\n").expect("write corpus file");
+        println!(
+            "wrote {name} (schedule {schedule}, {} decisions)",
+            replay.decisions.len()
+        );
+    }
+}

@@ -7,15 +7,7 @@ use hypersweep::core::visibility::VisibilityAgent;
 use hypersweep::prelude::*;
 use hypersweep::sim::threaded::{run_threaded, ThreadedConfig};
 use hypersweep::sim::Role;
-
-fn audit(cube: Hypercube, events: &[hypersweep::sim::Event]) -> Verdict {
-    verify_trace(
-        &cube,
-        Node::ROOT,
-        events,
-        MonitorConfig::with_intruder(Node(cube.node_count() as u32 - 1)),
-    )
-}
+use hypersweep_testutil::audit_far_corner as audit;
 
 #[test]
 fn threaded_visibility_matches_des() {

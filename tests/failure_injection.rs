@@ -3,10 +3,25 @@
 //! that the verification layer has teeth — without them, "all runs were
 //! monotone" would be unfalsifiable.
 
+use hypersweep::check::{StepOracle, ViolationKind, ViolationReport};
 use hypersweep::core::visibility::VisBoard;
 use hypersweep::prelude::*;
-use hypersweep::sim::{Action, AgentProgram, Ctx, Engine, EngineConfig, Role};
+use hypersweep::sim::{Action, AgentProgram, Ctx, Engine, EngineConfig, Event, Role};
 use hypersweep::topology::combinatorics as comb;
+use hypersweep_testutil::{move_event, spawn_event};
+
+/// Fold a recorded trace through the checker's per-step oracles
+/// (monotonicity after every event, contiguity and frontier coverage at
+/// stride 1) and return the first violation, if any.
+fn first_oracle_violation(cube: &Hypercube, events: &[Event]) -> Option<ViolationReport> {
+    let mut oracle = StepOracle::new(cube, Node::ROOT, 1);
+    for (step, event) in events.iter().enumerate() {
+        if let Err(v) = oracle.observe(event, step as u64) {
+            return Some(v);
+        }
+    }
+    None
+}
 
 /// A visibility agent with the guard condition removed: it dispatches as
 /// soon as the team is complete, without checking that the smaller
@@ -61,6 +76,15 @@ fn reckless_dispatch_is_flagged_as_recontamination() {
         if !verdict.monotone {
             caught = true;
             assert!(!verdict.is_complete());
+            // The checker's per-step oracles must agree with the batch
+            // monitor, and pin the violation to a specific event.
+            let violation = first_oracle_violation(&cube, &report.events)
+                .expect("d={d}: the step oracle missed what the monitor saw");
+            assert!(
+                matches!(violation.kind, ViolationKind::Recontamination { .. }),
+                "d={d}: {violation}"
+            );
+            assert!(violation.event >= 1 && violation.event <= report.events.len() as u64);
         }
     }
     assert!(
@@ -73,44 +97,34 @@ fn reckless_dispatch_is_flagged_as_recontamination() {
 /// the Lemma 1 prerequisite for releasing nodes safely.
 #[test]
 fn reverse_sweep_order_is_flagged() {
-    use hypersweep::sim::{Event, EventKind};
     // Hand-build the offending fragment on H_3: guard level 1 fully, then
     // dispatch from the *largest* level-1 node first and vacate it — its
     // non-tree up-neighbour is still contaminated.
     let cube = Hypercube::new(3);
-    let mk_move = |agent, from: u32, to: u32| Event {
-        time: 0,
-        kind: EventKind::Move {
-            agent,
-            from: Node(from),
-            to: Node(to),
-            role: Role::Worker,
-        },
-    };
     let mut events = Vec::new();
     for agent in 0..4u32 {
-        events.push(Event {
-            time: 0,
-            kind: EventKind::Spawn {
-                agent,
-                node: Node::ROOT,
-                role: Role::Worker,
-            },
-        });
+        events.push(spawn_event(agent));
     }
     // Guard level 1: agents 1,2,3 to nodes 1,2,4.
-    events.push(mk_move(1, 0, 1));
-    events.push(mk_move(2, 0, 2));
-    events.push(mk_move(3, 0, 4));
+    events.push(move_event(1, 0, 1));
+    events.push(move_event(2, 0, 2));
+    events.push(move_event(3, 0, 4));
     // Reverse order: dispatch node 2 (type T(1), child 6) and vacate it,
     // while its non-tree up-neighbour 3 (child of node 1!) is still
     // contaminated → node 2 must be recontaminated.
-    events.push(mk_move(2, 2, 6));
+    events.push(move_event(2, 2, 6));
     let verdict = verify_trace(&cube, Node::ROOT, &events, MonitorConfig::default());
     assert!(!verdict.monotone, "reverse sweep must recontaminate");
     assert!(matches!(
         verdict.violations[0],
         hypersweep::intruder::Violation::Recontamination { node: Node(2), .. }
+    ));
+    // The step oracle pins the same node on the final event.
+    let violation = first_oracle_violation(&cube, &events).expect("oracle fires");
+    assert_eq!(violation.event, events.len() as u64);
+    assert!(matches!(
+        violation.kind,
+        ViolationKind::Recontamination { node: 2 }
     ));
 }
 
@@ -178,6 +192,22 @@ fn premature_termination_fails_coverage_not_monotonicity() {
     assert!(!verdict.all_clean);
     assert!(matches!(verdict.capture, Some(CaptureStatus::Free(_))));
     assert!(!verdict.is_complete());
+
+    // Per-step: no oracle fires mid-trace (the abandonment violates no
+    // step invariant), but the terminal capture oracle must.
+    let mut oracle = StepOracle::new(&cube, Node::ROOT, 1);
+    for (step, event) in report.events.iter().enumerate() {
+        oracle
+            .observe(event, step as u64)
+            .expect("an abandoned search breaks no per-step invariant");
+    }
+    let terminal = oracle
+        .finish(report.events.len() as u64)
+        .expect_err("the capture oracle must flag the abandoned search");
+    assert!(matches!(
+        terminal.kind,
+        ViolationKind::CaptureEscaped { contaminated: 14 }
+    ));
 }
 
 /// The engine rejects moves through non-existent ports instead of

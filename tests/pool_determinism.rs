@@ -7,8 +7,9 @@
 use std::sync::Arc;
 
 use hypersweep::analysis::experiments::ALL_IDS;
-use hypersweep::analysis::{run_ids_pooled, ExperimentConfig, RunCache, StrategyKind};
-use hypersweep::server::{Client, Dispatcher, Request, Server, ServerLimits};
+use hypersweep::analysis::{run_ids_pooled, ExperimentConfig, RunCache};
+use hypersweep::server::{Client, Dispatcher, Request};
+use hypersweep_testutil::{quick_limits, spawn_bound_server, standard_workload};
 
 #[test]
 fn exported_json_is_byte_identical_across_jobs() {
@@ -55,29 +56,8 @@ fn exported_json_is_byte_identical_across_jobs() {
 /// fresh cache (serving-with-contention must not leak into responses).
 #[test]
 fn served_responses_are_byte_identical_across_client_counts() {
-    let workload: Vec<Request> = {
-        let mut w = Vec::new();
-        for strategy in [
-            StrategyKind::Clean,
-            StrategyKind::Visibility,
-            StrategyKind::Cloning,
-            StrategyKind::Synchronous,
-        ] {
-            w.push(Request::Plan { strategy, dim: 6 });
-            w.push(Request::Predict { strategy, dim: 8 });
-            w.push(Request::Audit { strategy, dim: 6 });
-        }
-        w.push(Request::Audit {
-            strategy: StrategyKind::Frontier,
-            dim: 5,
-        });
-        w
-    };
-
-    let server = Server::bind("127.0.0.1:0", ServerLimits::default()).expect("bind");
-    let addr = server.local_addr().expect("addr").to_string();
-    let shutdown = server.shutdown_flag();
-    let run = std::thread::spawn(move || server.run().expect("server run"));
+    let workload: Vec<Request> = standard_workload();
+    let (addr, shutdown, run) = spawn_bound_server(quick_limits());
 
     let fetch_all = |addr: &str| -> Vec<String> {
         let mut client = Client::connect(addr).expect("connect");
