@@ -16,7 +16,7 @@
 
 use std::time::{Duration, Instant};
 
-use hypersweep_check::{explore_schedule, shrunk_replay, CheckConfig, ReplayFile};
+use hypersweep_check::{explore_schedule_in, shrunk_replay, CheckArena, CheckConfig, ReplayFile};
 use hypersweep_telemetry::MetricsRegistry;
 
 use crate::pool::execute_jobs_metered;
@@ -120,9 +120,12 @@ pub fn run_campaign(
                     violations: 0,
                     first: None,
                 };
+                // One arena per slice: the 32 schedules recycle the oracle
+                // field's allocations instead of paying O(n) setup each.
+                let mut arena = CheckArena::new();
                 for schedule in lo..hi {
                     let t0 = Instant::now();
-                    let run = explore_schedule(&cfg, seed, schedule);
+                    let run = explore_schedule_in(&cfg, seed, schedule, &mut arena);
                     schedule_us.record(t0.elapsed().as_micros() as u64);
                     out.schedules_run += 1;
                     out.steps += run.steps;

@@ -1,22 +1,23 @@
 //! Audit throughput: events/sec streamed through the online monitor.
 //!
-//! Replays Algorithm CLEAN's canonical trace for `d ∈ {10, 14, 16}`
-//! (override with `BENCH_AUDIT_DIMS=15,16,20`) through two auditors with
-//! identical semantics:
+//! Replays Algorithm CLEAN's canonical trace for `d ∈ {10, 14, 16, 18}`
+//! (override with `BENCH_AUDIT_DIMS=15,16,20`) through three auditor
+//! configurations with identical semantics:
 //!
-//! * **packed** — the real [`Monitor`], whose `ContaminationField` keeps
-//!   node predicates in packed `u64` bitsets and runs word-parallel
-//!   contiguity/spread kernels;
-//! * **vecbool** — a per-node `Vec<bool>` reference auditor (the layout the
-//!   field used before the packed kernel landed), with per-node BFS
-//!   contiguity.
+//! * **packed stride 1** — the real [`Monitor`] at the harness's default
+//!   configuration: per-event contiguity and frontier checks, served by
+//!   the incremental clean-region connectivity kernel (`O(1)` per query);
+//! * **packed stride 64** — the same monitor sampling the region oracles
+//!   every 64 events, kept comparable to the pre-incremental baselines;
+//! * **vecbool** — a per-node `Vec<bool>` reference auditor (the layout
+//!   the field used before the packed kernel landed), with per-node BFS
+//!   contiguity at stride 64. Skipped above d=16, where its per-node BFS
+//!   takes hours.
 //!
-//! Both sample contiguity at the same stride as the harness's default
-//! monitor configuration for large cubes. Results land in
-//! `BENCH_audit.json` at the repo root (override with `BENCH_AUDIT_OUT`);
-//! set `BENCH_AUDIT_BASELINE=<path>` to compare against a committed
-//! baseline instead — the run exits non-zero if packed throughput regresses
-//! by more than 25% at any dimension.
+//! Results land in `BENCH_audit.json` at the repo root (override with
+//! `BENCH_AUDIT_OUT`); set `BENCH_AUDIT_BASELINE=<path>` to compare
+//! against a committed baseline instead — the run exits non-zero if either
+//! packed column regresses by more than 25% at any dimension.
 
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -28,17 +29,27 @@ use hypersweep_sim::{Event, EventKind};
 use hypersweep_topology::{Hypercube, Node, Topology};
 use serde::{Deserialize, Serialize};
 
-/// Contiguity sampling stride for the benchmarked cubes (all have
-/// `n > 1024`, where the harness's default monitor samples every 64).
-const CONTIGUITY_EVERY: u64 = 64;
+/// Sampled stride kept for comparability with the v1 baselines (which
+/// predate the incremental connectivity kernel and could not afford
+/// per-event checks above `n = 1024`).
+const SAMPLED_STRIDE: u64 = 64;
+
+/// The reference auditor's per-node BFS contiguity is cubically slower
+/// than the packed kernels; above this dimension it is skipped.
+const VECBOOL_MAX_DIM: u32 = 16;
 
 /// Per-dimension measurement.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct BenchEntry {
     d: u32,
     events: u64,
+    /// The default configuration: contiguity/frontier after every event.
+    packed_stride1_events_per_sec: f64,
+    /// Stride-64 sampling, comparable to the v1 baseline column.
     packed_events_per_sec: f64,
+    /// `0.0` when the reference auditor was skipped.
     vecbool_events_per_sec: f64,
+    /// Stride-64 packed over vecbool; `0.0` when vecbool was skipped.
     speedup: f64,
 }
 
@@ -46,6 +57,8 @@ struct BenchEntry {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct BenchReport {
     schema: String,
+    /// Stride of the *sampled* packed/vecbool columns (the stride-1 column
+    /// is, by definition, 1).
     contiguity_every: u64,
     dims: Vec<BenchEntry>,
 }
@@ -146,7 +159,7 @@ impl<'a> VecBoolAuditor<'a> {
             EventKind::CloneSpawn { to, .. } => self.occupy(to),
             EventKind::Terminate { .. } => {}
         }
-        if self.events_applied % CONTIGUITY_EVERY == 0 && !self.is_contiguous() {
+        if self.events_applied % SAMPLED_STRIDE == 0 && !self.is_contiguous() {
             self.contiguity_ok = false;
         }
     }
@@ -178,31 +191,41 @@ fn bench_dim(d: u32, budget: Duration, packed_only: bool) -> BenchEntry {
     let (_, events) = CleanStrategy::new(cube).synthesize(true);
     let events = events.expect("recorded");
     let n_events = events.len() as u64;
-    let cfg = MonitorConfig {
-        contiguity_every: CONTIGUITY_EVERY,
+    let monitor_cfg = |stride: u64| MonitorConfig {
+        contiguity_every: stride,
         intruder_start: None,
         greedy_evader: false,
     };
-
-    let packed = measure(
-        || {
-            let mut monitor = Monitor::new(&cube, Node::ROOT, cfg);
-            monitor.observe_all(&events);
-            monitor.verdict().monotone
-        },
-        budget,
-    );
+    let run_packed = |stride: u64| {
+        measure(
+            || {
+                let mut monitor = Monitor::new(&cube, Node::ROOT, monitor_cfg(stride));
+                monitor.observe_all(&events);
+                monitor.verdict().monotone
+            },
+            budget,
+        )
+    };
     let rate = |t: Duration| n_events as f64 / t.as_secs_f64();
+
+    let packed_stride1 = run_packed(1);
     println!(
-        "audit_throughput/packed/d{}: {:.3e} elem/s ({} events)",
+        "audit_throughput/packed-stride1/d{}: {:.3e} elem/s ({} events)",
         d,
-        rate(packed),
+        rate(packed_stride1),
         n_events
     );
-    if packed_only {
+    let packed = run_packed(SAMPLED_STRIDE);
+    println!(
+        "audit_throughput/packed/d{}: {:.3e} elem/s",
+        d,
+        rate(packed)
+    );
+    if packed_only || d > VECBOOL_MAX_DIM {
         return BenchEntry {
             d,
             events: n_events,
+            packed_stride1_events_per_sec: rate(packed_stride1),
             packed_events_per_sec: rate(packed),
             vecbool_events_per_sec: 0.0,
             speedup: 0.0,
@@ -222,6 +245,7 @@ fn bench_dim(d: u32, budget: Duration, packed_only: bool) -> BenchEntry {
     let entry = BenchEntry {
         d,
         events: n_events,
+        packed_stride1_events_per_sec: rate(packed_stride1),
         packed_events_per_sec: rate(packed),
         vecbool_events_per_sec: rate(vecbool),
         speedup: vecbool.as_secs_f64() / packed.as_secs_f64(),
@@ -248,19 +272,20 @@ fn main() {
             .unwrap_or(300),
     );
     // `BENCH_AUDIT_DIMS=15,16,20` overrides the default cube sizes;
-    // `BENCH_AUDIT_PACKED_ONLY=1` skips the reference auditor, whose
-    // per-node BFS takes hours on the d > 16 traces.
+    // `BENCH_AUDIT_PACKED_ONLY=1` skips the reference auditor even at the
+    // dimensions where it would otherwise run (d > VECBOOL_MAX_DIM skips
+    // it regardless — its per-node BFS takes hours on those traces).
     let dims: Vec<u32> = std::env::var("BENCH_AUDIT_DIMS")
         .map(|s| {
             s.split(',')
                 .map(|t| t.trim().parse().expect("BENCH_AUDIT_DIMS is a dim list"))
                 .collect()
         })
-        .unwrap_or_else(|_| vec![10, 14, 16]);
+        .unwrap_or_else(|_| vec![10, 14, 16, 18]);
     let packed_only = std::env::var("BENCH_AUDIT_PACKED_ONLY").is_ok();
     let report = BenchReport {
-        schema: "hypersweep-audit-bench/v1".into(),
-        contiguity_every: CONTIGUITY_EVERY,
+        schema: "hypersweep-audit-bench/v2".into(),
+        contiguity_every: SAMPLED_STRIDE,
         dims: dims
             .iter()
             .map(|&d| bench_dim(d, budget, packed_only))
@@ -270,23 +295,46 @@ fn main() {
     if let Ok(baseline_path) = std::env::var("BENCH_AUDIT_BASELINE") {
         let text = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
-        let baseline: BenchReport = serde_json::from_str(&text).expect("baseline parses");
+        let baseline: BenchReport = serde_json::from_str(&text)
+            .expect("baseline parses (v1 baselines predate the stride-1 column; regenerate)");
+        assert_eq!(
+            baseline.schema, report.schema,
+            "baseline schema mismatch; regenerate BENCH_audit.json"
+        );
         let mut regressed = false;
         for entry in &report.dims {
             let Some(base) = baseline.dims.iter().find(|b| b.d == entry.d) else {
                 continue;
             };
-            let ratio = entry.packed_events_per_sec / base.packed_events_per_sec;
-            println!(
-                "audit_throughput/check/d{}: {:.2}x of baseline",
-                entry.d, ratio
-            );
-            if ratio < 0.75 {
-                eprintln!(
-                    "REGRESSION at d={}: {:.3e} events/s vs baseline {:.3e} (>25% slower)",
-                    entry.d, entry.packed_events_per_sec, base.packed_events_per_sec
+            // Gate both packed columns: the sampled column guards the raw
+            // event-application kernels, the stride-1 column guards the
+            // incremental connectivity queries layered on top.
+            let checks = [
+                (
+                    "stride1",
+                    entry.packed_stride1_events_per_sec,
+                    base.packed_stride1_events_per_sec,
+                ),
+                (
+                    "sampled",
+                    entry.packed_events_per_sec,
+                    base.packed_events_per_sec,
+                ),
+            ];
+            for (label, got, expected) in checks {
+                let ratio = got / expected;
+                println!(
+                    "audit_throughput/check/{label}/d{}: {:.2}x of baseline",
+                    entry.d, ratio
                 );
-                regressed = true;
+                if ratio < 0.75 {
+                    eprintln!(
+                        "REGRESSION ({label}) at d={}: {:.3e} events/s vs baseline {:.3e} \
+                         (>25% slower)",
+                        entry.d, got, expected
+                    );
+                    regressed = true;
+                }
             }
         }
         if regressed {

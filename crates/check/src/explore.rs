@@ -7,6 +7,7 @@ use hypersweep_core::cloning::CloningAgent;
 use hypersweep_core::synchronous::SynchronousAgent;
 use hypersweep_core::visibility::VisibilityAgent;
 use hypersweep_core::CleanStrategy;
+use hypersweep_intruder::FieldScratch;
 use hypersweep_sim::{AgentProgram, Engine, EngineConfig, Policy, Role};
 use hypersweep_topology::{Hypercube, Node};
 
@@ -81,7 +82,10 @@ pub struct CheckConfig {
     /// dimension.
     pub max_steps: u64,
     /// Run the contiguity/frontier oracles every `stride` events; `0`
-    /// derives the default (1 for `n ≤ 1024`, 64 above).
+    /// derives the default, which is 1 at every dimension — the oracles
+    /// are served from incrementally maintained state, so per-event
+    /// checking costs `O(1)` per query. Strides > 1 remain available for
+    /// experiments but no longer buy meaningful throughput.
     pub stride: u64,
 }
 
@@ -121,11 +125,7 @@ impl CheckConfig {
         if self.stride > 0 {
             return self.stride;
         }
-        if self.dim <= 10 {
-            1
-        } else {
-            64
-        }
+        1
     }
 }
 
@@ -153,26 +153,76 @@ enum Source<'s> {
     Trace(&'s [u32]),
 }
 
+/// Reusable per-schedule allocations for the drivers: the oracle field's
+/// buffers (bitsets, counters, the connectivity forest) survive from one
+/// explored schedule to the next instead of being reallocated `O(n)`-sized
+/// per run. One arena per campaign worker; schedules on the same worker
+/// recycle it.
+#[derive(Default)]
+pub struct CheckArena {
+    field: Option<FieldScratch>,
+}
+
+impl CheckArena {
+    /// An empty arena (first use allocates, later uses recycle).
+    pub fn new() -> Self {
+        CheckArena::default()
+    }
+
+    fn take_field(&mut self) -> FieldScratch {
+        self.field.take().unwrap_or_default()
+    }
+
+    fn put_field(&mut self, scratch: FieldScratch) {
+        self.field = Some(scratch);
+    }
+}
+
 /// Explore one schedule with `adversary` inventing the decisions.
 pub fn run_with_adversary(cfg: &CheckConfig, adversary: &mut Adversary) -> ScheduleRun {
-    run_impl(cfg, Source::Adversary(adversary))
+    run_with_adversary_in(cfg, adversary, &mut CheckArena::new())
+}
+
+/// [`run_with_adversary`] with arena reuse.
+pub fn run_with_adversary_in(
+    cfg: &CheckConfig,
+    adversary: &mut Adversary,
+    arena: &mut CheckArena,
+) -> ScheduleRun {
+    run_impl(cfg, Source::Adversary(adversary), arena)
 }
 
 /// Deterministically re-execute a recorded decision trace. Decisions are
 /// reduced modulo the runnable-set size and the trace is padded with `0`
 /// once exhausted, so shrunk (shortened) traces stay executable.
 pub fn run_with_trace(cfg: &CheckConfig, trace: &[u32]) -> ScheduleRun {
-    run_impl(cfg, Source::Trace(trace))
+    run_with_trace_in(cfg, trace, &mut CheckArena::new())
+}
+
+/// [`run_with_trace`] with arena reuse (the shrinker re-executes a trace
+/// hundreds of times against one arena).
+pub fn run_with_trace_in(cfg: &CheckConfig, trace: &[u32], arena: &mut CheckArena) -> ScheduleRun {
+    run_impl(cfg, Source::Trace(trace), arena)
 }
 
 /// Explore schedule number `schedule` of the campaign seeded with `seed`
 /// (see [`Adversary::for_schedule`] for the family rotation).
 pub fn explore_schedule(cfg: &CheckConfig, seed: u64, schedule: u64) -> ScheduleRun {
-    let mut adversary = Adversary::for_schedule(seed, schedule);
-    run_with_adversary(cfg, &mut adversary)
+    explore_schedule_in(cfg, seed, schedule, &mut CheckArena::new())
 }
 
-fn run_impl(cfg: &CheckConfig, source: Source<'_>) -> ScheduleRun {
+/// [`explore_schedule`] with arena reuse across schedules.
+pub fn explore_schedule_in(
+    cfg: &CheckConfig,
+    seed: u64,
+    schedule: u64,
+    arena: &mut CheckArena,
+) -> ScheduleRun {
+    let mut adversary = Adversary::for_schedule(seed, schedule);
+    run_with_adversary_in(cfg, &mut adversary, arena)
+}
+
+fn run_impl(cfg: &CheckConfig, source: Source<'_>, arena: &mut CheckArena) -> ScheduleRun {
     let cube = Hypercube::new(cfg.dim);
     let engine_cfg = |visibility: bool, policy: Policy| EngineConfig {
         policy,
@@ -188,33 +238,33 @@ fn run_impl(cfg: &CheckConfig, source: Source<'_>) -> ScheduleRun {
             for _ in 1..team {
                 engine.spawn(CleanAgent::worker(), Node::ROOT, Role::Worker);
             }
-            drive_async(engine, cube, cfg, source)
+            drive_async(engine, cube, cfg, source, arena)
         }
         CheckStrategy::Visibility => {
             let mut engine = Engine::new(cube, engine_cfg(true, Policy::Fifo));
             for _ in 0..1u64 << (cfg.dim - 1) {
                 engine.spawn(VisibilityAgent, Node::ROOT, Role::Worker);
             }
-            drive_async(engine, cube, cfg, source)
+            drive_async(engine, cube, cfg, source, arena)
         }
         CheckStrategy::Cloning => {
             let mut engine = Engine::new(cube, engine_cfg(true, Policy::Fifo));
             engine.spawn(CloningAgent::new(), Node::ROOT, Role::Worker);
-            drive_async(engine, cube, cfg, source)
+            drive_async(engine, cube, cfg, source, arena)
         }
         CheckStrategy::MutantEagerGuard => {
             let mut engine = Engine::new(cube, engine_cfg(true, Policy::Fifo));
             for _ in 0..1u64 << (cfg.dim - 1) {
                 engine.spawn(EagerVisibilityAgent, Node::ROOT, Role::Worker);
             }
-            drive_async(engine, cube, cfg, source)
+            drive_async(engine, cube, cfg, source, arena)
         }
         CheckStrategy::Synchronous => {
             let mut engine = Engine::new(cube, engine_cfg(false, Policy::Synchronous));
             for _ in 0..1u64 << (cfg.dim - 1) {
                 engine.spawn(SynchronousAgent, Node::ROOT, Role::Worker);
             }
-            drive_sync(engine, cube, cfg)
+            drive_sync(engine, cube, cfg, arena)
         }
     }
 }
@@ -225,8 +275,14 @@ fn drive_async<P: AgentProgram>(
     cube: Hypercube,
     cfg: &CheckConfig,
     mut source: Source<'_>,
+    arena: &mut CheckArena,
 ) -> ScheduleRun {
-    let mut oracle = StepOracle::new(&cube, Node::ROOT, cfg.effective_stride());
+    let mut oracle = StepOracle::new_in(
+        &cube,
+        Node::ROOT,
+        cfg.effective_stride(),
+        arena.take_field(),
+    );
     let max_steps = cfg.effective_max_steps();
     let mut decisions: Vec<u32> = Vec::new();
     let mut seen = 0usize;
@@ -272,10 +328,12 @@ fn drive_async<P: AgentProgram>(
             None => step += 1,
         }
     };
+    let events = oracle.events_applied();
+    arena.put_field(oracle.into_scratch());
     ScheduleRun {
         decisions,
         steps: step,
-        events: oracle.events_applied(),
+        events,
         violation,
     }
 }
@@ -287,8 +345,14 @@ fn drive_sync<P: AgentProgram>(
     mut engine: Engine<P>,
     cube: Hypercube,
     cfg: &CheckConfig,
+    arena: &mut CheckArena,
 ) -> ScheduleRun {
-    let mut oracle = StepOracle::new(&cube, Node::ROOT, cfg.effective_stride());
+    let mut oracle = StepOracle::new_in(
+        &cube,
+        Node::ROOT,
+        cfg.effective_stride(),
+        arena.take_field(),
+    );
     let max_steps = cfg.effective_max_steps();
     let mut seen = 0usize;
     let mut step: u64 = 0;
@@ -329,10 +393,12 @@ fn drive_sync<P: AgentProgram>(
         }
         step += 1;
     };
+    let events = oracle.events_applied();
+    arena.put_field(oracle.into_scratch());
     ScheduleRun {
         decisions: Vec::new(),
         steps: step,
-        events: oracle.events_applied(),
+        events,
         violation,
     }
 }

@@ -41,11 +41,14 @@ mod shrink;
 
 pub use adversary::{Adversary, AdversaryKind};
 pub use explore::{
-    explore_schedule, run_with_adversary, run_with_trace, CheckConfig, CheckStrategy, ScheduleRun,
+    explore_schedule, explore_schedule_in, run_with_adversary, run_with_adversary_in,
+    run_with_trace, run_with_trace_in, CheckArena, CheckConfig, CheckStrategy, ScheduleRun,
 };
 pub use mutant::EagerVisibilityAgent;
 pub use oracle::{StepOracle, ViolationKind, ViolationReport};
-pub use replay::{shrunk_replay, ReplayError, ReplayFile, REPLAY_VERSION};
+pub use replay::{
+    shrunk_replay, shrunk_replay_with_budget, ReplayError, ReplayFile, REPLAY_VERSION,
+};
 pub use shrink::{shrink, ShrinkStats};
 
 /// Explore schedules `0..schedules` serially and return the first
@@ -60,8 +63,9 @@ pub fn find_counterexample(
 ) -> (Option<ReplayFile>, u64, u64) {
     let mut steps = 0;
     let mut events = 0;
+    let mut arena = CheckArena::new();
     for schedule in 0..schedules {
-        let run = explore_schedule(cfg, seed, schedule);
+        let run = explore_schedule_in(cfg, seed, schedule, &mut arena);
         steps += run.steps;
         events += run.events;
         if run.violation.is_some() {

@@ -1,6 +1,6 @@
 //! Per-step invariant oracles over the ground-truth contamination state.
 
-use hypersweep_intruder::ContaminationField;
+use hypersweep_intruder::{ContaminationField, FieldScratch};
 use hypersweep_sim::Event;
 use hypersweep_topology::{Hypercube, Node};
 use serde::{Deserialize, Serialize};
@@ -96,13 +96,28 @@ pub struct StepOracle<'a> {
 
 impl<'a> StepOracle<'a> {
     /// A fresh oracle for a search of `cube` starting at `homebase`.
-    /// `stride` ≥ 1 samples the expensive oracles (1 = after every event).
+    /// `stride` ≥ 1 samples the region oracles (1 = after every event —
+    /// the default everywhere, since the incremental connectivity kernel
+    /// makes them `O(1)` per query).
     pub fn new(cube: &'a Hypercube, homebase: Node, stride: u64) -> Self {
+        Self::new_in(cube, homebase, stride, FieldScratch::default())
+    }
+
+    /// Like [`StepOracle::new`], but reusing the allocations of a previous
+    /// oracle's field (see [`StepOracle::into_scratch`]). Campaign drivers
+    /// exploring thousands of schedules recycle one scratch per worker
+    /// instead of reallocating `O(n)` buffers per schedule.
+    pub fn new_in(cube: &'a Hypercube, homebase: Node, stride: u64, scratch: FieldScratch) -> Self {
         StepOracle {
-            field: ContaminationField::new(cube, homebase),
+            field: ContaminationField::new_in(cube, homebase, scratch),
             stride: stride.max(1),
             recontaminations_seen: 0,
         }
+    }
+
+    /// Dismantle the oracle into its field's reusable allocations.
+    pub fn into_scratch(self) -> FieldScratch {
+        self.field.into_scratch()
     }
 
     /// Events applied so far.

@@ -123,7 +123,21 @@ impl ReplayFile {
 /// Shrink a violating run (found as schedule number `schedule` of the
 /// campaign seeded with `seed`) and wrap it as a replay file.
 pub fn shrunk_replay(cfg: &CheckConfig, seed: u64, schedule: u64, run: ScheduleRun) -> ReplayFile {
-    let (shrunk, _stats) = shrink(cfg, run, SHRINK_BUDGET);
+    shrunk_replay_with_budget(cfg, seed, schedule, run, SHRINK_BUDGET)
+}
+
+/// [`shrunk_replay`] with an explicit shrink budget (cap on candidate
+/// re-executions). Large dimensions re-execute thousands of steps per
+/// candidate, so scale tests shrink with a small budget — the replay is
+/// just as valid, only less minimal.
+pub fn shrunk_replay_with_budget(
+    cfg: &CheckConfig,
+    seed: u64,
+    schedule: u64,
+    run: ScheduleRun,
+    budget: u64,
+) -> ReplayFile {
+    let (shrunk, _stats) = shrink(cfg, run, budget);
     let violation = shrunk
         .violation
         .clone()

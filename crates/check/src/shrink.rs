@@ -14,7 +14,7 @@
 //! recorded decisions can only lose non-zeros — hence termination without
 //! a fuel parameter, though a budget caps pathological cases anyway.
 
-use crate::explore::{run_with_trace, CheckConfig, ScheduleRun};
+use crate::explore::{run_with_trace_in, CheckArena, CheckConfig, ScheduleRun};
 
 /// What the shrinker did.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -34,6 +34,10 @@ pub fn shrink(cfg: &CheckConfig, run: ScheduleRun, budget: u64) -> (ScheduleRun,
     assert!(run.violation.is_some(), "only violating runs can be shrunk");
     let mut best = run;
     let mut stats = ShrinkStats::default();
+    // Candidate re-executions recycle one arena: the shrinker re-runs the
+    // trace up to `budget` times, so per-run `O(n)` allocations would
+    // dominate small-dimension shrinks.
+    let mut arena = CheckArena::new();
     'outer: loop {
         for i in 0..best.decisions.len() {
             if best.decisions[i] == 0 {
@@ -45,7 +49,7 @@ pub fn shrink(cfg: &CheckConfig, run: ScheduleRun, budget: u64) -> (ScheduleRun,
             let mut candidate = best.decisions.clone();
             candidate[i] = 0;
             stats.attempts += 1;
-            let result = run_with_trace(cfg, &candidate);
+            let result = run_with_trace_in(cfg, &candidate, &mut arena);
             if result.violation.is_some() {
                 best = result;
                 stats.accepted += 1;
@@ -63,7 +67,7 @@ pub fn shrink(cfg: &CheckConfig, run: ScheduleRun, budget: u64) -> (ScheduleRun,
     while best.decisions.last() == Some(&0) {
         best.decisions.pop();
     }
-    let mut normalized = run_with_trace(cfg, &best.decisions);
+    let mut normalized = run_with_trace_in(cfg, &best.decisions, &mut arena);
     while normalized.decisions.last() == Some(&0) {
         normalized.decisions.pop();
     }
@@ -99,7 +103,7 @@ mod tests {
         // The shrunk trace is self-reproducing: padding restores the
         // trimmed zeros, so the re-execution hits the same violation at
         // the same step and event.
-        let rerun = run_with_trace(&cfg, &shrunk.decisions);
+        let rerun = crate::explore::run_with_trace(&cfg, &shrunk.decisions);
         assert_eq!(rerun.violation, shrunk.violation);
         assert_eq!(rerun.steps, shrunk.steps);
         assert_eq!(rerun.events, shrunk.events);

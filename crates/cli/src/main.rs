@@ -38,7 +38,7 @@ fn usage() -> &'static str {
      \thypersweep trace <strategy> <d> <out.json>\n\
      \thypersweep audit <d> <trace.json>\n\
      \thypersweep check [--strategy S|all] [--dim D] [--schedules N] [--seed K] [--jobs N]\n\
-     \t                 [--max-steps N] [--out FILE]\n\
+     \t                 [--max-steps N] [--stride N] [--out FILE]\n\
      \thypersweep check --replay FILE\n\
      \thypersweep serve [--addr HOST:PORT] [--max-dim N] [--jobs N] [--cache-cap N] [--timeout-ms N]\n\
      \t                 [--metrics-file FILE] [--metrics-interval-ms N] [--no-telemetry]\n\
@@ -304,17 +304,31 @@ fn cmd_audit(d: u32, path: &str) -> Result<(), String> {
     }
 }
 
+/// Campaign knobs for `hypersweep check` beyond the checking problem
+/// itself (`--schedules`, `--seed`, `--jobs`, `--max-steps`, `--stride`).
+struct CheckCampaignOpts {
+    schedules: u64,
+    seed: u64,
+    jobs: usize,
+    max_steps: u64,
+    stride: u64,
+}
+
 /// `hypersweep check`: explore adversarial schedules against the paper's
 /// invariants; any counterexample is shrunk and written as a replay file.
 fn cmd_check(
     strategy: &str,
     dim: u32,
-    schedules: u64,
-    seed: u64,
-    jobs: usize,
-    max_steps: u64,
+    opts: &CheckCampaignOpts,
     out: Option<&str>,
 ) -> Result<(), String> {
+    let CheckCampaignOpts {
+        schedules,
+        seed,
+        jobs,
+        max_steps,
+        stride,
+    } = *opts;
     let strategies: Vec<CheckStrategy> = if strategy == "all" {
         CheckStrategy::PAPER.to_vec()
     } else {
@@ -326,6 +340,7 @@ fn cmd_check(
     for s in strategies {
         let mut cfg = CheckConfig::new(s, dim);
         cfg.max_steps = max_steps;
+        cfg.stride = stride;
         cfg.validate()?;
         outcomes.push(hypersweep_analysis::run_campaign(
             &hypersweep_analysis::CheckCampaign {
@@ -547,7 +562,7 @@ fn main() -> ExitCode {
     let mut timings = false;
     let mut json_dir: Option<PathBuf> = None;
     let mut policy = Policy::Fifo;
-    let mut stride: usize = 8;
+    let mut stride: Option<usize> = None;
     let mut jobs: Option<usize> = None;
     let mut max_dim: Option<u32> = None;
     let mut cache_cap: Option<usize> = None;
@@ -760,7 +775,7 @@ fn main() -> ExitCode {
             "--stride" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(v) if v >= 1 => stride = v,
+                    Some(v) if v >= 1 => stride = Some(v),
                     _ => {
                         eprintln!("--stride needs a positive integer\n{}", usage());
                         return ExitCode::FAILURE;
@@ -813,10 +828,13 @@ fn main() -> ExitCode {
             None => cmd_check(
                 &check_strategy,
                 check_dim,
-                schedules,
-                seed,
-                jobs.unwrap_or_else(default_jobs),
-                max_steps,
+                &CheckCampaignOpts {
+                    schedules,
+                    seed,
+                    jobs: jobs.unwrap_or_else(default_jobs),
+                    max_steps,
+                    stride: stride.map(|v| v as u64).unwrap_or(0),
+                },
                 out.as_deref(),
             ),
         },
@@ -862,7 +880,7 @@ fn main() -> ExitCode {
             _ => Err(format!("bad dimension '{}'", positional[2])),
         },
         Some("watch") if positional.len() == 3 => match positional[2].parse::<u32>() {
-            Ok(d) if (1..=8).contains(&d) => cmd_watch(&positional[1], d, stride),
+            Ok(d) if (1..=8).contains(&d) => cmd_watch(&positional[1], d, stride.unwrap_or(8)),
             _ => Err(format!(
                 "watch needs a dimension in 1..=8, got '{}'",
                 positional[2]

@@ -83,10 +83,14 @@ pub trait SearchStrategy {
     fn fast(&self, audit: bool) -> SearchOutcome;
 }
 
-/// Default monitor configuration for a cube: full checks with a greedy
-/// evader starting at the far corner `11…1` on small cubes, sampled
-/// contiguity and a lazy evader on large ones (the `O(n)`-per-event checks
-/// would otherwise dominate).
+/// Default monitor configuration for a cube: full per-event checks at
+/// every dimension, with a greedy evader starting at the far corner `11…1`
+/// on small cubes and a lazy evader on large ones (greedy reactions walk
+/// the whole contaminated set).
+///
+/// Contiguity and frontier coverage are checked after *every* event —
+/// since the incremental clean-region connectivity kernel both oracles are
+/// `O(1)` per query, so there is nothing left to stride-sample.
 pub fn default_monitor_config(cube: Hypercube) -> MonitorConfig {
     let n = cube.node_count();
     let far = Node(n as u32 - 1);
@@ -98,7 +102,7 @@ pub fn default_monitor_config(cube: Hypercube) -> MonitorConfig {
         };
     }
     MonitorConfig {
-        contiguity_every: if n <= 1024 { 1 } else { 64 },
+        contiguity_every: 1,
         intruder_start: Some(far),
         greedy_evader: n <= 1024,
     }
@@ -180,14 +184,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn monitor_config_scales_with_dimension() {
+    fn monitor_config_checks_contiguity_per_event_at_every_dimension() {
         let small = default_monitor_config(Hypercube::new(6));
         assert_eq!(small.contiguity_every, 1);
         assert!(small.greedy_evader);
         assert_eq!(small.intruder_start, Some(Node(63)));
 
         let large = default_monitor_config(Hypercube::new(14));
-        assert_eq!(large.contiguity_every, 64);
+        assert_eq!(
+            large.contiguity_every, 1,
+            "incremental connectivity makes per-event contiguity affordable at scale"
+        );
         assert!(!large.greedy_evader);
     }
 

@@ -22,12 +22,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod connectivity;
 pub mod contamination;
 pub mod evader;
 pub mod film;
 pub mod monitor;
 
-pub use contamination::ContaminationField;
+pub use connectivity::SafeForest;
+pub use contamination::{ContaminationField, FieldScratch};
 pub use evader::{CaptureStatus, EvaderPolicy, Intruder};
 pub use film::{render_film, render_state, Frame};
 pub use monitor::{verify_trace, Monitor, MonitorConfig, Verdict, Violation};

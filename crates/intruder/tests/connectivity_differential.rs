@@ -1,0 +1,242 @@
+//! Differential property tests for the incremental clean-region
+//! connectivity kernel: on randomized event streams over five fabrics
+//! (hypercube, ring, torus, cube-connected cycles, de Bruijn), the
+//! incrementally maintained oracles must agree with the retained
+//! whole-field references after *every* event —
+//!
+//! * [`ContaminationField::is_contiguous`] (union-find components, dirty
+//!   rebuilds) vs. [`ContaminationField::is_contiguous_bfs`] (the
+//!   pre-incremental whole-field BFS);
+//! * [`ContaminationField::unguarded_frontier`] (maintained frontier set)
+//!   vs. [`ContaminationField::unguarded_frontier_scan`] (the
+//!   pre-incremental expand-and-mask scan);
+//! * [`ContaminationField::clean_components`] vs. a component count
+//!   re-derived in this test from the contamination bitset by independent
+//!   BFS.
+//!
+//! The traces deliberately include island spawns (split safe regions that
+//! later merge) and vacate-triggered recontamination cascades (deletions,
+//! which dirty the forest and exercise the rebuild path).
+
+use std::collections::VecDeque;
+
+use hypersweep_intruder::ContaminationField;
+use hypersweep_sim::{Event, EventKind, Role};
+use hypersweep_topology::graph::{CubeConnectedCycles, DeBruijn, Ring, Torus};
+use hypersweep_topology::{Hypercube, Node, NodeSet, Topology};
+
+use proptest::prelude::*;
+
+/// Decode random draws into a well-formed trace on any fabric: draw 0
+/// spawns a new agent (at the homebase, or — with low probability —
+/// anywhere, to force split safe regions), other draws move an existing
+/// agent to a random neighbour.
+fn decode_trace<T: Topology + ?Sized>(topo: &T, draws: &[u64]) -> Vec<Event> {
+    let n = topo.node_count();
+    let mut positions: Vec<Node> = Vec::new();
+    let mut events = Vec::new();
+    for (i, &draw) in draws.iter().enumerate() {
+        let time = i as u64;
+        let spawn = positions.is_empty() || draw % 5 == 0;
+        if spawn {
+            let node = if draw % 11 == 0 {
+                Node((draw / 16) as u32 % n as u32) // an island spawn
+            } else {
+                Node(0)
+            };
+            events.push(Event {
+                time,
+                kind: EventKind::Spawn {
+                    agent: positions.len() as u32,
+                    node,
+                    role: Role::Worker,
+                },
+            });
+            positions.push(node);
+        } else {
+            let a = (draw / 8) as usize % positions.len();
+            let from = positions[a];
+            let nbrs = topo.neighbors_vec(from);
+            let to = nbrs[(draw / 64) as usize % nbrs.len()];
+            events.push(Event {
+                time,
+                kind: EventKind::Move {
+                    agent: a as u32,
+                    from,
+                    to,
+                    role: Role::Worker,
+                },
+            });
+            positions[a] = to;
+        }
+    }
+    events
+}
+
+/// Independent component count of the safe region: BFS floods over the
+/// complement of the contamination bitset, written against the `Topology`
+/// trait with none of the field's machinery.
+fn reference_components<T: Topology + ?Sized>(topo: &T, contaminated: &NodeSet) -> usize {
+    let n = topo.node_count();
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    let mut components = 0;
+    for i in 0..n as u32 {
+        let seed = Node(i);
+        if contaminated.contains(seed) || seen[seed.index()] {
+            continue;
+        }
+        components += 1;
+        seen[seed.index()] = true;
+        queue.push_back(seed);
+        while let Some(x) = queue.pop_front() {
+            for y in topo.neighbors_vec(x) {
+                if !contaminated.contains(y) && !seen[y.index()] {
+                    seen[y.index()] = true;
+                    queue.push_back(y);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Replay `draws` on `topo` and hold the incremental oracles equal to the
+/// retained references after every single event.
+fn assert_incremental_matches_reference<T: Topology + ?Sized>(topo: &T, draws: &[u64]) {
+    let events = decode_trace(topo, draws);
+    let mut field = ContaminationField::new(topo, Node(0));
+    let mut cascades = 0usize;
+    for (i, event) in events.iter().enumerate() {
+        field.apply(event);
+        cascades = cascades.max(field.recontaminations().len());
+        let incremental = field.is_contiguous();
+        let reference = field.is_contiguous_bfs();
+        assert_eq!(
+            incremental, reference,
+            "event {i}: contiguity verdicts diverged (incremental {incremental}, BFS {reference})"
+        );
+        assert_eq!(
+            field.unguarded_frontier().is_some(),
+            field.unguarded_frontier_scan().is_some(),
+            "event {i}: frontier oracles diverged"
+        );
+        let components = field.clean_components();
+        let expected = reference_components(topo, field.contaminated_set());
+        assert_eq!(
+            components, expected,
+            "event {i}: component count diverged (incremental {components}, reference {expected})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hypercube_incremental_matches_reference(
+        d in 1u32..=6,
+        draws in collection::vec(0u64..u64::MAX, 1..120usize),
+    ) {
+        assert_incremental_matches_reference(&Hypercube::new(d), &draws);
+    }
+
+    #[test]
+    fn ring_incremental_matches_reference(
+        n in 3usize..=24,
+        draws in collection::vec(0u64..u64::MAX, 1..100usize),
+    ) {
+        assert_incremental_matches_reference(&Ring::new(n), &draws);
+    }
+
+    #[test]
+    fn torus_incremental_matches_reference(
+        rows in 3usize..=6,
+        cols in 3usize..=6,
+        draws in collection::vec(0u64..u64::MAX, 1..100usize),
+    ) {
+        assert_incremental_matches_reference(&Torus::new(rows, cols), &draws);
+    }
+
+    #[test]
+    fn cube_connected_cycles_incremental_matches_reference(
+        d in 3u32..=4,
+        draws in collection::vec(0u64..u64::MAX, 1..100usize),
+    ) {
+        assert_incremental_matches_reference(&CubeConnectedCycles::new(d), &draws);
+    }
+
+    #[test]
+    fn de_bruijn_incremental_matches_reference(
+        k in 2u32..=5,
+        draws in collection::vec(0u64..u64::MAX, 1..100usize),
+    ) {
+        assert_incremental_matches_reference(&DeBruijn::new(k), &draws);
+    }
+}
+
+/// Deterministic split/merge torture around the homebase on `H_4`: grow
+/// islands at mutually distant corners, watch components rise, then stitch
+/// them together over the homebase and watch contiguity restore — with a
+/// recontamination cascade (forest rebuild) in the middle.
+#[test]
+fn split_merge_islands_on_the_hypercube() {
+    let h = Hypercube::new(4);
+    let mut f = ContaminationField::new(&h, Node::ROOT);
+    let spawn = |agent: u32, node: u32| Event {
+        time: 0,
+        kind: EventKind::Spawn {
+            agent,
+            node: Node(node),
+            role: Role::Worker,
+        },
+    };
+    let mv = |agent: u32, from: u32, to: u32| Event {
+        time: 0,
+        kind: EventKind::Move {
+            agent,
+            from: Node(from),
+            to: Node(to),
+            role: Role::Worker,
+        },
+    };
+
+    // Three islands: homebase, and two corners at pairwise distance ≥ 2.
+    f.apply(&spawn(0, 0b0000));
+    f.apply(&spawn(1, 0b1111));
+    f.apply(&spawn(2, 0b0110));
+    assert_eq!(f.clean_components(), 3);
+    assert!(!f.is_contiguous());
+    assert_eq!(f.is_contiguous(), f.is_contiguous_bfs());
+
+    // Merge island 2 into the homebase island: 0110 → 0100 lands adjacent
+    // to nothing safe (0110 is vacated and recontaminated — a deletion),
+    // then 0100 → 0000 merges with the homebase... but 0100 is then
+    // vacated next to contamination and caught too. Every step must agree
+    // with the reference.
+    f.apply(&mv(2, 0b0110, 0b0100));
+    assert_eq!(
+        f.clean_components(),
+        reference_components(&h, f.contaminated_set())
+    );
+    assert_eq!(f.is_contiguous(), f.is_contiguous_bfs());
+    assert!(
+        !f.recontaminations().is_empty(),
+        "0110 was vacated unguarded"
+    );
+
+    // Bridge the far island toward the homebase along one geodesic.
+    f.apply(&spawn(3, 0b0000));
+    f.apply(&mv(3, 0b0000, 0b0001));
+    f.apply(&mv(3, 0b0001, 0b0011));
+    f.apply(&mv(3, 0b0011, 0b0111));
+    assert_eq!(
+        f.clean_components(),
+        reference_components(&h, f.contaminated_set())
+    );
+    assert_eq!(f.is_contiguous(), f.is_contiguous_bfs());
+    assert_eq!(
+        f.unguarded_frontier().is_some(),
+        f.unguarded_frontier_scan().is_some()
+    );
+}

@@ -117,6 +117,42 @@ impl<'a> ReferenceField<'a> {
         }
         count == safe_total
     }
+
+    /// Connected components of the safe region, counted by repeated BFS.
+    fn clean_components(&self) -> usize {
+        let mut seen = vec![false; self.cube.node_count()];
+        let mut queue = VecDeque::new();
+        let mut components = 0;
+        for i in 0..self.cube.node_count() {
+            if self.contaminated[i] || seen[i] {
+                continue;
+            }
+            components += 1;
+            seen[i] = true;
+            queue.push_back(Node(i as u32));
+            while let Some(x) = queue.pop_front() {
+                for y in self.neighbors(x) {
+                    if !self.contaminated[y.index()] && !seen[y.index()] {
+                        seen[y.index()] = true;
+                        queue.push_back(y);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Whether some clean, unguarded node borders contamination.
+    fn has_unguarded_frontier(&self) -> bool {
+        (0..self.cube.node_count()).any(|i| {
+            !self.contaminated[i]
+                && self.occupancy[i] == 0
+                && self
+                    .neighbors(Node(i as u32))
+                    .iter()
+                    .any(|&y| self.contaminated[y.index()])
+        })
+    }
 }
 
 /// Decode random draws into a well-formed trace on `H_d`: draw 0 spawns a
@@ -197,6 +233,26 @@ proptest! {
                 packed.is_contiguous(),
                 reference.is_contiguous(),
                 "event {}: contiguity verdict diverged", i
+            );
+            prop_assert_eq!(
+                packed.is_contiguous(),
+                packed.is_contiguous_bfs(),
+                "event {}: incremental and retained-BFS contiguity diverged", i
+            );
+            prop_assert_eq!(
+                packed.clean_components(),
+                reference.clean_components(),
+                "event {}: component count diverged", i
+            );
+            prop_assert_eq!(
+                packed.unguarded_frontier().is_some(),
+                reference.has_unguarded_frontier(),
+                "event {}: maintained frontier diverged from reference", i
+            );
+            prop_assert_eq!(
+                packed.unguarded_frontier().is_some(),
+                packed.unguarded_frontier_scan().is_some(),
+                "event {}: maintained frontier diverged from the scan", i
             );
         }
         // The word-parallel flood pushes each cascade wave in ascending

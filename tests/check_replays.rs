@@ -95,6 +95,53 @@ fn mutant_is_caught_and_correct_strategy_is_not_under_the_same_budget() {
     }
 }
 
+/// The split/merge corpus subset: schedules whose violation lands on or
+/// next to the homebase, where the safe region is densest and the
+/// incremental connectivity kernel does the most splitting and merging.
+/// Each must be a genuine incident (a recontamination within Hamming
+/// distance ≤ 2 of the homebase) found by a long schedule (enough moves to
+/// have grown and vacated guards around node 0 repeatedly).
+#[test]
+fn splitmerge_corpus_stresses_connectivity_around_the_homebase() {
+    let files: Vec<PathBuf> = corpus_files()
+        .into_iter()
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains("splitmerge"))
+        })
+        .collect();
+    assert!(
+        files.len() >= 3,
+        "the corpus must hold at least 3 split/merge replays, found {}",
+        files.len()
+    );
+    for path in &files {
+        let text = std::fs::read_to_string(path).expect("readable corpus file");
+        let replay = ReplayFile::from_json(&text).unwrap();
+        let node = match &replay.violation.kind {
+            hypersweep::check::ViolationKind::Recontamination { node } => *node,
+            other => panic!(
+                "{}: split/merge corpus must pin recontaminations, got {other:?}",
+                path.display()
+            ),
+        };
+        assert!(
+            node.count_ones() <= 2,
+            "{}: violation node {node} is not near the homebase",
+            path.display()
+        );
+        assert!(
+            !replay.decisions.is_empty(),
+            "{}: split/merge replays keep the full adversarial schedule \
+             (a canonicalized trace would not stress connectivity churn)",
+            path.display()
+        );
+        let run = replay.verify().expect("split/merge replay re-executes");
+        assert_eq!(run.violation.as_ref(), Some(&replay.violation));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -150,4 +197,59 @@ fn regenerate_corpus() {
             replay.decisions.len()
         );
     }
+}
+
+/// Regenerates the split/merge corpus subset (run manually:
+/// `cargo test --test check_replays -- --ignored regenerate_splitmerge_corpus`).
+/// Scans mutant schedules for recontaminations within Hamming distance 2
+/// of the homebase — the violations that arise where the safe region is
+/// densest and the connectivity forest churns hardest — and keeps the
+/// three longest-scheduled hits across distinct (dim, seed) problems.
+#[test]
+#[ignore]
+fn regenerate_splitmerge_corpus() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    let mut written = 0;
+    // One pick per (dim, seed, adversary family): among that family's
+    // schedules (family rotation is `schedule % 5`), keep the *longest*
+    // near-homebase hit — the schedule that built and tore down the most
+    // guard structure around node 0 before the oracle fired. Distinct
+    // families keep the file names distinct.
+    for (dim, seed, family) in [(5u32, 21u64, 0u64), (6, 22, 3), (6, 23, 4)] {
+        let cfg = CheckConfig::new(CheckStrategy::MutantEagerGuard, dim);
+        let found = (0..40u64)
+            .map(|i| family + 5 * i)
+            .filter_map(|schedule| {
+                let run = explore_schedule(&cfg, seed, schedule);
+                let near_home = matches!(
+                    run.violation.as_ref().map(|v| &v.kind),
+                    Some(hypersweep::check::ViolationKind::Recontamination { node })
+                        if node.count_ones() <= 2
+                );
+                near_home.then_some((schedule, run))
+            })
+            .max_by_key(|(schedule, run)| (run.steps, u64::MAX - schedule));
+        let Some((schedule, run)) = found else {
+            panic!("d={dim} seed={seed}: no near-homebase recontamination in family {family}");
+        };
+        // Budget 0: these replays exist to exercise the *schedule*, not to
+        // minimize it — full canonicalization would collapse the mutant to
+        // the all-zeros trace (as the plain corpus entries show) and throw
+        // away exactly the split/merge churn this subset is for.
+        let replay = hypersweep::check::shrunk_replay_with_budget(&cfg, seed, schedule, run, 0);
+        assert!(
+            !replay.decisions.is_empty(),
+            "an unshrunk adversarial schedule must keep non-canonical decisions"
+        );
+        let name = format!("mutant-d{dim}-splitmerge-{}.json", replay.adversary);
+        std::fs::write(dir.join(&name), replay.to_json() + "\n").expect("write corpus file");
+        println!(
+            "wrote {name} (schedule {schedule}, {} decisions, violation {})",
+            replay.decisions.len(),
+            replay.violation
+        );
+        written += 1;
+    }
+    assert_eq!(written, 3);
 }
