@@ -385,7 +385,10 @@ impl RunCache {
         state.capacity = capacity;
         let evicted = state.enforce_capacity();
         self.metrics.evictions.add(evicted);
-        self.metrics.entries.set(ready_count(&state) as i64);
+        // Maintained as a delta, not `set(ready_count)`: several shards of a
+        // sharded cache may share one `cache.entries` gauge, and deltas make
+        // the shared cell the aggregate across all of them.
+        self.metrics.entries.add(-(evicted as i64));
     }
 
     /// The current capacity bound (`None` = unbounded).
@@ -455,7 +458,9 @@ impl RunCache {
         );
         let evicted = state.enforce_capacity();
         self.metrics.evictions.add(evicted);
-        self.metrics.entries.set(ready_count(&state) as i64);
+        // The insert replaced this key's `InFlight` marker with one `Ready`
+        // entry; see `set_capacity` for why the gauge moves by deltas.
+        self.metrics.entries.add(1 - evicted as i64);
         drop(state);
         self.ready.notify_all();
         outcome

@@ -21,6 +21,7 @@ pub mod pool;
 pub mod result;
 pub mod runner;
 pub mod series;
+pub mod sharded;
 pub mod stats;
 pub mod table;
 
@@ -34,4 +35,5 @@ pub use runner::{
     REPORT_MAX_DIM,
 };
 pub use series::Series;
+pub use sharded::{validate_cache_shards, ShardStats, ShardedRunCache, MAX_CACHE_SHARDS};
 pub use table::Table;

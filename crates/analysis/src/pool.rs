@@ -333,6 +333,11 @@ fn worker_loop(shared: &PoolShared) {
             drop(queue);
             shared.metrics.queued.dec();
             shared.metrics.running.inc();
+            // Counted at pickup, not completion: a job that replies to a
+            // caller mid-execution (the server's reactor) must already be
+            // visible in `pool.jobs` when that reply lands. Panicked jobs
+            // stay included, exactly as when this counted completions.
+            shared.metrics.jobs.inc();
             let started = Instant::now();
             // The job owns everything it captured, and the pool shares no
             // state with it beyond the (recovering) queue lock — catching
@@ -340,7 +345,6 @@ fn worker_loop(shared: &PoolShared) {
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(job));
             shared.metrics.job_us.record_duration(started.elapsed());
             shared.metrics.running.dec();
-            shared.metrics.jobs.inc();
             if outcome.is_err() {
                 shared.failed.fetch_add(1, Ordering::SeqCst);
                 shared.metrics.panics.inc();

@@ -1,0 +1,476 @@
+//! Hash-sharded run cache: N independent [`RunCache`] shards behind one
+//! facade, partitioned on the full [`RunKey`] `(strategy, dim, exec)`.
+//!
+//! The single-mutex [`RunCache`] serializes every lookup; under a
+//! many-connection daemon the cache lock becomes the front-door
+//! bottleneck long before the kernel does. Sharding hash-partitions keys
+//! across independent caches so concurrent audits of different
+//! configurations never contend on one lock, while each shard keeps the
+//! full `RunCache` machinery (in-flight dedup, LRU eviction, panic-safe
+//! waiters) for the keys it owns.
+//!
+//! All shards built by the telemetry constructors share one registry, so
+//! the aggregate `cache.hits` / `cache.misses` / `cache.evictions`
+//! counters and the `cache.entries` gauge (maintained by deltas) keep
+//! their exact pre-sharding meaning; each shard additionally counts its
+//! own `cache.shard<i>.requests` series so skew is observable.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hypersweep_core::SearchOutcome;
+use hypersweep_telemetry::{Counter, MetricsRegistry};
+
+use crate::cache::{execute_run, JobTiming, RunCache, RunKey};
+
+/// Largest accepted shard count; beyond this the per-shard capacity slices
+/// get too thin to be useful and the poll set bookkeeping dominates.
+pub const MAX_CACHE_SHARDS: usize = 64;
+
+/// Validate a `--cache-shards` request: `1..=MAX_CACHE_SHARDS`. Returns
+/// the count unchanged, or a message naming the valid range.
+pub fn validate_cache_shards(shards: usize) -> Result<usize, String> {
+    if shards == 0 {
+        Err(format!(
+            "--cache-shards 0 would leave no shard to serve from; \
+             valid range is 1..={MAX_CACHE_SHARDS}"
+        ))
+    } else if shards > MAX_CACHE_SHARDS {
+        Err(format!(
+            "--cache-shards {shards} exceeds the supported limit {MAX_CACHE_SHARDS}; \
+             valid range is 1..={MAX_CACHE_SHARDS}"
+        ))
+    } else {
+        Ok(shards)
+    }
+}
+
+/// One shard's live accounting, for skew reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Requests routed to this shard since startup.
+    pub requests: u64,
+    /// Outcomes currently resident in this shard.
+    pub entries: u64,
+    /// This shard's LRU bound (`None` = unbounded).
+    pub capacity: Option<u64>,
+}
+
+/// N hash-partitioned [`RunCache`] shards behind the [`RunCache`]-shaped
+/// API the dispatcher uses.
+pub struct ShardedRunCache {
+    shards: Vec<Arc<RunCache>>,
+    /// Per-shard `cache.shard<i>.requests` counters, resolved in each
+    /// shard's own registry.
+    requests: Vec<Counter>,
+}
+
+impl ShardedRunCache {
+    /// `shards` caches backed by [`execute_run`], splitting `capacity`
+    /// across them, all accounting into `registry` (one shared set of
+    /// aggregate `cache.*` cells).
+    pub fn with_capacity_and_telemetry(
+        shards: usize,
+        capacity: Option<usize>,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        Self::with_runner_capacity_and_telemetry(shards, execute_run, capacity, registry)
+    }
+
+    /// Like [`ShardedRunCache::with_capacity_and_telemetry`] with a custom
+    /// runner shared by every shard (tests inject gated or counting
+    /// runners this way).
+    pub fn with_runner_capacity_and_telemetry(
+        shards: usize,
+        runner: impl Fn(RunKey) -> SearchOutcome + Send + Sync + 'static,
+        capacity: Option<usize>,
+        registry: &MetricsRegistry,
+    ) -> Self {
+        let shards = shards.clamp(1, MAX_CACHE_SHARDS);
+        let runner = Arc::new(runner);
+        let caches = (0..shards)
+            .map(|i| {
+                let runner = Arc::clone(&runner);
+                let cache = RunCache::with_runner_and_telemetry(move |key| runner(key), registry);
+                cache.set_capacity(shard_capacity(capacity, shards, i));
+                Arc::new(cache)
+            })
+            .collect();
+        Self::from_caches(caches)
+    }
+
+    /// Wrap pre-built caches as shards (a single-element vector adapts a
+    /// caller-owned [`RunCache`] unchanged — the test-injection path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty vector: a cache with zero shards cannot serve.
+    pub fn from_caches(caches: Vec<Arc<RunCache>>) -> Self {
+        assert!(
+            !caches.is_empty(),
+            "a sharded cache needs at least one shard"
+        );
+        let requests = caches
+            .iter()
+            .enumerate()
+            .map(|(i, cache)| {
+                cache
+                    .registry()
+                    .counter(&format!("cache.shard{i}.requests"))
+            })
+            .collect();
+        ShardedRunCache {
+            shards: caches,
+            requests,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns `key`. Stable for the life of the process (the
+    /// hash has fixed keys), so repeated requests always land on the same
+    /// shard.
+    pub fn shard_index(&self, key: &RunKey) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// The outcome for `key`, executed exactly once per shard across all
+    /// callers (the shard owning the key dedupes concurrent requesters).
+    pub fn get_or_run(&self, key: RunKey) -> Arc<SearchOutcome> {
+        let idx = self.shard_index(&key);
+        self.requests[idx].inc();
+        self.shards[idx].get_or_run(key)
+    }
+
+    /// Shards whose registries are distinct, for aggregate counter reads:
+    /// shards sharing one registry share the very same counter cells, so
+    /// summing over every shard would multiply the aggregates.
+    fn accounting_shards(&self) -> Vec<&Arc<RunCache>> {
+        let mut reps: Vec<&Arc<RunCache>> = Vec::new();
+        for shard in &self.shards {
+            if !reps
+                .iter()
+                .any(|rep| rep.registry().ptr_eq(shard.registry()))
+            {
+                reps.push(shard);
+            }
+        }
+        reps
+    }
+
+    /// The distinct registries the shards account into (one, unless
+    /// caller-provided caches brought their own).
+    pub fn registries(&self) -> Vec<&MetricsRegistry> {
+        self.accounting_shards()
+            .into_iter()
+            .map(|shard| shard.registry())
+            .collect()
+    }
+
+    /// Aggregate cache hits across all shards.
+    pub fn hits(&self) -> u64 {
+        self.accounting_shards().iter().map(|s| s.hits()).sum()
+    }
+
+    /// Aggregate cache misses across all shards.
+    pub fn misses(&self) -> u64 {
+        self.accounting_shards().iter().map(|s| s.misses()).sum()
+    }
+
+    /// Aggregate LRU evictions across all shards.
+    pub fn evictions(&self) -> u64 {
+        self.accounting_shards().iter().map(|s| s.evictions()).sum()
+    }
+
+    /// Computed outcomes currently held, summed over shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether no shard holds a computed outcome.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Total capacity bound: the per-shard sum, or `None` if any shard is
+    /// unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.capacity())
+            .sum::<Option<usize>>()
+    }
+
+    /// Re-split a total capacity bound across the shards (shrinking evicts
+    /// immediately, per shard).
+    pub fn set_capacity(&self, capacity: Option<usize>) {
+        let n = self.shards.len();
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.set_capacity(shard_capacity(capacity, n, i));
+        }
+    }
+
+    /// Per-shard accounting, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .zip(&self.requests)
+            .map(|(shard, requests)| ShardStats {
+                requests: requests.get(),
+                entries: shard.len() as u64,
+                capacity: shard.capacity().map(|c| c as u64),
+            })
+            .collect()
+    }
+
+    /// Number of distinct runs executed so far, summed over shards
+    /// (bounded on long-running daemons, like [`RunCache::unique_runs`]).
+    pub fn unique_runs(&self) -> usize {
+        self.shards.iter().map(|s| s.unique_runs()).sum()
+    }
+
+    /// Wall-clock records of executed runs across all shards, slowest
+    /// first.
+    pub fn timings(&self) -> Vec<JobTiming> {
+        let mut all: Vec<JobTiming> = self.shards.iter().flat_map(|s| s.timings()).collect();
+        all.sort_by_key(|timing| std::cmp::Reverse(timing.elapsed));
+        all
+    }
+
+    /// Total time spent executing runs (sum of retained records).
+    pub fn total_run_time(&self) -> Duration {
+        self.shards.iter().map(|s| s.total_run_time()).sum()
+    }
+}
+
+/// Shard `i`'s slice of a total capacity: `total / n` plus one of the
+/// remainder. A total below the shard count leaves the tail shards at
+/// capacity zero (they still dedupe in-flight runs, they just retain
+/// nothing) — callers wanting retention everywhere should keep
+/// `capacity >= shards`.
+fn shard_capacity(total: Option<usize>, shards: usize, i: usize) -> Option<usize> {
+    total.map(|c| c / shards + usize::from(i < c % shards))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::StrategyKind;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn dummy_outcome() -> SearchOutcome {
+        execute_run(RunKey::fast(StrategyKind::Clean, 1))
+    }
+
+    fn sharded(shards: usize, capacity: Option<usize>) -> ShardedRunCache {
+        ShardedRunCache::with_runner_capacity_and_telemetry(
+            shards,
+            |_| dummy_outcome(),
+            capacity,
+            &MetricsRegistry::new(),
+        )
+    }
+
+    /// Keys of one strategy across many dims, a representative request mix.
+    fn keys(n: u32) -> Vec<RunKey> {
+        (1..=n)
+            .flat_map(|d| {
+                [
+                    RunKey::fast(StrategyKind::Clean, d),
+                    RunKey::audited(StrategyKind::Visibility, d),
+                    RunKey::audited(StrategyKind::Cloning, d),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_count_validation_bounds() {
+        assert!(validate_cache_shards(0).is_err());
+        assert_eq!(validate_cache_shards(1), Ok(1));
+        assert_eq!(
+            validate_cache_shards(MAX_CACHE_SHARDS),
+            Ok(MAX_CACHE_SHARDS)
+        );
+        assert!(validate_cache_shards(MAX_CACHE_SHARDS + 1).is_err());
+    }
+
+    #[test]
+    fn keys_spread_across_shards_and_routing_is_stable() {
+        let cache = sharded(8, None);
+        let keys = keys(20);
+        let mut seen = vec![0usize; cache.shard_count()];
+        for key in &keys {
+            let idx = cache.shard_index(key);
+            assert_eq!(idx, cache.shard_index(key), "routing must be stable");
+            seen[idx] += 1;
+        }
+        let populated = seen.iter().filter(|&&c| c > 0).count();
+        assert!(
+            populated >= cache.shard_count() / 2,
+            "60 keys landed on only {populated}/8 shards: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn aggregate_accounting_matches_single_cache_semantics() {
+        let registry = MetricsRegistry::new();
+        let cache = ShardedRunCache::with_runner_capacity_and_telemetry(
+            4,
+            |_| dummy_outcome(),
+            None,
+            &registry,
+        );
+        let keys = keys(10);
+        for key in &keys {
+            cache.get_or_run(*key);
+        }
+        for key in &keys {
+            cache.get_or_run(*key);
+        }
+        assert_eq!(cache.misses(), keys.len() as u64);
+        assert_eq!(cache.hits(), keys.len() as u64);
+        assert_eq!(cache.len(), keys.len());
+        assert_eq!(cache.unique_runs(), keys.len());
+        // The shared registry's cells hold the aggregates directly (this is
+        // what keeps the daemon's `cache.*` series meaningful), and the
+        // delta-maintained entries gauge agrees with `len()`.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("cache.misses"), Some(keys.len() as u64));
+        assert_eq!(snap.counter("cache.hits"), Some(keys.len() as u64));
+        assert_eq!(snap.gauge("cache.entries"), Some(keys.len() as i64));
+        // Per-shard request counters cover every request exactly once.
+        let stats = cache.shard_stats();
+        assert_eq!(
+            stats.iter().map(|s| s.requests).sum::<u64>(),
+            2 * keys.len() as u64
+        );
+        assert_eq!(
+            stats.iter().map(|s| s.entries).sum::<u64>(),
+            keys.len() as u64
+        );
+    }
+
+    #[test]
+    fn eviction_is_per_shard_lru() {
+        let cache = sharded(2, Some(2));
+        // Find three keys owned by the same shard, so its 1-entry slice
+        // (2 total / 2 shards) must evict.
+        let owned: Vec<RunKey> = keys(20)
+            .into_iter()
+            .filter(|k| cache.shard_index(k) == 0)
+            .take(3)
+            .collect();
+        assert_eq!(owned.len(), 3, "need three keys on shard 0");
+        assert_eq!(cache.capacity(), Some(2));
+        for key in &owned {
+            cache.get_or_run(*key);
+        }
+        // Shard 0 holds one entry; the other shard was never touched.
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.shard_stats()[0].entries, 1);
+        assert_eq!(cache.shard_stats()[1].entries, 0);
+        // The survivor is the most recently used key.
+        cache.get_or_run(owned[2]);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn capacity_resplits_across_shards() {
+        let cache = sharded(3, Some(7));
+        let caps: Vec<_> = cache.shard_stats().iter().map(|s| s.capacity).collect();
+        assert_eq!(caps, vec![Some(3), Some(2), Some(2)]);
+        cache.set_capacity(None);
+        assert_eq!(cache.capacity(), None);
+        cache.set_capacity(Some(3));
+        assert_eq!(cache.capacity(), Some(3));
+    }
+
+    #[test]
+    fn single_shard_wraps_a_caller_cache_unchanged() {
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        let inner = Arc::new(RunCache::with_runner(|_| {
+            RUNS.fetch_add(1, Ordering::SeqCst);
+            dummy_outcome()
+        }));
+        let cache = ShardedRunCache::from_caches(vec![Arc::clone(&inner)]);
+        let key = RunKey::audited(StrategyKind::Clean, 3);
+        cache.get_or_run(key);
+        cache.get_or_run(key);
+        assert_eq!(RUNS.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.shard_count(), 1);
+        assert_eq!(cache.shard_index(&key), 0);
+        // The facade reads the inner cache's accounting directly.
+        assert_eq!((cache.hits(), inner.hits()), (1, 1));
+        assert_eq!((cache.misses(), inner.misses()), (1, 1));
+        assert_eq!(cache.registries().len(), 1);
+        assert!(cache.registries()[0].ptr_eq(inner.registry()));
+    }
+
+    #[test]
+    fn distinct_registries_sum_while_shared_ones_do_not_double_count() {
+        // Two caller-built shards with separate registries: aggregates sum.
+        let a = Arc::new(RunCache::with_runner(|_| dummy_outcome()));
+        let b = Arc::new(RunCache::with_runner(|_| dummy_outcome()));
+        let cache = ShardedRunCache::from_caches(vec![a, b]);
+        let keys = keys(12);
+        for key in &keys {
+            cache.get_or_run(*key);
+            cache.get_or_run(*key);
+        }
+        assert_eq!(cache.misses(), keys.len() as u64);
+        assert_eq!(cache.hits(), keys.len() as u64);
+        assert_eq!(cache.registries().len(), 2);
+
+        // Four shards over one registry: the same totals, not 4x.
+        let shared = sharded(4, None);
+        for key in &keys {
+            shared.get_or_run(*key);
+            shared.get_or_run(*key);
+        }
+        assert_eq!(shared.misses(), keys.len() as u64);
+        assert_eq!(shared.hits(), keys.len() as u64);
+        assert_eq!(shared.registries().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_mixed_shard_traffic_dedupes_per_key() {
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        let cache = Arc::new(ShardedRunCache::with_runner_capacity_and_telemetry(
+            8,
+            |_| {
+                RUNS.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(2));
+                dummy_outcome()
+            },
+            None,
+            &MetricsRegistry::new(),
+        ));
+        let keys = keys(8);
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                let cache = Arc::clone(&cache);
+                let keys = keys.clone();
+                scope.spawn(move || {
+                    for key in &keys {
+                        cache.get_or_run(*key);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            RUNS.load(Ordering::SeqCst),
+            keys.len(),
+            "each unique key must execute exactly once across shards"
+        );
+        assert_eq!(cache.misses(), keys.len() as u64);
+        assert_eq!(cache.hits(), 5 * keys.len() as u64);
+    }
+}

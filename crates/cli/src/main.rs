@@ -15,8 +15,8 @@ use std::process::ExitCode;
 
 use hypersweep_analysis::experiments::ALL_IDS;
 use hypersweep_analysis::{
-    default_jobs, run_ids_pooled_with, runner, validate_cache_cap, validate_max_dim,
-    ExperimentConfig,
+    default_jobs, run_ids_pooled_with, runner, validate_cache_cap, validate_cache_shards,
+    validate_max_dim, ExperimentConfig,
 };
 use hypersweep_check::{CheckConfig, CheckStrategy, ReplayFile};
 use hypersweep_core::{
@@ -40,9 +40,11 @@ fn usage() -> &'static str {
      \thypersweep check [--strategy S|all] [--dim D] [--schedules N] [--seed K] [--jobs N]\n\
      \t                 [--max-steps N] [--stride N] [--out FILE]\n\
      \thypersweep check --replay FILE\n\
-     \thypersweep serve [--addr HOST:PORT] [--max-dim N] [--jobs N] [--cache-cap N] [--timeout-ms N]\n\
-     \t                 [--metrics-file FILE] [--metrics-interval-ms N] [--no-telemetry]\n\
-     \thypersweep bench-serve [--addr HOST:PORT] [--clients N] [--requests N] [--max-dim N] [--out FILE]\n\
+     \thypersweep serve [--addr HOST:PORT] [--uds PATH] [--max-dim N] [--jobs N] [--cache-cap N]\n\
+     \t                 [--cache-shards N] [--timeout-ms N] [--metrics-file FILE]\n\
+     \t                 [--metrics-interval-ms N] [--no-telemetry]\n\
+     \thypersweep bench-serve [--addr HOST:PORT] [--uds PATH] [--connections N] [--requests N]\n\
+     \t                       [--pipeline-depth N] [--max-dim N] [--out FILE]\n\
      \thypersweep telemetry-gate <with.json> <without.json> [--out FILE]\n\
      \n\
      policies: fifo, lifo, round-robin, random:<seed>, synchronous\n\
@@ -421,15 +423,19 @@ fn cmd_serve(addr: &str, limits: ServerLimits) -> Result<(), String> {
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     eprintln!(
         "hypersweep-server listening on {bound} \
-         ({} workers, max dim {}, cache cap {}, telemetry {})",
+         ({} workers, max dim {}, cache cap {} x{} shards, telemetry {})",
         limits.workers,
         limits.max_dim,
         limits
             .cache_capacity
             .map(|c| c.to_string())
             .unwrap_or_else(|| "unbounded".into()),
+        limits.cache_shards,
         if limits.telemetry { "on" } else { "off" },
     );
+    if let Some(path) = &limits.uds_path {
+        eprintln!("also listening on unix socket {}", path.display());
+    }
     if let Some(path) = &limits.metrics_file {
         eprintln!(
             "exporting metrics to {} every {:.1}s",
@@ -516,14 +522,17 @@ fn cmd_telemetry_gate(with_path: &str, without_path: &str, out: &str) -> Result<
 fn cmd_bench_serve(cfg: &BenchConfig, out: &str) -> Result<(), String> {
     let report = run_bench(cfg).map_err(|e| format!("bench against {} failed: {e}", cfg.addr))?;
     println!(
-        "bench-serve: {} clients x {} requests -> {:.0} req/s \
-         (p50 {:.2}ms, p99 {:.2}ms, {:.0}% cache hits, {} busy, {} errors)",
+        "bench-serve: {} connections x {} requests over {} (depth {}) -> {:.0} req/s \
+         (p50 {:.0}us, p99 {:.0}us, {:.0}% cache hits, {:.0}% table hits, {} busy, {} errors)",
         report.clients,
         report.requests_per_client,
+        report.transport,
+        report.pipeline_depth,
         report.throughput_rps,
-        report.p50_ms,
-        report.p99_ms,
+        report.p50_us,
+        report.p99_us,
         report.cache_hit_rate * 100.0,
+        report.table_hit_rate * 100.0,
         report.busy,
         report.errors,
     );
@@ -567,8 +576,11 @@ fn main() -> ExitCode {
     let mut max_dim: Option<u32> = None;
     let mut cache_cap: Option<usize> = None;
     let mut addr = "127.0.0.1:7071".to_string();
+    let mut uds: Option<PathBuf> = None;
     let mut clients: usize = 4;
     let mut requests: usize = 64;
+    let mut pipeline_depth: usize = 1;
+    let mut cache_shards: Option<usize> = None;
     let mut timeout_ms: Option<u64> = None;
     let mut out: Option<String> = None;
     let mut metrics_file: Option<PathBuf> = None;
@@ -672,12 +684,50 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            "--clients" => {
+            "--uds" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => uds = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--uds needs a socket path\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            // `--connections` is the pipelined-bench spelling; `--clients`
+            // stays as the original alias.
+            "--clients" | "--connections" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse().ok()) {
                     Some(v) if v >= 1 => clients = v,
                     _ => {
-                        eprintln!("--clients needs a positive integer\n{}", usage());
+                        eprintln!("--connections needs a positive integer\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--pipeline-depth" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(v) if v >= 1 => pipeline_depth = v,
+                    _ => {
+                        eprintln!("--pipeline-depth needs a positive integer\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--cache-shards" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(v) => match validate_cache_shards(v) {
+                        Ok(v) => cache_shards = Some(v),
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    None => {
+                        eprintln!("--cache-shards needs an integer\n{}", usage());
                         return ExitCode::FAILURE;
                     }
                 }
@@ -857,13 +907,19 @@ fn main() -> ExitCode {
             if let Some(v) = metrics_interval_ms {
                 limits.metrics_interval = std::time::Duration::from_millis(v);
             }
+            if let Some(v) = cache_shards {
+                limits.cache_shards = v;
+            }
+            limits.uds_path = uds.clone();
             cmd_serve(&addr, limits)
         }
         Some("bench-serve") if positional.len() == 1 => cmd_bench_serve(
             &BenchConfig {
                 addr: addr.clone(),
+                uds: uds.clone(),
                 clients,
                 requests,
+                pipeline_depth,
                 max_dim: max_dim.unwrap_or(8),
             },
             out.as_deref().unwrap_or("BENCH_serve.json"),

@@ -239,10 +239,12 @@ fn serve_bench_and_graceful_shutdown() {
             "bench-serve",
             "--addr",
             &addr,
-            "--clients",
+            "--connections",
             "4",
             "--requests",
             "24",
+            "--pipeline-depth",
+            "4",
             "--max-dim",
             "6",
             "--out",
@@ -258,8 +260,10 @@ fn serve_bench_and_graceful_shutdown() {
     let summary = String::from_utf8(out.stdout).unwrap();
     assert!(summary.contains("req/s"), "{summary}");
     let report = std::fs::read_to_string(&bench_out).unwrap();
-    assert!(report.contains("hypersweep-serve-bench/v1"), "{report}");
+    assert!(report.contains("hypersweep-serve-bench/v2"), "{report}");
     assert!(report.contains("\"errors\": 0"), "{report}");
+    assert!(report.contains("\"pipeline_depth\": 4"), "{report}");
+    assert!(report.contains("\"table_hits\""), "{report}");
     std::fs::remove_file(&bench_out).ok();
 
     // Graceful shutdown via the protocol; the daemon must exit 0 with a

@@ -1,43 +1,47 @@
-//! The TCP daemon: accept loop, connection handling, graceful shutdown.
+//! The daemon: bind, serve through the reactor, drain gracefully.
 //!
-//! One thread per live connection (bounded by
-//! [`ServerLimits::max_connections`]); each connection reads line-delimited
-//! JSON requests and writes one response line per request. Compute requests
-//! (`plan`/`predict`/`audit`) are submitted to a bounded [`WorkerPool`] —
-//! a full queue turns into an immediate `busy` error, and a slow run turns
-//! into a `timeout` error after [`ServerLimits::request_timeout`] (the run
-//! itself still completes and warms the cache).
+//! Serving is event-driven: one reactor thread (see [`crate::reactor`])
+//! multiplexes every connection over non-blocking sockets — TCP plus an
+//! optional Unix-domain socket ([`ServerLimits::uds_path`]) — with
+//! request pipelining and in-order replies. `plan`/`predict` resolve
+//! inline from the precomputed answer table; `audit` runs on a bounded
+//! [`WorkerPool`] — a full queue turns into an immediate `busy` error,
+//! and a slow run turns into a `timeout` error after
+//! [`ServerLimits::request_timeout`] (the run itself still completes and
+//! warms the cache). Audits deduplicate through an N-sharded
+//! [`ShardedRunCache`] hash-partitioned on the run key.
 //!
 //! Shutdown is cooperative: a SIGINT (when [`install_sigint_handler`] is
-//! active) or a `shutdown` request raises one flag; the accept loop stops,
-//! connection sockets notice at their next 50 ms read timeout, queued work
-//! drains, every thread is joined, and a final status line is emitted.
+//! active) or a `shutdown` request raises one flag; the reactor stops
+//! accepting, unlinks the Unix socket, finishes or times out in-flight
+//! audits, flushes every reply, the pool drains, and a final status line
+//! is emitted.
 
 use std::fs::File;
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
-use std::thread::JoinHandle;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hypersweep_analysis::{RunCache, WorkerPool};
+use hypersweep_analysis::{RunCache, ShardedRunCache, WorkerPool};
 use hypersweep_telemetry::{Histogram, MetricsRegistry};
 
 use crate::dispatch::Dispatcher;
 use crate::limits::ServerLimits;
-use crate::protocol::{
-    ErrorKind, MetricsReply, Request, Response, ShutdownReply, StatusReply, WireError,
-};
+use crate::protocol::{MetricsReply, Response, StatusReply};
+use crate::reactor::Reactor;
 
-/// How long a connection read blocks before re-checking the shutdown flag.
+/// How long the exporter sleeps between shutdown-flag checks.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// The final status snapshot [`Server::run`] returns after draining.
 pub type ServerStats = StatusReply;
 
 /// SIGINT handling without a libc dependency: registers a handler that
-/// flips one atomic the accept loop polls.
+/// flips one atomic the reactor polls.
 #[allow(unsafe_code)]
 mod sigint {
     use std::sync::atomic::{AtomicBool, Ordering};
@@ -72,15 +76,20 @@ pub fn install_sigint_handler() {
     sigint::install();
 }
 
+/// Whether a SIGINT arrived (reactor drain trigger).
+pub(crate) fn sigint_seen() -> bool {
+    sigint::seen()
+}
+
 /// Per-request-kind latency histograms (`server.latency.<kind>_us`),
 /// resolved once at bind so the per-request cost is one `Instant` pair and
 /// one lock-free record. Disabled telemetry makes every record a no-op.
-struct LatencyMetrics {
-    plan: Histogram,
-    predict: Histogram,
-    audit: Histogram,
-    status: Histogram,
-    metrics: Histogram,
+pub(crate) struct LatencyMetrics {
+    pub(crate) plan: Histogram,
+    pub(crate) predict: Histogram,
+    pub(crate) audit: Histogram,
+    pub(crate) status: Histogram,
+    pub(crate) metrics: Histogram,
 }
 
 impl LatencyMetrics {
@@ -93,28 +102,15 @@ impl LatencyMetrics {
             metrics: registry.histogram("server.latency.metrics_us"),
         }
     }
-
-    /// The histogram timing `request`, if its kind is timed (`shutdown`
-    /// is a drain edge, not a served request).
-    fn for_request(&self, request: &Request) -> Option<&Histogram> {
-        match request {
-            Request::Plan { .. } => Some(&self.plan),
-            Request::Predict { .. } => Some(&self.predict),
-            Request::Audit { .. } => Some(&self.audit),
-            Request::Status => Some(&self.status),
-            Request::Metrics => Some(&self.metrics),
-            Request::Shutdown => None,
-        }
-    }
 }
 
-/// Everything a connection thread needs, shared by `Arc`.
-struct Shared {
-    dispatcher: Dispatcher,
-    pool: WorkerPool,
-    limits: ServerLimits,
-    latency: LatencyMetrics,
-    shutdown: AtomicBool,
+/// Everything the reactor and its pool jobs share.
+pub(crate) struct Shared {
+    pub(crate) dispatcher: Dispatcher,
+    pub(crate) pool: WorkerPool,
+    pub(crate) limits: ServerLimits,
+    pub(crate) latency: LatencyMetrics,
+    pub(crate) shutdown: AtomicBool,
     started: Instant,
 }
 
@@ -123,7 +119,7 @@ impl Shared {
         self.started.elapsed().as_millis() as u64
     }
 
-    fn status(&self) -> StatusReply {
+    pub(crate) fn status(&self) -> StatusReply {
         self.dispatcher.status_reply(
             self.uptime_ms(),
             self.pool.in_flight() as u64,
@@ -131,7 +127,7 @@ impl Shared {
         )
     }
 
-    fn metrics(&self) -> MetricsReply {
+    pub(crate) fn metrics(&self) -> MetricsReply {
         self.dispatcher
             .metrics_reply(self.uptime_ms(), self.limits.telemetry)
     }
@@ -148,16 +144,19 @@ impl Shared {
 /// The daemon: bind, then [`Server::run`] until shutdown.
 pub struct Server {
     listener: TcpListener,
+    uds: Option<UnixListener>,
     shared: Arc<Shared>,
 }
 
 impl Server {
-    /// Bind `addr` with a fresh run cache bounded at
-    /// [`ServerLimits::cache_capacity`], accounting into the daemon's own
-    /// telemetry registry (one unmerged snapshot serves `metrics`).
+    /// Bind `addr` with a fresh sharded run cache
+    /// ([`ServerLimits::cache_shards`] shards splitting
+    /// [`ServerLimits::cache_capacity`]), accounting into the daemon's
+    /// own telemetry registry (one unmerged snapshot serves `metrics`).
     pub fn bind(addr: impl ToSocketAddrs, limits: ServerLimits) -> io::Result<Server> {
         let registry = Self::registry_for(&limits);
-        let cache = Arc::new(RunCache::with_capacity_and_telemetry(
+        let cache = Arc::new(ShardedRunCache::with_capacity_and_telemetry(
+            limits.cache_shards,
             limits.cache_capacity,
             &registry,
         ));
@@ -165,15 +164,17 @@ impl Server {
     }
 
     /// Bind `addr` serving from a caller-provided cache (tests inject slow
-    /// or pre-warmed runners this way). The cache keeps its own registry;
-    /// `metrics` replies merge it into the daemon's snapshot.
+    /// or pre-warmed runners this way), wrapped as a single shard. The
+    /// cache keeps its own registry; `metrics` replies merge it into the
+    /// daemon's snapshot.
     pub fn with_cache(
         addr: impl ToSocketAddrs,
         limits: ServerLimits,
         cache: Arc<RunCache>,
     ) -> io::Result<Server> {
         let registry = Self::registry_for(&limits);
-        Self::build(addr, limits, cache, registry)
+        let sharded = Arc::new(ShardedRunCache::from_caches(vec![cache]));
+        Self::build(addr, limits, sharded, registry)
     }
 
     fn registry_for(limits: &ServerLimits) -> MetricsRegistry {
@@ -187,12 +188,16 @@ impl Server {
     fn build(
         addr: impl ToSocketAddrs,
         limits: ServerLimits,
-        cache: Arc<RunCache>,
+        cache: Arc<ShardedRunCache>,
         registry: MetricsRegistry,
     ) -> io::Result<Server> {
         cache.set_capacity(limits.cache_capacity);
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        let uds = match &limits.uds_path {
+            Some(path) => Some(bind_uds(path)?),
+            None => None,
+        };
         if limits.telemetry {
             // Streamed audits meter their event flow through the process
             // global (`sink.events`); point it at this daemon's registry.
@@ -200,8 +205,9 @@ impl Server {
         }
         Ok(Server {
             listener,
+            uds,
             shared: Arc::new(Shared {
-                dispatcher: Dispatcher::with_telemetry(cache, limits.max_dim, &registry),
+                dispatcher: Dispatcher::with_sharded(cache, limits.max_dim, &registry),
                 pool: WorkerPool::with_telemetry(limits.workers, limits.queue_capacity, &registry),
                 latency: LatencyMetrics::resolve(&registry),
                 limits,
@@ -211,7 +217,7 @@ impl Server {
         })
     }
 
-    /// The bound address (useful after binding port 0).
+    /// The bound TCP address (useful after binding port 0).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
     }
@@ -226,7 +232,11 @@ impl Server {
     /// work, join every thread, emit a final status line on stdout, and
     /// return the final stats.
     pub fn run(self) -> io::Result<ServerStats> {
-        let Server { listener, shared } = self;
+        let Server {
+            listener,
+            uds,
+            shared,
+        } = self;
         let exporter = match &shared.limits.metrics_file {
             Some(path) => {
                 let file = std::fs::OpenOptions::new()
@@ -238,48 +248,45 @@ impl Server {
             }
             None => None,
         };
-        let live = Arc::new(AtomicUsize::new(0));
-        let mut handles: Vec<JoinHandle<()>> = Vec::new();
-        while !shared.shutdown.load(Ordering::SeqCst) && !sigint::seen() {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    if live.load(Ordering::SeqCst) >= shared.limits.max_connections {
-                        refuse_connection(stream);
-                        continue;
-                    }
-                    live.fetch_add(1, Ordering::SeqCst);
-                    let shared = Arc::clone(&shared);
-                    let live = Arc::clone(&live);
-                    handles.push(std::thread::spawn(move || {
-                        let _ = serve_connection(stream, &shared);
-                        live.fetch_sub(1, Ordering::SeqCst);
-                    }));
-                    handles.retain(|h| !h.is_finished());
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(20));
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
-        // Drain: raise the flag for connection threads, finish queued work,
-        // then join everything — no leaked threads.
+        let uds_path = shared.limits.uds_path.clone();
+        let reactor = Reactor::new(listener, uds, uds_path, Arc::clone(&shared))?;
+        let served = reactor.run();
+        // Drain: the reactor has already flushed and closed every
+        // connection; finish queued work, then join everything.
         shared.shutdown.store(true, Ordering::SeqCst);
         shared.pool.shutdown();
-        for handle in handles {
-            let _ = handle.join();
-        }
         if let Some(handle) = exporter {
             // The exporter notices the flag within one poll interval and
             // appends its final post-drain snapshot before exiting.
             let _ = handle.join();
         }
+        served?;
         let stats = shared.status();
         let mut stdout = io::stdout().lock();
         let _ = writeln!(stdout, "{}", Response::Status(stats.clone()).to_line());
         let _ = stdout.flush();
         Ok(stats)
+    }
+}
+
+/// Bind the Unix-domain listener, reclaiming a stale socket file: if the
+/// path exists but no daemon accepts on it (a previous process died
+/// without unlinking), remove it and bind. A live daemon keeps its
+/// socket — that surfaces as `AddrInUse`.
+fn bind_uds(path: &Path) -> io::Result<UnixListener> {
+    match UnixListener::bind(path) {
+        Ok(listener) => Ok(listener),
+        Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+            if UnixStream::connect(path).is_ok() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("{} is in use by a live daemon", path.display()),
+                ));
+            }
+            std::fs::remove_file(path)?;
+            UnixListener::bind(path)
+        }
+        Err(e) => Err(e),
     }
 }
 
@@ -305,216 +312,6 @@ fn export_metrics(mut file: File, shared: &Arc<Shared>) {
         }
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
-        }
-    }
-}
-
-/// Over the connection cap: send one `busy` line and close.
-fn refuse_connection(mut stream: TcpStream) {
-    let response = Response::Error(WireError::new(
-        ErrorKind::Busy,
-        "connection limit reached; retry later",
-    ));
-    let _ = writeln!(stream, "{}", response.to_line());
-}
-
-fn write_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
-    writeln!(stream, "{}", response.to_line())?;
-    stream.flush()
-}
-
-/// What one pass over the socket buffer produced.
-enum LineStep {
-    /// A complete request line (possibly empty).
-    Line(Vec<u8>),
-    /// A complete line that exceeded the size bound (content discarded).
-    Oversized,
-    /// The client closed the connection.
-    Eof,
-    /// Read timeout — caller should check the shutdown flag and retry.
-    Idle,
-}
-
-/// Accumulate one newline-terminated line, never buffering more than
-/// `max_len` bytes: once a line exceeds the bound its remainder is consumed
-/// and discarded, and the line reports as [`LineStep::Oversized`].
-fn read_line_step(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut Vec<u8>,
-    discarding: &mut bool,
-    max_len: usize,
-) -> io::Result<LineStep> {
-    loop {
-        let (newline_at, chunk_len) = match reader.fill_buf() {
-            Ok([]) => return Ok(LineStep::Eof),
-            Ok(chunk) => {
-                let newline_at = chunk.iter().position(|&b| b == b'\n');
-                let take = newline_at.unwrap_or(chunk.len());
-                if !*discarding {
-                    buf.extend_from_slice(&chunk[..take]);
-                    if buf.len() > max_len {
-                        *discarding = true;
-                        buf.clear();
-                    }
-                }
-                (newline_at, chunk.len())
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                return Ok(LineStep::Idle)
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        };
-        match newline_at {
-            Some(pos) => {
-                reader.consume(pos + 1);
-                if *discarding {
-                    *discarding = false;
-                    return Ok(LineStep::Oversized);
-                }
-                return Ok(LineStep::Line(std::mem::take(buf)));
-            }
-            None => reader.consume(chunk_len),
-        }
-    }
-}
-
-fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
-    stream.set_read_timeout(Some(POLL_INTERVAL))?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut buf = Vec::new();
-    let mut discarding = false;
-    loop {
-        let line = match read_line_step(
-            &mut reader,
-            &mut buf,
-            &mut discarding,
-            shared.limits.max_line_bytes,
-        )? {
-            LineStep::Eof => return Ok(()),
-            LineStep::Idle => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return Ok(());
-                }
-                continue;
-            }
-            LineStep::Oversized => {
-                shared.dispatcher.note_error();
-                write_response(
-                    &mut writer,
-                    &Response::Error(WireError::new(
-                        ErrorKind::Oversized,
-                        format!(
-                            "request line exceeds {} bytes",
-                            shared.limits.max_line_bytes
-                        ),
-                    )),
-                )?;
-                continue;
-            }
-            LineStep::Line(line) => line,
-        };
-        let Ok(text) = String::from_utf8(line) else {
-            shared.dispatcher.note_error();
-            write_response(
-                &mut writer,
-                &Response::Error(WireError::new(
-                    ErrorKind::Malformed,
-                    "request line is not valid UTF-8",
-                )),
-            )?;
-            continue;
-        };
-        if text.trim().is_empty() {
-            continue;
-        }
-        let response = handle_line(&text, shared);
-        write_response(&mut writer, &response)?;
-    }
-}
-
-/// Answer one request line (connection-agnostic; the determinism test also
-/// calls this path through a live socket).
-fn handle_line(text: &str, shared: &Arc<Shared>) -> Response {
-    let request = match Request::parse(text) {
-        Ok(request) => request,
-        Err(e) => {
-            shared.dispatcher.note_error();
-            return Response::Error(e);
-        }
-    };
-    let timer = shared.latency.for_request(&request).map(|histogram| {
-        let started = Instant::now();
-        (histogram, started)
-    });
-    let response = match request {
-        Request::Status => Response::Status(shared.status()),
-        Request::Metrics => Response::Metrics(shared.metrics()),
-        Request::Shutdown => {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            Response::Shutdown(ShutdownReply {
-                draining: shared.pool.in_flight() as u64,
-            })
-        }
-        compute @ (Request::Plan { .. } | Request::Predict { .. } | Request::Audit { .. }) => {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                shared.dispatcher.note_error();
-                return Response::Error(WireError::new(
-                    ErrorKind::ShuttingDown,
-                    "server is draining; no new work accepted",
-                ));
-            }
-            dispatch_compute(compute, shared)
-        }
-    };
-    if let Some((histogram, started)) = timer {
-        histogram.record_duration(started.elapsed());
-    }
-    response
-}
-
-/// Hand a compute request to the pool and wait (bounded) for its answer.
-fn dispatch_compute(request: Request, shared: &Arc<Shared>) -> Response {
-    let (tx, rx) = mpsc::channel();
-    let job_shared = Arc::clone(shared);
-    let submitted = shared.pool.try_submit(move || {
-        let _ = tx.send(job_shared.dispatcher.handle(request));
-    });
-    if submitted.is_err() {
-        shared.dispatcher.note_busy();
-        return Response::Error(WireError::new(
-            ErrorKind::Busy,
-            "dispatch queue is full; retry later",
-        ));
-    }
-    match rx.recv_timeout(shared.limits.request_timeout) {
-        Ok(response) => response,
-        Err(mpsc::RecvTimeoutError::Timeout) => {
-            // The run keeps executing and will warm the cache; only this
-            // client's wait is abandoned.
-            shared.dispatcher.note_timeout();
-            Response::Error(WireError::new(
-                ErrorKind::Timeout,
-                format!(
-                    "request exceeded the {} ms budget",
-                    shared.limits.request_timeout.as_millis()
-                ),
-            ))
-        }
-        Err(mpsc::RecvTimeoutError::Disconnected) => {
-            // The worker dropped the sender without replying: the job
-            // panicked. The pool caught it (`pool.job_panics` counts it)
-            // and the worker thread survives; this client gets a
-            // structured internal error instead of a hung wait.
-            shared.dispatcher.note_error();
-            Response::Error(WireError::new(
-                ErrorKind::Internal,
-                "request worker failed before producing a reply; \
-                 see the pool.job_panics counter",
-            ))
         }
     }
 }

@@ -10,13 +10,14 @@
 
 use std::sync::Arc;
 
-use hypersweep_analysis::{validate_max_dim, RunCache, RunKey, StrategyKind};
+use hypersweep_analysis::{validate_max_dim, RunCache, RunKey, ShardedRunCache, StrategyKind};
 use hypersweep_core::predictions::{
     clean_phase_accounting, clean_prediction, cloning_prediction, visibility_prediction,
 };
 use hypersweep_telemetry::{Counter, MetricsRegistry};
 use hypersweep_topology::combinatorics as comb;
 
+use crate::answers::AnswerTable;
 use crate::protocol::{
     AuditReply, CacheStats, ErrorKind, MetricsReply, PhasePlan, PlanReply, PredictReply, Request,
     Response, ServedCounts, StatusReply, WireError,
@@ -41,7 +42,8 @@ fn wire_u64(x: u128) -> u64 {
 /// [`Dispatcher::served`], and a `metrics` request serializes the whole
 /// registry, so `status` and `metrics` can never disagree.
 pub struct Dispatcher {
-    cache: Arc<RunCache>,
+    cache: Arc<ShardedRunCache>,
+    answers: AnswerTable,
     max_dim: u32,
     registry: MetricsRegistry,
     plan: Counter,
@@ -52,27 +54,49 @@ pub struct Dispatcher {
     errors: Counter,
     busy: Counter,
     timeouts: Counter,
+    table_hits: Counter,
 }
 
 impl Dispatcher {
-    /// Build a dispatcher over `cache`, refusing dimensions above
-    /// `max_dim`, counting into a private registry.
+    /// Build a dispatcher over a single-shard wrap of `cache`, refusing
+    /// dimensions above `max_dim`, counting into a private registry.
     pub fn new(cache: Arc<RunCache>, max_dim: u32) -> Self {
         Dispatcher::with_telemetry(cache, max_dim, &MetricsRegistry::new())
+    }
+
+    /// [`Dispatcher::with_sharded`] over a single-shard wrap of `cache`
+    /// (the test-injection path: a caller-owned cache keeps its own
+    /// registry and runner).
+    pub fn with_telemetry(cache: Arc<RunCache>, max_dim: u32, registry: &MetricsRegistry) -> Self {
+        Dispatcher::with_sharded(
+            Arc::new(ShardedRunCache::from_caches(vec![cache])),
+            max_dim,
+            registry,
+        )
     }
 
     /// Build a dispatcher counting into `registry`. A disabled registry is
     /// replaced with a private enabled one: the request counters double as
     /// the `served()` accounting, which must work even when the daemon's
-    /// exported telemetry is switched off.
-    pub fn with_telemetry(cache: Arc<RunCache>, max_dim: u32, registry: &MetricsRegistry) -> Self {
+    /// exported telemetry is switched off. Also precomputes the
+    /// `plan`/`predict` answer table for every strategy at `1..=max_dim`.
+    pub fn with_sharded(
+        cache: Arc<ShardedRunCache>,
+        max_dim: u32,
+        registry: &MetricsRegistry,
+    ) -> Self {
         let registry = if registry.is_enabled() {
             registry.clone()
         } else {
             MetricsRegistry::new()
         };
+        let answers = AnswerTable::build(max_dim);
+        registry
+            .gauge("answers.table_size")
+            .set(answers.len() as i64);
         Dispatcher {
             cache,
+            answers,
             max_dim,
             plan: registry.counter("server.requests.plan"),
             predict: registry.counter("server.requests.predict"),
@@ -82,13 +106,39 @@ impl Dispatcher {
             errors: registry.counter("server.errors"),
             busy: registry.counter("server.busy"),
             timeouts: registry.counter("server.timeouts"),
+            table_hits: registry.counter("answers.table_hits"),
             registry,
         }
     }
 
-    /// The shared run cache.
-    pub fn cache(&self) -> &Arc<RunCache> {
+    /// The shared (sharded) run cache.
+    pub fn cache(&self) -> &Arc<ShardedRunCache> {
         &self.cache
+    }
+
+    /// The precomputed answer line for `request`, when it is a
+    /// `plan`/`predict` whose dimension the table covers. A returned line
+    /// is byte-identical to what [`Dispatcher::handle`] would serialize,
+    /// and the counters move exactly as a dispatched request would move
+    /// them (plus `answers.table_hits`).
+    pub fn answer_line(&self, request: &Request) -> Option<&str> {
+        let answer = self.answers.lookup_request(request)?;
+        self.table_hits.inc();
+        if answer.ok {
+            match request {
+                Request::Plan { .. } => self.plan.inc(),
+                Request::Predict { .. } => self.predict.inc(),
+                _ => unreachable!("the table only holds plan/predict answers"),
+            }
+        } else {
+            self.errors.inc();
+        }
+        Some(&answer.line)
+    }
+
+    /// Table hits so far (the live `answers.table_hits` counter).
+    pub fn table_hits(&self) -> u64 {
+        self.table_hits.get()
     }
 
     /// The registry the request counters live in.
@@ -210,6 +260,7 @@ impl Dispatcher {
                 evictions: self.cache.evictions(),
                 entries: self.cache.len() as u64,
                 capacity: self.cache.capacity().map(|c| c as u64),
+                shards: self.cache.shard_count() as u64,
             },
         }
     }
@@ -227,8 +278,10 @@ impl Dispatcher {
     /// ticks don't inflate `served.metrics`.
     pub fn export_reply(&self, uptime_ms: u64, enabled: bool) -> MetricsReply {
         let mut series = self.registry.snapshot();
-        if !self.registry.ptr_eq(self.cache.registry()) {
-            series.merge(&self.cache.registry().snapshot());
+        for registry in self.cache.registries() {
+            if !self.registry.ptr_eq(registry) {
+                series.merge(&registry.snapshot());
+            }
         }
         MetricsReply {
             uptime_ms,
@@ -250,7 +303,7 @@ fn unsupported(what: &str, strategy: StrategyKind) -> WireError {
 }
 
 /// The closed-form schedule for `strategy` on `H_dim`.
-fn plan_reply(strategy: StrategyKind, dim: u32) -> Result<PlanReply, WireError> {
+pub(crate) fn plan_reply(strategy: StrategyKind, dim: u32) -> Result<PlanReply, WireError> {
     let d = dim;
     let nodes = wire_u64(comb::pow2(d));
     let reply = match strategy {
@@ -332,7 +385,7 @@ fn plan_reply(strategy: StrategyKind, dim: u32) -> Result<PlanReply, WireError> 
 }
 
 /// The paper's exact theorem counts for `strategy` on `H_dim`.
-fn predict_reply(strategy: StrategyKind, dim: u32) -> Result<PredictReply, WireError> {
+pub(crate) fn predict_reply(strategy: StrategyKind, dim: u32) -> Result<PredictReply, WireError> {
     let d = dim;
     let nodes = wire_u64(comb::pow2(d));
     let label = strategy.label().to_string();

@@ -16,25 +16,33 @@
 //!   and per-request-kind latency series), also exportable as JSON lines
 //!   via [`ServerLimits::metrics_file`].
 //!
-//! Requests dispatch onto the analysis crate's bounded [`WorkerPool`]
-//! (backpressure surfaces to clients as `busy` errors, never as unbounded
-//! queueing) and are deduplicated through the shared [`RunCache`] with an
-//! LRU capacity bound, so the daemon stays in bounded memory no matter how
-//! long it serves. Graceful shutdown (SIGINT or a `shutdown` request)
-//! drains in-flight work and emits a final stats line.
+//! The front end is a single-threaded non-blocking reactor (TCP plus an
+//! optional Unix-domain socket) with request pipelining and in-order
+//! replies. `plan`/`predict` answer inline from a precomputed
+//! [`AnswerTable`]; `audit` dispatches onto the analysis crate's bounded
+//! [`WorkerPool`] (backpressure surfaces to clients as `busy` errors,
+//! never as unbounded queueing) and deduplicates through a hash-sharded
+//! [`ShardedRunCache`] with an LRU capacity bound, so the daemon stays in
+//! bounded memory no matter how long it serves. Graceful shutdown (SIGINT
+//! or a `shutdown` request) drains in-flight work and emits a final stats
+//! line.
 //!
 //! [`WorkerPool`]: hypersweep_analysis::WorkerPool
-//! [`RunCache`]: hypersweep_analysis::RunCache
+//! [`ShardedRunCache`]: hypersweep_analysis::ShardedRunCache
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod answers;
 pub mod client;
 pub mod daemon;
 pub mod dispatch;
 pub mod limits;
+pub mod poll;
 pub mod protocol;
+mod reactor;
 
+pub use answers::AnswerTable;
 pub use client::{run_bench, BenchConfig, BenchReport, Client, BENCH_SCHEMA};
 pub use daemon::{Server, ServerStats};
 pub use dispatch::Dispatcher;

@@ -27,10 +27,22 @@ pub struct ServerLimits {
     /// Concurrent connections served; excess connections receive a single
     /// `busy` error line and are closed.
     pub max_connections: usize,
+    /// Pipelined requests a single connection may have awaiting the worker
+    /// pool before the reactor stops reading from it (flow control, not an
+    /// error: reading resumes as replies drain).
+    pub max_pipeline: usize,
     /// Worker threads executing requests.
     pub workers: usize,
     /// LRU bound on cached run outcomes (`None` = unbounded).
     pub cache_capacity: Option<usize>,
+    /// Hash-partitioned run-cache shards ([`ServerLimits::cache_capacity`]
+    /// is split across them).
+    pub cache_shards: usize,
+    /// Also listen on this Unix-domain socket path, served by the same
+    /// reactor as the TCP listener. A stale socket file (no daemon
+    /// accepting on it) is removed and rebound; the file is unlinked again
+    /// at drain.
+    pub uds_path: Option<PathBuf>,
     /// Record telemetry. Off, the daemon still answers `metrics` with
     /// `"enabled":false` and the always-on accounting (request counters,
     /// cache statistics) but records no pool, sink, or latency series.
@@ -49,9 +61,12 @@ impl Default for ServerLimits {
             max_line_bytes: 64 * 1024,
             request_timeout: Duration::from_secs(30),
             queue_capacity: 64,
-            max_connections: 32,
+            max_connections: 1024,
+            max_pipeline: 512,
             workers: hypersweep_analysis::default_jobs().min(4),
             cache_capacity: Some(256),
+            cache_shards: 8,
+            uds_path: None,
             telemetry: true,
             metrics_file: None,
             metrics_interval: Duration::from_secs(10),
@@ -71,6 +86,13 @@ mod tests {
         assert!(limits.queue_capacity >= limits.workers);
         assert!(limits.max_line_bytes >= 1024);
         assert!(limits.cache_capacity.is_some());
+        assert!(
+            limits.cache_capacity.unwrap() >= limits.cache_shards,
+            "every shard must get a non-zero capacity slice by default"
+        );
+        assert!(limits.max_connections >= 256, "pipelined bench headroom");
+        assert!(limits.max_pipeline >= 1);
+        assert!(limits.uds_path.is_none(), "no Unix socket by default");
         assert!(limits.telemetry, "telemetry records by default");
         assert!(limits.metrics_file.is_none(), "no export file by default");
         assert!(limits.metrics_interval >= Duration::from_millis(100));

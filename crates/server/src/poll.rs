@@ -1,0 +1,132 @@
+//! A minimal readiness poll over raw file descriptors, std-only.
+//!
+//! The reactor needs one primitive the standard library does not expose:
+//! "sleep until any of these sockets is readable or writable, or a
+//! timeout elapses". `poll(2)` is exactly that, is POSIX, and needs no
+//! libc crate — the symbol is declared directly, the same way the
+//! daemon's SIGINT handler declares `signal(2)`. Everything above this
+//! module speaks safe Rust over [`PollFd`] slices.
+
+use std::io;
+
+/// Readable readiness (or a pending accept on a listener).
+pub const POLLIN: i16 = 0x001;
+/// Writable readiness.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (always reported, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (always reported, never requested).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor was not open (always reported, never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of a poll set, ABI-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The file descriptor to watch.
+    pub fd: i32,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events, filled in by [`poll`].
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// Watch `fd` for `events`.
+    pub fn new(fd: i32, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether the descriptor is readable (or errored/hung up, which a
+    /// read will surface as `Ok(0)`/`Err` — both handled by the reader).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// Whether the descriptor is writable (or errored, which the next
+    /// write surfaces).
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+#[allow(unsafe_code)]
+mod sys {
+    use super::PollFd;
+
+    extern "C" {
+        pub(super) fn poll(
+            fds: *mut PollFd,
+            nfds: std::ffi::c_ulong,
+            timeout: std::ffi::c_int,
+        ) -> std::ffi::c_int;
+    }
+
+    /// Safe wrapper: the slice is a valid `pollfd` array for the call's
+    /// duration, which is all `poll(2)` requires.
+    pub(super) fn poll_slice(fds: &mut [PollFd], timeout_ms: i32) -> i32 {
+        unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) }
+    }
+}
+
+/// Block until at least one descriptor is ready or `timeout_ms` elapses
+/// (`-1` = no timeout). Returns the number of ready descriptors (`0` on
+/// timeout); an `EINTR` wakeup reports as `Ok(0)` so callers simply
+/// re-evaluate their state (the daemon's signal handler only flips an
+/// atomic the caller polls anyway).
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    let rc = sys::poll_slice(fds, timeout_ms);
+    if rc >= 0 {
+        return Ok(rc as usize);
+    }
+    let err = io::Error::last_os_error();
+    if err.kind() == io::ErrorKind::Interrupted {
+        Ok(0)
+    } else {
+        Err(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn timeout_reports_zero_ready() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        let fd = {
+            use std::os::fd::AsRawFd;
+            accepted.as_raw_fd()
+        };
+        let mut fds = [PollFd::new(fd, POLLIN)];
+        assert_eq!(poll(&mut fds, 10).unwrap(), 0, "nothing written yet");
+        assert!(!fds[0].readable());
+        drop(stream);
+    }
+
+    #[test]
+    fn written_bytes_wake_the_poll() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        stream.write_all(b"x").unwrap();
+        stream.flush().unwrap();
+        let fd = {
+            use std::os::fd::AsRawFd;
+            accepted.as_raw_fd()
+        };
+        let mut fds = [PollFd::new(fd, POLLIN | POLLOUT)];
+        assert_eq!(poll(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].readable());
+        assert!(fds[0].writable(), "a fresh socket has send-buffer space");
+    }
+}

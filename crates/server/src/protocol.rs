@@ -366,6 +366,8 @@ pub struct CacheStats {
     pub entries: u64,
     /// The LRU bound (`null` = unbounded).
     pub capacity: Option<u64>,
+    /// Hash-partitioned shards behind these aggregates.
+    pub shards: u64,
 }
 
 /// Reply to a `status` request.

@@ -113,6 +113,7 @@ fn every_response_variant_round_trips() {
             evictions: 3,
             entries: 9,
             capacity: Some(256),
+            shards: 8,
         },
     }));
     round_trip_response(Response::Status(StatusReply {

@@ -194,11 +194,15 @@ fn saturation_returns_busy_and_timeouts_expire() {
                 assert!(a.monotone);
                 break;
             }
-            Response::Error(e) if e.kind == ErrorKind::Timeout => {
+            // Transient while the released jobs drain the queue: the
+            // reply can still be busy (the queue slot is not yet free)
+            // or a timeout (the run is still finishing).
+            Response::Error(e) if e.kind == ErrorKind::Timeout || e.kind == ErrorKind::Busy => {
                 assert!(
                     std::time::Instant::now() < deadline,
                     "request never completed after release"
                 );
+                std::thread::sleep(Duration::from_millis(5));
             }
             other => panic!("{other:?}"),
         }
@@ -417,10 +421,19 @@ fn connection_cap_refuses_excess_clients_with_busy() {
     let mut resident = Client::connect(&addr).expect("first connection");
     assert!(resident.request(&Request::Status).expect("status").is_ok());
 
-    // The second connection gets one busy line.
-    let mut refused = Client::connect(&addr).expect("tcp connect still succeeds");
-    let raw = refused.send_raw(r#"{"type":"status"}"#).expect("busy line");
-    let Ok(Response::Error(e)) = Response::parse(&raw) else {
+    // The second connection gets one busy line at accept. Read it without
+    // writing anything: a write racing the server's close can turn into an
+    // RST that discards the buffered reply.
+    use std::io::BufRead as _;
+    let refused = std::net::TcpStream::connect(&addr).expect("tcp connect still succeeds");
+    refused
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut raw = String::new();
+    std::io::BufReader::new(refused)
+        .read_line(&mut raw)
+        .expect("busy line");
+    let Ok(Response::Error(e)) = Response::parse(raw.trim_end()) else {
         panic!("expected busy, got {raw}");
     };
     assert_eq!(e.kind, ErrorKind::Busy);
@@ -430,6 +443,192 @@ fn connection_cap_refuses_excess_clients_with_busy() {
 
     shutdown();
     handle.join().expect("clean shutdown");
+}
+
+#[test]
+fn pipelined_batches_get_in_order_replies() {
+    let (addr, shutdown, handle) = spawn_server(quick_limits(), Arc::new(RunCache::new()));
+
+    // The reference stream: one request per write. Status requests are
+    // excluded — their replies carry live counters that legitimately
+    // differ between the serial and pipelined passes.
+    let workload: Vec<Request> = (0..32)
+        .map(|s| hypersweep_server::client::mixed_request(s, 6))
+        .filter(|r| !matches!(r, Request::Status))
+        .collect();
+    let mut serial = Client::connect(&addr).expect("connect");
+    let expected: Vec<String> = workload
+        .iter()
+        .map(|r| serial.send_raw(&r.to_line()).expect("reply"))
+        .collect();
+
+    // The same stream as one write per batch, across several depths: the
+    // reactor must answer in request order with identical bytes.
+    for depth in [2, 5, 24] {
+        let mut pipelined = Client::connect(&addr).expect("connect");
+        let mut got = Vec::new();
+        for batch in workload.chunks(depth) {
+            let lines: Vec<String> = batch.iter().map(Request::to_line).collect();
+            got.extend(pipelined.send_raw_batch(&lines).expect("batch"));
+        }
+        assert_eq!(got, expected, "depth {depth} reordered or altered replies");
+    }
+
+    shutdown();
+    let stats = handle.join().expect("clean shutdown");
+    assert_eq!(stats.served.errors, 0);
+}
+
+#[test]
+fn mixed_error_and_success_pipelines_keep_order() {
+    let (addr, shutdown, handle) = spawn_server(quick_limits(), Arc::new(RunCache::new()));
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // One write carrying good requests, a parse error, an unknown
+    // strategy, and an audit: four replies, in exactly that order.
+    let lines = [
+        r#"{"type":"predict","strategy":"clean","dim":5}"#,
+        r#"{"type":"plan","strategy":"clea"#,
+        r#"{"type":"predict","strategy":"quantum","dim":5}"#,
+        r#"{"type":"audit","strategy":"clean","dim":4}"#,
+    ];
+    let replies = client.send_raw_batch(&lines).expect("batch");
+    assert_eq!(replies.len(), 4);
+    assert!(
+        matches!(Response::parse(&replies[0]), Ok(Response::Predict(_))),
+        "{}",
+        replies[0]
+    );
+    let Ok(Response::Error(e1)) = Response::parse(&replies[1]) else {
+        panic!("{}", replies[1]);
+    };
+    assert_eq!(e1.kind, ErrorKind::Malformed);
+    let Ok(Response::Error(e2)) = Response::parse(&replies[2]) else {
+        panic!("{}", replies[2]);
+    };
+    assert_eq!(e2.kind, ErrorKind::UnknownStrategy);
+    assert!(
+        matches!(Response::parse(&replies[3]), Ok(Response::Audit(_))),
+        "{}",
+        replies[3]
+    );
+
+    shutdown();
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
+fn slow_loris_partial_lines_do_not_stall_other_clients() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let (addr, shutdown, handle) = spawn_server(quick_limits(), Arc::new(RunCache::new()));
+
+    // A client that dribbles a request one byte at a time, never
+    // finishing the line while we measure.
+    let mut loris = std::net::TcpStream::connect(&addr).expect("connect");
+    loris.set_nodelay(true).expect("nodelay");
+    let line = br#"{"type":"predict","strategy":"visibility","dim":6}"#;
+    let (head, tail) = line.split_at(line.len() - 5);
+    for chunk in head.chunks(7) {
+        loris.write_all(chunk).expect("dribble");
+        loris.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(2));
+
+        // The reactor is not blocked on the unfinished line: a second
+        // client gets a full round trip mid-dribble.
+        let mut other = Client::connect(&addr).expect("connect");
+        let response = other.request(&Request::Status).expect("status");
+        assert!(response.is_ok(), "{response:?}");
+    }
+
+    // Completing the line gets the dribbled request its reply.
+    loris.write_all(tail).expect("tail");
+    loris.write_all(b"\n").expect("newline");
+    loris.flush().expect("flush");
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut reply = String::new();
+    BufReader::new(loris.try_clone().expect("clone"))
+        .read_line(&mut reply)
+        .expect("reply");
+    let Ok(Response::Predict(p)) = Response::parse(reply.trim_end()) else {
+        panic!("dribbled request got {reply}");
+    };
+    assert_eq!(p.agents, 32);
+
+    // A half-line abandoned at disconnect is dropped without a reply —
+    // and without wedging the daemon.
+    let mut quitter = std::net::TcpStream::connect(&addr).expect("connect");
+    quitter.write_all(b"{\"type\":\"sta").expect("partial");
+    quitter.flush().expect("flush");
+    drop(quitter);
+
+    shutdown();
+    let stats = handle.join().expect("clean shutdown");
+    assert_eq!(stats.served.errors, 0, "partial lines must not error");
+}
+
+#[test]
+fn uds_listener_serves_and_reclaims_stale_sockets() {
+    let dir = std::env::temp_dir().join(format!(
+        "hypersweep-uds-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let socket = dir.join("daemon.sock");
+
+    // A stale socket file from a daemon that died without unlinking:
+    // bind() must reclaim it (nothing accepts on it).
+    {
+        let dead = std::os::unix::net::UnixListener::bind(&socket).expect("stale bind");
+        drop(dead);
+    }
+    assert!(socket.exists(), "stale socket file is on disk");
+
+    let limits = ServerLimits {
+        uds_path: Some(socket.clone()),
+        ..quick_limits()
+    };
+    let (addr, shutdown, handle) = spawn_server(limits, Arc::new(RunCache::new()));
+
+    // Both transports answer, with identical bytes for the same request.
+    let request = Request::Predict {
+        strategy: StrategyKind::Visibility,
+        dim: 7,
+    };
+    let mut tcp = Client::connect(&addr).expect("tcp connect");
+    let mut uds = Client::connect_uds(&socket).expect("uds connect");
+    let over_tcp = tcp.send_raw(&request.to_line()).expect("tcp reply");
+    let over_uds = uds.send_raw(&request.to_line()).expect("uds reply");
+    assert_eq!(over_tcp, over_uds, "transports must serve identical bytes");
+
+    // Pipelining works over the Unix socket too.
+    let audits: Vec<String> = (3..=6)
+        .map(|dim| {
+            Request::Audit {
+                strategy: StrategyKind::Clean,
+                dim,
+            }
+            .to_line()
+        })
+        .collect();
+    for reply in uds.send_raw_batch(&audits).expect("uds batch") {
+        let Ok(Response::Audit(a)) = Response::parse(&reply) else {
+            panic!("{reply}");
+        };
+        assert!(a.monotone && a.contiguous && a.all_clean);
+    }
+
+    shutdown();
+    let stats = handle.join().expect("clean shutdown");
+    assert_eq!(stats.served.errors, 0);
+    assert!(
+        !socket.exists(),
+        "drain must unlink the socket file so the next daemon binds cleanly"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -450,6 +649,19 @@ fn shutdown_request_drains_and_reports_final_stats() {
             })
             .expect("audit");
         assert!(response.is_ok(), "{response:?}");
+    }
+
+    // Replies arrive a beat before the worker thread finishes its
+    // bookkeeping; wait for the pool to report quiescent so the ack's
+    // draining count is deterministic.
+    loop {
+        let Response::Status(s) = client.request(&Request::Status).expect("status") else {
+            panic!("expected status reply");
+        };
+        if s.in_flight == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
     }
 
     let Response::Shutdown(ack) = client.request(&Request::Shutdown).expect("shutdown") else {

@@ -100,3 +100,40 @@ fn served_responses_are_byte_identical_across_client_counts() {
     );
     assert_eq!(stats.served.busy + stats.served.timeouts, 0);
 }
+
+/// Serving-tier configuration must be invisible on the wire: any cache
+/// shard count and any pipeline depth produce the exact bytes the offline
+/// dispatcher computes over a fresh cache.
+#[test]
+fn responses_are_byte_identical_across_shard_counts_and_pipeline_depths() {
+    let workload: Vec<Request> = standard_workload();
+    let offline = Dispatcher::new(Arc::new(RunCache::new()), 20);
+    let expected: Vec<String> = workload
+        .iter()
+        .map(|r| offline.handle(*r).to_line())
+        .collect();
+
+    for shards in [1usize, 4] {
+        let limits = hypersweep::server::ServerLimits {
+            cache_shards: shards,
+            ..quick_limits()
+        };
+        let (addr, shutdown, run) = spawn_bound_server(limits);
+        for depth in [1usize, 8] {
+            let mut client = Client::connect(&addr).expect("connect");
+            let mut served = Vec::with_capacity(workload.len());
+            for batch in workload.chunks(depth) {
+                let lines: Vec<String> = batch.iter().map(Request::to_line).collect();
+                served.extend(client.send_raw_batch(&lines).expect("batch"));
+            }
+            assert_eq!(
+                served, expected,
+                "shards={shards} depth={depth} changed the wire bytes"
+            );
+        }
+        shutdown();
+        let stats = run.join().expect("clean shutdown");
+        assert_eq!(stats.cache.shards, shards as u64);
+        assert_eq!(stats.served.errors, 0);
+    }
+}
