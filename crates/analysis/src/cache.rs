@@ -49,6 +49,19 @@ pub enum StrategyKind {
 }
 
 impl StrategyKind {
+    /// Every variant, in declaration order (drives label round-trips and
+    /// persisted-record validation).
+    pub const ALL: [StrategyKind; 8] = [
+        StrategyKind::Clean,
+        StrategyKind::CleanThroughRoot,
+        StrategyKind::Visibility,
+        StrategyKind::Cloning,
+        StrategyKind::CloningSmallestFirst,
+        StrategyKind::Synchronous,
+        StrategyKind::Flood,
+        StrategyKind::Frontier,
+    ];
+
     /// Short stable label for timing reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -61,6 +74,12 @@ impl StrategyKind {
             StrategyKind::Flood => "flood",
             StrategyKind::Frontier => "frontier",
         }
+    }
+
+    /// Inverse of [`StrategyKind::label`], used when warm-loading persisted
+    /// cache records.
+    pub fn from_label(label: &str) -> Option<StrategyKind> {
+        StrategyKind::ALL.into_iter().find(|k| k.label() == label)
     }
 }
 
@@ -232,6 +251,12 @@ impl CacheState {
 
 type Runner = dyn Fn(RunKey) -> SearchOutcome + Send + Sync;
 
+/// Callback observing every *computed* insert (cache misses that finished
+/// executing). Warm-load inserts via [`RunCache::insert_ready`] do not fire
+/// it — the persistence layer would otherwise re-append every record it
+/// just loaded.
+pub type InsertListener = Arc<dyn Fn(RunKey, &Arc<SearchOutcome>) + Send + Sync>;
+
 /// Lock that recovers from poisoning. The cache's invariants hold at every
 /// release point (runs execute outside the lock), so poison only means
 /// some *other* thread panicked — which must not wedge this one.
@@ -307,6 +332,9 @@ pub struct RunCache {
     registry: MetricsRegistry,
     timings: Mutex<Vec<JobTiming>>,
     runner: Box<Runner>,
+    /// Fired (outside the state lock) after each computed insert; see
+    /// [`InsertListener`].
+    insert_listener: Mutex<Option<InsertListener>>,
 }
 
 impl Default for RunCache {
@@ -370,6 +398,7 @@ impl RunCache {
             registry,
             timings: Mutex::new(Vec::new()),
             runner: Box::new(runner),
+            insert_listener: Mutex::new(None),
         }
     }
 
@@ -463,7 +492,55 @@ impl RunCache {
         self.metrics.entries.add(1 - evicted as i64);
         drop(state);
         self.ready.notify_all();
+        let listener = recover(&self.insert_listener).clone();
+        if let Some(listener) = listener {
+            listener(key, &outcome);
+        }
         outcome
+    }
+
+    /// Observe every computed insert (see [`InsertListener`]). Later
+    /// installs replace earlier ones; `None`-clearing is not needed in
+    /// practice (the listener lives as long as the daemon).
+    pub fn set_insert_listener(&self, listener: InsertListener) {
+        *recover(&self.insert_listener) = Some(listener);
+    }
+
+    /// Insert an already-computed outcome for `key` without counting a miss
+    /// or firing the insert listener — the warm-load path. Returns `false`
+    /// (and leaves the cache unchanged) if the key is already present,
+    /// computed or in flight.
+    pub fn insert_ready(&self, key: RunKey, outcome: SearchOutcome) -> bool {
+        let mut state = recover(&self.state);
+        if state.entries.contains_key(&key) {
+            return false;
+        }
+        state.tick += 1;
+        let tick = state.tick;
+        state.entries.insert(
+            key,
+            Entry::Ready {
+                outcome: Arc::new(outcome),
+                last_used: tick,
+            },
+        );
+        let evicted = state.enforce_capacity();
+        self.metrics.evictions.add(evicted);
+        self.metrics.entries.add(1 - evicted as i64);
+        true
+    }
+
+    /// Every computed entry currently held, unordered. Touches no LRU
+    /// state — snapshotting for compaction must not perturb eviction order.
+    pub fn entries_snapshot(&self) -> Vec<(RunKey, Arc<SearchOutcome>)> {
+        recover(&self.state)
+            .entries
+            .iter()
+            .filter_map(|(k, e)| match e {
+                Entry::Ready { outcome, .. } => Some((*k, Arc::clone(outcome))),
+                Entry::InFlight => None,
+            })
+            .collect()
     }
 
     fn record_timing(&self, timing: JobTiming) {
@@ -744,6 +821,76 @@ mod tests {
         // The accessors read the same cells.
         assert_eq!(cache.misses(), 3);
         assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn strategy_labels_round_trip() {
+        for kind in StrategyKind::ALL {
+            assert_eq!(StrategyKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(StrategyKind::from_label("no-such-strategy"), None);
+    }
+
+    #[test]
+    fn insert_ready_serves_hits_without_execution() {
+        static EXECUTIONS: AtomicUsize = AtomicUsize::new(0);
+        let cache = RunCache::with_runner(|_| {
+            EXECUTIONS.fetch_add(1, Ordering::SeqCst);
+            dummy_outcome()
+        });
+        let key = RunKey::audited(StrategyKind::Clean, 4);
+        assert!(cache.insert_ready(key, execute_run(key)));
+        assert!(!cache.insert_ready(key, execute_run(key)), "key occupied");
+        let outcome = cache.get_or_run(key);
+        assert_eq!(EXECUTIONS.load(Ordering::SeqCst), 0, "served warm");
+        assert!(outcome.is_complete());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 0);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn insert_ready_respects_capacity() {
+        let cache = RunCache::with_capacity(Some(2));
+        for d in 1..=4 {
+            let key = RunKey::fast(StrategyKind::Flood, d);
+            assert!(cache.insert_ready(key, execute_run(key)));
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn insert_listener_fires_on_computed_inserts_only() {
+        let seen = Arc::new(Mutex::new(Vec::<RunKey>::new()));
+        let cache = RunCache::with_runner(|_| dummy_outcome());
+        let sink = Arc::clone(&seen);
+        cache.set_insert_listener(Arc::new(move |key, _outcome| {
+            sink.lock().unwrap().push(key);
+        }));
+        let warm = RunKey::fast(StrategyKind::Clean, 2);
+        cache.insert_ready(warm, dummy_outcome());
+        assert!(seen.lock().unwrap().is_empty(), "warm loads must not fire");
+        let computed = RunKey::fast(StrategyKind::Clean, 3);
+        cache.get_or_run(computed);
+        cache.get_or_run(computed); // hit: no second event
+        assert_eq!(seen.lock().unwrap().as_slice(), [computed]);
+    }
+
+    #[test]
+    fn entries_snapshot_returns_ready_entries() {
+        let cache = RunCache::with_runner(|_| dummy_outcome());
+        let a = RunKey::fast(StrategyKind::Clean, 2);
+        let b = RunKey::audited(StrategyKind::Flood, 3);
+        cache.get_or_run(a);
+        cache.get_or_run(b);
+        let mut keys: Vec<_> = cache
+            .entries_snapshot()
+            .into_iter()
+            .map(|(k, _)| k.label())
+            .collect();
+        keys.sort();
+        assert_eq!(keys, ["clean/d2/fast", "flood/d3/audited"]);
     }
 
     #[test]

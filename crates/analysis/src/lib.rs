@@ -17,6 +17,7 @@
 pub mod cache;
 pub mod checking;
 pub mod experiments;
+pub mod persist;
 pub mod pool;
 pub mod result;
 pub mod runner;
@@ -25,8 +26,9 @@ pub mod sharded;
 pub mod stats;
 pub mod table;
 
-pub use cache::{execute_run, Exec, RunCache, RunKey, StrategyKind};
+pub use cache::{execute_run, Exec, InsertListener, RunCache, RunKey, StrategyKind};
 pub use checking::{campaign_table, run_campaign, CampaignOutcome, CheckCampaign};
+pub use persist::{CacheStore, PersistAppender, WarmLoadStats};
 pub use pool::{default_jobs, execute_jobs, execute_jobs_metered, PoolSaturated, WorkerPool};
 pub use result::ExperimentResult;
 pub use runner::{

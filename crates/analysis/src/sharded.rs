@@ -23,7 +23,7 @@ use std::time::Duration;
 use hypersweep_core::SearchOutcome;
 use hypersweep_telemetry::{Counter, MetricsRegistry};
 
-use crate::cache::{execute_run, JobTiming, RunCache, RunKey};
+use crate::cache::{execute_run, InsertListener, JobTiming, RunCache, RunKey};
 
 /// Largest accepted shard count; beyond this the per-shard capacity slices
 /// get too thin to be useful and the poll set bookkeeping dominates.
@@ -147,6 +147,30 @@ impl ShardedRunCache {
         let idx = self.shard_index(&key);
         self.requests[idx].inc();
         self.shards[idx].get_or_run(key)
+    }
+
+    /// Insert an already-computed outcome for `key` into its owning shard
+    /// without counting a miss or firing insert listeners — the warm-load
+    /// path. Returns `false` if the key is already present.
+    pub fn insert_ready(&self, key: RunKey, outcome: SearchOutcome) -> bool {
+        self.shards[self.shard_index(&key)].insert_ready(key, outcome)
+    }
+
+    /// Observe every computed insert on every shard (see
+    /// [`InsertListener`]); the persistence appender hangs off this.
+    pub fn set_insert_listener(&self, listener: InsertListener) {
+        for shard in &self.shards {
+            shard.set_insert_listener(Arc::clone(&listener));
+        }
+    }
+
+    /// Every computed entry across all shards, unordered. Touches no LRU
+    /// state.
+    pub fn entries_snapshot(&self) -> Vec<(RunKey, Arc<SearchOutcome>)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.entries_snapshot())
+            .collect()
     }
 
     /// Shards whose registries are distinct, for aggregate counter reads:
@@ -438,6 +462,33 @@ mod tests {
         assert_eq!(shared.misses(), keys.len() as u64);
         assert_eq!(shared.hits(), keys.len() as u64);
         assert_eq!(shared.registries().len(), 1);
+    }
+
+    #[test]
+    fn warm_inserts_route_to_owning_shards_and_listener_fans_out() {
+        use std::sync::Mutex;
+        let cache = sharded(4, None);
+        let seen = Arc::new(Mutex::new(Vec::<RunKey>::new()));
+        let sink = Arc::clone(&seen);
+        cache.set_insert_listener(Arc::new(move |key, _| {
+            sink.lock().unwrap().push(key);
+        }));
+        // Warm inserts land on the owning shard and never fire the listener.
+        let warm = keys(6);
+        for key in &warm {
+            assert!(cache.insert_ready(*key, dummy_outcome()));
+            assert!(cache.shard_stats()[cache.shard_index(key)].entries > 0);
+        }
+        assert!(seen.lock().unwrap().is_empty());
+        assert_eq!(cache.len(), warm.len());
+        // Warm entries serve as hits; a fresh key computes and fires.
+        cache.get_or_run(warm[0]);
+        assert_eq!((cache.hits(), cache.misses()), (1, 0));
+        let fresh = RunKey::fast(StrategyKind::Synchronous, 9);
+        cache.get_or_run(fresh);
+        assert_eq!(seen.lock().unwrap().as_slice(), [fresh]);
+        // The snapshot covers every shard.
+        assert_eq!(cache.entries_snapshot().len(), warm.len() + 1);
     }
 
     #[test]

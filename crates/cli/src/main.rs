@@ -42,7 +42,10 @@ fn usage() -> &'static str {
      \thypersweep check --replay FILE\n\
      \thypersweep serve [--addr HOST:PORT] [--uds PATH] [--max-dim N] [--jobs N] [--cache-cap N]\n\
      \t                 [--cache-shards N] [--timeout-ms N] [--metrics-file FILE]\n\
-     \t                 [--metrics-interval-ms N] [--no-telemetry]\n\
+     \t                 [--metrics-interval-ms N] [--no-telemetry] [--persist FILE]\n\
+     \t                 [--state-file FILE] [--log-file FILE]\n\
+     \thypersweep daemon <start|status|stop|restart> [--state-dir DIR] [--force]\n\
+     \t                 [+ any serve flag, forwarded to the managed daemon]\n\
      \thypersweep bench-serve [--addr HOST:PORT] [--uds PATH] [--connections N] [--requests N]\n\
      \t                       [--pipeline-depth N] [--max-dim N] [--out FILE]\n\
      \thypersweep telemetry-gate <with.json> <without.json> [--out FILE]\n\
@@ -417,10 +420,46 @@ fn cmd_check_replay(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_serve(addr: &str, limits: ServerLimits) -> Result<(), String> {
+fn cmd_serve(
+    addr: &str,
+    limits: ServerLimits,
+    state_file: Option<PathBuf>,
+    log_file: Option<PathBuf>,
+) -> Result<(), String> {
+    // Route the reactor/pool/cache log lines into the rotating daemon log
+    // before binding, so the warm-load report lands there too.
+    if let Some(path) = &log_file {
+        let log = std::sync::Arc::new(
+            hypersweep_daemon::RotatingLog::open(path)
+                .map_err(|e| format!("cannot open log file {}: {e}", path.display()))?,
+        );
+        hypersweep_telemetry::install_logger(std::sync::Arc::new(move |line: &str| {
+            log.log(line);
+        }));
+    }
     let server =
         Server::bind(addr, limits.clone()).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
+    // Publish the managed-daemon state once bound: `hypersweep daemon
+    // start` polls for this file as the readiness signal, and `status`/
+    // `stop` operate on it.
+    if let Some(path) = &state_file {
+        let state = hypersweep_daemon::DaemonState {
+            pid: std::process::id(),
+            addr: bound.to_string(),
+            uds: limits.uds_path.as_ref().map(|p| p.display().to_string()),
+            started_unix_ms: hypersweep_daemon::now_unix_ms(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+        };
+        state
+            .write(path)
+            .map_err(|e| format!("cannot write state file {}: {e}", path.display()))?;
+        hypersweep_telemetry::log_line(&format!(
+            "daemon: pid {} serving {bound}, state in {}",
+            state.pid,
+            path.display()
+        ));
+    }
     eprintln!(
         "hypersweep-server listening on {bound} \
          ({} workers, max dim {}, cache cap {} x{} shards, telemetry {})",
@@ -444,7 +483,14 @@ fn cmd_serve(addr: &str, limits: ServerLimits) -> Result<(), String> {
         );
     }
     hypersweep_server::daemon::install_sigint_handler();
-    let stats = server.run().map_err(|e| e.to_string())?;
+    let outcome = server.run().map_err(|e| e.to_string());
+    // A graceful drain (even one that errored) retires this process's
+    // claim; crashes leave the file behind for stale-state cleanup.
+    if let Some(path) = &state_file {
+        let _ = hypersweep_daemon::DaemonState::remove(path);
+        hypersweep_telemetry::log_line("daemon: drained, state file removed");
+    }
+    let stats = outcome?;
     eprintln!(
         "drained after {:.1}s: {} plan / {} predict / {} audit / {} status / {} metrics, \
          {} errors, {} busy, {} timeouts",
@@ -459,6 +505,157 @@ fn cmd_serve(addr: &str, limits: ServerLimits) -> Result<(), String> {
         stats.served.timeouts,
     );
     Ok(())
+}
+
+/// Flags that consume a value — used when re-walking the raw argv to
+/// forward serve flags to a managed daemon child.
+const VALUE_FLAGS: &[&str] = &[
+    "--addr",
+    "--uds",
+    "--max-dim",
+    "--jobs",
+    "--cache-cap",
+    "--cache-shards",
+    "--timeout-ms",
+    "--metrics-file",
+    "--metrics-interval-ms",
+    "--persist",
+    "--state-file",
+    "--log-file",
+    "--state-dir",
+];
+
+/// Everything from the raw argv that should reach the managed daemon's
+/// `serve` child: serve flags pass through, daemon-only flags
+/// (`--state-dir`, `--force`) and the positionals (`daemon <action>`)
+/// are dropped.
+fn forwarded_serve_args(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if arg == "--state-dir" {
+            i += 2;
+        } else if arg == "--force" {
+            i += 1;
+        } else if VALUE_FLAGS.contains(&arg) {
+            out.push(args[i].clone());
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+            }
+            i += 2;
+        } else if arg.starts_with("--") {
+            // Boolean serve flags (--no-telemetry).
+            out.push(args[i].clone());
+            i += 1;
+        } else {
+            // Positionals: `daemon` and its action.
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Append `flag default` unless the forwarded args already carry it.
+fn ensure_flag(args: &mut Vec<String>, flag: &str, default: &std::path::Path) {
+    if !args.iter().any(|a| a == flag) {
+        args.push(flag.to_string());
+        args.push(default.display().to_string());
+    }
+}
+
+/// `hypersweep daemon <start|status|stop|restart>`: managed lifecycle
+/// over a state directory. `status` exits 0 when running and 3 when not,
+/// so scripts can branch without parsing output.
+fn cmd_daemon(
+    action: &str,
+    state_dir: PathBuf,
+    force: bool,
+    mut forwarded: Vec<String>,
+) -> Result<ExitCode, String> {
+    use hypersweep_daemon as daemon;
+    let paths = daemon::DaemonPaths::new(state_dir);
+    match action {
+        "status" => match daemon::status(&paths).map_err(|e| e.to_string())? {
+            daemon::StatusOutcome::Running(state) => {
+                let uptime_s = hypersweep_daemon::now_unix_ms()
+                    .saturating_sub(state.started_unix_ms) as f64
+                    / 1e3;
+                let uds = state
+                    .uds
+                    .as_deref()
+                    .map(|u| format!(", uds {u}"))
+                    .unwrap_or_default();
+                println!(
+                    "running: pid {} on {} (v{}, up {uptime_s:.1}s{uds})",
+                    state.pid, state.addr, state.version
+                );
+                Ok(ExitCode::SUCCESS)
+            }
+            daemon::StatusOutcome::Stale(state) => {
+                println!(
+                    "not running (stale state: pid {} on {})",
+                    state.pid, state.addr
+                );
+                Ok(ExitCode::from(3))
+            }
+            daemon::StatusOutcome::NotRunning => {
+                println!("not running");
+                Ok(ExitCode::from(3))
+            }
+        },
+        "stop" => match daemon::stop(&paths, daemon::DEFAULT_STOP_GRACE)? {
+            daemon::StopOutcome::Stopped { pid, forced } => {
+                println!(
+                    "stopped pid {pid}{}",
+                    if forced {
+                        " (SIGKILL after the grace period)"
+                    } else {
+                        ""
+                    }
+                );
+                Ok(ExitCode::SUCCESS)
+            }
+            daemon::StopOutcome::WasStale => {
+                println!("cleaned up stale state; nothing was running");
+                Ok(ExitCode::SUCCESS)
+            }
+            daemon::StopOutcome::NotRunning => {
+                println!("nothing to stop");
+                Ok(ExitCode::SUCCESS)
+            }
+        },
+        "start" | "restart" => {
+            let exe = std::env::current_exe()
+                .map_err(|e| format!("cannot resolve own executable: {e}"))?;
+            // The managed defaults live under the state dir; explicit
+            // serve flags win.
+            ensure_flag(&mut forwarded, "--uds", &paths.socket_file());
+            ensure_flag(&mut forwarded, "--state-file", &paths.state_file());
+            ensure_flag(&mut forwarded, "--log-file", &paths.log_file());
+            ensure_flag(&mut forwarded, "--persist", &paths.cache_file());
+            let mut args = vec!["serve".to_string()];
+            args.append(&mut forwarded);
+            let mut opts = daemon::StartOptions::new(exe, args);
+            opts.force = force;
+            let state = if action == "restart" {
+                daemon::restart(&paths, &opts)?
+            } else {
+                daemon::start(&paths, &opts)?
+            };
+            println!(
+                "started: pid {} on {} (state dir {}, log {})",
+                state.pid,
+                state.addr,
+                paths.dir().display(),
+                paths.log_file().display()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!(
+            "unknown daemon action '{other}' (expected start|status|stop|restart)"
+        )),
+    }
 }
 
 /// Pull `throughput_rps` out of a `bench-serve` report file.
@@ -586,6 +783,11 @@ fn main() -> ExitCode {
     let mut metrics_file: Option<PathBuf> = None;
     let mut metrics_interval_ms: Option<u64> = None;
     let mut no_telemetry = false;
+    let mut persist: Option<PathBuf> = None;
+    let mut state_file: Option<PathBuf> = None;
+    let mut log_file: Option<PathBuf> = None;
+    let mut state_dir: Option<PathBuf> = None;
+    let mut force = false;
     let mut check_strategy = "all".to_string();
     let mut check_dim: u32 = 6;
     let mut schedules: u64 = 200;
@@ -599,6 +801,47 @@ fn main() -> ExitCode {
             "--fast" => fast = true,
             "--timings" => timings = true,
             "--no-telemetry" => no_telemetry = true,
+            "--force" => force = true,
+            "--persist" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => persist = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--persist needs a file path\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--state-file" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => state_file = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--state-file needs a file path\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--log-file" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => log_file = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--log-file needs a file path\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--state-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => state_dir = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--state-dir needs a directory\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--metrics-file" => {
                 i += 1;
                 match args.get(i) {
@@ -911,7 +1154,20 @@ fn main() -> ExitCode {
                 limits.cache_shards = v;
             }
             limits.uds_path = uds.clone();
-            cmd_serve(&addr, limits)
+            limits.persist_path = persist.clone();
+            cmd_serve(&addr, limits, state_file.clone(), log_file.clone())
+        }
+        Some("daemon") if positional.len() == 2 => {
+            let dir = state_dir
+                .clone()
+                .unwrap_or_else(|| PathBuf::from(".hypersweep-daemon"));
+            return match cmd_daemon(&positional[1], dir, force, forwarded_serve_args(&args)) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            };
         }
         Some("bench-serve") if positional.len() == 1 => cmd_bench_serve(
             &BenchConfig {

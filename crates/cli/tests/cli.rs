@@ -269,7 +269,7 @@ fn serve_bench_and_graceful_shutdown() {
     // Graceful shutdown via the protocol; the daemon must exit 0 with a
     // final status line on stdout and the drain summary on stderr.
     let mut control = std::net::TcpStream::connect(&addr).unwrap();
-    writeln!(control, "{}", r#"{"type":"shutdown"}"#).unwrap();
+    writeln!(control, r#"{{"type":"shutdown"}}"#).unwrap();
     let mut ack = String::new();
     BufReader::new(control.try_clone().unwrap())
         .read_line(&mut ack)
@@ -356,4 +356,139 @@ fn audit_flags_a_corrupt_trace() {
         .unwrap();
     assert!(!out.status.success(), "corrupt trace must fail the audit");
     std::fs::remove_file(path).ok();
+}
+
+// --- managed daemon lifecycle -------------------------------------------
+
+/// A fresh state directory for one daemon test.
+fn daemon_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hypersweep-cli-daemon-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Crude field extraction from `state.json`, enough for tests.
+fn state_field(dir: &std::path::Path, field: &str) -> String {
+    let text = std::fs::read_to_string(dir.join("state.json")).expect("state.json");
+    let needle = format!("\"{field}\":");
+    let start = text.find(&needle).expect(field) + needle.len();
+    text[start..]
+        .trim_start_matches('"')
+        .chars()
+        .take_while(|c| !matches!(c, '"' | ',' | '}'))
+        .collect()
+}
+
+/// One request/reply round trip against a daemon's TCP address.
+fn daemon_request(addr: &str, line: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect daemon");
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).expect("reply");
+    reply
+}
+
+fn daemon_cmd(dir: &std::path::Path, args: &[&str]) -> std::process::Output {
+    bin()
+        .arg("daemon")
+        .args(args)
+        .arg("--state-dir")
+        .arg(dir)
+        .output()
+        .expect("run daemon command")
+}
+
+#[test]
+fn daemon_lifecycle_start_status_stop_and_force_takeover() {
+    let dir = daemon_dir("lifecycle");
+
+    // status on an empty dir: not running, exit code 3.
+    let out = daemon_cmd(&dir, &["status"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+
+    let out = daemon_cmd(&dir, &["start", "--addr", "127.0.0.1:0"]);
+    assert!(out.status.success(), "{out:?}");
+    let out = daemon_cmd(&dir, &["status"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let first_pid = state_field(&dir, "pid");
+
+    // A second start is refused while the first is alive...
+    let out = daemon_cmd(&dir, &["start", "--addr", "127.0.0.1:0"]);
+    assert!(!out.status.success(), "double start must fail");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--force"),
+        "{out:?}"
+    );
+
+    // ...and --force takes it over with a new PID.
+    let out = daemon_cmd(&dir, &["start", "--addr", "127.0.0.1:0", "--force"]);
+    assert!(out.status.success(), "{out:?}");
+    let second_pid = state_field(&dir, "pid");
+    assert_ne!(first_pid, second_pid, "takeover must replace the daemon");
+
+    let out = daemon_cmd(&dir, &["stop"]);
+    assert!(out.status.success(), "{out:?}");
+    let out = daemon_cmd(&dir, &["status"]);
+    assert_eq!(out.status.code(), Some(3), "stopped daemon reads as down");
+    assert!(!dir.join("state.json").exists(), "state retired at stop");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_warm_restart_after_kill9_serves_byte_identical_replies() {
+    let dir = daemon_dir("kill9");
+    let audit = r#"{"type":"audit","strategy":"clean","dim":6}"#;
+
+    // First life: compute one audit, then stop gracefully so the cache
+    // snapshot is flushed and compacted.
+    let out = daemon_cmd(&dir, &["start", "--addr", "127.0.0.1:0"]);
+    assert!(out.status.success(), "{out:?}");
+    let cold = daemon_request(&state_field(&dir, "addr"), audit);
+    assert!(cold.contains("\"monotone\":true"), "{cold}");
+    assert!(daemon_cmd(&dir, &["stop"]).status.success());
+
+    // Second life dies hard: kill -9 leaves the state file and socket
+    // behind.
+    let out = daemon_cmd(&dir, &["start", "--addr", "127.0.0.1:0"]);
+    assert!(out.status.success(), "{out:?}");
+    let pid = state_field(&dir, "pid");
+    let killed = Command::new("kill").args(["-9", &pid]).status().unwrap();
+    assert!(killed.success());
+    // Wait for the PID to actually die (kill returns before reaping).
+    for _ in 0..100 {
+        if daemon_cmd(&dir, &["status"]).status.code() == Some(3) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let out = daemon_cmd(&dir, &["status"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("stale"),
+        "{out:?}"
+    );
+    assert!(
+        dir.join("daemon.sock").exists(),
+        "kill -9 orphans the socket"
+    );
+
+    // Third life: start reclaims the stale state and socket, warm-loads
+    // the persisted cache, and the audit answers byte-identically.
+    let out = daemon_cmd(&dir, &["start", "--addr", "127.0.0.1:0"]);
+    assert!(out.status.success(), "{out:?}");
+    let warm = daemon_request(&state_field(&dir, "addr"), audit);
+    assert_eq!(warm, cold, "warm reply must be byte-identical");
+    let log = std::fs::read_to_string(dir.join("daemon.log")).unwrap();
+    assert!(
+        log.contains("warm-loaded 1"),
+        "warm load not logged:\n{log}"
+    );
+    assert!(log.contains("cleanup"), "stale cleanup not logged:\n{log}");
+
+    assert!(daemon_cmd(&dir, &["stop"]).status.success());
+    let _ = std::fs::remove_dir_all(&dir);
 }

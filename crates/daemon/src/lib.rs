@@ -1,0 +1,37 @@
+//! `hypersweep-daemon`: managed lifecycle for the serving daemon.
+//!
+//! The server crate knows how to *serve*; this crate knows how to *run it
+//! as a service*: `start` detaches a `hypersweep serve` child into its own
+//! session, the child publishes a [`DaemonState`] (`state.json`: PID,
+//! bound address, socket path, start time, version) under a state
+//! directory, and `status` / `stop` / `restart` operate on that record
+//! with liveness probing — a recorded PID only counts as running if the
+//! process is alive *and* its `/proc` cmdline still looks like a serve
+//! daemon, so a PID recycled by an unrelated process reads as stale and
+//! is cleaned up instead of signalled. `start --force` takes an already
+//! running daemon over (graceful signal, bounded wait, then SIGKILL) and
+//! reclaims its sockets. All lifecycle events, and the server's own
+//! reactor/pool logs (via `hypersweep_telemetry::log_line`), land in a
+//! timestamped size-rotated `daemon.log`.
+//!
+//! The design follows the workgraph service daemon (SNIPPETS.md
+//! §Coordination): state file as the lock, stale-PID detection on every
+//! touch, `--force` as the recovery hatch, and log rotation at a fixed
+//! byte budget so an unattended daemon cannot fill the disk.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lifecycle;
+mod rotate;
+mod state;
+#[allow(unsafe_code)]
+mod sys;
+
+pub use lifecycle::{
+    cleanup_stale, probe, restart, start, status, stop, DaemonPaths, Liveness, StartOptions,
+    StatusOutcome, StopOutcome, DEFAULT_START_WAIT, DEFAULT_STOP_GRACE,
+};
+pub use rotate::{format_utc_ms, RotatingLog, DEFAULT_KEEP, DEFAULT_MAX_BYTES};
+pub use state::{now_unix_ms, DaemonState};
+pub use sys::{pid_alive, process_cmdline, send_signal, SIGINT, SIGKILL, SIGTERM};

@@ -1,0 +1,497 @@
+//! start / status / stop / restart over the state file.
+//!
+//! The state machine is deliberately tiny: a daemon is Running when its
+//! state file's PID probes alive *and* the process's cmdline still looks
+//! like a serve daemon; everything else is NotRunning or Stale. Every
+//! lifecycle touch that observes staleness cleans it up (state file
+//! removed, dead Unix socket unlinked) — including the socket left behind
+//! by a `kill -9`, which no graceful-drain path ever got to unlink.
+
+use std::fs;
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::rotate::RotatingLog;
+use crate::state::DaemonState;
+use crate::sys;
+
+/// How long `stop` waits for a graceful drain before escalating to
+/// SIGKILL.
+pub const DEFAULT_STOP_GRACE: Duration = Duration::from_secs(10);
+
+/// How long `start` waits for the child to publish its state file.
+pub const DEFAULT_START_WAIT: Duration = Duration::from_secs(15);
+
+/// Layout of a daemon state directory.
+#[derive(Clone, Debug)]
+pub struct DaemonPaths {
+    dir: PathBuf,
+}
+
+impl DaemonPaths {
+    /// A state directory at `dir` (nothing is created until `start`).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DaemonPaths { dir: dir.into() }
+    }
+
+    /// The state directory itself.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// `state.json` — the daemon's published identity and the lock.
+    pub fn state_file(&self) -> PathBuf {
+        self.dir.join("state.json")
+    }
+
+    /// `daemon.log` — the rotating log every component writes through.
+    pub fn log_file(&self) -> PathBuf {
+        self.dir.join("daemon.log")
+    }
+
+    /// `cache.jsonl` — the persistent run-cache append log.
+    pub fn cache_file(&self) -> PathBuf {
+        self.dir.join("cache.jsonl")
+    }
+
+    /// `daemon.sock` — the default Unix-domain listener.
+    pub fn socket_file(&self) -> PathBuf {
+        self.dir.join("daemon.sock")
+    }
+}
+
+/// What probing a recorded PID concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Liveness {
+    /// The PID is alive and still looks like a serve daemon.
+    Running,
+    /// Dead, or recycled by an unrelated process.
+    Stale,
+}
+
+/// Probe whether `state` still describes a live serve daemon. A PID
+/// recycled by an unrelated process fails the cmdline identity check and
+/// reads as [`Liveness::Stale`]; an alive PID whose `/proc` entry cannot
+/// be read at all (no procfs, EPERM) is conservatively Running.
+pub fn probe(state: &DaemonState) -> Liveness {
+    if !sys::pid_alive(state.pid) {
+        return Liveness::Stale;
+    }
+    match sys::process_cmdline(state.pid) {
+        Some(cmdline) => {
+            let looks_like_serve = cmdline.split(' ').any(|tok| tok == "serve")
+                || cmdline.split(' ').next().is_some_and(|argv0| {
+                    Path::new(argv0)
+                        .file_name()
+                        .is_some_and(|n| n.to_string_lossy().starts_with("hypersweep"))
+                });
+            if looks_like_serve {
+                Liveness::Running
+            } else {
+                Liveness::Stale
+            }
+        }
+        None => Liveness::Running,
+    }
+}
+
+/// What `status` concluded about the state directory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StatusOutcome {
+    /// A live daemon; its published state.
+    Running(DaemonState),
+    /// No state file (or an unparseable one).
+    NotRunning,
+    /// A state file whose PID is dead or recycled.
+    Stale(DaemonState),
+}
+
+/// Probe the state directory without mutating anything.
+pub fn status(paths: &DaemonPaths) -> io::Result<StatusOutcome> {
+    match DaemonState::read(&paths.state_file())? {
+        None => Ok(StatusOutcome::NotRunning),
+        Some(state) => match probe(&state) {
+            Liveness::Running => Ok(StatusOutcome::Running(state)),
+            Liveness::Stale => Ok(StatusOutcome::Stale(state)),
+        },
+    }
+}
+
+/// Remove a stale daemon's leavings: the state file, and — the `kill -9`
+/// path no graceful drain ever covered — its Unix socket, probed with a
+/// connect first so a socket some *new* live daemon owns is never
+/// unlinked.
+pub fn cleanup_stale(paths: &DaemonPaths, state: &DaemonState, log: Option<&RotatingLog>) {
+    if let Some(log) = log {
+        log.log(&format!(
+            "cleanup: removing stale state for pid {} (addr {})",
+            state.pid, state.addr
+        ));
+    }
+    let _ = DaemonState::remove(&paths.state_file());
+    if let Some(uds) = &state.uds {
+        let path = Path::new(uds);
+        if path.exists() && UnixStream::connect(path).is_err() {
+            if let Some(log) = log {
+                log.log(&format!("cleanup: unlinking dead socket {uds}"));
+            }
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+/// How `start` should launch the serve child.
+#[derive(Clone, Debug)]
+pub struct StartOptions {
+    /// The binary to execute (normally `std::env::current_exe()`).
+    pub exe: PathBuf,
+    /// Full argv for the child, e.g. `["serve", "--addr", …,
+    /// "--state-file", …]`. The child must publish the state file once
+    /// bound — that is what readiness polling watches.
+    pub args: Vec<String>,
+    /// Take over a live daemon instead of refusing.
+    pub force: bool,
+    /// Readiness timeout.
+    pub wait: Duration,
+}
+
+impl StartOptions {
+    /// Options launching `exe` with `args`, no takeover, default wait.
+    pub fn new(exe: impl Into<PathBuf>, args: Vec<String>) -> Self {
+        StartOptions {
+            exe: exe.into(),
+            args,
+            force: false,
+            wait: DEFAULT_START_WAIT,
+        }
+    }
+}
+
+fn tail_of(path: &Path, lines: usize) -> String {
+    let contents = fs::read_to_string(path).unwrap_or_default();
+    let all: Vec<&str> = contents.lines().collect();
+    let start = all.len().saturating_sub(lines);
+    all[start..].join("\n")
+}
+
+/// Start a detached serve daemon and wait until it publishes its state
+/// file. Refuses if one is already running (unless `force`, which stops
+/// the incumbent first); cleans up stale state from crashed daemons.
+pub fn start(paths: &DaemonPaths, opts: &StartOptions) -> Result<DaemonState, String> {
+    fs::create_dir_all(paths.dir())
+        .map_err(|e| format!("cannot create state dir {}: {e}", paths.dir().display()))?;
+    let log = RotatingLog::open(paths.log_file())
+        .map_err(|e| format!("cannot open {}: {e}", paths.log_file().display()))?;
+    match status(paths).map_err(|e| format!("cannot read state file: {e}"))? {
+        StatusOutcome::Running(state) if !opts.force => {
+            return Err(format!(
+                "daemon already running (pid {}, addr {}); use --force to take over",
+                state.pid, state.addr
+            ));
+        }
+        StatusOutcome::Running(state) => {
+            log.log(&format!(
+                "start --force: taking over running daemon pid {}",
+                state.pid
+            ));
+            stop_running(paths, &state, DEFAULT_STOP_GRACE, &log);
+        }
+        StatusOutcome::Stale(state) => cleanup_stale(paths, &state, Some(&log)),
+        StatusOutcome::NotRunning => {
+            // A state file may exist but be unparseable; clear it.
+            let _ = DaemonState::remove(&paths.state_file());
+        }
+    }
+
+    log.log(&format!(
+        "start: spawning {} {}",
+        opts.exe.display(),
+        opts.args.join(" ")
+    ));
+    let stdout = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(paths.log_file())
+        .map_err(|e| format!("cannot open daemon log for the child: {e}"))?;
+    let stderr = stdout
+        .try_clone()
+        .map_err(|e| format!("cannot clone daemon log handle: {e}"))?;
+    let mut cmd = Command::new(&opts.exe);
+    cmd.args(&opts.args)
+        .stdin(Stdio::null())
+        .stdout(stdout)
+        .stderr(stderr);
+    sys::detach_into_new_session(&mut cmd);
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", opts.exe.display()))?;
+
+    match wait_for_state(paths, &mut child, opts.wait) {
+        Ok(state) => {
+            log.log(&format!(
+                "start: daemon up (pid {}, addr {}{})",
+                state.pid,
+                state.addr,
+                state
+                    .uds
+                    .as_deref()
+                    .map(|u| format!(", uds {u}"))
+                    .unwrap_or_default()
+            ));
+            Ok(state)
+        }
+        Err(e) => {
+            log.log(&format!("start: failed: {e}"));
+            let _ = child.kill();
+            let _ = child.wait();
+            let tail = tail_of(&paths.log_file(), 12);
+            Err(format!("{e}\n--- daemon.log tail ---\n{tail}"))
+        }
+    }
+}
+
+/// Poll for a state file naming the spawned child, failing fast if the
+/// child exits during startup (bad flags, bind failure).
+fn wait_for_state(
+    paths: &DaemonPaths,
+    child: &mut Child,
+    wait: Duration,
+) -> Result<DaemonState, String> {
+    let deadline = Instant::now() + wait;
+    loop {
+        if let Some(state) = DaemonState::read(&paths.state_file()).ok().flatten() {
+            if state.pid == child.id() {
+                return Ok(state);
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            return Err(format!("daemon exited during startup ({status})"));
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "daemon did not publish {} within {:.1}s",
+                paths.state_file().display(),
+                wait.as_secs_f64()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// What `stop` did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StopOutcome {
+    /// A live daemon was stopped. `forced` means it ignored the graceful
+    /// signal and needed SIGKILL.
+    Stopped {
+        /// The stopped daemon's PID.
+        pid: u32,
+        /// Whether SIGKILL was needed.
+        forced: bool,
+    },
+    /// Only stale state was found; it was cleaned up.
+    WasStale,
+    /// Nothing to stop.
+    NotRunning,
+}
+
+/// Stop the daemon: SIGTERM, wait up to `grace` for the drain, then
+/// SIGKILL; stale leavings are cleaned up either way.
+pub fn stop(paths: &DaemonPaths, grace: Duration) -> Result<StopOutcome, String> {
+    let log = RotatingLog::open(paths.log_file()).ok();
+    match status(paths).map_err(|e| format!("cannot read state file: {e}"))? {
+        StatusOutcome::NotRunning => Ok(StopOutcome::NotRunning),
+        StatusOutcome::Stale(state) => {
+            cleanup_stale(paths, &state, log.as_ref());
+            Ok(StopOutcome::WasStale)
+        }
+        StatusOutcome::Running(state) => {
+            let log = match log {
+                Some(log) => log,
+                None => RotatingLog::open(paths.log_file())
+                    .map_err(|e| format!("cannot open daemon log: {e}"))?,
+            };
+            let forced = stop_running(paths, &state, grace, &log);
+            Ok(StopOutcome::Stopped {
+                pid: state.pid,
+                forced,
+            })
+        }
+    }
+}
+
+/// Signal a live daemon down; returns whether SIGKILL was needed. The
+/// graceful path lets the daemon remove its own state file (it compacts
+/// the cache first); the forced path cleans up after it.
+fn stop_running(
+    paths: &DaemonPaths,
+    state: &DaemonState,
+    grace: Duration,
+    log: &RotatingLog,
+) -> bool {
+    log.log(&format!("stop: SIGTERM -> pid {}", state.pid));
+    let _ = sys::send_signal(state.pid, sys::SIGTERM);
+    let deadline = Instant::now() + grace;
+    while Instant::now() < deadline {
+        if !sys::pid_alive(state.pid) {
+            // Graceful exit; make sure nothing lingers (the daemon removes
+            // its own state file, but belt and braces after races).
+            cleanup_stale(paths, state, None);
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    log.log(&format!(
+        "stop: pid {} ignored SIGTERM for {:.1}s, escalating to SIGKILL",
+        state.pid,
+        grace.as_secs_f64()
+    ));
+    let _ = sys::send_signal(state.pid, sys::SIGKILL);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while sys::pid_alive(state.pid) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    cleanup_stale(paths, state, Some(log));
+    true
+}
+
+/// `stop` (if anything is running) then `start`.
+pub fn restart(paths: &DaemonPaths, opts: &StartOptions) -> Result<DaemonState, String> {
+    stop(paths, DEFAULT_STOP_GRACE)?;
+    start(paths, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::now_unix_ms;
+
+    fn temp_paths(name: &str) -> DaemonPaths {
+        let dir = std::env::temp_dir().join(format!(
+            "hypersweep-lifecycle-{name}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        DaemonPaths::new(dir)
+    }
+
+    fn state_for(pid: u32, uds: Option<String>) -> DaemonState {
+        DaemonState {
+            pid,
+            addr: "127.0.0.1:0".to_string(),
+            uds,
+            started_unix_ms: now_unix_ms(),
+            version: "0.1.0".to_string(),
+        }
+    }
+
+    #[test]
+    fn empty_dir_is_not_running() {
+        let paths = temp_paths("empty");
+        assert_eq!(status(&paths).unwrap(), StatusOutcome::NotRunning);
+    }
+
+    #[test]
+    fn dead_pid_reads_as_stale_and_stop_cleans_it() {
+        let paths = temp_paths("dead-pid");
+        // Spawn and reap a child: its PID is then guaranteed dead.
+        let mut child = Command::new("true").spawn().expect("spawn /bin/true");
+        let pid = child.id();
+        child.wait().unwrap();
+        let state = state_for(pid, None);
+        state.write(&paths.state_file()).unwrap();
+        assert_eq!(status(&paths).unwrap(), StatusOutcome::Stale(state));
+        assert_eq!(
+            stop(&paths, Duration::from_millis(100)).unwrap(),
+            StopOutcome::WasStale
+        );
+        assert!(!paths.state_file().exists(), "stale state cleaned up");
+        assert_eq!(
+            stop(&paths, Duration::from_millis(100)).unwrap(),
+            StopOutcome::NotRunning
+        );
+        let _ = fs::remove_dir_all(paths.dir());
+    }
+
+    #[test]
+    fn pid_reused_by_unrelated_process_reads_as_stale() {
+        let paths = temp_paths("pid-reuse");
+        // A live process that is definitely not a serve daemon stands in
+        // for a recycled PID.
+        let mut child = Command::new("sleep")
+            .arg("30")
+            .spawn()
+            .expect("spawn sleep");
+        let state = state_for(child.id(), None);
+        state.write(&paths.state_file()).unwrap();
+        assert_eq!(probe(&state), Liveness::Stale, "sleep(1) is not a daemon");
+        assert_eq!(status(&paths).unwrap(), StatusOutcome::Stale(state));
+        // stop() must clean up the state file and must NOT kill the
+        // unrelated process.
+        assert_eq!(
+            stop(&paths, Duration::from_millis(100)).unwrap(),
+            StopOutcome::WasStale
+        );
+        assert!(sys::pid_alive(child.id()), "unrelated process untouched");
+        child.kill().unwrap();
+        child.wait().unwrap();
+        let _ = fs::remove_dir_all(paths.dir());
+    }
+
+    #[test]
+    fn cleanup_unlinks_dead_socket_but_not_live_one() {
+        let paths = temp_paths("socket");
+        fs::create_dir_all(paths.dir()).unwrap();
+        // Dead socket: a file nothing listens on (as left by kill -9).
+        let dead = paths.socket_file();
+        let listener = std::os::unix::net::UnixListener::bind(&dead).unwrap();
+        drop(listener); // closed, but the path stays on disk
+        assert!(dead.exists());
+        let state = state_for(u32::MAX - 1, Some(dead.display().to_string()));
+        cleanup_stale(&paths, &state, None);
+        assert!(!dead.exists(), "dead socket reclaimed");
+
+        // Live socket: still accepting, must survive cleanup.
+        let live = paths.dir().join("live.sock");
+        let _listener = std::os::unix::net::UnixListener::bind(&live).unwrap();
+        let state = state_for(u32::MAX - 1, Some(live.display().to_string()));
+        cleanup_stale(&paths, &state, None);
+        assert!(live.exists(), "live socket must not be unlinked");
+        let _ = fs::remove_dir_all(paths.dir());
+    }
+
+    #[test]
+    fn start_reports_a_child_that_dies_during_startup() {
+        let paths = temp_paths("dies");
+        // `false` exits immediately without ever publishing a state file.
+        let opts = StartOptions {
+            exe: PathBuf::from("false"),
+            args: vec![],
+            force: false,
+            wait: Duration::from_secs(5),
+        };
+        let err = start(&paths, &opts).expect_err("child exits at once");
+        assert!(
+            err.contains("exited during startup"),
+            "unexpected error: {err}"
+        );
+        let _ = fs::remove_dir_all(paths.dir());
+    }
+
+    #[test]
+    fn start_times_out_on_a_child_that_never_publishes() {
+        let paths = temp_paths("timeout");
+        let opts = StartOptions {
+            exe: PathBuf::from("sleep"),
+            args: vec!["30".to_string()],
+            force: false,
+            wait: Duration::from_millis(300),
+        };
+        let err = start(&paths, &opts).expect_err("never publishes");
+        assert!(err.contains("did not publish"), "unexpected error: {err}");
+        let _ = fs::remove_dir_all(paths.dir());
+    }
+}

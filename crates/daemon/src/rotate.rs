@@ -1,0 +1,215 @@
+//! Timestamped, size-rotated daemon log.
+//!
+//! One writer, line-at-a-time, every line prefixed with a UTC timestamp.
+//! When the current file would exceed the byte budget the files shift
+//! (`daemon.log` → `daemon.log.1` → … → `daemon.log.<keep>`, oldest
+//! dropped) and a fresh file is opened — an unattended daemon can log
+//! forever in at most `(keep + 1) × max_bytes` of disk.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::state::now_unix_ms;
+
+/// Default rotation threshold: 10 MiB, like workgraph's service log.
+pub const DEFAULT_MAX_BYTES: u64 = 10 * 1024 * 1024;
+/// Default rotated generations kept.
+pub const DEFAULT_KEEP: usize = 5;
+
+/// Render Unix milliseconds as `YYYY-MM-DDThh:mm:ss.mmmZ` (proleptic
+/// Gregorian, UTC). Std-only — no chrono in this workspace.
+pub fn format_utc_ms(unix_ms: u64) -> String {
+    let ms = unix_ms % 1000;
+    let secs = unix_ms / 1000;
+    let (sec, min, hour) = (secs % 60, (secs / 60) % 60, (secs / 3600) % 24);
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days, shifted to the 1970 epoch.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!("{year:04}-{month:02}-{day:02}T{hour:02}:{min:02}:{sec:02}.{ms:03}Z")
+}
+
+struct Writer {
+    file: File,
+    len: u64,
+}
+
+/// The rotating log. Cheap to share behind an `Arc`; `log` takes `&self`.
+pub struct RotatingLog {
+    path: PathBuf,
+    max_bytes: u64,
+    keep: usize,
+    writer: Mutex<Option<Writer>>,
+}
+
+impl RotatingLog {
+    /// Open (appending) the log at `path` with the default 10 MiB / keep-5
+    /// rotation policy, creating parent directories.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<RotatingLog> {
+        Self::with_policy(path, DEFAULT_MAX_BYTES, DEFAULT_KEEP)
+    }
+
+    /// Open with an explicit rotation policy. `max_bytes` is a threshold,
+    /// not a hard cap: the line that crosses it triggers rotation first,
+    /// so no single file exceeds `max_bytes` plus one line.
+    pub fn with_policy(
+        path: impl Into<PathBuf>,
+        max_bytes: u64,
+        keep: usize,
+    ) -> io::Result<RotatingLog> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let log = RotatingLog {
+            path,
+            max_bytes: max_bytes.max(1),
+            keep,
+            writer: Mutex::new(None),
+        };
+        log.with_writer(|_| Ok(()))?;
+        Ok(log)
+    }
+
+    /// The active log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The path of rotated generation `n` (1 = most recent).
+    pub fn rotated_path(&self, n: usize) -> PathBuf {
+        let mut name = self.path.as_os_str().to_os_string();
+        name.push(format!(".{n}"));
+        PathBuf::from(name)
+    }
+
+    /// Append one timestamped line, rotating first if it would cross the
+    /// byte budget. Errors are swallowed: logging must never take the
+    /// daemon down, and there is nowhere better to report them.
+    pub fn log(&self, line: &str) {
+        let stamped = format!("[{}] {line}\n", format_utc_ms(now_unix_ms()));
+        let _ = self.with_writer(|writer| {
+            writer.file.write_all(stamped.as_bytes())?;
+            writer.len += stamped.len() as u64;
+            Ok(())
+        });
+    }
+
+    /// Run `f` with an open writer, rotating beforehand if the file is at
+    /// or past the budget.
+    fn with_writer(&self, f: impl FnOnce(&mut Writer) -> io::Result<()>) -> io::Result<()> {
+        let mut slot = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.as_ref().is_some_and(|w| w.len >= self.max_bytes) {
+            *slot = None;
+            self.shift_generations()?;
+        }
+        if slot.is_none() {
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)?;
+            let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+            *slot = Some(Writer { file, len });
+        }
+        f(slot.as_mut().expect("writer opened above"))
+    }
+
+    /// `daemon.log.(keep)` is dropped, every other generation shifts up by
+    /// one, and the active file becomes `.1`.
+    fn shift_generations(&self) -> io::Result<()> {
+        if self.keep == 0 {
+            return fs::remove_file(&self.path);
+        }
+        let _ = fs::remove_file(self.rotated_path(self.keep));
+        for n in (1..self.keep).rev() {
+            let from = self.rotated_path(n);
+            if from.exists() {
+                fs::rename(&from, self.rotated_path(n + 1))?;
+            }
+        }
+        fs::rename(&self.path, self.rotated_path(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hypersweep-rotate-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn timestamps_render_known_instants() {
+        assert_eq!(format_utc_ms(0), "1970-01-01T00:00:00.000Z");
+        // 2026-08-04 00:00:00 UTC.
+        assert_eq!(format_utc_ms(1_785_801_600_000), "2026-08-04T00:00:00.000Z");
+        assert_eq!(format_utc_ms(951_827_696_789), "2000-02-29T12:34:56.789Z");
+    }
+
+    #[test]
+    fn lines_are_timestamped_and_appended() {
+        let dir = temp_dir("append");
+        let log = RotatingLog::open(dir.join("daemon.log")).unwrap();
+        log.log("first");
+        log.log("second");
+        let contents = fs::read_to_string(dir.join("daemon.log")).unwrap();
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with('['), "timestamp prefix: {}", lines[0]);
+        assert!(lines[0].ends_with("] first"));
+        assert!(lines[1].ends_with("] second"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_shifts_generations_and_drops_the_oldest() {
+        let dir = temp_dir("shift");
+        let path = dir.join("daemon.log");
+        // Budget of one byte: every line rotates the previous one out.
+        let log = RotatingLog::with_policy(&path, 1, 2).unwrap();
+        for i in 0..5 {
+            log.log(&format!("line {i}"));
+        }
+        // Active file holds the newest line; .1 and .2 the two before it;
+        // older generations were dropped.
+        let newest = fs::read_to_string(&path).unwrap();
+        assert!(newest.contains("line 4"));
+        assert!(fs::read_to_string(log.rotated_path(1))
+            .unwrap()
+            .contains("line 3"));
+        assert!(fs::read_to_string(log.rotated_path(2))
+            .unwrap()
+            .contains("line 2"));
+        assert!(!log.rotated_path(3).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_continues_the_existing_file() {
+        let dir = temp_dir("reopen");
+        let path = dir.join("daemon.log");
+        RotatingLog::open(&path).unwrap().log("before restart");
+        RotatingLog::open(&path).unwrap().log("after restart");
+        let contents = fs::read_to_string(&path).unwrap();
+        assert!(contents.contains("before restart"));
+        assert!(contents.contains("after restart"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,124 @@
+//! The daemon's `state.json`: one small record that *is* the lock.
+//!
+//! A running daemon is exactly "a state file whose PID probes alive and
+//! still looks like a serve process". The file is written atomically
+//! (temp + rename) by the serve child once its sockets are bound, so a
+//! `daemon start` polling for readiness never observes a half-written
+//! record, and removed by the child on graceful drain. Anything else —
+//! missing file, dead PID, recycled PID, unparseable JSON — is *stale*
+//! and gets cleaned up by the next lifecycle touch.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Serialize};
+
+/// Milliseconds since the Unix epoch, for `started_unix_ms` stamps and
+/// log timestamps.
+pub fn now_unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// The published identity of a running daemon.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DaemonState {
+    /// The serve process.
+    pub pid: u32,
+    /// Bound TCP address, e.g. `127.0.0.1:7071` (the actual port, even if
+    /// the daemon was started with `:0`).
+    pub addr: String,
+    /// Unix-domain socket path, if one is listening.
+    pub uds: Option<String>,
+    /// When the daemon started (Unix milliseconds).
+    pub started_unix_ms: u64,
+    /// The serving binary's version.
+    pub version: String,
+}
+
+impl DaemonState {
+    /// Read the state file. `Ok(None)` covers both "no file" and "file
+    /// unparseable" — a corrupt record means a daemon that cannot be
+    /// probed, which the lifecycle treats as stale, never as fatal.
+    pub fn read(path: &Path) -> io::Result<Option<DaemonState>> {
+        let contents = match fs::read_to_string(path) {
+            Ok(contents) => contents,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(serde_json::from_str(&contents).ok())
+    }
+
+    /// Write the state file atomically (temp + rename in the same
+    /// directory), creating parent directories as needed.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let tmp = path.with_extension("json.tmp");
+        let json = serde_json::to_string(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        fs::write(&tmp, json)?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Remove the state file; a missing file is fine.
+    pub fn remove(path: &Path) -> io::Result<()> {
+        match fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "hypersweep-state-{name}-{}/state.json",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let path = temp_path("round-trip");
+        let state = DaemonState {
+            pid: 4321,
+            addr: "127.0.0.1:7071".to_string(),
+            uds: Some("/tmp/hypersweep.sock".to_string()),
+            started_unix_ms: 1_754_000_000_000,
+            version: "0.1.0".to_string(),
+        };
+        state.write(&path).expect("write creates parents");
+        assert_eq!(DaemonState::read(&path).unwrap(), Some(state));
+        DaemonState::remove(&path).unwrap();
+        assert_eq!(DaemonState::read(&path).unwrap(), None);
+        DaemonState::remove(&path).expect("double remove is fine");
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn corrupt_state_reads_as_none() {
+        let path = temp_path("corrupt");
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, "{not json").unwrap();
+        assert_eq!(DaemonState::read(&path).unwrap(), None);
+        let _ = fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn missing_file_reads_as_none() {
+        let path = temp_path("missing");
+        assert_eq!(DaemonState::read(&path).unwrap(), None);
+    }
+}

@@ -1,0 +1,77 @@
+//! The three libc process primitives the lifecycle needs (`kill`,
+//! `setsid`, `/proc` identity reads), kept in one `unsafe`-permitted
+//! module so the rest of the crate stays `deny(unsafe_code)`.
+
+use std::io;
+use std::process::Command;
+
+/// Interrupt (the server's graceful-drain signal from a terminal).
+pub const SIGINT: i32 = 2;
+/// Uncatchable kill, the takeover escalation of last resort.
+pub const SIGKILL: i32 = 9;
+/// Termination request; the server drains on it like SIGINT.
+pub const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+    fn setsid() -> i32;
+}
+
+/// Send `sig` to `pid`.
+pub fn send_signal(pid: u32, sig: i32) -> io::Result<()> {
+    let pid = i32::try_from(pid).map_err(|_| io::Error::from(io::ErrorKind::InvalidInput))?;
+    // SAFETY: kill(2) with a validated positive pid; no memory is touched.
+    if unsafe { kill(pid, sig) } == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
+/// Whether a process with `pid` exists (signal 0 probe). A process owned
+/// by another user reads as alive (EPERM), which is the conservative
+/// answer for takeover decisions.
+pub fn pid_alive(pid: u32) -> bool {
+    let Ok(pid) = i32::try_from(pid) else {
+        return false;
+    };
+    if pid <= 0 {
+        // 0 / negative address process groups; never probe those.
+        return false;
+    }
+    // SAFETY: kill(2) with signal 0 only error-checks, it delivers nothing.
+    if unsafe { kill(pid, 0) } == 0 {
+        return true;
+    }
+    io::Error::last_os_error().kind() == io::ErrorKind::PermissionDenied
+}
+
+/// The process's command line (`/proc/<pid>/cmdline`, NUL separators
+/// rendered as spaces), or `None` if unreadable (no such process, no
+/// /proc, or no permission).
+pub fn process_cmdline(pid: u32) -> Option<String> {
+    let bytes = std::fs::read(format!("/proc/{pid}/cmdline")).ok()?;
+    let joined = bytes
+        .split(|&b| b == 0)
+        .filter(|part| !part.is_empty())
+        .map(|part| String::from_utf8_lossy(part).into_owned())
+        .collect::<Vec<_>>()
+        .join(" ");
+    Some(joined)
+}
+
+/// Arrange for `cmd`'s child to start in a fresh session (`setsid`), so it
+/// survives the spawning terminal and process group — the std-only stand-in
+/// for the classic double-fork detach.
+pub fn detach_into_new_session(cmd: &mut Command) {
+    use std::os::unix::process::CommandExt;
+    // SAFETY: the pre_exec closure runs in the forked child before exec and
+    // calls only the async-signal-safe setsid(2); a failure (already a
+    // session leader) is harmless, so the result is ignored.
+    unsafe {
+        cmd.pre_exec(|| {
+            setsid();
+            Ok(())
+        });
+    }
+}

@@ -26,8 +26,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hypersweep_analysis::{RunCache, ShardedRunCache, WorkerPool};
-use hypersweep_telemetry::{Histogram, MetricsRegistry};
+use hypersweep_analysis::{CacheStore, PersistAppender, RunCache, ShardedRunCache, WorkerPool};
+use hypersweep_telemetry::{log_line, Histogram, MetricsRegistry};
 
 use crate::dispatch::Dispatcher;
 use crate::limits::ServerLimits;
@@ -40,14 +40,17 @@ const POLL_INTERVAL: Duration = Duration::from_millis(50);
 /// The final status snapshot [`Server::run`] returns after draining.
 pub type ServerStats = StatusReply;
 
-/// SIGINT handling without a libc dependency: registers a handler that
-/// flips one atomic the reactor polls.
+/// SIGINT/SIGTERM handling without a libc dependency: registers a handler
+/// that flips one atomic the reactor polls. SIGTERM is what `hypersweep
+/// daemon stop` sends, so a managed daemon drains exactly like a Ctrl-C'd
+/// foreground one.
 #[allow(unsafe_code)]
 mod sigint {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     static SEEN: AtomicBool = AtomicBool::new(false);
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
 
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
@@ -61,6 +64,7 @@ mod sigint {
     pub(super) fn install() {
         unsafe {
             signal(SIGINT, on_sigint);
+            signal(SIGTERM, on_sigint);
         }
     }
 
@@ -69,8 +73,8 @@ mod sigint {
     }
 }
 
-/// Route SIGINT into a graceful drain instead of process death. Called by
-/// the CLI before [`Server::run`]; tests skip it and use
+/// Route SIGINT and SIGTERM into a graceful drain instead of process
+/// death. Called by the CLI before [`Server::run`]; tests skip it and use
 /// [`Server::shutdown_flag`] instead.
 pub fn install_sigint_handler() {
     sigint::install();
@@ -141,11 +145,21 @@ impl Shared {
     }
 }
 
+/// The cache persistence pipeline, alive for the daemon's lifetime:
+/// warm-loaded at bind, appending computed inserts while serving, and
+/// flushed + compacted at graceful drain.
+struct Persist {
+    store: CacheStore,
+    appender: PersistAppender,
+    cache: Arc<ShardedRunCache>,
+}
+
 /// The daemon: bind, then [`Server::run`] until shutdown.
 pub struct Server {
     listener: TcpListener,
     uds: Option<UnixListener>,
     shared: Arc<Shared>,
+    persist: Option<Persist>,
 }
 
 impl Server {
@@ -203,9 +217,31 @@ impl Server {
             // global (`sink.events`); point it at this daemon's registry.
             hypersweep_telemetry::install_global(&registry);
         }
+        let persist = match &limits.persist_path {
+            Some(path) => {
+                let store = CacheStore::new(path);
+                let stats = store.warm_load(&cache, &registry)?;
+                log_line(&format!(
+                    "cache: warm-loaded {} records from {} ({} skipped, {} duplicate)",
+                    stats.loaded,
+                    path.display(),
+                    stats.skipped,
+                    stats.duplicates,
+                ));
+                let appender = store.appender(&registry)?;
+                cache.set_insert_listener(appender.listener());
+                Some(Persist {
+                    store,
+                    appender,
+                    cache: Arc::clone(&cache),
+                })
+            }
+            None => None,
+        };
         Ok(Server {
             listener,
             uds,
+            persist,
             shared: Arc::new(Shared {
                 dispatcher: Dispatcher::with_sharded(cache, limits.max_dim, &registry),
                 pool: WorkerPool::with_telemetry(limits.workers, limits.queue_capacity, &registry),
@@ -236,6 +272,7 @@ impl Server {
             listener,
             uds,
             shared,
+            persist,
         } = self;
         let exporter = match &shared.limits.metrics_file {
             Some(path) => {
@@ -255,6 +292,20 @@ impl Server {
         // connection; finish queued work, then join everything.
         shared.shutdown.store(true, Ordering::SeqCst);
         shared.pool.shutdown();
+        if let Some(persist) = persist {
+            // Every pool job has completed, so every insert listener has
+            // enqueued; flush forces the appender through its queue and
+            // fsyncs before the snapshot rewrite.
+            persist.appender.flush();
+            match persist.store.compact(&persist.cache) {
+                Ok(records) => log_line(&format!(
+                    "cache: compacted {} records into {}",
+                    records,
+                    persist.store.path().display()
+                )),
+                Err(e) => log_line(&format!("cache: compaction failed: {e}")),
+            }
+        }
         if let Some(handle) = exporter {
             // The exporter notices the flag within one poll interval and
             // appends its final post-drain snapshot before exiting.

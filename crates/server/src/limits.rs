@@ -52,6 +52,12 @@ pub struct ServerLimits {
     pub metrics_file: Option<PathBuf>,
     /// Export cadence for [`ServerLimits::metrics_file`].
     pub metrics_interval: Duration,
+    /// Persist the run cache to this JSONL append-log: warm-load valid
+    /// records at bind (`cache.warm_loaded`), append computed outcomes as
+    /// they are inserted (`cache.persist_appends`), and snapshot+compact
+    /// at graceful drain. Corrupt or truncated records are skipped
+    /// (`cache.persist_skipped`), never fatal.
+    pub persist_path: Option<PathBuf>,
 }
 
 impl Default for ServerLimits {
@@ -70,6 +76,7 @@ impl Default for ServerLimits {
             telemetry: true,
             metrics_file: None,
             metrics_interval: Duration::from_secs(10),
+            persist_path: None,
         }
     }
 }
@@ -96,5 +103,6 @@ mod tests {
         assert!(limits.telemetry, "telemetry records by default");
         assert!(limits.metrics_file.is_none(), "no export file by default");
         assert!(limits.metrics_interval >= Duration::from_millis(100));
+        assert!(limits.persist_path.is_none(), "no persistence by default");
     }
 }

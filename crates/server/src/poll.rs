@@ -59,12 +59,26 @@ impl PollFd {
 mod sys {
     use super::PollFd;
 
+    /// `struct rlimit` on 64-bit Linux: two `rlim_t` (u64) fields.
+    #[repr(C)]
+    pub(super) struct RLimit {
+        pub(super) cur: u64,
+        pub(super) max: u64,
+    }
+
+    /// Linux's `RLIMIT_NOFILE`.
+    const RLIMIT_NOFILE: std::ffi::c_int = 7;
+    /// Linux's `RLIM_INFINITY`.
+    const RLIM_INFINITY: u64 = u64::MAX;
+
     extern "C" {
         pub(super) fn poll(
             fds: *mut PollFd,
             nfds: std::ffi::c_ulong,
             timeout: std::ffi::c_int,
         ) -> std::ffi::c_int;
+
+        fn getrlimit(resource: std::ffi::c_int, rlim: *mut RLimit) -> std::ffi::c_int;
     }
 
     /// Safe wrapper: the slice is a valid `pollfd` array for the call's
@@ -72,6 +86,25 @@ mod sys {
     pub(super) fn poll_slice(fds: &mut [PollFd], timeout_ms: i32) -> i32 {
         unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) }
     }
+
+    /// The soft `RLIMIT_NOFILE` bound, or `None` when unlimited or
+    /// unreadable.
+    pub(super) fn nofile_soft() -> Option<u64> {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        // SAFETY: getrlimit(2) writes into the provided struct and
+        // nothing else.
+        let rc = unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) };
+        (rc == 0 && lim.cur != RLIM_INFINITY).then_some(lim.cur)
+    }
+}
+
+/// The process's soft open-file-descriptor limit (`ulimit -n`), or `None`
+/// if unlimited or unreadable. The reactor subtracts its reserved
+/// descriptors from this to cap concurrent connections — accepting a
+/// socket the process cannot poll would take the whole daemon down with
+/// EMFILE instead of busying one client.
+pub fn nofile_soft_limit() -> Option<u64> {
+    sys::nofile_soft()
 }
 
 /// Block until at least one descriptor is ready or `timeout_ms` elapses

@@ -42,11 +42,15 @@ use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 use crate::daemon::{sigint_seen, Shared};
-use crate::poll::{poll, PollFd, POLLIN, POLLOUT};
+use crate::poll::{nofile_soft_limit, poll, PollFd, POLLIN, POLLOUT};
 use crate::protocol::{ErrorKind, Request, Response, ShutdownReply, WireError};
 
 /// Poll timeout: how stale the shutdown/SIGINT flags can get.
 const POLL_TIMEOUT_MS: i32 = 50;
+/// Descriptors held back from the connection budget: listeners, the
+/// waker pair, stdio, the metrics/persist/log files, and slack for
+/// whatever the process opens next.
+const RESERVED_FDS: u64 = 16;
 /// Stop reading a connection whose unflushed replies exceed this.
 const WBUF_HIGH_WATER: usize = 256 * 1024;
 /// Read chunk size (stack scratch, reused for every connection).
@@ -203,6 +207,10 @@ pub(crate) struct Reactor {
     shared: Arc<Shared>,
     conns: Vec<Option<Conn>>,
     live: usize,
+    /// Effective concurrent-connection cap:
+    /// [`max_connections`](crate::ServerLimits::max_connections) clamped
+    /// to the fd headroom (`ulimit -n` soft limit minus [`RESERVED_FDS`]).
+    conn_cap: usize,
     next_gen: u64,
     waker_rx: TcpStream,
     waker_tx: Arc<TcpStream>,
@@ -247,6 +255,14 @@ impl Reactor {
             ),
         ))
         .to_line();
+        let conn_cap = effective_connection_cap(shared.limits.max_connections, nofile_soft_limit());
+        if conn_cap < shared.limits.max_connections {
+            hypersweep_telemetry::log_line(&format!(
+                "reactor: fd soft limit clamps connections to {conn_cap} \
+                 (configured {}, {RESERVED_FDS} descriptors reserved)",
+                shared.limits.max_connections
+            ));
+        }
         Ok(Reactor {
             tcp,
             uds,
@@ -254,6 +270,7 @@ impl Reactor {
             shared,
             conns: Vec::new(),
             live: 0,
+            conn_cap,
             next_gen: 0,
             waker_rx,
             waker_tx: Arc::new(waker_tx),
@@ -395,9 +412,11 @@ impl Reactor {
     }
 
     fn admit(&mut self, mut stream: Stream) {
-        if self.live >= self.shared.limits.max_connections {
+        if self.live >= self.conn_cap {
             // One best-effort busy line (a fresh socket's send buffer
-            // always has room for it), then drop.
+            // always has room for it), then drop. Counted in the
+            // `server.busy` telemetry like a saturated dispatch queue.
+            self.shared.dispatcher.note_busy();
             let mut line = Response::Error(WireError::new(
                 ErrorKind::Busy,
                 "connection limit reached; retry later",
@@ -803,5 +822,45 @@ impl Reactor {
         if failed || (done && (closing || self.draining)) {
             self.close(idx);
         }
+    }
+}
+
+/// Clamp the configured connection limit to the descriptor headroom the
+/// process actually has. Accepting a socket the reactor cannot poll would
+/// surface as EMFILE in the accept loop and starve *every* client; a
+/// clean `busy` reply to the excess client is strictly better. `None`
+/// (unlimited / unreadable rlimit) leaves the configured cap alone.
+fn effective_connection_cap(configured: usize, nofile_soft: Option<u64>) -> usize {
+    match nofile_soft {
+        Some(soft) => {
+            let headroom = soft.saturating_sub(RESERVED_FDS).max(1);
+            configured.min(usize::try_from(headroom).unwrap_or(usize::MAX))
+        }
+        None => configured,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connection_cap_respects_fd_headroom() {
+        assert_eq!(effective_connection_cap(1024, None), 1024);
+        assert_eq!(effective_connection_cap(1024, Some(100_000)), 1024);
+        assert_eq!(
+            effective_connection_cap(1024, Some(256)),
+            256 - RESERVED_FDS as usize
+        );
+        // Pathological limits never clamp to zero: one connection at a
+        // time still beats refusing everyone.
+        assert_eq!(effective_connection_cap(1024, Some(4)), 1);
+    }
+
+    #[test]
+    fn this_process_reports_a_soft_fd_limit() {
+        // Linux always has RLIMIT_NOFILE set for a normal process.
+        let soft = nofile_soft_limit().expect("soft nofile limit readable");
+        assert!(soft >= 64, "implausibly low fd limit: {soft}");
     }
 }

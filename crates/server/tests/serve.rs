@@ -677,3 +677,89 @@ fn shutdown_request_drains_and_reports_final_stats() {
     assert_eq!(stats.cache.misses, 3);
     assert_eq!(stats.in_flight, 0);
 }
+
+#[test]
+fn warm_restart_serves_byte_identical_replies_without_recomputing() {
+    let dir = std::env::temp_dir().join(format!("hypersweep-warm-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let persist = dir.join("cache.jsonl");
+    let limits = ServerLimits {
+        persist_path: Some(persist.clone()),
+        ..quick_limits()
+    };
+    let audits = [
+        r#"{"type":"audit","strategy":"clean","dim":6}"#,
+        r#"{"type":"audit","strategy":"visibility","dim":5}"#,
+        r#"{"type":"audit","strategy":"cloning","dim":4}"#,
+    ];
+
+    // First life: compute the audits, then drain gracefully. The drain
+    // flushes the append-log and compacts it into a snapshot.
+    let (addr, shutdown, handle) = spawn_bound_server(limits.clone());
+    let mut client = Client::connect(&addr).expect("connect cold");
+    let cold: Vec<String> = audits
+        .iter()
+        .map(|line| client.send_raw(line).expect("cold audit"))
+        .collect();
+    shutdown();
+    let stats = handle.join().expect("cold drain");
+    assert_eq!(stats.cache.misses, 3, "cold audits all computed");
+    let log = std::fs::read_to_string(&persist).expect("persisted log exists");
+    assert_eq!(log.lines().count(), 3, "one compacted record per audit");
+
+    // Second life: the same requests answer byte-identically from the
+    // warm-loaded cache — no recomputation.
+    let (addr, shutdown, handle) = spawn_bound_server(limits);
+    let mut client = Client::connect(&addr).expect("connect warm");
+    for (line, cold_reply) in audits.iter().zip(&cold) {
+        let warm_reply = client.send_raw(line).expect("warm audit");
+        assert_eq!(&warm_reply, cold_reply, "warm reply must be byte-identical");
+    }
+    shutdown();
+    let stats = handle.join().expect("warm drain");
+    assert_eq!(stats.cache.misses, 0, "warm restart recomputed a run");
+    assert_eq!(stats.cache.hits, 3, "every audit served from warm cache");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_load_survives_a_torn_append_log_tail() {
+    let dir = std::env::temp_dir().join(format!("hypersweep-torn-tail-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let persist = dir.join("cache.jsonl");
+    let limits = ServerLimits {
+        persist_path: Some(persist.clone()),
+        ..quick_limits()
+    };
+
+    // First life writes two records, then the "crash": chop the file
+    // mid-record, the way a kill -9 between write and fsync can leave it.
+    let (addr, shutdown, handle) = spawn_bound_server(limits.clone());
+    let mut client = Client::connect(&addr).expect("connect");
+    client
+        .send_raw(r#"{"type":"audit","strategy":"clean","dim":6}"#)
+        .expect("first audit");
+    client
+        .send_raw(r#"{"type":"audit","strategy":"visibility","dim":5}"#)
+        .expect("second audit");
+    shutdown();
+    handle.join().expect("drain");
+    let log = std::fs::read(&persist).expect("log exists");
+    assert!(log.len() > 24);
+    std::fs::write(&persist, &log[..log.len() - 17]).unwrap();
+
+    // Second life: the valid prefix loads, the torn tail is skipped, and
+    // the daemon binds without error.
+    let (addr, shutdown, handle) = spawn_bound_server(limits);
+    let mut client = Client::connect(&addr).expect("connect after tear");
+    let raw = client
+        .send_raw(r#"{"type":"audit","strategy":"clean","dim":6}"#)
+        .expect("audit after tear");
+    assert!(Response::parse(&raw).expect("parses").is_ok(), "{raw}");
+    shutdown();
+    let stats = handle.join().expect("drain after tear");
+    assert_eq!(stats.cache.hits, 1, "valid prefix served the first audit");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -42,7 +42,7 @@ pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use snapshot::{HistogramSnapshot, MetricValue, MetricsSnapshot};
 pub use span::Span;
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 static GLOBAL: Mutex<Option<MetricsRegistry>> = Mutex::new(None);
 
@@ -64,6 +64,31 @@ pub fn global() -> MetricsRegistry {
         .unwrap_or_else(MetricsRegistry::disabled)
 }
 
+/// A process-wide log sink: one callback receiving one already-formatted
+/// line per call (no trailing newline).
+pub type LogSink = Arc<dyn Fn(&str) + Send + Sync>;
+
+static LOGGER: Mutex<Option<LogSink>> = Mutex::new(None);
+
+/// Install `sink` as the process-wide log sink used by [`log_line`].
+/// Later installs replace earlier ones. The daemonized server installs a
+/// rotating-file sink here so the reactor and pool log through the daemon
+/// log without depending on the daemon crate.
+pub fn install_logger(sink: LogSink) {
+    *LOGGER.lock().unwrap_or_else(|e| e.into_inner()) = Some(sink);
+}
+
+/// Emit one log line through the installed sink, or to stderr when no sink
+/// has been installed. This is a cold-path facility (lifecycle events,
+/// rejections, drains) — callers must not put it on per-request hot paths.
+pub fn log_line(line: &str) {
+    let sink = LOGGER.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    match sink {
+        Some(sink) => sink(line),
+        None => eprintln!("{line}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +104,19 @@ mod tests {
         assert!(seen.is_enabled());
         seen.counter("global.test").add(2);
         assert_eq!(registry.counter("global.test").get(), 2);
+    }
+
+    #[test]
+    fn installed_logger_receives_lines() {
+        let captured = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = Arc::clone(&captured);
+        install_logger(Arc::new(move |line: &str| {
+            sink.lock().unwrap().push(line.to_string());
+        }));
+        log_line("daemon: test line");
+        assert_eq!(
+            captured.lock().unwrap().as_slice(),
+            ["daemon: test line".to_string()]
+        );
     }
 }

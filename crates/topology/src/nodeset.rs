@@ -186,7 +186,6 @@ impl Iterator for WordBits {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::Topology;
     use crate::hypercube::Hypercube;
 
     #[test]
