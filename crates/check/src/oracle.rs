@@ -2,7 +2,7 @@
 
 use hypersweep_intruder::{ContaminationField, FieldScratch};
 use hypersweep_sim::Event;
-use hypersweep_topology::{Hypercube, Node};
+use hypersweep_topology::{Hypercube, Node, Topology};
 use serde::{Deserialize, Serialize};
 
 /// What went wrong, exactly. Serialized into replay files, so variants
@@ -85,8 +85,12 @@ impl std::fmt::Display for ViolationReport {
 /// produces it. Wraps the adversarial-semantics [`ContaminationField`]
 /// (contamination spreads the instant a guard lifts), so the checked
 /// invariants are exactly the paper's.
-pub struct StepOracle<'a> {
-    field: ContaminationField<'a, Hypercube>,
+///
+/// Generic over the topology so scenario checkers (partial grids,
+/// dynamic graphs) run the same oracles; the default keeps every
+/// hypercube call site spelling `StepOracle<'a>`.
+pub struct StepOracle<'a, T: Topology + ?Sized = Hypercube> {
+    field: ContaminationField<'a, T>,
     /// Check the (word-parallel but linear-ish) contiguity and frontier
     /// oracles every `stride` events; the monotonicity oracle is O(1) and
     /// always on.
@@ -94,24 +98,37 @@ pub struct StepOracle<'a> {
     recontaminations_seen: usize,
 }
 
-impl<'a> StepOracle<'a> {
-    /// A fresh oracle for a search of `cube` starting at `homebase`.
+impl<'a, T: Topology + ?Sized> StepOracle<'a, T> {
+    /// A fresh oracle for a search of `topo` starting at `homebase`.
     /// `stride` ≥ 1 samples the region oracles (1 = after every event —
     /// the default everywhere, since the incremental connectivity kernel
     /// makes them `O(1)` per query).
-    pub fn new(cube: &'a Hypercube, homebase: Node, stride: u64) -> Self {
-        Self::new_in(cube, homebase, stride, FieldScratch::default())
+    pub fn new(topo: &'a T, homebase: Node, stride: u64) -> Self {
+        Self::new_in(topo, homebase, stride, FieldScratch::default())
     }
 
     /// Like [`StepOracle::new`], but reusing the allocations of a previous
     /// oracle's field (see [`StepOracle::into_scratch`]). Campaign drivers
     /// exploring thousands of schedules recycle one scratch per worker
     /// instead of reallocating `O(n)` buffers per schedule.
-    pub fn new_in(cube: &'a Hypercube, homebase: Node, stride: u64, scratch: FieldScratch) -> Self {
+    pub fn new_in(topo: &'a T, homebase: Node, stride: u64, scratch: FieldScratch) -> Self {
         StepOracle {
-            field: ContaminationField::new_in(cube, homebase, scratch),
+            field: ContaminationField::new_in(topo, homebase, scratch),
             stride: stride.max(1),
             recontaminations_seen: 0,
+        }
+    }
+
+    /// Wrap an already-built field — the dynamic-graph scenario restores
+    /// a mid-search snapshot onto a mutated topology (see
+    /// [`ContaminationField::with_state`]) and then re-verifies the
+    /// region invariants across the mutation via [`StepOracle::verify_region`].
+    pub fn from_field(field: ContaminationField<'a, T>, stride: u64) -> Self {
+        let recontaminations_seen = field.recontaminations().len();
+        StepOracle {
+            field,
+            stride: stride.max(1),
+            recontaminations_seen,
         }
     }
 
@@ -144,6 +161,14 @@ impl<'a> StepOracle<'a> {
             self.check_region(step)?;
         }
         Ok(())
+    }
+
+    /// Run the region oracles right now, regardless of stride. The
+    /// dynamic-graph scenario calls this immediately after a topology
+    /// mutation: the clean region must stay contiguous and guarded under
+    /// the new adjacency even before any agent moves.
+    pub fn verify_region(&mut self, step: u64) -> Result<(), ViolationReport> {
+        self.check_region(step)
     }
 
     /// The sampled region oracles: contiguity and frontier guard coverage.
@@ -185,7 +210,7 @@ impl<'a> StepOracle<'a> {
     }
 
     /// Read access to the wrapped field (tests inspect it).
-    pub fn field(&self) -> &ContaminationField<'a, Hypercube> {
+    pub fn field(&self) -> &ContaminationField<'a, T> {
         &self.field
     }
 }

@@ -23,9 +23,10 @@ use hypersweep_core::{
     CleanStrategy, CloningStrategy, SearchStrategy, SynchronousStrategy, VisibilityStrategy,
 };
 use hypersweep_intruder::{render_film, verify_trace, MonitorConfig};
+use hypersweep_scenario::{GridStrategy, ScenarioId};
 use hypersweep_server::{run_bench, BenchConfig, Server, ServerLimits};
 use hypersweep_sim::{Event, Policy};
-use hypersweep_topology::{Hypercube, Node};
+use hypersweep_topology::{GridInstance, Hypercube, Node};
 use serde::Deserialize as _;
 
 fn usage() -> &'static str {
@@ -39,6 +40,7 @@ fn usage() -> &'static str {
      \thypersweep audit <d> <trace.json>\n\
      \thypersweep check [--strategy S|all] [--dim D] [--schedules N] [--seed K] [--jobs N]\n\
      \t                 [--max-steps N] [--stride N] [--out FILE]\n\
+     \t                 [--scenario hypercube|grid|dynamic] [--instance full|holes:<seed>|corridor]\n\
      \thypersweep check --replay FILE\n\
      \thypersweep serve [--addr HOST:PORT] [--uds PATH] [--max-dim N] [--jobs N] [--cache-cap N]\n\
      \t                 [--cache-shards N] [--timeout-ms N] [--metrics-file FILE]\n\
@@ -52,7 +54,9 @@ fn usage() -> &'static str {
      \n\
      policies: fifo, lifo, round-robin, random:<seed>, synchronous\n\
      check strategies: clean, visibility, cloning, synchronous, mutant-eager-guard, all\n\
-     experiment ids: f1 f2 f3 f4 t2 t3 t4 t5 t6 t7 t8 t9 t10 e11 e12 e13 e14 e15 e16"
+     scenario strategies (--scenario grid|dynamic): sweep, mutant-grid-leaky-guard, all\n\
+     experiment ids: f1 f2 f3 f4 t2 t3 t4 t5 t6 t7 t8 t9 t10 e11 e12 e13 e14 e15 e16\n\
+     report ids also accept: scenarios (registry comparison table)"
 }
 
 fn parse_policy(s: &str) -> Result<Policy, String> {
@@ -392,6 +396,163 @@ fn cmd_check(
             failed.len(),
             outcomes.len()
         ));
+    }
+    Ok(())
+}
+
+/// `hypersweep check --scenario grid|dynamic`: explore adversarial
+/// schedules with the scenario campaign driver instead of the hypercube
+/// checker. `--dim` doubles as the grid side; `--instance` picks the
+/// topology generator.
+fn cmd_check_scenario(
+    id: ScenarioId,
+    strategy: &str,
+    side: u32,
+    instance: Option<&str>,
+    opts: &CheckCampaignOpts,
+) -> Result<(), String> {
+    let CheckCampaignOpts {
+        schedules,
+        seed,
+        jobs,
+        max_steps,
+        stride,
+    } = *opts;
+    if stride > 1 {
+        return Err(
+            "--stride applies only to the hypercube checker; scenario oracles verify every event"
+                .into(),
+        );
+    }
+    let instance = match instance {
+        None => None,
+        Some(text) => Some(GridInstance::parse(text).ok_or_else(|| {
+            format!("bad --instance '{text}': expected full|holes:<seed>|corridor")
+        })?),
+    };
+    let scenario =
+        hypersweep_scenario::validate_scenario(id, side, instance.unwrap_or(GridInstance::Full))?
+            .expect("hypercube is routed to cmd_check");
+    let instance = instance.unwrap_or_else(|| scenario.default_instance());
+    let strategies: Vec<GridStrategy> = match strategy {
+        // "all" is the hypercube default; for scenarios it means the
+        // shipping strategy (the mutant is an explicit negative control).
+        "all" | "sweep" => vec![GridStrategy::Sweep],
+        other => vec![GridStrategy::parse(other).ok_or_else(|| {
+            format!(
+                "unknown scenario strategy '{other}' (expected sweep or mutant-grid-leaky-guard)"
+            )
+        })?],
+    };
+    let registry = hypersweep_telemetry::MetricsRegistry::new();
+    let mut outcomes = Vec::new();
+    for s in strategies {
+        let campaign = scenario.campaign(s, side, instance, schedules, seed, max_steps);
+        outcomes.push(hypersweep_scenario::run_scenario_campaign(
+            &campaign, jobs, &registry,
+        ));
+    }
+    println!(
+        "{}",
+        hypersweep_scenario::scenario_table(&outcomes).render()
+    );
+    let snap = registry.snapshot();
+    eprintln!(
+        "scenario: {} schedules, {} steps, {} events, {} violations, \
+         {} mutations ({} rejected) (mean {:.2}ms/schedule, {jobs} jobs)",
+        snap.counter("scenario.schedules").unwrap_or(0),
+        snap.counter("scenario.steps").unwrap_or(0),
+        snap.counter("scenario.events").unwrap_or(0),
+        snap.counter("scenario.violations").unwrap_or(0),
+        snap.counter("scenario.dynamic.mutations").unwrap_or(0),
+        snap.counter("scenario.dynamic.rejected").unwrap_or(0),
+        snap.histogram("scenario.schedule_us")
+            .and_then(|h| h.mean())
+            .unwrap_or(0.0)
+            / 1e3,
+    );
+    let failed: Vec<&hypersweep_scenario::ScenarioOutcome> = outcomes
+        .iter()
+        .filter(|o| o.counterexample.is_some())
+        .collect();
+    if let Some(first) = failed.first() {
+        let c = first.counterexample.as_ref().expect("filtered");
+        eprintln!(
+            "first counterexample: schedule {} under the {} adversary, \
+             {} decisions, violation: {}",
+            c.schedule,
+            c.adversary,
+            c.decisions.len(),
+            c.violation
+        );
+        return Err(format!(
+            "{} of {} scenario campaigns found invariant violations",
+            failed.len(),
+            outcomes.len()
+        ));
+    }
+    Ok(())
+}
+
+/// `hypersweep report scenarios`: the registry comparison table —
+/// closed-form team predictions (where the literature gives one) against
+/// the measured reference run for every scenario/instance pair.
+fn cmd_report_scenarios(side: u32) -> Result<(), String> {
+    let mut table = hypersweep_analysis::Table::new(
+        format!("scenario registry @ side {side}"),
+        &[
+            "scenario",
+            "strategy",
+            "instance",
+            "nodes",
+            "team",
+            "closed-form",
+            "moves",
+            "rounds",
+            "churn",
+            "verdict",
+        ],
+    );
+    for scenario in hypersweep_scenario::registry() {
+        scenario.validate(side)?;
+        let instances = match scenario.id() {
+            ScenarioId::Grid => vec![
+                GridInstance::Full,
+                scenario.default_instance(),
+                GridInstance::Corridor,
+            ],
+            _ => vec![scenario.default_instance()],
+        };
+        for instance in instances {
+            let r = scenario.reference(side, instance);
+            table.push_row(vec![
+                scenario.id().label().to_string(),
+                scenario.strategy_label().to_string(),
+                instance.label(),
+                r.nodes.to_string(),
+                r.team.to_string(),
+                scenario
+                    .closed_form_team(side, instance)
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".to_string()),
+                r.moves.to_string(),
+                r.rounds.to_string(),
+                if r.mutations + r.rejected > 0 {
+                    format!("{}/{}", r.mutations, r.mutations + r.rejected)
+                } else {
+                    "-".to_string()
+                },
+                if r.captured && r.violations == 0 {
+                    "ok".to_string()
+                } else {
+                    "FAIL".to_string()
+                },
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    for scenario in hypersweep_scenario::registry() {
+        println!("  {}: {}", scenario.id().label(), scenario.summary());
     }
     Ok(())
 }
@@ -790,6 +951,8 @@ fn main() -> ExitCode {
     let mut force = false;
     let mut check_strategy = "all".to_string();
     let mut check_dim: u32 = 6;
+    let mut scenario = "hypercube".to_string();
+    let mut instance: Option<String> = None;
     let mut schedules: u64 = 200;
     let mut seed: u64 = 0;
     let mut max_steps: u64 = 0;
@@ -1015,6 +1178,26 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--scenario" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => scenario = s.clone(),
+                    None => {
+                        eprintln!("--scenario needs a value\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--instance" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => instance = Some(s.clone()),
+                    None => {
+                        eprintln!("--instance needs a value\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--dim" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse::<u32>().ok()) {
@@ -1098,6 +1281,9 @@ fn main() -> ExitCode {
             cmd_list();
             Ok(())
         }
+        Some("report") if positional.len() == 2 && positional[1] == "scenarios" => {
+            cmd_report_scenarios(check_dim)
+        }
         Some("report") if positional.len() >= 2 => cmd_report(
             &positional[1..],
             full,
@@ -1118,18 +1304,30 @@ fn main() -> ExitCode {
         ),
         Some("check") if positional.len() == 1 => match &replay_path {
             Some(path) => cmd_check_replay(path),
-            None => cmd_check(
-                &check_strategy,
-                check_dim,
-                &CheckCampaignOpts {
+            None => {
+                let opts = CheckCampaignOpts {
                     schedules,
                     seed,
                     jobs: jobs.unwrap_or_else(default_jobs),
                     max_steps,
                     stride: stride.map(|v| v as u64).unwrap_or(0),
-                },
-                out.as_deref(),
-            ),
+                };
+                match ScenarioId::parse(&scenario) {
+                    None => Err(format!(
+                        "unknown scenario '{scenario}' (known: hypercube, grid, dynamic)"
+                    )),
+                    Some(ScenarioId::Hypercube) => {
+                        cmd_check(&check_strategy, check_dim, &opts, out.as_deref())
+                    }
+                    Some(id) => cmd_check_scenario(
+                        id,
+                        &check_strategy,
+                        check_dim,
+                        instance.as_deref(),
+                        &opts,
+                    ),
+                }
+            }
         },
         Some("serve") if positional.len() == 1 => {
             let mut limits = ServerLimits::default();

@@ -194,6 +194,51 @@ impl<'a, T: Topology + ?Sized> ContaminationField<'a, T> {
         }
     }
 
+    /// Rebuild a field from an externally-held snapshot: the set of safe
+    /// (decontaminated) nodes and the per-node occupancy. Occupied nodes
+    /// are made safe whether or not the snapshot lists them.
+    ///
+    /// The dynamic-graph scenario snapshots `(safe, occupancy)` between
+    /// rounds, mutates the topology, and restores the search state onto
+    /// the new adjacency — replaying the event log would bake in the old
+    /// graph's spread semantics. The restored field re-derives the
+    /// connectivity forest, safe-neighbour counts, and maintained
+    /// frontier from the *new* adjacency, so the region oracles
+    /// immediately reflect the mutation: a safe unguarded node that the
+    /// mutation pushed onto the contamination boundary shows up in
+    /// [`ContaminationField::unguarded_frontier`].
+    pub fn with_state(topo: &'a T, homebase: Node, safe: &NodeSet, occupancy: &[u32]) -> Self {
+        Self::with_state_in(topo, homebase, safe, occupancy, FieldScratch::default())
+    }
+
+    /// Like [`ContaminationField::with_state`], but reusing a scratch.
+    pub fn with_state_in(
+        topo: &'a T,
+        homebase: Node,
+        safe: &NodeSet,
+        occupancy: &[u32],
+        scratch: FieldScratch,
+    ) -> Self {
+        let n = topo.node_count();
+        assert_eq!(safe.universe(), n, "safe set universe mismatch");
+        assert_eq!(occupancy.len(), n, "occupancy length mismatch");
+        let mut field = Self::new_in(topo, homebase, scratch);
+        for x in safe.iter() {
+            field.decontaminate(x);
+        }
+        for (i, &occ) in occupancy.iter().enumerate() {
+            if occ > 0 {
+                let x = Node(i as u32);
+                field.decontaminate(x);
+                field.occupancy[i] = occ;
+                field.guarded.insert(x);
+                field.visited.insert(x);
+                field.refresh_frontier(x);
+            }
+        }
+        field
+    }
+
     /// Dismantle the field into its reusable allocations.
     pub fn into_scratch(self) -> FieldScratch {
         FieldScratch {
@@ -1015,6 +1060,64 @@ mod tests {
         grown.apply(&spawn(0, 0));
         assert_eq!(grown.contaminated_count(), 7);
         assert!(grown.is_contiguous());
+    }
+
+    /// `(safe set, occupancy)` snapshot of a field, as the dynamic-graph
+    /// scenario takes between rounds.
+    fn snapshot<T: Topology + ?Sized>(f: &ContaminationField<'_, T>) -> (NodeSet, Vec<u32>) {
+        let n = f.occupancy().len();
+        let mut safe = NodeSet::new(n);
+        for i in 0..n as u32 {
+            if !f.is_contaminated(Node(i)) {
+                safe.insert(Node(i));
+            }
+        }
+        (safe, f.occupancy().to_vec())
+    }
+
+    #[test]
+    fn with_state_restores_a_snapshot_onto_the_same_adjacency() {
+        use hypersweep_topology::graph::AdjGraph;
+        let g = AdjGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut f = ContaminationField::new(&g, Node(0));
+        f.apply(&spawn(0, 0));
+        f.apply(&spawn(1, 0));
+        f.apply(&mv(1, 0, 1)); // 0 guarded by agent 0, 1 guarded by agent 1
+        let (safe, occupancy) = snapshot(&f);
+
+        let mut same = ContaminationField::with_state(&g, Node(0), &safe, &occupancy);
+        assert_eq!(same.contaminated_count(), f.contaminated_count());
+        assert_eq!(same.is_contiguous(), f.is_contiguous());
+        assert_eq!(same.unguarded_frontier(), f.unguarded_frontier());
+        assert!(same.is_guarded(Node(1)));
+        assert_eq!(same.clean_components(), 1);
+    }
+
+    #[test]
+    fn with_state_sees_mutation_exposed_frontier() {
+        // Path 0-1-2-3: after the sweep reaches 2, node 1 is safe,
+        // unguarded, and interior. An adversarial edge insertion 1-3
+        // puts contaminated 3 next to it — the restored field must
+        // surface node 1 as an unguarded frontier immediately.
+        use hypersweep_topology::graph::AdjGraph;
+        let g = AdjGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut f = ContaminationField::new(&g, Node(0));
+        f.apply(&spawn(0, 0));
+        f.apply(&spawn(1, 0));
+        f.apply(&mv(1, 0, 1));
+        f.apply(&mv(1, 1, 2)); // 1 vacated: nbrs 0 (guarded), 2 (now guarded)
+        assert!(f.recontaminations().is_empty());
+        let (safe, occupancy) = snapshot(&f);
+        assert_eq!(f.unguarded_frontier(), None, "1 is interior");
+
+        let mut mutated = AdjGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        mutated.add_edge(Node(1), Node(3));
+        let restored = ContaminationField::with_state(&mutated, Node(0), &safe, &occupancy);
+        assert_eq!(
+            restored.unguarded_frontier(),
+            Some(Node(1)),
+            "the inserted edge 1-3 must expose node 1"
+        );
     }
 
     #[test]

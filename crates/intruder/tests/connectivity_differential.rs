@@ -22,8 +22,8 @@ use std::collections::VecDeque;
 
 use hypersweep_intruder::ContaminationField;
 use hypersweep_sim::{Event, EventKind, Role};
-use hypersweep_topology::graph::{CubeConnectedCycles, DeBruijn, Ring, Torus};
-use hypersweep_topology::{Hypercube, Node, NodeSet, Topology};
+use hypersweep_topology::graph::{AdjGraph, CubeConnectedCycles, DeBruijn, Ring, Torus};
+use hypersweep_topology::{GridInstance, Hypercube, Node, NodeSet, Topology};
 
 use proptest::prelude::*;
 
@@ -172,6 +172,80 @@ proptest! {
         draws in collection::vec(0u64..u64::MAX, 1..100usize),
     ) {
         assert_incremental_matches_reference(&DeBruijn::new(k), &draws);
+    }
+
+    /// Partial grids of every instance family: adjacency is symmetric,
+    /// duplicate-free, sorted, degree-bounded by 4, and every edge joins
+    /// two live cells at Manhattan distance exactly 1.
+    #[test]
+    fn partial_grid_neighbors_are_symmetric_and_degree_bounded(
+        side in 1u32..=10,
+        seed in 0u64..u64::MAX,
+        kind in 0u8..3,
+    ) {
+        let instance = match kind {
+            0 => GridInstance::Full,
+            1 => GridInstance::Holes(seed),
+            _ => GridInstance::Corridor,
+        };
+        let grid = instance.build(side);
+        prop_assert_eq!(grid.homebase(), Node(0));
+        prop_assert_eq!(grid.cell_of(Node(0)), (0, 0));
+        let mut nbrs = Vec::new();
+        for i in 0..grid.node_count() as u32 {
+            let x = Node(i);
+            grid.neighbors_into(x, &mut nbrs);
+            prop_assert!(nbrs.len() <= 4, "node {i} has degree {}", nbrs.len());
+            prop_assert_eq!(nbrs.len(), grid.degree(x));
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "node {i}: unsorted or duplicated adjacency");
+            let (r, c) = grid.cell_of(x);
+            for &y in &nbrs {
+                prop_assert!(y.index() < grid.node_count());
+                let (yr, yc) = grid.cell_of(y);
+                let dist = r.abs_diff(yr) + c.abs_diff(yc);
+                prop_assert_eq!(dist, 1, "edge {x:?}-{y:?} spans cells ({r},{c})-({yr},{yc})");
+                prop_assert!(grid.neighbors_vec(y).contains(&x), "edge {x:?}-{y:?} is not symmetric");
+            }
+        }
+    }
+
+    /// The incremental connectivity kernel against the whole-field BFS
+    /// references on random-hole partial grids.
+    #[test]
+    fn random_hole_grid_incremental_matches_reference(
+        side in 2u32..=8,
+        seed in 0u64..u64::MAX,
+        draws in collection::vec(0u64..u64::MAX, 1..100usize),
+    ) {
+        assert_incremental_matches_reference(&GridInstance::Holes(seed).build(side), &draws);
+    }
+
+    /// The incremental kernel on *mutated* graphs: start from a
+    /// random-hole grid, churn edges the way the dynamic scenario does
+    /// (inserts plus connectivity-preserving deletions), then replay a
+    /// random trace and hold the oracles to the references.
+    #[test]
+    fn mutated_graph_incremental_matches_reference(
+        side in 2u32..=7,
+        seed in 0u64..u64::MAX,
+        churn in collection::vec(0u64..u64::MAX, 0..40usize),
+        draws in collection::vec(0u64..u64::MAX, 1..100usize),
+    ) {
+        let mut graph = AdjGraph::from_topology(&GridInstance::Holes(seed).build(side));
+        let n = graph.node_count() as u64;
+        for &m in &churn {
+            let a = Node((m % n) as u32);
+            let b = Node(((m / 7) % n) as u32);
+            if a == b {
+                continue;
+            }
+            if m % 3 == 0 {
+                graph.add_edge(a, b);
+            } else if graph.remove_edge(a, b) && !graph.is_connected() {
+                graph.add_edge(a, b); // keep the trace decoder total
+            }
+        }
+        assert_incremental_matches_reference(&graph, &draws);
     }
 }
 

@@ -8,14 +8,17 @@
 //! the same configuration are served from memory and concurrent duplicates
 //! execute exactly once.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use hypersweep_analysis::{validate_max_dim, RunCache, RunKey, ShardedRunCache, StrategyKind};
 use hypersweep_core::predictions::{
     clean_phase_accounting, clean_prediction, cloning_prediction, visibility_prediction,
 };
+use hypersweep_scenario::{ScenarioId, ScenarioReference};
+use hypersweep_sim::TraceSummary;
 use hypersweep_telemetry::{Counter, MetricsRegistry};
-use hypersweep_topology::combinatorics as comb;
+use hypersweep_topology::{combinatorics as comb, GridInstance};
 
 use crate::answers::AnswerTable;
 use crate::protocol::{
@@ -55,6 +58,13 @@ pub struct Dispatcher {
     busy: Counter,
     timeouts: Counter,
     table_hits: Counter,
+    table_bypass: Counter,
+    scenario_hits: Counter,
+    scenario_misses: Counter,
+    /// Reference runs per `(scenario, side, instance)` — deterministic,
+    /// so caching preserves byte-identical replies while making repeat
+    /// scenario requests as cheap as a lookup.
+    scenario_refs: Mutex<HashMap<(ScenarioId, u32, GridInstance), ScenarioReference>>,
 }
 
 impl Dispatcher {
@@ -107,6 +117,10 @@ impl Dispatcher {
             busy: registry.counter("server.busy"),
             timeouts: registry.counter("server.timeouts"),
             table_hits: registry.counter("answers.table_hits"),
+            table_bypass: registry.counter("answers.table_bypass"),
+            scenario_hits: registry.counter("scenario.cache_hits"),
+            scenario_misses: registry.counter("scenario.cache_misses"),
+            scenario_refs: Mutex::new(HashMap::new()),
             registry,
         }
     }
@@ -122,6 +136,16 @@ impl Dispatcher {
     /// and the counters move exactly as a dispatched request would move
     /// them (plus `answers.table_hits`).
     pub fn answer_line(&self, request: &Request) -> Option<&str> {
+        // The table only holds hypercube closed forms; scenario
+        // plan/predict requests dispatch normally, and the bypass is
+        // counted so the serving tiers stay observable.
+        if matches!(
+            request,
+            Request::ScenarioPlan { .. } | Request::ScenarioPredict { .. }
+        ) {
+            self.table_bypass.inc();
+            return None;
+        }
         let answer = self.answers.lookup_request(request)?;
         self.table_hits.inc();
         if answer.ok {
@@ -169,6 +193,29 @@ impl Dispatcher {
                 .check_dim(dim)
                 .map(|dim| Response::Audit(self.audit_reply(strategy, dim)))
                 .inspect(|_| self.audit.inc()),
+            Request::ScenarioPlan {
+                scenario,
+                side,
+                instance,
+            } => self
+                .scenario_reference(scenario, side, instance)
+                .map(|r| Response::Plan(scenario_plan_reply(scenario, side, &r)))
+                .inspect(|_| self.plan.inc()),
+            Request::ScenarioPredict { scenario, .. } => Err(WireError::new(
+                ErrorKind::Unsupported,
+                format!(
+                    "the {scenario} scenario has no full closed-form prediction; \
+                     use 'plan' or 'audit' to measure it"
+                ),
+            )),
+            Request::ScenarioAudit {
+                scenario,
+                side,
+                instance,
+            } => self
+                .scenario_reference(scenario, side, instance)
+                .map(|r| Response::Audit(scenario_audit_reply(scenario, side, &r)))
+                .inspect(|_| self.audit.inc()),
             Request::Status | Request::Metrics | Request::Shutdown => Err(WireError::new(
                 ErrorKind::UnknownRequest,
                 "status/metrics/shutdown are connection-level requests",
@@ -195,6 +242,42 @@ impl Dispatcher {
             ));
         }
         Ok(dim)
+    }
+
+    /// The cached deterministic reference run for a scenario request.
+    fn scenario_reference(
+        &self,
+        scenario: ScenarioId,
+        side: u32,
+        instance: GridInstance,
+    ) -> Result<ScenarioReference, WireError> {
+        let resolved = hypersweep_scenario::validate_scenario(scenario, side, instance)
+            .map_err(|msg| WireError::new(ErrorKind::BadDimension, msg))?
+            .ok_or_else(|| {
+                WireError::new(
+                    ErrorKind::UnknownScenario,
+                    "the hypercube is served by the classic strategy/dim form",
+                )
+            })?;
+        let key = (scenario, side, instance);
+        if let Some(cached) = self
+            .scenario_refs
+            .lock()
+            .expect("scenario cache lock")
+            .get(&key)
+        {
+            self.scenario_hits.inc();
+            return Ok(cached.clone());
+        }
+        // Compute outside the lock; concurrent duplicates both run the
+        // (deterministic) reference and insert the same value.
+        let reference = resolved.reference(side, instance);
+        self.scenario_misses.inc();
+        self.scenario_refs
+            .lock()
+            .expect("scenario cache lock")
+            .insert(key, reference.clone());
+        Ok(reference)
     }
 
     fn audit_reply(&self, strategy: StrategyKind, dim: u32) -> AuditReply {
@@ -289,6 +372,71 @@ impl Dispatcher {
             enabled,
             series,
         }
+    }
+}
+
+/// Map a scenario reference run into the existing plan envelope: phases
+/// are the team-growth accounting (phase `k` = nodes cleaned while the
+/// team had `k + 1` agents), so the response structs stay
+/// scenario-agnostic and byte-identity costs nothing new.
+fn scenario_plan_reply(
+    scenario: ScenarioId,
+    side: u32,
+    reference: &ScenarioReference,
+) -> PlanReply {
+    let strategy = hypersweep_scenario::resolve(scenario)
+        .map(|s| s.strategy_label())
+        .unwrap_or("scenario");
+    let phases = reference
+        .cleaned_by_team
+        .iter()
+        .enumerate()
+        .filter(|(_, &cleaned)| cleaned > 0)
+        .map(|(k, &cleaned)| PhasePlan {
+            phase: k as u32,
+            active_agents: k as u64 + 1,
+            nodes_cleaned: cleaned,
+        })
+        .collect();
+    PlanReply {
+        strategy: strategy.to_string(),
+        dim: side,
+        nodes: reference.nodes,
+        team: reference.team,
+        total_moves: reference.moves,
+        ideal_time: None,
+        phases,
+    }
+}
+
+/// Map a scenario reference run into the existing audit envelope.
+fn scenario_audit_reply(
+    scenario: ScenarioId,
+    side: u32,
+    reference: &ScenarioReference,
+) -> AuditReply {
+    let strategy = hypersweep_scenario::resolve(scenario)
+        .map(|s| s.strategy_label())
+        .unwrap_or("scenario");
+    AuditReply {
+        strategy: strategy.to_string(),
+        dim: side,
+        monotone: reference.monotone,
+        contiguous: reference.contiguous,
+        all_clean: reference.all_clean,
+        captured: Some(reference.captured),
+        violations: reference.violations,
+        team_size: reference.team,
+        worker_moves: reference.moves,
+        total_moves: reference.moves,
+        trace: TraceSummary {
+            events: reference.events,
+            spawns: reference.team,
+            moves: reference.moves,
+            clones: 0,
+            terminates: reference.terminates,
+            max_time: reference.max_time,
+        },
     }
 }
 
@@ -561,6 +709,94 @@ mod tests {
         assert_eq!(status.version, env!("CARGO_PKG_VERSION"));
         assert_eq!(status.served.status, 1);
         assert_eq!(status.served.metrics, 0);
+    }
+
+    #[test]
+    fn scenario_plan_bypasses_the_answer_table_and_caches() {
+        let d = dispatcher();
+        let request = Request::ScenarioPlan {
+            scenario: ScenarioId::Grid,
+            side: 6,
+            instance: GridInstance::Holes(42),
+        };
+        assert!(d.answer_line(&request).is_none(), "table must not answer");
+        let first = d.handle(request).to_line();
+        let second = d.handle(request).to_line();
+        assert_eq!(first, second, "scenario replies must be byte-identical");
+        let snap = d.registry().snapshot();
+        assert_eq!(snap.counter("answers.table_bypass"), Some(1));
+        assert_eq!(snap.counter("scenario.cache_misses"), Some(1));
+        assert_eq!(snap.counter("scenario.cache_hits"), Some(1));
+        assert_eq!(d.served().plan, 2);
+        // The classic hypercube path still hits the table, not the bypass.
+        assert!(d
+            .answer_line(&Request::Plan {
+                strategy: StrategyKind::Clean,
+                dim: 6
+            })
+            .is_some());
+        let snap = d.registry().snapshot();
+        assert_eq!(snap.counter("answers.table_bypass"), Some(1));
+        assert_eq!(snap.counter("answers.table_hits"), Some(1));
+    }
+
+    #[test]
+    fn scenario_audit_reports_a_clean_verdict() {
+        let d = dispatcher();
+        for scenario in [ScenarioId::Grid, ScenarioId::Dynamic] {
+            let Response::Audit(a) = d.handle(Request::ScenarioAudit {
+                scenario,
+                side: 5,
+                instance: GridInstance::Full,
+            }) else {
+                panic!("expected an audit reply for {scenario}");
+            };
+            assert!(a.monotone && a.contiguous && a.all_clean, "{scenario}");
+            assert_eq!(a.captured, Some(true), "{scenario}");
+            assert_eq!(a.violations, 0, "{scenario}");
+            assert_eq!(a.trace.spawns, a.team_size, "{scenario}");
+            assert_eq!(a.trace.moves, a.total_moves, "{scenario}");
+        }
+    }
+
+    #[test]
+    fn scenario_plan_phases_cover_every_node() {
+        let d = dispatcher();
+        let Response::Plan(plan) = d.handle(Request::ScenarioPlan {
+            scenario: ScenarioId::Grid,
+            side: 6,
+            instance: GridInstance::Full,
+        }) else {
+            panic!("expected a plan reply");
+        };
+        assert_eq!(plan.strategy, "grid-sweep");
+        assert_eq!(plan.nodes, 36);
+        let cleaned: u64 = plan.phases.iter().map(|p| p.nodes_cleaned).sum();
+        assert_eq!(
+            cleaned, plan.nodes,
+            "team-growth phases must cover the grid"
+        );
+    }
+
+    #[test]
+    fn scenario_predict_and_bad_sides_yield_structured_errors() {
+        let d = dispatcher();
+        let Response::Error(e) = d.handle(Request::ScenarioPredict {
+            scenario: ScenarioId::Grid,
+            side: 6,
+            instance: GridInstance::Full,
+        }) else {
+            panic!("scenario predict must be unsupported");
+        };
+        assert_eq!(e.kind, ErrorKind::Unsupported);
+        let Response::Error(e) = d.handle(Request::ScenarioPlan {
+            scenario: ScenarioId::Grid,
+            side: 99,
+            instance: GridInstance::Full,
+        }) else {
+            panic!("oversized side must be refused");
+        };
+        assert_eq!(e.kind, ErrorKind::BadDimension);
     }
 
     #[test]

@@ -26,8 +26,10 @@
 use serde::{Deserialize, Serialize, Value};
 
 use hypersweep_analysis::StrategyKind;
+use hypersweep_scenario::ScenarioId;
 use hypersweep_sim::TraceSummary;
 use hypersweep_telemetry::MetricsSnapshot;
+use hypersweep_topology::GridInstance;
 
 /// Every strategy the server can plan, predict, or audit, in wire order.
 pub const WIRE_STRATEGIES: [StrategyKind; 8] = [
@@ -72,6 +74,11 @@ pub enum ErrorKind {
     /// The server failed internally while computing the reply (e.g. the
     /// dispatched job panicked); the request itself was well-formed.
     Internal,
+    /// The `scenario` field named no registered scenario.
+    UnknownScenario,
+    /// The `instance` field was not a valid instance spelling for the
+    /// requested scenario.
+    BadInstance,
 }
 
 impl ErrorKind {
@@ -88,6 +95,8 @@ impl ErrorKind {
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::Unsupported => "unsupported",
             ErrorKind::Internal => "internal",
+            ErrorKind::UnknownScenario => "unknown_scenario",
+            ErrorKind::BadInstance => "bad_instance",
         }
     }
 
@@ -104,6 +113,8 @@ impl ErrorKind {
             ErrorKind::ShuttingDown,
             ErrorKind::Unsupported,
             ErrorKind::Internal,
+            ErrorKind::UnknownScenario,
+            ErrorKind::BadInstance,
         ]
         .into_iter()
         .find(|k| k.label() == label)
@@ -161,15 +172,46 @@ pub enum Request {
     Metrics,
     /// Ask the daemon to drain in-flight work and exit.
     Shutdown,
+    /// A `plan` for a registered non-hypercube scenario (wire tag is
+    /// still `plan`, selected by the `scenario` field). `side` rides the
+    /// wire in the `dim` field.
+    ScenarioPlan {
+        /// Which registered scenario (never `Hypercube` off the wire).
+        scenario: ScenarioId,
+        /// Grid side length (the wire's `dim` field).
+        side: u32,
+        /// Instance generator.
+        instance: GridInstance,
+    },
+    /// A `predict` for a registered scenario. Scenarios without a full
+    /// closed form answer this with a structured `unsupported` error.
+    ScenarioPredict {
+        /// Which registered scenario.
+        scenario: ScenarioId,
+        /// Grid side length.
+        side: u32,
+        /// Instance generator.
+        instance: GridInstance,
+    },
+    /// An `audit` for a registered scenario: run the reference schedule
+    /// under the step oracle and report the verdict.
+    ScenarioAudit {
+        /// Which registered scenario.
+        scenario: ScenarioId,
+        /// Grid side length.
+        side: u32,
+        /// Instance generator.
+        instance: GridInstance,
+    },
 }
 
 impl Request {
     /// The wire tag of this request.
     pub fn tag(&self) -> &'static str {
         match self {
-            Request::Plan { .. } => "plan",
-            Request::Predict { .. } => "predict",
-            Request::Audit { .. } => "audit",
+            Request::Plan { .. } | Request::ScenarioPlan { .. } => "plan",
+            Request::Predict { .. } | Request::ScenarioPredict { .. } => "predict",
+            Request::Audit { .. } | Request::ScenarioAudit { .. } => "audit",
             Request::Status => "status",
             Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
@@ -188,6 +230,28 @@ impl Request {
                     Value::String(strategy.label().to_string()),
                 ));
                 fields.push(("dim".to_string(), dim.serialize_value()));
+            }
+            Request::ScenarioPlan {
+                scenario,
+                side,
+                instance,
+            }
+            | Request::ScenarioPredict {
+                scenario,
+                side,
+                instance,
+            }
+            | Request::ScenarioAudit {
+                scenario,
+                side,
+                instance,
+            } => {
+                fields.push((
+                    "scenario".to_string(),
+                    Value::String(scenario.label().to_string()),
+                ));
+                fields.push(("dim".to_string(), side.serialize_value()));
+                fields.push(("instance".to_string(), Value::String(instance.label())));
             }
             Request::Status | Request::Metrics | Request::Shutdown => {}
         }
@@ -209,6 +273,70 @@ impl Request {
         })?;
         match tag {
             "plan" | "predict" | "audit" => {
+                // An explicit non-hypercube `scenario` field routes to the
+                // registry; absent (or `"hypercube"`) keeps the classic
+                // strategy/dim form, byte-compatible with every old client.
+                let scenario_field = serde::get_field(fields, "scenario");
+                if !matches!(scenario_field, Value::Null) {
+                    let label = scenario_field.as_str().ok_or_else(|| {
+                        WireError::new(ErrorKind::UnknownScenario, "'scenario' must be a string")
+                    })?;
+                    let scenario = ScenarioId::parse(label).ok_or_else(|| {
+                        let known: Vec<&str> = ScenarioId::ALL.iter().map(|s| s.label()).collect();
+                        WireError::new(
+                            ErrorKind::UnknownScenario,
+                            format!("unknown scenario '{label}' (known: {})", known.join(", ")),
+                        )
+                    })?;
+                    if let Some(resolved) = hypersweep_scenario::resolve(scenario) {
+                        let side = u32::deserialize_value(serde::get_field(fields, "dim"))
+                            .map_err(|_| {
+                                WireError::new(
+                                    ErrorKind::BadDimension,
+                                    format!("'{tag}' requires an integer 'dim' field"),
+                                )
+                            })?;
+                        let instance_field = serde::get_field(fields, "instance");
+                        let instance = if matches!(instance_field, Value::Null) {
+                            resolved.default_instance()
+                        } else {
+                            let spelled = instance_field.as_str().ok_or_else(|| {
+                                WireError::new(
+                                    ErrorKind::BadInstance,
+                                    "'instance' must be a string",
+                                )
+                            })?;
+                            GridInstance::parse(spelled).ok_or_else(|| {
+                                WireError::new(
+                                    ErrorKind::BadInstance,
+                                    format!(
+                                        "unknown instance '{spelled}' \
+                                         (expected full|holes:<seed>|corridor)"
+                                    ),
+                                )
+                            })?
+                        };
+                        return Ok(match tag {
+                            "plan" => Request::ScenarioPlan {
+                                scenario,
+                                side,
+                                instance,
+                            },
+                            "predict" => Request::ScenarioPredict {
+                                scenario,
+                                side,
+                                instance,
+                            },
+                            _ => Request::ScenarioAudit {
+                                scenario,
+                                side,
+                                instance,
+                            },
+                        });
+                    }
+                    // `"scenario":"hypercube"` is the explicit spelling of
+                    // the default: fall through to the classic form.
+                }
                 let strategy_label =
                     serde::get_field(fields, "strategy")
                         .as_str()

@@ -602,7 +602,12 @@ impl Reactor {
                 });
                 self.push_reply(idx, &ack.to_line());
             }
-            compute @ (Request::Plan { .. } | Request::Predict { .. } | Request::Audit { .. }) => {
+            compute @ (Request::Plan { .. }
+            | Request::Predict { .. }
+            | Request::Audit { .. }
+            | Request::ScenarioPlan { .. }
+            | Request::ScenarioPredict { .. }
+            | Request::ScenarioAudit { .. }) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     shared.dispatcher.note_error();
                     self.push_reply(
@@ -615,11 +620,14 @@ impl Reactor {
                     );
                     return;
                 }
-                if matches!(compute, Request::Audit { .. }) {
+                if matches!(
+                    compute,
+                    Request::Audit { .. } | Request::ScenarioAudit { .. }
+                ) {
                     self.submit_audit(idx, compute, started);
                 } else {
                     let histogram = match compute {
-                        Request::Plan { .. } => &shared.latency.plan,
+                        Request::Plan { .. } | Request::ScenarioPlan { .. } => &shared.latency.plan,
                         _ => &shared.latency.predict,
                     };
                     if let Some(line) = shared.dispatcher.answer_line(&compute) {

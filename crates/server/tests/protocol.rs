@@ -5,12 +5,14 @@
 //! order is fixed), and every malformed input must map to a structured
 //! [`ErrorKind`], never a panic.
 
+use hypersweep_scenario::ScenarioId;
 use hypersweep_server::{
     AuditReply, CacheStats, ErrorKind, MetricsReply, PhasePlan, PlanReply, PredictReply, Request,
     Response, ServedCounts, ShutdownReply, StatusReply, WireError, WIRE_STRATEGIES,
 };
 use hypersweep_sim::TraceSummary;
 use hypersweep_telemetry::MetricsRegistry;
+use hypersweep_topology::GridInstance;
 
 fn round_trip_request(request: Request) {
     let line = request.to_line();
@@ -35,9 +37,72 @@ fn every_request_variant_round_trips() {
             round_trip_request(Request::Audit { strategy, dim });
         }
     }
+    for scenario in [ScenarioId::Grid, ScenarioId::Dynamic] {
+        for instance in [
+            GridInstance::Full,
+            GridInstance::Holes(42),
+            GridInstance::Corridor,
+        ] {
+            for side in [1, 6, 16] {
+                round_trip_request(Request::ScenarioPlan {
+                    scenario,
+                    side,
+                    instance,
+                });
+                round_trip_request(Request::ScenarioPredict {
+                    scenario,
+                    side,
+                    instance,
+                });
+                round_trip_request(Request::ScenarioAudit {
+                    scenario,
+                    side,
+                    instance,
+                });
+            }
+        }
+    }
     round_trip_request(Request::Status);
     round_trip_request(Request::Metrics);
     round_trip_request(Request::Shutdown);
+}
+
+#[test]
+fn scenario_requests_ride_the_classic_tags() {
+    let line = Request::ScenarioPlan {
+        scenario: ScenarioId::Grid,
+        side: 6,
+        instance: GridInstance::Holes(42),
+    }
+    .to_line();
+    assert_eq!(
+        line,
+        r#"{"type":"plan","scenario":"grid","dim":6,"instance":"holes:42"}"#
+    );
+    // An explicit "scenario":"hypercube" is the spelled-out default and
+    // parses into the classic strategy/dim request.
+    let classic =
+        Request::parse(r#"{"type":"audit","scenario":"hypercube","strategy":"clean","dim":6}"#)
+            .expect("explicit hypercube parses");
+    assert_eq!(
+        classic,
+        Request::Audit {
+            strategy: hypersweep_analysis::StrategyKind::Clean,
+            dim: 6
+        }
+    );
+    // A scenario request without an instance field gets the scenario's
+    // default instance.
+    let defaulted =
+        Request::parse(r#"{"type":"plan","scenario":"dynamic","dim":5}"#).expect("parses");
+    assert_eq!(
+        defaulted,
+        Request::ScenarioPlan {
+            scenario: ScenarioId::Dynamic,
+            side: 5,
+            instance: GridInstance::Full,
+        }
+    );
 }
 
 #[test]
@@ -140,6 +205,8 @@ fn every_response_variant_round_trips() {
         ErrorKind::ShuttingDown,
         ErrorKind::Unsupported,
         ErrorKind::Internal,
+        ErrorKind::UnknownScenario,
+        ErrorKind::BadInstance,
     ] {
         round_trip_response(Response::Error(WireError::new(kind, "detail text")));
     }
@@ -207,7 +274,7 @@ fn request_tags_are_flat_json() {
 
 #[test]
 fn malformed_inputs_yield_structured_errors() {
-    let cases: [(&str, ErrorKind); 9] = [
+    let cases: [(&str, ErrorKind); 14] = [
         // Truncated JSON.
         (r#"{"type":"plan","strategy":"clea"#, ErrorKind::Malformed),
         // Not JSON at all.
@@ -235,6 +302,31 @@ fn malformed_inputs_yield_structured_errors() {
             r#"{"type":"plan","strategy":"clean","dim":"six"}"#,
             ErrorKind::BadDimension,
         ),
+        // Unknown scenario name.
+        (
+            r#"{"type":"plan","scenario":"torus","dim":6}"#,
+            ErrorKind::UnknownScenario,
+        ),
+        // Non-string scenario field.
+        (
+            r#"{"type":"audit","scenario":7,"dim":6}"#,
+            ErrorKind::UnknownScenario,
+        ),
+        // Unknown instance spelling.
+        (
+            r#"{"type":"plan","scenario":"grid","dim":6,"instance":"swiss-cheese"}"#,
+            ErrorKind::BadInstance,
+        ),
+        // Malformed holes seed.
+        (
+            r#"{"type":"audit","scenario":"grid","dim":6,"instance":"holes:abc"}"#,
+            ErrorKind::BadInstance,
+        ),
+        // Scenario request missing dim.
+        (
+            r#"{"type":"plan","scenario":"grid","instance":"full"}"#,
+            ErrorKind::BadDimension,
+        ),
     ];
     for (line, expected) in cases {
         let err = Request::parse(line).expect_err(line);
@@ -258,12 +350,16 @@ fn error_kind_labels_are_stable_and_parseable() {
         ErrorKind::ShuttingDown,
         ErrorKind::Unsupported,
         ErrorKind::Internal,
+        ErrorKind::UnknownScenario,
+        ErrorKind::BadInstance,
     ] {
         assert_eq!(ErrorKind::parse(kind.label()), Some(kind));
     }
     assert_eq!(ErrorKind::parse("nonsense"), None);
     // The wire labels are frozen; clients match on them.
     assert_eq!(ErrorKind::Internal.label(), "internal");
+    assert_eq!(ErrorKind::UnknownScenario.label(), "unknown_scenario");
+    assert_eq!(ErrorKind::BadInstance.label(), "bad_instance");
 }
 
 #[test]

@@ -143,6 +143,21 @@ impl AdjGraph {
         }
     }
 
+    /// Remove an undirected edge; absent edges are ignored. Returns
+    /// whether the edge existed. Used by the dynamic-graph scenario's
+    /// between-rounds mutation stream.
+    pub fn remove_edge(&mut self, a: Node, b: Node) -> bool {
+        let existed = self.adj[a.index()].contains(&b);
+        self.adj[a.index()].retain(|&x| x != b);
+        self.adj[b.index()].retain(|&x| x != a);
+        existed
+    }
+
+    /// Whether the undirected edge `(a, b)` is present.
+    pub fn has_edge(&self, a: Node, b: Node) -> bool {
+        self.adj[a.index()].contains(&b)
+    }
+
     /// Build from an explicit edge list.
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
         let mut g = AdjGraph::with_nodes(n);

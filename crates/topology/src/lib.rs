@@ -27,6 +27,7 @@
 pub mod broadcast;
 pub mod combinatorics;
 pub mod graph;
+pub mod grid;
 pub mod heap_queue;
 pub mod hypercube;
 pub mod node;
@@ -36,6 +37,7 @@ pub mod render;
 
 pub use broadcast::BroadcastTree;
 pub use graph::Topology;
+pub use grid::{GridInstance, PartialGrid};
 pub use heap_queue::HeapQueue;
 pub use hypercube::Hypercube;
 pub use node::Node;
