@@ -1,30 +1,88 @@
 //! Parallel schedule-exploration campaigns on the harness worker pool.
 //!
 //! `hypersweep-check` explores one schedule at a time; a campaign is
-//! thousands of them, embarrassingly parallel. This module chunks the
-//! schedule range into fixed-size slices (independent of the worker count,
-//! so *which* schedules run never depends on `--jobs`), fans the slices out
-//! through [`execute_jobs_metered`], and merges the per-slice outcomes
-//! submission-ordered — the reported counterexample is always the one with
-//! the **lowest schedule index**, making the campaign verdict deterministic
-//! for a fixed `(strategy, dim, schedules, seed)` regardless of
-//! parallelism.
+//! thousands — now hundreds of thousands — of them, embarrassingly
+//! parallel. This module **streams** the schedule range through
+//! [`execute_schedule_stream`]: workers claim fixed-width slices from a
+//! shared atomic counter (nothing materialized up front, so a 100k-schedule
+//! campaign enqueues zero heap-allocated jobs), each worker keeps **one**
+//! [`CheckArena`] for its whole lifetime (the oracle field's `O(n)`
+//! allocations are paid once per worker, not once per slice), and a shared
+//! cutoff lets workers skip every slice above the lowest violation found so
+//! far. The reported counterexample is always the one with the **lowest
+//! schedule index**, deterministic for a fixed `(strategy, dim, schedules,
+//! seed)` regardless of parallelism — see
+//! [`crate::pool::StreamCutoff`] for why the cutoff cannot skip the
+//! winner.
 //!
 //! Telemetry lands in the `check.*` series: `check.schedules`,
-//! `check.steps`, `check.events`, `check.violations` counters and the
-//! per-schedule `check.schedule_us` wall-time histogram.
+//! `check.steps`, `check.events`, `check.violations`, `check.slices`,
+//! `check.slices_skipped` counters, the per-schedule `check.schedule_us`
+//! wall-time histogram, and per-campaign `span.check.campaign_us` /
+//! `span.check.shrink_us` phase spans (rendered by `check --timings`).
 
 use std::time::{Duration, Instant};
 
 use hypersweep_check::{explore_schedule_in, shrunk_replay, CheckArena, CheckConfig, ReplayFile};
 use hypersweep_telemetry::MetricsRegistry;
 
-use crate::pool::execute_jobs_metered;
+use crate::pool::execute_schedule_stream;
 use crate::table::Table;
 
-/// Fixed slice width for the fan-out. Small enough to load-balance a
-/// contended pool, large enough that per-job overhead stays negligible.
+/// Fixed slice width for the fan-out, independent of the worker count so
+/// *which* schedules a slice covers never depends on `--jobs`. Small
+/// enough to load-balance a contended pool, large enough that per-slice
+/// claim overhead stays negligible. Streaming means slice count never
+/// translates into queued memory: a 100k-schedule campaign holds exactly
+/// one claim counter, not 3125 queued closures.
 const SLICE: u64 = 32;
+
+/// Upper bound on `--campaign-size`: beyond this even the widened kernels
+/// need days, so larger requests are almost certainly typos.
+pub const MAX_CAMPAIGN_SCHEDULES: u64 = 10_000_000;
+
+/// Upper bound on `--stride` (events between oracle checks): strides past
+/// this exceed any schedule's event count and silently disable the oracles.
+pub const MAX_CHECK_STRIDE: u64 = 1_000_000;
+
+/// Validate a campaign size the way `validate_max_dim` validates `--max-dim`:
+/// reject 0 (an empty campaign proves nothing) and absurd sizes.
+pub fn validate_campaign_size(schedules: u64) -> Result<u64, String> {
+    if schedules == 0 {
+        Err(format!(
+            "--campaign-size must be at least 1 (a 0-schedule campaign explores nothing); \
+             valid range is 1..={MAX_CAMPAIGN_SCHEDULES}"
+        ))
+    } else if schedules > MAX_CAMPAIGN_SCHEDULES {
+        Err(format!(
+            "--campaign-size {schedules} exceeds the supported limit {MAX_CAMPAIGN_SCHEDULES} \
+             (larger campaigns take days even at wide-kernel throughput); \
+             valid range is 1..={MAX_CAMPAIGN_SCHEDULES}"
+        ))
+    } else {
+        Ok(schedules)
+    }
+}
+
+/// Validate an oracle stride: reject 0 (ambiguous with the derived
+/// default — pass nothing instead) and absurd values.
+pub fn validate_stride(stride: u64) -> Result<u64, String> {
+    if stride == 0 {
+        Err(format!(
+            "--stride must be at least 1 (the oracles run every stride events; \
+             omit the flag for the default stride of 1); \
+             valid range is 1..={MAX_CHECK_STRIDE}"
+        ))
+    } else if stride > MAX_CHECK_STRIDE {
+        Err(format!(
+            "--stride {stride} exceeds the supported limit {MAX_CHECK_STRIDE} \
+             (no schedule produces that many events, so the oracles would never run); \
+             valid range is 1..={MAX_CHECK_STRIDE}"
+        ))
+    } else {
+        Ok(stride)
+    }
+}
 
 /// One campaign: explore `schedules` seeded schedules of `cfg`.
 #[derive(Clone, Copy, Debug)]
@@ -36,6 +94,12 @@ pub struct CheckCampaign {
     /// Campaign seed; schedule `s` runs under the adversary
     /// `Adversary::for_schedule(seed, s)`.
     pub seed: u64,
+    /// Negative control: force the schedule at this index to violate by
+    /// running it under a 1-step budget (a guaranteed `StepLimit`). The
+    /// campaign must then report exactly this index (or a lower natural
+    /// violation) for **any** job count — a seeded mid-campaign mutant
+    /// that proves the streaming cutoff cannot lose the winner.
+    pub planted: Option<u64>,
 }
 
 /// What a campaign found.
@@ -73,19 +137,33 @@ impl CampaignOutcome {
     }
 }
 
-/// What one pool job (a slice of the schedule range) reports back.
-struct SliceOutcome {
+/// What one streaming worker accumulates over every slice it claims.
+struct WorkerTally {
+    arena: CheckArena,
     schedules_run: u64,
     steps: u64,
     events: u64,
     violations: u64,
-    /// Lowest violating schedule in the slice, with its run.
-    first: Option<(u64, hypersweep_check::ScheduleRun)>,
+    /// Lowest violating schedule this worker saw, with its run.
+    best: Option<(u64, hypersweep_check::ScheduleRun)>,
 }
 
-/// Run one campaign on `jobs` pool workers, recording `check.*` telemetry
-/// into `registry`. Deterministic verdict: the returned counterexample is
-/// the lowest-index violating schedule regardless of `jobs`.
+/// The config a specific schedule runs under: the campaign config, except
+/// a planted schedule gets a 1-step budget (guaranteed `StepLimit`).
+fn schedule_cfg(campaign: &CheckCampaign, schedule: u64) -> CheckConfig {
+    let mut cfg = campaign.cfg;
+    if campaign.planted == Some(schedule) {
+        cfg.max_steps = 1;
+    }
+    cfg
+}
+
+/// Run one campaign on `jobs` streaming workers, recording `check.*`
+/// telemetry into `registry`. Deterministic verdict: the returned
+/// counterexample is the lowest-index violating schedule regardless of
+/// `jobs`; aggregate tallies are deterministic whenever the campaign is
+/// quiet (no violation ⇒ the cutoff never engages and every schedule
+/// runs).
 pub fn run_campaign(
     campaign: &CheckCampaign,
     jobs: usize,
@@ -100,54 +178,45 @@ pub fn run_campaign(
     let violations_counter = registry.counter("check.violations");
     let schedule_us = registry.histogram("check.schedule_us");
 
-    let slices: Vec<(u64, u64)> = (0..campaign.schedules)
-        .step_by(SLICE.max(1) as usize)
-        .map(|lo| (lo, (lo + SLICE).min(campaign.schedules)))
-        .collect();
-    let work: Vec<_> = slices
-        .into_iter()
-        .map(|(lo, hi)| {
-            let schedules_counter = schedules_counter.clone();
-            let steps_counter = steps_counter.clone();
-            let events_counter = events_counter.clone();
-            let violations_counter = violations_counter.clone();
-            let schedule_us = schedule_us.clone();
-            move || {
-                let mut out = SliceOutcome {
-                    schedules_run: 0,
-                    steps: 0,
-                    events: 0,
-                    violations: 0,
-                    first: None,
-                };
-                // One arena per slice: the 32 schedules recycle the oracle
-                // field's allocations instead of paying O(n) setup each.
-                let mut arena = CheckArena::new();
-                for schedule in lo..hi {
-                    let t0 = Instant::now();
-                    let run = explore_schedule_in(&cfg, seed, schedule, &mut arena);
-                    schedule_us.record(t0.elapsed().as_micros() as u64);
-                    out.schedules_run += 1;
-                    out.steps += run.steps;
-                    out.events += run.events;
-                    schedules_counter.add(1);
-                    steps_counter.add(run.steps);
-                    events_counter.add(run.events);
-                    if run.violation.is_some() {
-                        out.violations += 1;
-                        violations_counter.add(1);
-                        out.first = Some((schedule, run));
-                        // The slice stops here; lower-index slices keep
-                        // running, so the merged winner is still global.
-                        break;
-                    }
+    let tallies = execute_schedule_stream(
+        campaign.schedules,
+        SLICE,
+        jobs.max(1),
+        registry,
+        "check",
+        |_worker| WorkerTally {
+            // One arena per *worker* for the whole campaign: every slice
+            // it claims recycles the oracle field's allocations.
+            arena: CheckArena::new(),
+            schedules_run: 0,
+            steps: 0,
+            events: 0,
+            violations: 0,
+            best: None,
+        },
+        |tally, schedule| {
+            let run_cfg = schedule_cfg(campaign, schedule);
+            let t0 = Instant::now();
+            let run = explore_schedule_in(&run_cfg, seed, schedule, &mut tally.arena);
+            schedule_us.record(t0.elapsed().as_micros() as u64);
+            tally.schedules_run += 1;
+            tally.steps += run.steps;
+            tally.events += run.events;
+            schedules_counter.add(1);
+            steps_counter.add(run.steps);
+            events_counter.add(run.events);
+            if run.violation.is_some() {
+                tally.violations += 1;
+                violations_counter.add(1);
+                if tally.best.as_ref().is_none_or(|(s, _)| schedule < *s) {
+                    tally.best = Some((schedule, run));
                 }
-                out
+                true
+            } else {
+                false
             }
-        })
-        .collect();
-
-    let results = execute_jobs_metered(work, jobs.max(1), registry);
+        },
+    );
 
     let mut outcome = CampaignOutcome {
         strategy: cfg.strategy.name().to_string(),
@@ -160,24 +229,29 @@ pub fn run_campaign(
         elapsed: Duration::ZERO,
     };
     let mut winner: Option<(u64, hypersweep_check::ScheduleRun)> = None;
-    for slice in results {
-        outcome.schedules_run += slice.schedules_run;
-        outcome.steps += slice.steps;
-        outcome.events += slice.events;
-        outcome.violations += slice.violations;
-        if let Some((schedule, run)) = slice.first {
-            // Slices arrive in submission order (ascending ranges), so the
-            // first hit is the lowest schedule; keep the min anyway for
-            // robustness.
+    for tally in tallies {
+        outcome.schedules_run += tally.schedules_run;
+        outcome.steps += tally.steps;
+        outcome.events += tally.events;
+        outcome.violations += tally.violations;
+        if let Some((schedule, run)) = tally.best {
             if winner.as_ref().is_none_or(|(s, _)| schedule < *s) {
                 winner = Some((schedule, run));
             }
         }
     }
     if let Some((schedule, run)) = winner {
-        outcome.counterexample = Some(shrunk_replay(&cfg, seed, schedule, run));
+        let shrink_cfg = schedule_cfg(campaign, schedule);
+        let t0 = Instant::now();
+        outcome.counterexample = Some(shrunk_replay(&shrink_cfg, seed, schedule, run));
+        registry
+            .histogram("span.check.shrink_us")
+            .record(t0.elapsed().as_micros() as u64);
     }
     outcome.elapsed = started.elapsed();
+    registry
+        .histogram("span.check.campaign_us")
+        .record(outcome.elapsed.as_micros() as u64);
     outcome
 }
 
@@ -225,6 +299,7 @@ mod tests {
             cfg: CheckConfig::new(strategy, 4),
             schedules,
             seed: 0xFEED,
+            planted: None,
         }
     }
 
@@ -266,6 +341,100 @@ mod tests {
             snap.histogram("check.schedule_us").map(|h| h.count),
             Some(out.schedules_run)
         );
+    }
+
+    #[test]
+    fn planted_violation_is_found_at_exactly_its_index_for_any_jobs() {
+        // A mid-campaign planted mutant on an otherwise quiet strategy:
+        // the campaign must converge on exactly the planted index no
+        // matter how many workers race the stream.
+        for planted in [0u64, 37, 79] {
+            let mut c = campaign(CheckStrategy::Clean, 80);
+            c.planted = Some(planted);
+            let reg = MetricsRegistry::disabled();
+            let mut jsons = Vec::new();
+            for jobs in [1usize, 2, 8] {
+                let out = run_campaign(&c, jobs, &reg);
+                let replay = out
+                    .counterexample
+                    .unwrap_or_else(|| panic!("planted @ {planted} missed at jobs={jobs}"));
+                assert_eq!(replay.schedule, planted, "jobs = {jobs}");
+                jsons.push(replay.to_json());
+            }
+            assert!(
+                jsons.windows(2).all(|w| w[0] == w[1]),
+                "planted counterexample must serialize identically across jobs"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_cutoff_skips_work_and_records_slice_telemetry() {
+        // With a violation planted at schedule 0, every slice past the
+        // first should be skipped (modulo races), and the slice counters
+        // must account for all slices either way.
+        let mut c = campaign(CheckStrategy::Clean, 640);
+        c.planted = Some(0);
+        let reg = MetricsRegistry::new();
+        let out = run_campaign(&c, 1, &reg);
+        assert_eq!(out.counterexample.unwrap().schedule, 0);
+        let snap = reg.snapshot();
+        let claimed = snap.counter("check.slices").unwrap_or(0);
+        let skipped = snap.counter("check.slices_skipped").unwrap_or(0);
+        assert_eq!(claimed + skipped, 640 / 32, "every slice accounted for");
+        assert!(
+            skipped >= 640 / 32 - 1,
+            "serial stream past a schedule-0 violation must skip the rest (skipped {skipped})"
+        );
+        // Serial + planted-at-0 ⇒ exactly one schedule ran.
+        assert_eq!(out.schedules_run, 1);
+    }
+
+    #[test]
+    fn campaign_spans_are_recorded() {
+        let reg = MetricsRegistry::new();
+        let c = campaign(CheckStrategy::Clean, 16);
+        run_campaign(&c, 2, &reg);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.histogram("span.check.campaign_us").map(|h| h.count),
+            Some(1)
+        );
+        assert_eq!(
+            snap.histogram("span.check.shrink_us"),
+            None,
+            "quiet: no shrink"
+        );
+        let mut m = campaign(CheckStrategy::MutantEagerGuard, 16);
+        m.planted = None;
+        run_campaign(&m, 2, &reg);
+        assert_eq!(
+            reg.snapshot()
+                .histogram("span.check.shrink_us")
+                .map(|h| h.count),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn campaign_size_validation_rejects_zero_and_absurd() {
+        assert!(validate_campaign_size(0).is_err());
+        assert_eq!(validate_campaign_size(1), Ok(1));
+        assert_eq!(
+            validate_campaign_size(MAX_CAMPAIGN_SCHEDULES),
+            Ok(MAX_CAMPAIGN_SCHEDULES)
+        );
+        let err = validate_campaign_size(MAX_CAMPAIGN_SCHEDULES + 1).unwrap_err();
+        assert!(err.contains("valid range"), "structured message: {err}");
+    }
+
+    #[test]
+    fn stride_validation_rejects_zero_and_absurd() {
+        assert!(validate_stride(0).is_err());
+        assert_eq!(validate_stride(1), Ok(1));
+        assert_eq!(validate_stride(MAX_CHECK_STRIDE), Ok(MAX_CHECK_STRIDE));
+        let err = validate_stride(MAX_CHECK_STRIDE + 1).unwrap_err();
+        assert!(err.contains("valid range"), "structured message: {err}");
     }
 
     #[test]

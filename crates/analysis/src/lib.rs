@@ -27,9 +27,15 @@ pub mod stats;
 pub mod table;
 
 pub use cache::{execute_run, Exec, InsertListener, RunCache, RunKey, StrategyKind};
-pub use checking::{campaign_table, run_campaign, CampaignOutcome, CheckCampaign};
+pub use checking::{
+    campaign_table, run_campaign, validate_campaign_size, validate_stride, CampaignOutcome,
+    CheckCampaign, MAX_CAMPAIGN_SCHEDULES, MAX_CHECK_STRIDE,
+};
 pub use persist::{CacheStore, PersistAppender, WarmLoadStats};
-pub use pool::{default_jobs, execute_jobs, execute_jobs_metered, PoolSaturated, WorkerPool};
+pub use pool::{
+    default_jobs, execute_jobs, execute_jobs_metered, execute_schedule_stream, PoolSaturated,
+    StreamCutoff, WorkerPool,
+};
 pub use result::ExperimentResult;
 pub use runner::{
     run_all, run_experiment, run_ids_pooled, run_ids_pooled_capped, run_ids_pooled_with,

@@ -158,6 +158,117 @@ where
         .collect()
 }
 
+/// The shared early-exit bound of a streamed index range: the lowest
+/// violating index any worker has found so far (`u64::MAX` until one is).
+///
+/// Workers skip whole slices, and break inside a slice, once every index
+/// they would run exceeds the bound. The skip is **deterministic for the
+/// winner**: the bound only ever holds indices of *actual* violations, so
+/// it can never sink below the global minimum violating index `v*` — and
+/// therefore `v*` itself can never be skipped. Quiet ranges (no violation
+/// anywhere) never move the bound and are explored exhaustively, keeping
+/// their aggregate counts independent of the worker count.
+pub struct StreamCutoff(AtomicU64);
+
+impl StreamCutoff {
+    fn new() -> Self {
+        StreamCutoff(AtomicU64::new(u64::MAX))
+    }
+
+    /// Record a violating index; the bound only decreases.
+    pub fn record(&self, index: u64) {
+        self.0.fetch_min(index, Ordering::SeqCst);
+    }
+
+    /// The current bound: no index above it needs to run.
+    pub fn bound(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Stream the index range `0..total` through `workers` threads in
+/// fixed-width slices claimed from a shared atomic counter — nothing is
+/// materialized up front, so a 100k-schedule campaign enqueues **zero**
+/// heap-allocated jobs regardless of its size.
+///
+/// Each worker builds one `S` via `init` (its reusable arena state, kept
+/// across every slice it claims), then calls `run(&mut state, index)` for
+/// each index. `run` returns `true` when the index *violated*; the
+/// executor records it in the [`StreamCutoff`] and stops the slice. Slices
+/// whose low end exceeds the cutoff are skipped whole (counted in
+/// `{prefix}.slices_skipped`); claimed slices land in `{prefix}.slices`.
+///
+/// Determinism: the minimum violating index is always executed (see
+/// [`StreamCutoff`]), so a caller that keeps its per-worker minimum and
+/// merges by `min` reports the same winner for any `workers`. Aggregate
+/// counts (indices run, work done) are deterministic exactly when the
+/// range is quiet; with a violation present they depend on timing, which
+/// is why campaign reports only promise the *winner*, not the tallies.
+pub fn execute_schedule_stream<S, I, R>(
+    total: u64,
+    slice_width: u64,
+    workers: usize,
+    registry: &MetricsRegistry,
+    prefix: &str,
+    init: I,
+    run: R,
+) -> Vec<S>
+where
+    S: Send,
+    I: Fn(usize) -> S + Sync,
+    R: Fn(&mut S, u64) -> bool + Sync,
+{
+    let slice_width = slice_width.max(1);
+    let slices_counter = registry.counter(&format!("{prefix}.slices"));
+    let skipped_counter = registry.counter(&format!("{prefix}.slices_skipped"));
+    let workers = workers.max(1).min(total.max(1) as usize);
+    let next = AtomicU64::new(0);
+    let cutoff = StreamCutoff::new();
+    let (next, cutoff, init, run) = (&next, &cutoff, &init, &run);
+
+    let worker_body = |me: usize| -> S {
+        let mut state = init(me);
+        loop {
+            let slice = next.fetch_add(1, Ordering::SeqCst);
+            let Some(lo) = slice.checked_mul(slice_width) else {
+                break;
+            };
+            if lo >= total {
+                break;
+            }
+            let hi = (lo + slice_width).min(total);
+            if lo > cutoff.bound() {
+                skipped_counter.inc();
+                continue;
+            }
+            slices_counter.inc();
+            for index in lo..hi {
+                if index > cutoff.bound() {
+                    break;
+                }
+                if run(&mut state, index) {
+                    cutoff.record(index);
+                    break;
+                }
+            }
+        }
+        state
+    };
+
+    if workers == 1 {
+        return vec![worker_body(0)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| scope.spawn(move || worker_body(me)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stream worker panicked"))
+            .collect()
+    })
+}
+
 /// The submission was rejected because the pool's queue is at capacity —
 /// the caller should shed load (e.g. answer `busy`) instead of buffering.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,0 +1,249 @@
+//! Wide-kernel microbench: the 4-wide word kernels against their retained
+//! scalar references, on the word arrays the workspace actually runs —
+//! `2^d / 64` words for hypercube dimensions `d ∈ {14, 18}` (override with
+//! `BENCH_WIDE_DIMS=12,16`).
+//!
+//! The audit-throughput bench measures the *end-to-end* event stream,
+//! which the incremental connectivity kernel already made query-cheap;
+//! the word loops it amortises surface here instead, where each kernel is
+//! measured in isolation: bulk or/and-not, population count, the fused
+//! flood step (frontier masking + accumulate), and whole-set hypercube
+//! neighbour expansion.
+//!
+//! Results land in `BENCH_wide.json` at the repo root (override with
+//! `BENCH_WIDE_OUT`). There is no regression gate — the differential test
+//! battery (`crates/topology/tests/wide_differential.rs`) guards
+//! correctness, and the audit/check benches gate end-to-end speed.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use hypersweep_topology::{wide, NodeSet};
+use serde::{Deserialize, Serialize};
+
+/// One kernel's wide-vs-scalar measurement at one array size.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct KernelEntry {
+    kernel: String,
+    d: u32,
+    words: usize,
+    wide_words_per_sec: f64,
+    scalar_words_per_sec: f64,
+    speedup: f64,
+}
+
+/// The committed `BENCH_wide.json` shape.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct WideReport {
+    schema: String,
+    kernels: Vec<KernelEntry>,
+}
+
+/// Deterministic word fill (SplitMix64 mix), same as the differential
+/// battery uses.
+fn fill(words: &mut [u64], seed: u64) {
+    let mut s = seed;
+    for w in words.iter_mut() {
+        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        *w = z ^ (z >> 31);
+    }
+}
+
+/// Fastest call within the budget; the minimum is the stable statistic on
+/// a shared machine.
+fn measure<F: FnMut() -> u64>(mut f: F, budget: Duration) -> Duration {
+    let start = Instant::now();
+    let mut best = Duration::MAX;
+    loop {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed());
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    best
+}
+
+/// Repetitions per timed call, scaled down for the bigger arrays so one
+/// call stays in the hundreds of microseconds.
+fn reps(words: usize) -> usize {
+    (1 << 22) / words.max(1)
+}
+
+fn bench_dim(d: u32, budget: Duration, out: &mut Vec<KernelEntry>) {
+    let n = 1usize << d;
+    let words = n / 64;
+    let r = reps(words);
+    let mut src = vec![0u64; words];
+    let mut dst = vec![0u64; words];
+    let mut acc = vec![0u64; words];
+    fill(&mut src, 1);
+    fill(&mut dst, 2);
+    fill(&mut acc, 3);
+
+    let rate = |t: Duration| (r * words) as f64 / t.as_secs_f64();
+    let mut push = |kernel: &str, wide_t: Duration, scalar_t: Duration| {
+        let entry = KernelEntry {
+            kernel: kernel.to_string(),
+            d,
+            words,
+            wide_words_per_sec: rate(wide_t),
+            scalar_words_per_sec: rate(scalar_t),
+            speedup: scalar_t.as_secs_f64() / wide_t.as_secs_f64(),
+        };
+        println!(
+            "wide_kernels/{kernel}/d{d}: {:.3e} words/s wide vs {:.3e} scalar ({:.2}x)",
+            entry.wide_words_per_sec, entry.scalar_words_per_sec, entry.speedup
+        );
+        out.push(entry);
+    };
+
+    let or_wide = measure(
+        || {
+            for _ in 0..r {
+                wide::or_assign(&mut dst, &src);
+            }
+            dst[0]
+        },
+        budget,
+    );
+    let or_scalar = measure(
+        || {
+            for _ in 0..r {
+                wide::or_assign_scalar(&mut dst, &src);
+            }
+            dst[0]
+        },
+        budget,
+    );
+    push("or_assign", or_wide, or_scalar);
+
+    let count_wide = measure(
+        || {
+            let mut total = 0u64;
+            for _ in 0..r {
+                total = total.wrapping_add(wide::count_ones(std::hint::black_box(&src)) as u64);
+            }
+            total
+        },
+        budget,
+    );
+    let count_scalar = measure(
+        || {
+            let mut total = 0u64;
+            for _ in 0..r {
+                total =
+                    total.wrapping_add(wide::count_ones_scalar(std::hint::black_box(&src)) as u64);
+            }
+            total
+        },
+        budget,
+    );
+    push("count_ones", count_wide, count_scalar);
+
+    let flood_wide = measure(
+        || {
+            let mut grew = 0u64;
+            for _ in 0..r {
+                let mut next = src.clone();
+                grew += u64::from(wide::flood_step(&mut next, &mut acc, &dst));
+            }
+            grew
+        },
+        budget,
+    );
+    let flood_scalar = measure(
+        || {
+            let mut grew = 0u64;
+            for _ in 0..r {
+                let mut next = src.clone();
+                grew += u64::from(wide::flood_step_scalar(&mut next, &mut acc, &dst));
+            }
+            grew
+        },
+        budget,
+    );
+    push("flood_step", flood_wide, flood_scalar);
+
+    // Whole-set neighbour expansion: the chunked shuffle/XOR path against
+    // the retained single-word loop. Rate is still words/s of the source
+    // set, so the columns stay comparable.
+    let er = reps(words).max(1) / 4 + 1;
+    let set = {
+        let mut s = NodeSet::new(n);
+        fill(s.words_mut(), 7);
+        s
+    };
+    let mut expanded = NodeSet::new(n);
+    let expand_wide = measure(
+        || {
+            for _ in 0..er {
+                set.hypercube_expand_into(d, &mut expanded);
+            }
+            expanded.words()[0]
+        },
+        budget,
+    );
+    let expand_scalar = measure(
+        || {
+            for _ in 0..er {
+                set.hypercube_expand_into_scalar(d, &mut expanded);
+            }
+            expanded.words()[0]
+        },
+        budget,
+    );
+    let rate_e = |t: Duration| (er * words) as f64 / t.as_secs_f64();
+    let entry = KernelEntry {
+        kernel: "hypercube_expand".to_string(),
+        d,
+        words,
+        wide_words_per_sec: rate_e(expand_wide),
+        scalar_words_per_sec: rate_e(expand_scalar),
+        speedup: expand_scalar.as_secs_f64() / expand_wide.as_secs_f64(),
+    };
+    println!(
+        "wide_kernels/hypercube_expand/d{d}: {:.3e} words/s wide vs {:.3e} scalar ({:.2}x)",
+        entry.wide_words_per_sec, entry.scalar_words_per_sec, entry.speedup
+    );
+    out.push(entry);
+}
+
+fn out_path() -> PathBuf {
+    if let Ok(p) = std::env::var("BENCH_WIDE_OUT") {
+        return PathBuf::from(p);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_wide.json")
+}
+
+fn main() {
+    let budget = Duration::from_millis(
+        std::env::var("BENCH_WIDE_BUDGET_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300),
+    );
+    let dims: Vec<u32> = std::env::var("BENCH_WIDE_DIMS")
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("BENCH_WIDE_DIMS is a dim list"))
+                .collect()
+        })
+        .unwrap_or_else(|_| vec![14, 18]);
+    let mut kernels = Vec::new();
+    for &d in &dims {
+        bench_dim(d, budget, &mut kernels);
+    }
+    let report = WideReport {
+        schema: "hypersweep-wide-bench/v1".into(),
+        kernels,
+    };
+    let path = out_path();
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, json + "\n").expect("write BENCH_wide.json");
+    println!("wrote {}", path.display());
+}

@@ -16,7 +16,7 @@ pub(crate) const SHRINK_BUDGET: u64 = 2_000;
 /// A shrunk counterexample on disk: everything needed to re-execute the
 /// violating schedule deterministically, plus provenance (which campaign
 /// and adversary found it) and the violation the replay must reproduce.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Deserialize)]
 pub struct ReplayFile {
     /// Format version ([`REPLAY_VERSION`]).
     pub version: u32,
@@ -32,6 +32,12 @@ pub struct ReplayFile {
     pub adversary: String,
     /// The shrunk decision trace.
     pub decisions: Vec<u32>,
+    /// Step budget the violation was found under (`None` = the strategy
+    /// default). A `StepLimit` violation found under `--max-steps` — or a
+    /// planted drill's 1-step budget — only reproduces under the same
+    /// budget, so the replay records it. Absent in older files, which all
+    /// ran at the default.
+    pub max_steps: Option<u64>,
     /// The violation the trace must reproduce, step-exact.
     pub violation: ViolationReport,
 }
@@ -78,6 +84,31 @@ impl std::fmt::Display for ReplayError {
 
 impl std::error::Error for ReplayError {}
 
+// Hand-written so a default-budget replay (`max_steps: None`) serializes
+// without the key at all: corpus files written before the field existed
+// stay in canonical form (parse → serialize is the identity on them).
+impl Serialize for ReplayFile {
+    fn serialize_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("version".to_string(), self.version.serialize_value()),
+            ("strategy".to_string(), self.strategy.serialize_value()),
+            ("dim".to_string(), self.dim.serialize_value()),
+            (
+                "campaign_seed".to_string(),
+                self.campaign_seed.serialize_value(),
+            ),
+            ("schedule".to_string(), self.schedule.serialize_value()),
+            ("adversary".to_string(), self.adversary.serialize_value()),
+            ("decisions".to_string(), self.decisions.serialize_value()),
+        ];
+        if let Some(budget) = self.max_steps {
+            fields.push(("max_steps".to_string(), budget.serialize_value()));
+        }
+        fields.push(("violation".to_string(), self.violation.serialize_value()));
+        serde::Value::Object(fields)
+    }
+}
+
 impl ReplayFile {
     /// Serialize as pretty JSON (the on-disk format).
     pub fn to_json(&self) -> String {
@@ -99,7 +130,9 @@ impl ReplayFile {
     pub fn check_config(&self) -> Result<CheckConfig, ReplayError> {
         let strategy = CheckStrategy::parse(&self.strategy)
             .ok_or_else(|| ReplayError::UnknownStrategy(self.strategy.clone()))?;
-        Ok(CheckConfig::new(strategy, self.dim))
+        let mut cfg = CheckConfig::new(strategy, self.dim);
+        cfg.max_steps = self.max_steps.unwrap_or(0);
+        Ok(cfg)
     }
 
     /// Re-execute the recorded trace.
@@ -153,6 +186,7 @@ pub fn shrunk_replay_with_budget(
             .name()
             .to_string(),
         decisions: shrunk.decisions,
+        max_steps: (cfg.max_steps > 0).then_some(cfg.max_steps),
         violation,
     }
 }
@@ -173,6 +207,39 @@ mod tests {
         parsed.verify().expect("reproduces the violation");
         // Byte-identical round-trip: serialize → parse → serialize.
         assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn step_budget_violations_record_their_budget_and_verify() {
+        // A 1-step budget manufactures a StepLimit violation on any
+        // schedule (this is how planted campaign drills work). The replay
+        // must carry that budget or re-execution finds no violation.
+        let mut cfg = CheckConfig::new(CheckStrategy::Cloning, 4);
+        cfg.max_steps = 1;
+        let run = crate::explore_schedule(&cfg, 7, 0);
+        assert!(run.violation.is_some(), "1-step budget must trip StepLimit");
+        let replay = shrunk_replay(&cfg, 7, 0, run);
+        assert_eq!(replay.max_steps, Some(1));
+        let parsed = ReplayFile::from_json(&replay.to_json()).expect("parses");
+        parsed.verify().expect("budget-limited replay reproduces");
+    }
+
+    #[test]
+    fn replays_without_a_recorded_budget_still_parse() {
+        // Files written before `max_steps` existed omit the key entirely;
+        // they must keep parsing (as the strategy-default budget).
+        let cfg = CheckConfig::new(CheckStrategy::MutantEagerGuard, 4);
+        let (replay, _, _) = find_counterexample(&cfg, 2, 400);
+        let replay = replay.expect("mutant caught");
+        let json = replay.to_json();
+        let stripped: String = json
+            .lines()
+            .filter(|l| !l.contains("\"max_steps\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = ReplayFile::from_json(&stripped).expect("legacy file parses");
+        assert_eq!(parsed.max_steps, None);
+        parsed.verify().expect("legacy replay still reproduces");
     }
 
     #[test]

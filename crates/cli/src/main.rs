@@ -38,10 +38,12 @@ fn usage() -> &'static str {
      \thypersweep watch <strategy> <d> [--stride N]\n\
      \thypersweep trace <strategy> <d> <out.json>\n\
      \thypersweep audit <d> <trace.json>\n\
-     \thypersweep check [--strategy S|all] [--dim D] [--schedules N] [--seed K] [--jobs N]\n\
-     \t                 [--max-steps N] [--stride N] [--out FILE]\n\
+     \thypersweep check [--strategy S|all] [--dim D] [--campaign-size N] [--seed K] [--jobs N]\n\
+     \t                 [--max-steps N] [--stride N] [--plant I] [--timings] [--out FILE]\n\
      \t                 [--scenario hypercube|grid|dynamic] [--instance full|holes:<seed>|corridor]\n\
      \thypersweep check --replay FILE\n\
+     \thypersweep bench-check [--jobs N] [--out FILE]   (env: BENCH_CHECK_DIMS, BENCH_CHECK_SCHEDULES,\n\
+     \t                 BENCH_CHECK_STRATEGY, BENCH_CHECK_BUDGET_MS, BENCH_CHECK_BASELINE)\n\
      \thypersweep serve [--addr HOST:PORT] [--uds PATH] [--max-dim N] [--jobs N] [--cache-cap N]\n\
      \t                 [--cache-shards N] [--timeout-ms N] [--metrics-file FILE]\n\
      \t                 [--metrics-interval-ms N] [--no-telemetry] [--persist FILE]\n\
@@ -314,13 +316,57 @@ fn cmd_audit(d: u32, path: &str) -> Result<(), String> {
 }
 
 /// Campaign knobs for `hypersweep check` beyond the checking problem
-/// itself (`--schedules`, `--seed`, `--jobs`, `--max-steps`, `--stride`).
+/// itself (`--campaign-size`/`--schedules`, `--seed`, `--jobs`,
+/// `--max-steps`, `--stride`, `--plant`, `--timings`).
 struct CheckCampaignOpts {
     schedules: u64,
     seed: u64,
     jobs: usize,
     max_steps: u64,
     stride: u64,
+    planted: Option<u64>,
+    timings: bool,
+}
+
+/// The `check --timings` phase table: campaign/shrink spans, the
+/// per-schedule latency histogram, and the streaming executor's slice
+/// accounting, all under the given telemetry prefix (`check` for the
+/// hypercube checker, `scenario` for the scenario driver).
+fn render_campaign_timings(snapshot: &hypersweep_telemetry::MetricsSnapshot, prefix: &str) {
+    let span_ms = |name: &str| {
+        snapshot
+            .histogram(name)
+            .map(|h| h.sum as f64 / 1e3)
+            .unwrap_or(0.0)
+    };
+    eprintln!("campaign phase timings (telemetry spans):");
+    eprintln!(
+        "  {:<16} {:>8.0}ms",
+        "campaigns",
+        span_ms(&format!("span.{prefix}.campaign_us"))
+    );
+    eprintln!(
+        "  {:<16} {:>8.0}ms",
+        "shrink",
+        span_ms(&format!("span.{prefix}.shrink_us"))
+    );
+    if let Some(h) = snapshot.histogram(&format!("{prefix}.schedule_us")) {
+        eprintln!(
+            "  {:<16} {} schedules, mean {:.2}ms, max {:.2}ms",
+            "schedules",
+            h.count,
+            h.mean().unwrap_or(0.0) / 1e3,
+            h.max.unwrap_or(0) as f64 / 1e3,
+        );
+    }
+    eprintln!(
+        "  {:<16} {} claimed, {} skipped past the cutoff",
+        "slices",
+        snapshot.counter(&format!("{prefix}.slices")).unwrap_or(0),
+        snapshot
+            .counter(&format!("{prefix}.slices_skipped"))
+            .unwrap_or(0),
+    );
 }
 
 /// `hypersweep check`: explore adversarial schedules against the paper's
@@ -337,7 +383,20 @@ fn cmd_check(
         jobs,
         max_steps,
         stride,
+        planted,
+        timings,
     } = *opts;
+    let schedules = hypersweep_analysis::validate_campaign_size(schedules)?;
+    if stride > 0 {
+        hypersweep_analysis::validate_stride(stride)?;
+    }
+    if let Some(p) = planted {
+        if p >= schedules {
+            return Err(format!(
+                "--plant {p} is outside the campaign (valid range is 0..{schedules})"
+            ));
+        }
+    }
     let strategies: Vec<CheckStrategy> = if strategy == "all" {
         CheckStrategy::PAPER.to_vec()
     } else {
@@ -356,6 +415,7 @@ fn cmd_check(
                 cfg,
                 schedules,
                 seed,
+                planted,
             },
             jobs,
             &registry,
@@ -378,6 +438,9 @@ fn cmd_check(
             .unwrap_or(0.0)
             / 1e3,
     );
+    if timings {
+        render_campaign_timings(&snap, "check");
+    }
     let failed: Vec<&hypersweep_analysis::CampaignOutcome> = outcomes
         .iter()
         .filter(|o| o.counterexample.is_some())
@@ -417,10 +480,20 @@ fn cmd_check_scenario(
         jobs,
         max_steps,
         stride,
+        planted,
+        timings,
     } = *opts;
+    let schedules = hypersweep_analysis::validate_campaign_size(schedules)?;
     if stride > 1 {
         return Err(
             "--stride applies only to the hypercube checker; scenario oracles verify every event"
+                .into(),
+        );
+    }
+    if planted.is_some() {
+        return Err(
+            "--plant applies only to the hypercube checker; scenario campaigns have no \
+             planted-violation harness"
                 .into(),
         );
     }
@@ -471,6 +544,9 @@ fn cmd_check_scenario(
             .unwrap_or(0.0)
             / 1e3,
     );
+    if timings {
+        render_campaign_timings(&snap, "scenario");
+    }
     let failed: Vec<&hypersweep_scenario::ScenarioOutcome> = outcomes
         .iter()
         .filter(|o| o.counterexample.is_some())
@@ -877,6 +953,162 @@ fn cmd_telemetry_gate(with_path: &str, without_path: &str, out: &str) -> Result<
     Ok(())
 }
 
+/// Per-dimension `bench-check` measurement.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct CheckBenchEntry {
+    d: u32,
+    schedules: u64,
+    schedules_per_sec: f64,
+    /// Oracle events streamed through the invariant monitors per second.
+    events_per_sec: f64,
+}
+
+/// The committed `BENCH_check.json` shape.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct CheckBenchReport {
+    schema: String,
+    strategy: String,
+    stride: u64,
+    jobs: usize,
+    dims: Vec<CheckBenchEntry>,
+}
+
+/// `hypersweep bench-check`: campaign throughput (schedules/s and oracle
+/// events/s) at `BENCH_CHECK_DIMS` (default 10,12,14), written to
+/// `BENCH_check.json`. With `BENCH_CHECK_BASELINE=<path>` it compares
+/// against a committed baseline instead and fails on a >25% regression —
+/// the same contract as the audit-throughput and bench-serve gates.
+fn cmd_bench_check(out: &str, jobs: usize) -> Result<(), String> {
+    use std::time::{Duration, Instant};
+    let budget = Duration::from_millis(
+        std::env::var("BENCH_CHECK_BUDGET_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300),
+    );
+    let dims: Vec<u32> = match std::env::var("BENCH_CHECK_DIMS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .map_err(|e| format!("BENCH_CHECK_DIMS entry '{t}': {e}"))
+            })
+            .collect::<Result<_, _>>()?,
+        Err(_) => vec![10, 12, 14],
+    };
+    let schedules: u64 = std::env::var("BENCH_CHECK_SCHEDULES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let strategy_name =
+        std::env::var("BENCH_CHECK_STRATEGY").unwrap_or_else(|_| "cloning".to_string());
+    let strategy = CheckStrategy::parse(&strategy_name)
+        .ok_or_else(|| format!("BENCH_CHECK_STRATEGY '{strategy_name}' is unknown"))?;
+
+    let mut entries = Vec::new();
+    for &d in &dims {
+        let mut cfg = CheckConfig::new(strategy, d);
+        cfg.stride = 1;
+        cfg.validate()?;
+        let campaign = hypersweep_analysis::CheckCampaign {
+            cfg,
+            schedules,
+            seed: 0,
+            planted: None,
+        };
+        // Fastest run within the budget: the minimum is far more stable
+        // than the mean on shared machines, which matters for the gate.
+        let started = Instant::now();
+        let mut best = Duration::MAX;
+        let mut events = 0u64;
+        loop {
+            let registry = hypersweep_telemetry::MetricsRegistry::new();
+            let t0 = Instant::now();
+            let outcome = hypersweep_analysis::run_campaign(&campaign, jobs, &registry);
+            let elapsed = t0.elapsed();
+            if let Some(c) = &outcome.counterexample {
+                return Err(format!(
+                    "bench campaign found a real violation at d={d} schedule {} — \
+                     fix the checker before benchmarking it",
+                    c.schedule
+                ));
+            }
+            if elapsed < best {
+                best = elapsed;
+                events = registry.snapshot().counter("check.events").unwrap_or(0);
+            }
+            if started.elapsed() >= budget {
+                break;
+            }
+        }
+        let entry = CheckBenchEntry {
+            d,
+            schedules,
+            schedules_per_sec: schedules as f64 / best.as_secs_f64(),
+            events_per_sec: events as f64 / best.as_secs_f64(),
+        };
+        println!(
+            "bench-check/d{}: {:.3e} schedules/s, {:.3e} oracle events/s ({} schedules, {} events)",
+            d, entry.schedules_per_sec, entry.events_per_sec, schedules, events
+        );
+        entries.push(entry);
+    }
+    let report = CheckBenchReport {
+        schema: "hypersweep-check-bench/v1".into(),
+        strategy: strategy_name,
+        stride: 1,
+        jobs,
+        dims: entries,
+    };
+
+    if let Ok(baseline_path) = std::env::var("BENCH_CHECK_BASELINE") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+        let baseline: CheckBenchReport = serde_json::from_str(&text)
+            .map_err(|e| format!("baseline {baseline_path} does not parse: {e}"))?;
+        if baseline.schema != report.schema {
+            return Err(format!(
+                "baseline schema '{}' != '{}'; regenerate {baseline_path}",
+                baseline.schema, report.schema
+            ));
+        }
+        let mut regressed = false;
+        for entry in &report.dims {
+            let Some(base) = baseline.dims.iter().find(|b| b.d == entry.d) else {
+                continue;
+            };
+            let checks = [
+                ("schedules", entry.schedules_per_sec, base.schedules_per_sec),
+                ("events", entry.events_per_sec, base.events_per_sec),
+            ];
+            for (label, got, expected) in checks {
+                let ratio = got / expected;
+                println!(
+                    "bench-check/gate/{label}/d{}: {ratio:.2}x of baseline",
+                    entry.d
+                );
+                if ratio < 0.75 {
+                    eprintln!(
+                        "REGRESSION ({label}) at d={}: {got:.3e}/s vs baseline \
+                         {expected:.3e}/s (>25% slower)",
+                        entry.d
+                    );
+                    regressed = true;
+                }
+            }
+        }
+        if regressed {
+            return Err("bench-check regressed against the committed baseline".into());
+        }
+    } else {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(out, json + "\n").map_err(|e| e.to_string())?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
 fn cmd_bench_serve(cfg: &BenchConfig, out: &str) -> Result<(), String> {
     let report = run_bench(cfg).map_err(|e| format!("bench against {} failed: {e}", cfg.addr))?;
     println!(
@@ -956,6 +1188,7 @@ fn main() -> ExitCode {
     let mut schedules: u64 = 200;
     let mut seed: u64 = 0;
     let mut max_steps: u64 = 0;
+    let mut planted: Option<u64> = None;
     let mut replay_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -1208,12 +1441,29 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            "--schedules" => {
+            "--schedules" | "--campaign-size" => {
+                let flag = args[i].clone();
                 i += 1;
                 match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
-                    Some(v) if v >= 1 => schedules = v,
-                    _ => {
-                        eprintln!("--schedules needs a positive integer\n{}", usage());
+                    Some(v) => match hypersweep_analysis::validate_campaign_size(v) {
+                        Ok(v) => schedules = v,
+                        Err(e) => {
+                            eprintln!("{flag}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    None => {
+                        eprintln!("{flag} needs a positive integer\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--plant" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(v) => planted = Some(v),
+                    None => {
+                        eprintln!("--plant needs a schedule index\n{}", usage());
                         return ExitCode::FAILURE;
                     }
                 }
@@ -1250,9 +1500,15 @@ fn main() -> ExitCode {
             }
             "--stride" => {
                 i += 1;
-                match args.get(i).and_then(|s| s.parse().ok()) {
-                    Some(v) if v >= 1 => stride = Some(v),
-                    _ => {
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(v) => match hypersweep_analysis::validate_stride(v) {
+                        Ok(v) => stride = Some(v as usize),
+                        Err(e) => {
+                            eprintln!("--stride: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    None => {
                         eprintln!("--stride needs a positive integer\n{}", usage());
                         return ExitCode::FAILURE;
                     }
@@ -1311,6 +1567,8 @@ fn main() -> ExitCode {
                     jobs: jobs.unwrap_or_else(default_jobs),
                     max_steps,
                     stride: stride.map(|v| v as u64).unwrap_or(0),
+                    planted,
+                    timings,
                 };
                 match ScenarioId::parse(&scenario) {
                     None => Err(format!(
@@ -1367,6 +1625,10 @@ fn main() -> ExitCode {
                 }
             };
         }
+        Some("bench-check") if positional.len() == 1 => cmd_bench_check(
+            out.as_deref().unwrap_or("BENCH_check.json"),
+            jobs.unwrap_or_else(default_jobs),
+        ),
         Some("bench-serve") if positional.len() == 1 => cmd_bench_serve(
             &BenchConfig {
                 addr: addr.clone(),

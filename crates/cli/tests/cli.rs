@@ -358,6 +358,207 @@ fn audit_flags_a_corrupt_trace() {
     std::fs::remove_file(path).ok();
 }
 
+// --- campaign-scale check knobs -----------------------------------------
+
+#[test]
+fn check_campaign_size_and_stride_reject_zero_and_absurd_values() {
+    // Mirrors the `--max-dim` contract: structured messages that name the
+    // valid range, emitted before any work happens.
+    for (args, needle) in [
+        (vec!["check", "--campaign-size", "0"], "at least 1"),
+        (
+            vec!["check", "--campaign-size", "10000001"],
+            "exceeds the supported limit",
+        ),
+        (vec!["check", "--schedules", "0"], "at least 1"),
+        (vec!["check", "--stride", "0"], "at least 1"),
+        (
+            vec!["check", "--stride", "1000001"],
+            "exceeds the supported limit",
+        ),
+    ] {
+        let out = bin().args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} must be rejected");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains(needle), "{args:?}: {err}");
+        assert!(err.contains("valid range"), "{args:?}: {err}");
+    }
+    // A planted index outside the campaign is caught up front too.
+    let out = bin()
+        .args(["check", "--campaign-size", "10", "--plant", "10"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("outside the campaign"), "{err}");
+}
+
+#[test]
+fn check_plant_fails_at_exactly_the_planted_schedule() {
+    let dir = std::env::temp_dir().join("hypersweep-cli-plant");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cx = dir.join("cx.json");
+    let out = bin()
+        .args([
+            "check",
+            "--strategy",
+            "clean",
+            "--dim",
+            "4",
+            "--campaign-size",
+            "4096",
+            "--plant",
+            "97",
+            "--jobs",
+            "4",
+            "--out",
+            cx.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "a planted campaign must exit nonzero"
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("FAIL @ schedule 97"), "{text}");
+    let replay = std::fs::read_to_string(&cx).unwrap();
+    assert!(replay.contains("\"schedule\""), "{replay}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_timings_renders_the_campaign_phase_table() {
+    let out = bin()
+        .args([
+            "check",
+            "--strategy",
+            "clean",
+            "--dim",
+            "4",
+            "--campaign-size",
+            "64",
+            "--timings",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("campaign phase timings"), "{err}");
+    for row in ["campaigns", "shrink", "schedules", "slices"] {
+        assert!(err.contains(row), "missing row '{row}': {err}");
+    }
+    // The table rides on stderr; stdout stays the campaign table alone.
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(!text.contains("campaign phase timings"), "{text}");
+}
+
+#[test]
+fn check_rejects_plant_for_scenario_campaigns() {
+    let out = bin()
+        .args([
+            "check",
+            "--scenario",
+            "grid",
+            "--dim",
+            "6",
+            "--campaign-size",
+            "8",
+            "--plant",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--plant applies only"), "{err}");
+}
+
+#[test]
+fn bench_check_writes_a_report_and_gates_against_itself() {
+    let dir = std::env::temp_dir().join("hypersweep-cli-bench-check");
+    std::fs::create_dir_all(&dir).unwrap();
+    let report = dir.join("BENCH_check.json");
+    let fast = |cmd: &mut Command| {
+        cmd.env("BENCH_CHECK_DIMS", "6")
+            .env("BENCH_CHECK_SCHEDULES", "8")
+            .env("BENCH_CHECK_BUDGET_MS", "50");
+    };
+    let mut cmd = bin();
+    fast(&mut cmd);
+    let out = cmd
+        .args([
+            "bench-check",
+            "--jobs",
+            "2",
+            "--out",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&report).unwrap();
+    assert!(text.contains("hypersweep-check-bench/v1"), "{text}");
+    assert!(text.contains("schedules_per_sec"), "{text}");
+    assert!(text.contains("events_per_sec"), "{text}");
+
+    // Gate mode with handcrafted baselines, so the verdict is
+    // deterministic regardless of how noisy this machine is: a slow
+    // baseline passes, an impossibly fast one trips the 25% gate.
+    let baseline = |name: &str, rate: &str| {
+        let path = dir.join(name);
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"schema\":\"hypersweep-check-bench/v1\",\"strategy\":\"cloning\",\
+                 \"stride\":1,\"jobs\":2,\"dims\":[{{\"d\":6,\"schedules\":8,\
+                 \"schedules_per_sec\":{rate},\"events_per_sec\":{rate}}}]}}\n"
+            ),
+        )
+        .unwrap();
+        path
+    };
+    let slow = baseline("slow.json", "0.001");
+    let mut cmd = bin();
+    fast(&mut cmd);
+    let out = cmd
+        .env("BENCH_CHECK_BASELINE", slow.to_str().unwrap())
+        .args(["bench-check", "--jobs", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("bench-check/gate"), "{text}");
+
+    let impossible = baseline("impossible.json", "1000000000000000.0");
+    let mut cmd = bin();
+    fast(&mut cmd);
+    let out = cmd
+        .env("BENCH_CHECK_BASELINE", impossible.to_str().unwrap())
+        .args(["bench-check", "--jobs", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "an impossible baseline must trip the gate"
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("REGRESSION"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 // --- managed daemon lifecycle -------------------------------------------
 
 /// A fresh state directory for one daemon test.

@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use hypersweep_topology::{Node, NodeSet, Topology};
+use hypersweep_topology::{wide, Node, NodeSet, Topology};
 
 use hypersweep_sim::{Event, EventKind};
 
@@ -393,17 +393,11 @@ impl<'a, T: Topology + ?Sized> ContaminationField<'a, T> {
         frontier.insert(self.homebase);
         loop {
             frontier.hypercube_expand_into(d, &mut next);
-            let mut grew = false;
-            for ((nw, rw), cw) in next
-                .words_mut()
-                .iter_mut()
-                .zip(reached.words_mut())
-                .zip(self.contaminated.words())
-            {
-                *nw &= !*cw & !*rw;
-                *rw |= *nw;
-                grew |= *nw != 0;
-            }
+            let grew = wide::flood_step(
+                next.words_mut(),
+                reached.words_mut(),
+                self.contaminated.words(),
+            );
             if !grew {
                 break;
             }
@@ -480,16 +474,11 @@ impl<'a, T: Topology + ?Sized> ContaminationField<'a, T> {
                 frontier.insert(seed);
                 loop {
                     frontier.hypercube_expand_into(d, &mut next);
-                    let mut grew = false;
-                    for ((nw, rw), cw) in next
-                        .words_mut()
-                        .iter_mut()
-                        .zip(reached.words())
-                        .zip(self.contaminated.words())
-                    {
-                        *nw &= !*cw & !*rw;
-                        grew |= *nw != 0;
-                    }
+                    let grew = wide::mask_clear2(
+                        next.words_mut(),
+                        self.contaminated.words(),
+                        reached.words(),
+                    );
                     if !grew {
                         break;
                     }
@@ -499,9 +488,7 @@ impl<'a, T: Topology + ?Sized> ContaminationField<'a, T> {
                             .expect("every flooded node borders the reached set");
                         self.forest.adopt(y, seed, port as u8);
                     }
-                    for (rw, nw) in reached.words_mut().iter_mut().zip(next.words()) {
-                        *rw |= *nw;
-                    }
+                    wide::or_assign(reached.words_mut(), next.words());
                     std::mem::swap(&mut frontier, &mut next);
                 }
             }
@@ -572,13 +559,11 @@ impl<'a, T: Topology + ?Sized> ContaminationField<'a, T> {
             Some(d) => {
                 let mut next = std::mem::take(&mut self.scratch_next);
                 self.contaminated.hypercube_expand_into(d, &mut next);
-                for (nw, (cw, gw)) in next
-                    .words_mut()
-                    .iter_mut()
-                    .zip(self.contaminated.words().iter().zip(self.guarded.words()))
-                {
-                    *nw &= !(*cw | *gw);
-                }
+                wide::mask_clear2(
+                    next.words_mut(),
+                    self.contaminated.words(),
+                    self.guarded.words(),
+                );
                 let hit = next.iter().next();
                 self.scratch_next = next;
                 hit
@@ -720,17 +705,11 @@ impl<'a, T: Topology + ?Sized> ContaminationField<'a, T> {
         frontier.insert(x);
         loop {
             frontier.hypercube_expand_into(d, &mut next);
-            let mut grew = false;
-            for ((nw, cw), gw) in next
-                .words_mut()
-                .iter_mut()
-                .zip(self.contaminated.words_mut())
-                .zip(self.guarded.words())
-            {
-                *nw &= !(*cw | *gw);
-                *cw |= *nw;
-                grew |= *nw != 0;
-            }
+            let grew = wide::flood_step(
+                next.words_mut(),
+                self.contaminated.words_mut(),
+                self.guarded.words(),
+            );
             if !grew {
                 break;
             }

@@ -17,9 +17,12 @@ use hypersweep_topology::{Hypercube, Node, Topology};
 use proptest::prelude::*;
 
 /// The obviously-correct reference: per-node `Vec<bool>` state and
-/// per-node BFS for spread and contiguity.
+/// per-node BFS for spread and contiguity. Written against any
+/// [`Topology`] so the same reference checks the word-parallel hypercube
+/// kernels *and* the generic-graph paths (rings, tori, cube-connected
+/// cycles, de Bruijn graphs, partial grids).
 struct ReferenceField<'a> {
-    cube: &'a Hypercube,
+    topo: &'a dyn Topology,
     contaminated: Vec<bool>,
     occupancy: Vec<u32>,
     homebase: Node,
@@ -28,11 +31,11 @@ struct ReferenceField<'a> {
 }
 
 impl<'a> ReferenceField<'a> {
-    fn new(cube: &'a Hypercube, homebase: Node) -> Self {
+    fn new(topo: &'a dyn Topology, homebase: Node) -> Self {
         ReferenceField {
-            cube,
-            contaminated: vec![true; cube.node_count()],
-            occupancy: vec![0; cube.node_count()],
+            topo,
+            contaminated: vec![true; topo.node_count()],
+            occupancy: vec![0; topo.node_count()],
             homebase,
             events_applied: 0,
             recontaminations: Vec::new(),
@@ -41,7 +44,7 @@ impl<'a> ReferenceField<'a> {
 
     fn neighbors(&self, x: Node) -> Vec<Node> {
         let mut nbrs = Vec::new();
-        self.cube.neighbors_into(x, &mut nbrs);
+        self.topo.neighbors_into(x, &mut nbrs);
         nbrs
     }
 
@@ -101,7 +104,7 @@ impl<'a> ReferenceField<'a> {
         if self.contaminated[self.homebase.index()] {
             return false;
         }
-        let mut seen = vec![false; self.cube.node_count()];
+        let mut seen = vec![false; self.topo.node_count()];
         let mut queue = VecDeque::new();
         seen[self.homebase.index()] = true;
         queue.push_back(self.homebase);
@@ -120,10 +123,10 @@ impl<'a> ReferenceField<'a> {
 
     /// Connected components of the safe region, counted by repeated BFS.
     fn clean_components(&self) -> usize {
-        let mut seen = vec![false; self.cube.node_count()];
+        let mut seen = vec![false; self.topo.node_count()];
         let mut queue = VecDeque::new();
         let mut components = 0;
-        for i in 0..self.cube.node_count() {
+        for i in 0..self.topo.node_count() {
             if self.contaminated[i] || seen[i] {
                 continue;
             }
@@ -144,7 +147,7 @@ impl<'a> ReferenceField<'a> {
 
     /// Whether some clean, unguarded node borders contamination.
     fn has_unguarded_frontier(&self) -> bool {
-        (0..self.cube.node_count()).any(|i| {
+        (0..self.topo.node_count()).any(|i| {
             !self.contaminated[i]
                 && self.occupancy[i] == 0
                 && self
@@ -201,6 +204,137 @@ fn decode_trace(d: u32, draws: &[u64]) -> Vec<Event> {
     events
 }
 
+/// Decode random draws into a trace on any topology: like
+/// [`decode_trace`], but moves pick a random *neighbour index* instead of
+/// a hypercube port, so the same interpreter drives rings, tori,
+/// cube-connected cycles, de Bruijn graphs, and partial grids.
+fn decode_trace_generic(topo: &dyn Topology, homebase: Node, draws: &[u64]) -> Vec<Event> {
+    let n = topo.node_count();
+    let mut positions: Vec<Node> = Vec::new();
+    let mut events = Vec::new();
+    let mut nbrs = Vec::new();
+    for (i, &draw) in draws.iter().enumerate() {
+        let time = i as u64;
+        let spawn = positions.is_empty() || draw % 5 == 0;
+        if spawn {
+            let node = if draw % 11 == 0 {
+                Node((draw / 16) as u32 % n as u32) // an island spawn
+            } else {
+                homebase
+            };
+            events.push(Event {
+                time,
+                kind: EventKind::Spawn {
+                    agent: positions.len() as u32,
+                    node,
+                    role: Role::Worker,
+                },
+            });
+            positions.push(node);
+        } else {
+            let a = (draw / 8) as usize % positions.len();
+            let from = positions[a];
+            topo.neighbors_into(from, &mut nbrs);
+            let to = nbrs[(draw / 64) as usize % nbrs.len()];
+            events.push(Event {
+                time,
+                kind: EventKind::Move {
+                    agent: a as u32,
+                    from,
+                    to,
+                    role: Role::Worker,
+                },
+            });
+            positions[a] = to;
+        }
+    }
+    events
+}
+
+/// Run a decoded trace through both fields, comparing the full state after
+/// every event — contamination bits, dirty counts, occupancy, contiguity
+/// (incremental *and* retained BFS, which drives the rebuild floods),
+/// component counts, and both frontier oracles.
+fn assert_equivalent(topo: &dyn Topology, homebase: Node, events: &[Event]) -> Result<(), String> {
+    let mut packed = ContaminationField::new(topo, homebase);
+    let mut reference = ReferenceField::new(topo, homebase);
+    for (i, event) in events.iter().enumerate() {
+        packed.apply(event);
+        reference.apply(event);
+        for x in 0..topo.node_count() as u32 {
+            prop_assert_eq!(
+                packed.is_contaminated(Node(x)),
+                reference.contaminated[x as usize],
+                "event {}: node {} contamination diverged",
+                i,
+                x
+            );
+        }
+        prop_assert_eq!(
+            packed.contaminated_count(),
+            reference.contaminated.iter().filter(|&&c| c).count(),
+            "event {}: dirty count diverged",
+            i
+        );
+        prop_assert_eq!(packed.occupancy(), &reference.occupancy[..]);
+        prop_assert_eq!(
+            packed.is_contiguous(),
+            reference.is_contiguous(),
+            "event {}: contiguity verdict diverged",
+            i
+        );
+        prop_assert_eq!(
+            packed.is_contiguous(),
+            packed.is_contiguous_bfs(),
+            "event {}: incremental and retained-BFS contiguity diverged",
+            i
+        );
+        prop_assert_eq!(
+            packed.clean_components(),
+            reference.clean_components(),
+            "event {}: component count diverged",
+            i
+        );
+        prop_assert_eq!(
+            packed.unguarded_frontier().is_some(),
+            reference.has_unguarded_frontier(),
+            "event {}: maintained frontier diverged from reference",
+            i
+        );
+        prop_assert_eq!(
+            packed.unguarded_frontier().is_some(),
+            packed.unguarded_frontier_scan().is_some(),
+            "event {}: maintained frontier diverged from the scan",
+            i
+        );
+    }
+    let mut a = packed.recontaminations().to_vec();
+    let mut b = reference.recontaminations;
+    a.sort_unstable();
+    b.sort_unstable();
+    prop_assert_eq!(a, b, "recontamination incidents diverged");
+    Ok(())
+}
+
+/// The non-hypercube fabrics the differential battery sweeps. Universe
+/// sizes are deliberately not multiples of 256 so the widened bulk ops see
+/// ragged tails.
+fn alt_topology(pick: usize) -> (Box<dyn Topology>, Node) {
+    use hypersweep_topology::graph::{CubeConnectedCycles, DeBruijn, Ring, Torus};
+    use hypersweep_topology::grid::PartialGrid;
+    match pick % 5 {
+        0 => (Box::new(Ring::new(21)), Node(0)),
+        1 => (Box::new(Torus::new(5, 7)), Node(0)),
+        2 => (Box::new(CubeConnectedCycles::new(3)), Node(0)),
+        3 => (Box::new(DeBruijn::new(4)), Node(0)),
+        _ => {
+            let g = PartialGrid::random_holes(6, 7, 8, 0xFEED + pick as u64);
+            let hb = g.homebase();
+            (Box::new(g), hb)
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -211,57 +345,36 @@ proptest! {
     ) {
         let cube = Hypercube::new(d);
         let events = decode_trace(d, &draws);
-        let mut packed = ContaminationField::new(&cube, Node::ROOT);
-        let mut reference = ReferenceField::new(&cube, Node::ROOT);
-        for (i, event) in events.iter().enumerate() {
-            packed.apply(event);
-            reference.apply(event);
-            for x in cube.nodes() {
-                prop_assert_eq!(
-                    packed.is_contaminated(x),
-                    reference.contaminated[x.index()],
-                    "event {}: node {} contamination diverged", i, x.index()
-                );
-            }
-            prop_assert_eq!(
-                packed.contaminated_count(),
-                reference.contaminated.iter().filter(|&&c| c).count(),
-                "event {}: dirty count diverged", i
-            );
-            prop_assert_eq!(packed.occupancy(), &reference.occupancy[..]);
-            prop_assert_eq!(
-                packed.is_contiguous(),
-                reference.is_contiguous(),
-                "event {}: contiguity verdict diverged", i
-            );
-            prop_assert_eq!(
-                packed.is_contiguous(),
-                packed.is_contiguous_bfs(),
-                "event {}: incremental and retained-BFS contiguity diverged", i
-            );
-            prop_assert_eq!(
-                packed.clean_components(),
-                reference.clean_components(),
-                "event {}: component count diverged", i
-            );
-            prop_assert_eq!(
-                packed.unguarded_frontier().is_some(),
-                reference.has_unguarded_frontier(),
-                "event {}: maintained frontier diverged from reference", i
-            );
-            prop_assert_eq!(
-                packed.unguarded_frontier().is_some(),
-                packed.unguarded_frontier_scan().is_some(),
-                "event {}: maintained frontier diverged from the scan", i
-            );
-        }
-        // The word-parallel flood pushes each cascade wave in ascending
-        // node order, the reference BFS in queue order: compare the
-        // recontamination incidents as sorted multisets.
-        let mut a = packed.recontaminations().to_vec();
-        let mut b = reference.recontaminations.clone();
-        a.sort_unstable();
-        b.sort_unstable();
-        prop_assert_eq!(a, b, "recontamination incidents diverged");
+        assert_equivalent(&cube, Node::ROOT, &events)?;
+    }
+
+    /// Same differential on non-hypercube fabrics: rings, tori,
+    /// cube-connected cycles, de Bruijn graphs, and random partial grids.
+    /// These run the generic spread/rebuild paths over the widened
+    /// `NodeSet` bulk ops with ragged tail words.
+    #[test]
+    fn packed_field_matches_reference_on_alt_topologies(
+        pick in 0usize..25,
+        draws in collection::vec(0u64..u64::MAX, 1..100usize),
+    ) {
+        let (topo, homebase) = alt_topology(pick);
+        let events = decode_trace_generic(topo.as_ref(), homebase, &draws);
+        assert_equivalent(topo.as_ref(), homebase, &events)?;
+    }
+}
+
+proptest! {
+    // d = 8 is the smallest cube on the genuinely 4-wide kernel path
+    // (four words); fewer cases since each one compares 256 nodes per
+    // event against the reference.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn packed_field_matches_reference_on_the_wide_kernel_path(
+        draws in collection::vec(0u64..u64::MAX, 1..140usize),
+    ) {
+        let cube = Hypercube::new(8);
+        let events = decode_trace(8, &draws);
+        assert_equivalent(&cube, Node::ROOT, &events)?;
     }
 }

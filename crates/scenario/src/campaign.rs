@@ -4,7 +4,7 @@
 
 use std::time::{Duration, Instant};
 
-use hypersweep_analysis::{execute_jobs_metered, Table};
+use hypersweep_analysis::{execute_schedule_stream, Table};
 use hypersweep_check::{Adversary, ViolationReport};
 use hypersweep_telemetry::MetricsRegistry;
 use hypersweep_topology::Topology;
@@ -13,8 +13,8 @@ use crate::dynamic::run_dynamic;
 use crate::sweep::{run_static, ScheduleStats};
 use crate::{GridStrategy, ScenarioId};
 
-/// Schedules per pooled work item; small enough to load-balance, large
-/// enough to amortise per-job overhead. Merging keeps the
+/// Schedules per streamed slice; small enough to load-balance, large
+/// enough to amortise per-claim overhead. Merging keeps the
 /// lowest-schedule counterexample, so results are identical under any
 /// `--jobs`.
 const SLICE: u64 = 32;
@@ -152,9 +152,12 @@ fn run_one(campaign: &ScenarioCampaign, schedule: u64, max_steps: u64) -> Schedu
 }
 
 /// Explore `campaign.schedules` adversarial schedules across `jobs`
-/// workers. Deterministic for a given campaign under any worker count:
-/// slices are merged in schedule order and the lowest failing schedule
-/// wins.
+/// workers. Schedules stream through fixed-width slices claimed from a
+/// shared counter — nothing is materialized up front, so a 100k-schedule
+/// campaign enqueues zero heap-allocated jobs. Deterministic for a given
+/// campaign under any worker count: per-worker tallies are merged and the
+/// lowest failing schedule wins (quiet campaigns are explored
+/// exhaustively, so their aggregate counts are jobs-invariant too).
 pub fn run_scenario_campaign(
     campaign: &ScenarioCampaign,
     jobs: usize,
@@ -172,59 +175,54 @@ pub fn run_scenario_campaign(
     let rejected_ctr = registry.counter("scenario.dynamic.rejected");
     let schedule_us = registry.histogram("scenario.schedule_us");
 
-    let mut work: Vec<Box<dyn FnOnce() -> SliceOutcome + Send>> = Vec::new();
-    for lo in (0..campaign.schedules).step_by(SLICE as usize) {
-        let hi = (lo + SLICE).min(campaign.schedules);
-        let campaign = *campaign;
-        let schedules_ctr = schedules_ctr.clone();
-        let steps_ctr = steps_ctr.clone();
-        let events_ctr = events_ctr.clone();
-        let violations_ctr = violations_ctr.clone();
-        let mutations_ctr = mutations_ctr.clone();
-        let rejected_ctr = rejected_ctr.clone();
-        let schedule_us = schedule_us.clone();
-        work.push(Box::new(move || {
-            let mut out = SliceOutcome {
-                schedules_run: 0,
-                steps: 0,
-                events: 0,
-                moves: 0,
-                team_min: u64::MAX,
-                team_max: 0,
-                rounds: 0,
-                mutations: 0,
-                rejected: 0,
-                first: None,
-            };
-            for schedule in lo..hi {
-                let t0 = Instant::now();
-                let stats = run_one(&campaign, schedule, max_steps);
-                schedule_us.record(t0.elapsed().as_micros() as u64);
-                out.schedules_run += 1;
-                out.steps += stats.steps;
-                out.events += stats.events;
-                out.moves += stats.moves;
-                out.team_min = out.team_min.min(stats.team);
-                out.team_max = out.team_max.max(stats.team);
-                out.rounds += stats.rounds;
-                out.mutations += stats.mutations;
-                out.rejected += stats.rejected;
-                schedules_ctr.add(1);
-                steps_ctr.add(stats.steps);
-                events_ctr.add(stats.events);
-                mutations_ctr.add(stats.mutations);
-                rejected_ctr.add(stats.rejected);
-                if stats.violation.is_some() {
-                    violations_ctr.add(1);
+    let tallies = execute_schedule_stream(
+        campaign.schedules,
+        SLICE,
+        jobs.max(1),
+        registry,
+        "scenario",
+        |_worker| SliceOutcome {
+            schedules_run: 0,
+            steps: 0,
+            events: 0,
+            moves: 0,
+            team_min: u64::MAX,
+            team_max: 0,
+            rounds: 0,
+            mutations: 0,
+            rejected: 0,
+            first: None,
+        },
+        |out, schedule| {
+            let t0 = Instant::now();
+            let stats = run_one(campaign, schedule, max_steps);
+            schedule_us.record(t0.elapsed().as_micros() as u64);
+            out.schedules_run += 1;
+            out.steps += stats.steps;
+            out.events += stats.events;
+            out.moves += stats.moves;
+            out.team_min = out.team_min.min(stats.team);
+            out.team_max = out.team_max.max(stats.team);
+            out.rounds += stats.rounds;
+            out.mutations += stats.mutations;
+            out.rejected += stats.rejected;
+            schedules_ctr.add(1);
+            steps_ctr.add(stats.steps);
+            events_ctr.add(stats.events);
+            mutations_ctr.add(stats.mutations);
+            rejected_ctr.add(stats.rejected);
+            if stats.violation.is_some() {
+                violations_ctr.add(1);
+                let better = out.first.as_ref().is_none_or(|(s, _)| schedule < *s);
+                if better {
                     out.first = Some((schedule, stats));
-                    break;
                 }
+                true
+            } else {
+                false
             }
-            out
-        }));
-    }
-
-    let slices = execute_jobs_metered(work, jobs.max(1), registry);
+        },
+    );
 
     let mut outcome = ScenarioOutcome {
         scenario: campaign.scenario.label().to_string(),
@@ -246,7 +244,7 @@ pub fn run_scenario_campaign(
         elapsed: Duration::ZERO,
     };
     let mut winner: Option<(u64, ScheduleStats)> = None;
-    for slice in slices {
+    for slice in tallies {
         outcome.schedules_run += slice.schedules_run;
         outcome.steps += slice.steps;
         outcome.events += slice.events;
@@ -280,6 +278,9 @@ pub fn run_scenario_campaign(
         });
     }
     outcome.elapsed = start.elapsed();
+    registry
+        .histogram("span.scenario.campaign_us")
+        .record(outcome.elapsed.as_micros() as u64);
     outcome
 }
 

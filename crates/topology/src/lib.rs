@@ -34,6 +34,7 @@ pub mod node;
 pub mod nodeset;
 pub mod properties;
 pub mod render;
+pub mod wide;
 
 pub use broadcast::BroadcastTree;
 pub use graph::Topology;

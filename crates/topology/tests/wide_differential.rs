@@ -1,0 +1,225 @@
+//! Differential battery for the 4-wide word kernels: every widened path is
+//! held **bit-identical** to its retained single-word scalar reference.
+//!
+//! Coverage deliberately includes word counts not divisible by the unroll
+//! width — universes with `n mod 256 ≠ 0` exercise both the 4-aligned main
+//! loop and the scalar tail — and the universes are drawn from the shapes
+//! the rest of the workspace actually runs on: hypercubes (`2^d` nodes),
+//! rings (any `n`), tori (`rows × cols`), cube-connected cycles
+//! (`d · 2^d`), de Bruijn graphs, and random partial grids (arbitrary
+//! hole-dependent live counts).
+
+use hypersweep_topology::graph::{CubeConnectedCycles, DeBruijn, Ring, Torus};
+use hypersweep_topology::grid::PartialGrid;
+use hypersweep_topology::{wide, Hypercube, Node, NodeSet, Topology};
+
+use proptest::prelude::*;
+
+/// Deterministic word fill from a seed (SplitMix64 mix).
+fn fill(words: &mut [u64], seed: u64) {
+    let mut s = seed;
+    for w in words.iter_mut() {
+        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        *w = z ^ (z >> 31);
+    }
+}
+
+/// A random member set over `0..n`, about half full, tail kept clean.
+fn random_set(n: usize, seed: u64) -> NodeSet {
+    let mut s = NodeSet::new(n);
+    fill(s.words_mut(), seed);
+    let tail = n & 63;
+    if tail != 0 {
+        if let Some(last) = s.words_mut().last_mut() {
+            *last &= (1u64 << tail) - 1;
+        }
+    }
+    s
+}
+
+/// The universe sizes induced by the workspace's graph families, chosen so
+/// word counts hit every residue mod 4 (and `n mod 256 ≠ 0` throughout).
+fn family_universes() -> Vec<(&'static str, usize)> {
+    vec![
+        ("hypercube d=9", Hypercube::new(9).node_count()),
+        ("ring 389", Ring::new(389).node_count()),
+        ("torus 17x23", Torus::new(17, 23).node_count()),
+        ("ccc d=5", CubeConnectedCycles::new(5).node_count()),
+        ("debruijn k=9", DeBruijn::new(9).node_count()),
+        (
+            "grid 13x17 holes",
+            PartialGrid::random_holes(13, 17, 30, 0xC0FFEE).node_count(),
+        ),
+        ("corridor 9x31", PartialGrid::corridor(9, 31).node_count()),
+    ]
+}
+
+#[test]
+fn bulk_ops_match_scalar_on_family_universes() {
+    for (label, n) in family_universes() {
+        let words = n.div_ceil(64);
+        for salt in 0..4u64 {
+            let mut src = vec![0u64; words];
+            fill(&mut src, salt.wrapping_mul(77) + 1);
+            type BinOp = fn(&mut [u64], &[u64]);
+            let pairs: [(BinOp, BinOp); 4] = [
+                (wide::or_assign, wide::or_assign_scalar),
+                (wide::and_assign, wide::and_assign_scalar),
+                (wide::xor_assign, wide::xor_assign_scalar),
+                (wide::andnot_assign, wide::andnot_assign_scalar),
+            ];
+            for (w, s) in pairs {
+                let mut a = vec![0u64; words];
+                fill(&mut a, salt + 13);
+                let mut b = a.clone();
+                w(&mut a, &src);
+                s(&mut b, &src);
+                assert_eq!(a, b, "{label} salt {salt}");
+            }
+            assert_eq!(
+                wide::count_ones(&src),
+                wide::count_ones_scalar(&src),
+                "{label} salt {salt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn flood_steps_match_scalar_on_family_universes() {
+    for (label, n) in family_universes() {
+        let words = n.div_ceil(64);
+        for salt in 0..4u64 {
+            let mut blocked = vec![0u64; words];
+            let mut next_w = vec![0u64; words];
+            let mut acc_w = vec![0u64; words];
+            fill(&mut blocked, salt + 1);
+            fill(&mut next_w, salt + 2);
+            fill(&mut acc_w, salt + 3);
+            let mut next_s = next_w.clone();
+            let mut acc_s = acc_w.clone();
+            let gw = wide::flood_step(&mut next_w, &mut acc_w, &blocked);
+            let gs = wide::flood_step_scalar(&mut next_s, &mut acc_s, &blocked);
+            assert_eq!((gw, &next_w, &acc_w), (gs, &next_s, &acc_s), "{label}");
+
+            let mut a = vec![0u64; words];
+            let mut b = vec![0u64; words];
+            fill(&mut a, salt + 4);
+            fill(&mut b, salt + 5);
+            let mut m_w = vec![0u64; words];
+            fill(&mut m_w, salt + 6);
+            let mut m_s = m_w.clone();
+            let gw = wide::mask_clear2(&mut m_w, &a, &b);
+            let gs = wide::mask_clear2_scalar(&mut m_s, &a, &b);
+            assert_eq!((gw, &m_w), (gs, &m_s), "{label}");
+        }
+    }
+}
+
+#[test]
+fn nodeset_bulk_ops_match_per_node_semantics() {
+    for (label, n) in family_universes() {
+        let a0 = random_set(n, 11);
+        let b = random_set(n, 22);
+        let ops: [(&str, fn(&mut NodeSet, &NodeSet), fn(bool, bool) -> bool); 4] = [
+            ("union", NodeSet::union_with, |x, y| x | y),
+            ("intersect", NodeSet::intersect_with, |x, y| x & y),
+            ("symdiff", NodeSet::symmetric_difference_with, |x, y| x ^ y),
+            ("subtract", NodeSet::subtract, |x, y| x & !y),
+        ];
+        for (name, op, truth) in ops {
+            let mut a = a0.clone();
+            op(&mut a, &b);
+            for i in 0..n as u32 {
+                assert_eq!(
+                    a.contains(Node(i)),
+                    truth(a0.contains(Node(i)), b.contains(Node(i))),
+                    "{label}: {name} node {i}"
+                );
+            }
+            assert_eq!(
+                a.count_ones(),
+                (0..n as u32).filter(|&i| a.contains(Node(i))).count(),
+                "{label}: {name} count"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The chunked expansion (in-word shuffles + intra-chunk port-7/8
+    /// swaps + chunk-stride XOR) agrees with the retained scalar word loop
+    /// on every dimension: d ≤ 7 shares the scalar path by construction,
+    /// d ∈ 8..=12 runs the genuinely 4-wide code.
+    #[test]
+    fn hypercube_expansion_matches_scalar_reference(
+        d in 1u32..=12,
+        seed in 0u64..u64::MAX,
+    ) {
+        let n = 1usize << d;
+        let s = random_set(n, seed);
+        let mut fast = NodeSet::new(n);
+        let mut slow = NodeSet::new(n);
+        s.hypercube_expand_into(d, &mut fast);
+        s.hypercube_expand_into_scalar(d, &mut slow);
+        prop_assert_eq!(&fast, &slow, "d = {}", d);
+    }
+
+    /// And the scalar reference itself agrees with per-node neighbour
+    /// enumeration, so the chain wide == scalar == per-node is closed.
+    #[test]
+    fn hypercube_expansion_matches_per_node_neighbours(
+        d in 8u32..=10,
+        seed in 0u64..u64::MAX,
+    ) {
+        let cube = Hypercube::new(d);
+        let n = cube.node_count();
+        let s = random_set(n, seed);
+        let mut fast = NodeSet::new(n);
+        s.hypercube_expand_into(d, &mut fast);
+        let mut slow = NodeSet::new(n);
+        for x in s.iter() {
+            for y in cube.neighbors(x) {
+                slow.insert(y);
+            }
+        }
+        prop_assert_eq!(&fast, &slow, "d = {}", d);
+    }
+
+    /// Random universes drive the 4-aligned/tail split through every
+    /// residue: slice kernels stay bit-identical to the scalar loops.
+    #[test]
+    fn slice_kernels_match_scalar_on_random_universes(
+        n in 1usize..=2048,
+        seed in 0u64..u64::MAX,
+    ) {
+        let words = n.div_ceil(64);
+        let mut src = vec![0u64; words];
+        let mut a = vec![0u64; words];
+        fill(&mut src, seed);
+        fill(&mut a, seed ^ 0xABCD);
+        let mut b = a.clone();
+        wide::or_assign(&mut a, &src);
+        wide::or_assign_scalar(&mut b, &src);
+        prop_assert_eq!(&a, &b);
+        let mut c = a.clone();
+        let mut d2 = a.clone();
+        wide::andnot_assign(&mut c, &src);
+        wide::andnot_assign_scalar(&mut d2, &src);
+        prop_assert_eq!(&c, &d2);
+        prop_assert_eq!(wide::count_ones(&a), wide::count_ones_scalar(&a));
+
+        let mut next_w = a.clone();
+        let mut next_s = a.clone();
+        let mut acc_w = c.clone();
+        let mut acc_s = c.clone();
+        let gw = wide::flood_step(&mut next_w, &mut acc_w, &src);
+        let gs = wide::flood_step_scalar(&mut next_s, &mut acc_s, &src);
+        prop_assert_eq!((gw, &next_w, &acc_w), (gs, &next_s, &acc_s));
+    }
+}

@@ -37,6 +37,7 @@ pub use hypersweep_baselines as baselines;
 pub use hypersweep_check as check;
 pub use hypersweep_core as core;
 pub use hypersweep_intruder as intruder;
+pub use hypersweep_scenario as scenario;
 pub use hypersweep_server as server;
 pub use hypersweep_sim as sim;
 pub use hypersweep_telemetry as telemetry;
